@@ -1,0 +1,252 @@
+//! Definitional FD discovery: the oracle.
+//!
+//! Everything here follows Section 1 of the paper verbatim, with no pruning
+//! beyond minimality itself. Complexity is exponential in `|R|` and
+//! quadratic-ish in `|r|`, which is fine for the ≤ 10-attribute random
+//! relations the test suites use.
+
+use tane_util::{canonical_fds, AttrSet, Fd, FxHashMap};
+use tane_relation::Relation;
+
+/// `true` iff `X → A` holds in `r`: all row pairs agreeing on `X` agree on
+/// `A`. Implemented by grouping rows on their `X`-projection.
+#[allow(clippy::needless_range_loop)] // rows index several columns at once
+pub fn fd_holds(relation: &Relation, lhs: AttrSet, rhs: usize) -> bool {
+    let mut witness: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+    let rhs_codes = relation.column_codes(rhs);
+    for t in 0..relation.num_rows() {
+        let key: Vec<u32> = lhs.iter().map(|a| relation.column_codes(a)[t]).collect();
+        match witness.get(&key) {
+            Some(&a_code) => {
+                if a_code != rhs_codes[t] {
+                    return false;
+                }
+            }
+            None => {
+                witness.insert(key, rhs_codes[t]);
+            }
+        }
+    }
+    true
+}
+
+/// `g3(X → A) · |r|`: the minimum number of rows to remove for the
+/// dependency to hold, computed from the definition (group on `X`, keep the
+/// plurality `A`-value in each group).
+#[allow(clippy::needless_range_loop)] // rows index several columns at once
+pub fn fd_g3_rows(relation: &Relation, lhs: AttrSet, rhs: usize) -> usize {
+    // group key → (group size, per-A-code counts)
+    let mut groups: FxHashMap<Vec<u32>, FxHashMap<u32, usize>> = FxHashMap::default();
+    let rhs_codes = relation.column_codes(rhs);
+    for t in 0..relation.num_rows() {
+        let key: Vec<u32> = lhs.iter().map(|a| relation.column_codes(a)[t]).collect();
+        *groups.entry(key).or_default().entry(rhs_codes[t]).or_insert(0) += 1;
+    }
+    let mut removed = 0usize;
+    for counts in groups.values() {
+        let total: usize = counts.values().sum();
+        let keep = counts.values().copied().max().unwrap_or(0);
+        removed += total - keep;
+    }
+    removed
+}
+
+/// All minimal non-trivial functional dependencies of `r`, by exhaustive
+/// search in increasing LHS size. `max_lhs` caps the LHS size (use
+/// `relation.num_attrs()` for no cap, matching the paper's unrestricted
+/// runs).
+pub fn brute_force_fds(relation: &Relation, max_lhs: usize) -> Vec<Fd> {
+    brute_force_generic(relation, max_lhs, fd_holds)
+}
+
+/// All minimal non-trivial approximate dependencies with
+/// `g3(X → A) ≤ epsilon` (paper, Section 1).
+pub fn brute_force_approx_fds(relation: &Relation, max_lhs: usize, epsilon: f64) -> Vec<Fd> {
+    let n = relation.num_rows();
+    brute_force_generic(relation, max_lhs, move |r, lhs, rhs| {
+        if n == 0 {
+            true
+        } else {
+            (fd_g3_rows(r, lhs, rhs) as f64 / n as f64) <= epsilon
+        }
+    })
+}
+
+#[allow(clippy::needless_range_loop)] // rhs sweeps every attribute per lhs
+fn brute_force_generic<F>(relation: &Relation, max_lhs: usize, valid: F) -> Vec<Fd>
+where
+    F: Fn(&Relation, AttrSet, usize) -> bool,
+{
+    let n_attrs = relation.num_attrs();
+    let mut found: Vec<Fd> = Vec::new();
+    // For each rhs, the valid minimal LHSs discovered so far (for the
+    // minimality filter).
+    let mut minimal_lhs: Vec<Vec<AttrSet>> = vec![Vec::new(); n_attrs];
+
+    for size in 0..=max_lhs.min(n_attrs.saturating_sub(1)) {
+        for lhs in subsets_of_size(n_attrs, size) {
+            for rhs in 0..n_attrs {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                if minimal_lhs[rhs].iter().any(|&m| m.is_subset_of(lhs)) {
+                    continue; // not minimal
+                }
+                if valid(relation, lhs, rhs) {
+                    minimal_lhs[rhs].push(lhs);
+                    found.push(Fd::new(lhs, rhs));
+                }
+            }
+        }
+    }
+    canonical_fds(found)
+}
+
+/// All subsets of `{0..n_attrs}` with exactly `size` members, ascending.
+fn subsets_of_size(n_attrs: usize, size: usize) -> Vec<AttrSet> {
+    let mut out = Vec::new();
+    let mut current = AttrSet::empty();
+    fn rec(out: &mut Vec<AttrSet>, current: &mut AttrSet, next: usize, n: usize, left: usize) {
+        if left == 0 {
+            out.push(*current);
+            return;
+        }
+        if n - next < left {
+            return;
+        }
+        for a in next..n {
+            current.insert(a);
+            rec(out, current, a + 1, n, left - 1);
+            current.remove(a);
+        }
+    }
+    rec(&mut out, &mut current, 0, n_attrs, size);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_relation::{Schema, Value};
+
+    fn figure1() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mut b = Relation::builder(schema);
+        for row in [
+            ["1", "a", "$", "Flower"],
+            ["1", "A", "L", "Tulip"],
+            ["2", "A", "$", "Daffodil"],
+            ["2", "A", "$", "Flower"],
+            ["2", "b", "L", "Lily"],
+            ["3", "b", "$", "Orchid"],
+            ["3", "c", "L", "Flower"],
+            ["3", "c", "#", "Rose"],
+        ] {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fd_holds_on_figure1() {
+        let r = figure1();
+        // {B,C} → A holds (paper Example 2); {A} → B does not.
+        assert!(fd_holds(&r, AttrSet::from_indices([1, 2]), 0));
+        assert!(!fd_holds(&r, AttrSet::singleton(0), 1));
+        // D is almost a key: {D} → A fails only via the Flower duplicates.
+        assert!(!fd_holds(&r, AttrSet::singleton(3), 0));
+    }
+
+    #[test]
+    fn g3_rows_on_figure1() {
+        let r = figure1();
+        // {A} → B needs 3 removals (one per A-class).
+        assert_eq!(fd_g3_rows(&r, AttrSet::singleton(0), 1), 3);
+        // A valid FD needs none.
+        assert_eq!(fd_g3_rows(&r, AttrSet::from_indices([1, 2]), 0), 0);
+        // ∅ → A keeps the plurality value of A (3 rows of '2'|'3'): removes 5.
+        assert_eq!(fd_g3_rows(&r, AttrSet::empty(), 0), 5);
+    }
+
+    #[test]
+    fn minimal_fds_of_figure1_are_minimal_and_valid() {
+        let r = figure1();
+        let fds = brute_force_fds(&r, 4);
+        assert!(!fds.is_empty());
+        for fd in &fds {
+            assert!(!fd.is_trivial());
+            assert!(fd_holds(&r, fd.lhs, fd.rhs), "{fd} must hold");
+            for (_, sub) in fd.lhs.proper_subsets_one_smaller() {
+                assert!(!fd_holds(&r, sub, fd.rhs), "{fd} must be minimal");
+            }
+        }
+        // {B,C} → A is among them.
+        assert!(fds.contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
+        // And no non-minimal variant is.
+        assert!(!fds.contains(&Fd::new(AttrSet::from_indices([1, 2, 3]), 0)));
+    }
+
+    #[test]
+    fn approx_fds_grow_with_epsilon_at_small_thresholds() {
+        let r = figure1();
+        let exact = brute_force_fds(&r, 4);
+        let eps0 = brute_force_approx_fds(&r, 4, 0.0);
+        assert_eq!(exact, eps0);
+        // ε = 3/8 admits {A} → B, which needs 3 of 8 rows removed.
+        let eps = brute_force_approx_fds(&r, 4, 3.0 / 8.0);
+        assert!(eps.contains(&Fd::new(AttrSet::singleton(0), 1)));
+    }
+
+    #[test]
+    fn max_lhs_limits_output() {
+        let r = figure1();
+        let all = brute_force_fds(&r, 4);
+        let limited = brute_force_fds(&r, 1);
+        assert!(limited.iter().all(|fd| fd.lhs.len() <= 1));
+        assert!(limited.len() <= all.len());
+        // Every size-≤1 FD in the full output appears in the limited one.
+        for fd in all.iter().filter(|fd| fd.lhs.len() <= 1) {
+            assert!(limited.contains(fd));
+        }
+    }
+
+    #[test]
+    fn empty_relation_every_fd_holds_vacuously() {
+        let r = Relation::builder(Schema::new(["A", "B"]).unwrap()).build();
+        let fds = brute_force_fds(&r, 2);
+        // ∅ → A and ∅ → B hold vacuously and are the minimal cover.
+        assert_eq!(fds, vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]);
+    }
+
+    #[test]
+    fn constant_column_is_determined_by_empty_set() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![7, 7, 7], vec![0, 1, 2]]).unwrap();
+        let fds = brute_force_fds(&r, 2);
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 0)));
+        // B is a key, so {B} → A would hold but is shadowed by ∅ → A;
+        // and A is constant so {A} → B cannot hold (B varies).
+        assert!(!fds.iter().any(|fd| fd.rhs == 0 && !fd.lhs.is_empty()));
+    }
+
+    #[test]
+    fn subsets_of_size_enumeration() {
+        assert_eq!(subsets_of_size(4, 0), vec![AttrSet::empty()]);
+        assert_eq!(subsets_of_size(4, 2).len(), 6);
+        assert_eq!(subsets_of_size(4, 4).len(), 1);
+        assert_eq!(subsets_of_size(3, 5).len(), 0);
+        // All distinct, all the right size.
+        let s = subsets_of_size(6, 3);
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|x| x.len() == 3));
+    }
+
+    #[test]
+    fn single_attribute_relation_has_constant_or_no_fds() {
+        let schema = Schema::new(["A"]).unwrap();
+        let constant = Relation::from_codes(schema.clone(), vec![vec![1, 1]]).unwrap();
+        assert_eq!(brute_force_fds(&constant, 1), vec![Fd::new(AttrSet::empty(), 0)]);
+        let varying = Relation::from_codes(schema, vec![vec![1, 2]]).unwrap();
+        assert!(brute_force_fds(&varying, 1).is_empty());
+    }
+}

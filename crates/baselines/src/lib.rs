@@ -1,0 +1,23 @@
+//! Oracle and baseline algorithms for FD discovery.
+//!
+//! This crate serves two purposes:
+//!
+//! 1. **Correctness oracle** ([`brute_force`], [`verify`]) — a direct,
+//!    definitional implementation of (approximate) FD discovery with no
+//!    pruning or clever data structures. Slow, obviously correct, and used
+//!    by the test suites of every other crate to validate TANE and FDEP on
+//!    thousands of random relations.
+//! 2. **Comparison baselines** ([`levelwise_naive`]) — a levelwise searcher
+//!    in the style the paper attributes to Bell & Brockhausen \[1\] and
+//!    Schlimmer \[18\]: same lattice traversal as TANE, but validity is
+//!    tested by re-grouping rows from scratch (no partition products, no
+//!    rhs⁺ candidate sets, no key pruning). Used by the ablation benches to
+//!    quantify how much each TANE ingredient buys.
+
+pub mod brute_force;
+pub mod levelwise_naive;
+pub mod verify;
+
+pub use brute_force::{brute_force_approx_fds, brute_force_fds, fd_g3_rows, fd_holds};
+pub use levelwise_naive::{naive_levelwise_fds, NaiveStats};
+pub use verify::{verify_minimal_cover, CoverIssue};

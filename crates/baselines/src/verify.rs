@@ -1,0 +1,200 @@
+//! Validation of discovered dependency sets.
+//!
+//! [`verify_minimal_cover`] checks the three properties the paper's problem
+//! statement demands of an algorithm's output (Section 1): every reported
+//! dependency **holds**, every reported dependency is **minimal**, and the
+//! output is **complete** (no minimal dependency is missing). Completeness
+//! is checked against the brute-force oracle, so this is only meant for
+//! test-sized relations.
+
+use crate::brute_force::{brute_force_approx_fds, brute_force_fds, fd_g3_rows, fd_holds};
+use tane_util::{canonical_fds, Fd};
+use tane_relation::Relation;
+
+/// A defect found in a claimed minimal cover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoverIssue {
+    /// A reported dependency does not hold (or exceeds the `g3` threshold).
+    NotValid(Fd),
+    /// A reported dependency is trivial (`A ∈ X`).
+    Trivial(Fd),
+    /// A reported dependency is not minimal: the contained witness subset is
+    /// also valid.
+    NotMinimal(Fd, Fd),
+    /// A minimal dependency is missing from the output.
+    Missing(Fd),
+    /// The same dependency was reported more than once.
+    Duplicate(Fd),
+}
+
+impl std::fmt::Display for CoverIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverIssue::NotValid(fd) => write!(f, "reported dependency {fd} does not hold"),
+            CoverIssue::Trivial(fd) => write!(f, "reported dependency {fd} is trivial"),
+            CoverIssue::NotMinimal(fd, witness) => {
+                write!(f, "reported dependency {fd} is not minimal ({witness} also holds)")
+            }
+            CoverIssue::Missing(fd) => write!(f, "minimal dependency {fd} is missing"),
+            CoverIssue::Duplicate(fd) => write!(f, "dependency {fd} reported twice"),
+        }
+    }
+}
+
+/// Checks that `claimed` is exactly the set of minimal non-trivial
+/// (approximate) dependencies of `relation` with LHS size ≤ `max_lhs`.
+/// `epsilon = 0.0` checks exact FDs. Returns all defects found (empty =
+/// perfect).
+pub fn verify_minimal_cover(
+    relation: &Relation,
+    claimed: &[Fd],
+    max_lhs: usize,
+    epsilon: f64,
+) -> Vec<CoverIssue> {
+    let mut issues = Vec::new();
+    let n = relation.num_rows();
+    let valid = |fd: &Fd| -> bool {
+        if epsilon == 0.0 {
+            fd_holds(relation, fd.lhs, fd.rhs)
+        } else if n == 0 {
+            true
+        } else {
+            (fd_g3_rows(relation, fd.lhs, fd.rhs) as f64 / n as f64) <= epsilon
+        }
+    };
+
+    let canon = canonical_fds(claimed.to_vec());
+    if canon.len() != claimed.len() {
+        // Find one duplicated fd for the report.
+        let mut seen = std::collections::BTreeSet::new();
+        for fd in claimed {
+            if !seen.insert(*fd) {
+                issues.push(CoverIssue::Duplicate(*fd));
+            }
+        }
+    }
+
+    for fd in &canon {
+        if fd.is_trivial() {
+            issues.push(CoverIssue::Trivial(*fd));
+            continue;
+        }
+        if !valid(fd) {
+            issues.push(CoverIssue::NotValid(*fd));
+            continue;
+        }
+        for (_, sub) in fd.lhs.proper_subsets_one_smaller() {
+            let witness = Fd::new(sub, fd.rhs);
+            if valid(&witness) {
+                issues.push(CoverIssue::NotMinimal(*fd, witness));
+                break;
+            }
+        }
+    }
+
+    let expected = if epsilon == 0.0 {
+        brute_force_fds(relation, max_lhs)
+    } else {
+        brute_force_approx_fds(relation, max_lhs, epsilon)
+    };
+    for fd in &expected {
+        if !canon.contains(fd) {
+            issues.push(CoverIssue::Missing(*fd));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_util::AttrSet;
+    use tane_relation::Schema;
+
+    fn two_col() -> Relation {
+        // A determines B; B is a key for nothing (B has duplicates).
+        let schema = Schema::new(["A", "B"]).unwrap();
+        Relation::from_codes(schema, vec![vec![0, 0, 1, 2], vec![5, 5, 6, 5]]).unwrap()
+    }
+
+    #[test]
+    fn perfect_cover_passes() {
+        let r = two_col();
+        let expected = brute_force_fds(&r, 2);
+        assert!(verify_minimal_cover(&r, &expected, 2, 0.0).is_empty());
+    }
+
+    #[test]
+    fn missing_dependency_detected() {
+        let r = two_col();
+        let mut fds = brute_force_fds(&r, 2);
+        let dropped = fds.pop().unwrap();
+        let issues = verify_minimal_cover(&r, &fds, 2, 0.0);
+        assert!(issues.iter().any(|i| matches!(i, CoverIssue::Missing(fd) if *fd == dropped)));
+    }
+
+    #[test]
+    fn invalid_dependency_detected() {
+        let r = two_col();
+        let mut fds = brute_force_fds(&r, 2);
+        fds.push(Fd::new(AttrSet::singleton(1), 0)); // {B} → A does not hold
+        let issues = verify_minimal_cover(&r, &fds, 2, 0.0);
+        assert!(issues.iter().any(|i| matches!(i, CoverIssue::NotValid(_))));
+    }
+
+    #[test]
+    fn non_minimal_dependency_detected() {
+        let r = two_col();
+        let mut fds = brute_force_fds(&r, 2);
+        fds.push(Fd::new(AttrSet::from_indices([0, 1]), 1)); // trivial
+        let issues = verify_minimal_cover(&r, &fds, 2, 0.0);
+        assert!(issues.iter().any(|i| matches!(i, CoverIssue::Trivial(_))));
+
+        // {A,B} → … with A → B already valid: non-minimal and trivially
+        // constructed on a 3-column relation.
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let r3 = Relation::from_codes(
+            schema,
+            vec![vec![0, 1, 2], vec![0, 0, 1], vec![0, 1, 0]],
+        )
+        .unwrap();
+        let mut fds = brute_force_fds(&r3, 3);
+        fds.push(Fd::new(AttrSet::from_indices([0, 1]), 2)); // A alone is a key
+        let issues = verify_minimal_cover(&r3, &fds, 3, 0.0);
+        assert!(issues.iter().any(|i| matches!(i, CoverIssue::NotMinimal(..))));
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let r = two_col();
+        let mut fds = brute_force_fds(&r, 2);
+        let dup = fds[0];
+        fds.push(dup);
+        let issues = verify_minimal_cover(&r, &fds, 2, 0.0);
+        assert!(issues.iter().any(|i| matches!(i, CoverIssue::Duplicate(fd) if *fd == dup)));
+    }
+
+    #[test]
+    fn approximate_cover_verified_against_threshold() {
+        let r = two_col();
+        let eps = 0.25;
+        let expected = brute_force_approx_fds(&r, 2, eps);
+        assert!(verify_minimal_cover(&r, &expected, 2, eps).is_empty());
+        // The exact cover is generally *wrong* for ε > 0 (missing approx FDs
+        // or including now-non-minimal ones).
+        let exact = brute_force_fds(&r, 2);
+        if exact != expected {
+            assert!(!verify_minimal_cover(&r, &exact, 2, eps).is_empty());
+        }
+    }
+
+    #[test]
+    fn issue_messages_render() {
+        let fd = Fd::new(AttrSet::singleton(0), 1);
+        assert!(CoverIssue::NotValid(fd).to_string().contains("does not hold"));
+        assert!(CoverIssue::Missing(fd).to_string().contains("missing"));
+        assert!(CoverIssue::Duplicate(fd).to_string().contains("twice"));
+        assert!(CoverIssue::Trivial(fd).to_string().contains("trivial"));
+        assert!(CoverIssue::NotMinimal(fd, fd).to_string().contains("not minimal"));
+    }
+}

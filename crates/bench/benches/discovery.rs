@@ -1,0 +1,67 @@
+//! Criterion end-to-end discovery benchmarks: TANE vs FDEP vs the naive
+//! levelwise baseline, plus the approximate variant — small fixed datasets
+//! so `cargo bench` stays fast while still showing the paper's orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, TaneConfig};
+use tane_datasets::{scaled_wbc, wisconsin_breast_cancer};
+
+fn bench_exact_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_wbc");
+    group.sample_size(10);
+    let r = wisconsin_breast_cancer();
+    group.bench_function("tane_mem", |b| {
+        b.iter(|| discover_fds(&r, &TaneConfig::default()).unwrap());
+    });
+    group.bench_function("tane_disk", |b| {
+        b.iter(|| discover_fds(&r, &TaneConfig::disk(4 << 20)).unwrap());
+    });
+    group.bench_function("tane_no_pruning", |b| {
+        b.iter(|| discover_fds(&r, &TaneConfig::default().without_pruning()).unwrap());
+    });
+    group.bench_function("fdep", |b| {
+        b.iter(|| tane_fdep::fdep_fds(&r));
+    });
+    group.bench_function("naive_levelwise", |b| {
+        b.iter(|| tane_baselines::naive_levelwise_fds(&r, r.num_attrs()));
+    });
+    group.finish();
+}
+
+fn bench_row_scaling(c: &mut Criterion) {
+    // The Figure 4 microcosm: TANE grows linearly with rows, FDEP
+    // quadratically.
+    let mut group = c.benchmark_group("row_scaling");
+    group.sample_size(10);
+    for copies in [1usize, 2, 4] {
+        let r = scaled_wbc(copies);
+        group.throughput(Throughput::Elements(r.num_rows() as u64));
+        group.bench_with_input(BenchmarkId::new("tane_mem", r.num_rows()), &r, |b, r| {
+            b.iter(|| discover_fds(r, &TaneConfig::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fdep", r.num_rows()), &r, |b, r| {
+            b.iter(|| tane_fdep::fdep_fds(r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_approximate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_wbc");
+    group.sample_size(10);
+    let r = wisconsin_breast_cancer();
+    for eps in [0.01f64, 0.05, 0.25] {
+        group.bench_with_input(BenchmarkId::new("with_bounds", eps), &eps, |b, &eps| {
+            b.iter(|| discover_approx_fds(&r, &ApproxTaneConfig::new(eps)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("without_bounds", eps), &eps, |b, &eps| {
+            let mut config = ApproxTaneConfig::new(eps);
+            config.use_g3_bounds = false;
+            b.iter(|| discover_approx_fds(&r, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_algorithms, bench_row_scaling, bench_approximate);
+criterion_main!(benches);

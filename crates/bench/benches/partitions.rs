@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the partition engine — the inner loops the
+//! paper's cost model counts: singleton partition construction (O(|r|)),
+//! the partition product (O(‖π̂‖)), the exact g3 computation (O(‖π̂‖)), and
+//! the O(1) bound check that replaces it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tane_datasets::{scaled_wbc, wisconsin_breast_cancer};
+use tane_partition::{
+    g3_removed_rows_with_scratch, product_with_scratch, G3Bounds, G3Scratch, ProductScratch,
+    StrippedPartition,
+};
+use tane_util::AttrSet;
+
+fn bench_from_column(c: &mut Criterion) {
+    let mut group = c.benchmark_group("from_column");
+    for copies in [1usize, 8, 64] {
+        let r = scaled_wbc(copies);
+        let codes = r.column_codes(1).to_vec();
+        group.throughput(Throughput::Elements(codes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(codes.len()), &codes, |b, codes| {
+            b.iter(|| StrippedPartition::from_column(codes));
+        });
+    }
+    group.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product");
+    for copies in [1usize, 8, 64] {
+        let r = scaled_wbc(copies);
+        let pa = StrippedPartition::from_column(r.column_codes(1));
+        let pb = StrippedPartition::from_column(r.column_codes(2));
+        let mut scratch = ProductScratch::new(r.num_rows());
+        group.throughput(Throughput::Elements(r.num_rows() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(r.num_rows()), &(), |b, ()| {
+            b.iter(|| product_with_scratch(&pa, &pb, &mut scratch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_g3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g3");
+    let r = wisconsin_breast_cancer();
+    let pi_x = StrippedPartition::from_attr_set(&r, AttrSet::from_indices([1, 2]));
+    let pi_xa = StrippedPartition::from_attr_set(&r, AttrSet::from_indices([1, 2, 10]));
+    let mut scratch = G3Scratch::new(r.num_rows());
+    group.bench_function("exact", |b| {
+        b.iter(|| g3_removed_rows_with_scratch(&pi_x, &pi_xa, &mut scratch));
+    });
+    group.bench_function("bounds_only", |b| {
+        b.iter(|| G3Bounds::new(&pi_x, &pi_xa).decide(0.05));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_from_column, bench_product, bench_g3
+}
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Ablation experiments (beyond the paper's tables): how much does each of
+//! TANE's ingredients buy? The paper's Sections 4–6 credit its speed to
+//! (a) the rhs⁺ candidate pruning, (b) key pruning, (c) computing partitions
+//! by products rather than re-grouping, and (d) the quick g3 bounds for the
+//! approximate variant. Each row removes one ingredient; the dependency set
+//! must be unchanged — only the work changes.
+
+use crate::report::AblationRow;
+use crate::runners::format_row;
+use crate::Scale;
+use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, TaneConfig};
+use tane_datasets as ds;
+use tane_relation::Relation;
+use tane_util::Stopwatch;
+
+fn measure(name: &str, dataset: &str, relation: &Relation, config: &TaneConfig) -> AblationRow {
+    let sw = Stopwatch::start();
+    let result = discover_fds(relation, config).expect("memory store cannot fail");
+    AblationRow {
+        dataset: dataset.to_string(),
+        variant: name.to_string(),
+        n: result.fds.len(),
+        secs: sw.elapsed_secs(),
+        sets_total: result.stats.sets_total,
+        validity_tests: result.stats.validity_tests,
+    }
+}
+
+/// Runs and prints the ablation grid; returns the structured rows.
+pub fn run(scale: Scale) -> Vec<AblationRow> {
+    println!("Ablations: each row disables one TANE ingredient (output must be identical)");
+    let widths = [22usize, 24, 7, 9, 10, 12];
+    println!(
+        "{}",
+        format_row(
+            &widths,
+            &["Dataset", "Variant", "N", "Time(s)", "Sets (s)", "Tests (v)"].map(String::from)
+        )
+    );
+
+    let mut datasets: Vec<(&str, Relation)> = vec![("wbc", ds::wisconsin_breast_cancer())];
+    if scale == Scale::Full {
+        datasets.push(("hepatitis", ds::hepatitis()));
+        datasets.push(("chess", ds::chess_krk()));
+    }
+
+    let mut rows = Vec::new();
+    for (name, relation) in &datasets {
+        let full = TaneConfig::default();
+        let variants: Vec<(&str, TaneConfig)> = vec![
+            ("full TANE", full.clone()),
+            ("no rhs+ pruning", TaneConfig { rhs_plus_pruning: false, ..full.clone() }),
+            ("no key pruning", TaneConfig { key_pruning: false, ..full.clone() }),
+            (
+                "no pruning at all",
+                TaneConfig { rhs_plus_pruning: false, key_pruning: false, ..full.clone() },
+            ),
+        ];
+        let mut reference_n = None;
+        for (variant, config) in variants {
+            let row = measure(variant, name, relation, &config);
+            match reference_n {
+                None => reference_n = Some(row.n),
+                Some(n) => assert_eq!(n, row.n, "{name}/{variant} changed the output"),
+            }
+            println!(
+                "{}",
+                format_row(
+                    &widths,
+                    &[
+                        row.dataset.clone(),
+                        row.variant.clone(),
+                        row.n.to_string(),
+                        format!("{:.3}", row.secs),
+                        row.sets_total.to_string(),
+                        row.validity_tests.to_string(),
+                    ]
+                )
+            );
+            rows.push(row);
+        }
+
+        // Naive levelwise baseline (no partitions at all): grouping-based
+        // validity like Bell & Brockhausen / Schlimmer.
+        let sw = Stopwatch::start();
+        let (fds, stats) = tane_baselines::naive_levelwise_fds(relation, relation.num_attrs());
+        let row = AblationRow {
+            dataset: name.to_string(),
+            variant: "naive levelwise (no partitions)".to_string(),
+            n: fds.len(),
+            secs: sw.elapsed_secs(),
+            sets_total: stats.sets_visited,
+            validity_tests: stats.validity_tests,
+        };
+        assert_eq!(Some(row.n), reference_n, "{name}/naive changed the output");
+        println!(
+            "{}",
+            format_row(
+                &widths,
+                &[
+                    row.dataset.clone(),
+                    row.variant.clone(),
+                    row.n.to_string(),
+                    format!("{:.3}", row.secs),
+                    row.sets_total.to_string(),
+                    row.validity_tests.to_string(),
+                ]
+            )
+        );
+        rows.push(row);
+    }
+
+    // Approximate-mode ablation: the quick g3 bounds.
+    println!();
+    println!("Approximate-mode ablation (eps = 0.05): quick g3 bounds on/off");
+    for (name, relation) in &datasets {
+        for (variant, use_bounds) in [("with g3 bounds", true), ("without g3 bounds", false)] {
+            let config = ApproxTaneConfig {
+                use_g3_bounds: use_bounds,
+                ..ApproxTaneConfig::new(0.05)
+            };
+            let sw = Stopwatch::start();
+            let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
+            let row = AblationRow {
+                dataset: name.to_string(),
+                variant: variant.to_string(),
+                n: result.fds.len(),
+                secs: sw.elapsed_secs(),
+                sets_total: result.stats.sets_total,
+                validity_tests: result.stats.validity_tests,
+            };
+            println!(
+                "{}",
+                format_row(
+                    &widths,
+                    &[
+                        row.dataset.clone(),
+                        format!(
+                            "{variant} (exact g3: {})",
+                            result.stats.g3_exact_computations
+                        ),
+                        row.n.to_string(),
+                        format!("{:.3}", row.secs),
+                        row.sets_total.to_string(),
+                        row.validity_tests.to_string(),
+                    ]
+                )
+            );
+            rows.push(row);
+        }
+    }
+
+    // Sound vs paper-faithful approximate algorithm: the aggressive rhs⁺
+    // heuristic reproduces the paper's collapse at large ε, at the cost of
+    // completeness (see ApproxTaneConfig::aggressive_rhs_plus).
+    println!();
+    println!("Approximate-mode ablation: sound algorithm vs paper-faithful rhs+ heuristic");
+    for (name, relation) in &datasets {
+        for eps in [0.05f64, 0.25] {
+            for (variant, config) in [
+                (format!("sound (eps={eps})"), ApproxTaneConfig::new(eps)),
+                (format!("paper-faithful (eps={eps})"), ApproxTaneConfig::paper_faithful(eps)),
+            ] {
+                let sw = Stopwatch::start();
+                let result =
+                    discover_approx_fds(relation, &config).expect("memory store cannot fail");
+                let row = AblationRow {
+                    dataset: name.to_string(),
+                    variant: variant.clone(),
+                    n: result.fds.len(),
+                    secs: sw.elapsed_secs(),
+                    sets_total: result.stats.sets_total,
+                    validity_tests: result.stats.validity_tests,
+                };
+                println!(
+                    "{}",
+                    format_row(
+                        &widths,
+                        &[
+                            row.dataset.clone(),
+                            row.variant.clone(),
+                            row.n.to_string(),
+                            format!("{:.3}", row.secs),
+                            row.sets_total.to_string(),
+                            row.validity_tests.to_string(),
+                        ]
+                    )
+                );
+                rows.push(row);
+            }
+        }
+    }
+    println!();
+    rows
+}

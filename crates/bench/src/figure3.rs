@@ -1,0 +1,69 @@
+//! Figure 3: relative dependency counts and discovery times of approximate
+//! TANE/MEM across ε, for Hepatitis (top), Wisconsin breast cancer (middle)
+//! and Chess (bottom). The paper plots `N_ε/N_0` and `Time_ε/Time_0`; we
+//! print the same two series per dataset.
+
+use crate::report::Figure3Point;
+use crate::runners::{format_row, run_approx_paper as run_approx};
+use crate::Scale;
+use tane_datasets as ds;
+use tane_relation::Relation;
+
+/// ε grid of the figure (denser than Table 2 to show the curve shape).
+pub const EPSILONS: [f64; 9] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.5];
+
+fn dataset_grid(scale: Scale) -> Vec<(String, Relation)> {
+    let mut grid: Vec<(String, Relation)> = vec![
+        ("Hepatitis".into(), ds::hepatitis()),
+        ("W. breast cancer".into(), ds::wisconsin_breast_cancer()),
+    ];
+    if scale == Scale::Full {
+        grid.push(("Chess".into(), ds::chess_krk()));
+    }
+    grid
+}
+
+/// Runs and prints Figure 3's series; returns them structured.
+pub fn run(scale: Scale) -> Vec<(String, Vec<Figure3Point>)> {
+    println!("Figure 3: approximate discovery relative to exact (TANE/MEM)");
+    println!("(paper-faithful rhs+ heuristic — see ApproxTaneConfig::aggressive_rhs_plus)");
+    let widths = [8usize, 9, 10, 10, 12];
+    let mut out = Vec::new();
+    for (name, relation) in dataset_grid(scale) {
+        println!("-- {name}");
+        println!(
+            "{}",
+            format_row(&widths, &["eps", "N", "N/N0", "Time(s)", "Time/Time0"].map(String::from))
+        );
+        let base = run_approx(&relation, 0.0);
+        let mut series = Vec::new();
+        for eps in EPSILONS {
+            let cell = if eps == 0.0 { base } else { run_approx(&relation, eps) };
+            let n_ratio = if base.n == 0 { 0.0 } else { cell.n as f64 / base.n as f64 };
+            let time_ratio = if base.secs == 0.0 { 0.0 } else { cell.secs / base.secs };
+            println!(
+                "{}",
+                format_row(
+                    &widths,
+                    &[
+                        format!("{eps}"),
+                        cell.n.to_string(),
+                        format!("{n_ratio:.3}"),
+                        format!("{:.3}", cell.secs),
+                        format!("{time_ratio:.3}"),
+                    ]
+                )
+            );
+            series.push(Figure3Point {
+                epsilon: eps,
+                n: cell.n,
+                n_ratio,
+                secs: cell.secs,
+                time_ratio,
+            });
+        }
+        out.push((name, series));
+    }
+    println!();
+    out
+}

@@ -1,0 +1,55 @@
+//! Figure 4: "Performance of the algorithms when the number of rows
+//! increases" — wbc×n for doubling n, TANE (disk) vs TANE/MEM vs FDEP.
+//! The paper shows this data at three scales to exhibit FDEP's quadratic
+//! growth against TANE's near-linear growth; we print the raw series (one
+//! point per n) from which all three plots derive.
+
+use crate::report::Figure4Point;
+use crate::runners::{format_row, run_fdep, run_tane_disk, run_tane_mem, FDEP_PAIR_CAP_FAST, FDEP_PAIR_CAP_FULL};
+use crate::Scale;
+use tane_datasets as ds;
+
+/// Runs and prints the Figure 4 series; returns the structured points.
+pub fn run(scale: Scale) -> Vec<Figure4Point> {
+    let (copies, pair_cap): (&[usize], usize) = match scale {
+        Scale::Fast => (&[1, 2, 4, 8], FDEP_PAIR_CAP_FAST),
+        Scale::Full => (&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], FDEP_PAIR_CAP_FULL),
+    };
+    println!("Figure 4: scale-up in the number of rows (wbc x n), times in seconds");
+    let widths = [6usize, 9, 10, 10, 10];
+    println!(
+        "{}",
+        format_row(&widths, &["n", "rows", "TANE", "TANE/MEM", "Fdep"].map(String::from))
+    );
+    let mut out = Vec::new();
+    for &n in copies {
+        let relation = ds::scaled_wbc(n);
+        let tane = run_tane_disk(&relation);
+        let tane_mem = run_tane_mem(&relation);
+        let fdep = run_fdep(&relation, pair_cap);
+        assert_eq!(tane.n, tane_mem.n);
+        println!(
+            "{}",
+            format_row(
+                &widths,
+                &[
+                    n.to_string(),
+                    relation.num_rows().to_string(),
+                    format!("{:.3}", tane.secs),
+                    format!("{:.3}", tane_mem.secs),
+                    fdep.map(|c| format!("{:.3}", c.secs)).unwrap_or_else(|| "*".to_string()),
+                ]
+            )
+        );
+        out.push(Figure4Point {
+            copies: n,
+            rows: relation.num_rows(),
+            tane: Some(tane.secs),
+            tane_mem: Some(tane_mem.secs),
+            fdep: fdep.map(|c| c.secs),
+        });
+    }
+    println!("(* = FDEP pair scan beyond the feasibility cap, as in the paper)");
+    println!();
+    out
+}

@@ -1,0 +1,116 @@
+//! Structured experiment results, serializable with `--json`.
+
+use crate::runners::Cell;
+use serde::Serialize;
+
+/// One Table 1 row.
+#[derive(Debug, Serialize)]
+pub struct Table1Row {
+    /// Dataset label, e.g. `wbc x64`.
+    pub dataset: String,
+    /// Row count `|r|`.
+    pub rows: usize,
+    /// Attribute count `|R|`.
+    pub attrs: usize,
+    /// Minimal dependencies found.
+    pub n: usize,
+    /// Scalable TANE (disk) measurement.
+    pub tane: Option<Cell>,
+    /// TANE/MEM measurement.
+    pub tane_mem: Option<Cell>,
+    /// FDEP measurement (`None` = infeasible, the paper's `*`).
+    pub fdep: Option<Cell>,
+}
+
+/// One Table 2 row: a dataset across the ε grid.
+#[derive(Debug, Serialize)]
+pub struct Table2Row {
+    /// Dataset label.
+    pub dataset: String,
+    /// `(epsilon, cell)` per grid point.
+    pub cells: Vec<(f64, Cell)>,
+}
+
+/// One Table 3 row: ours measured, cited numbers echoed.
+#[derive(Debug, Serialize)]
+pub struct Table3Row {
+    /// Dataset label as printed in the paper.
+    pub dataset: String,
+    /// `|r|`, `|R|`, LHS limit `|X|`.
+    pub rows: usize,
+    /// Attribute count.
+    pub attrs: usize,
+    /// LHS size limit used.
+    pub max_lhs: usize,
+    /// Literature numbers `(column, seconds)` cited from the paper
+    /// (never re-measured — marked † in the printout).
+    pub cited: Vec<(String, f64)>,
+    /// Our FDEP measurement.
+    pub fdep: Option<Cell>,
+    /// Our TANE measurement.
+    pub tane: Option<Cell>,
+}
+
+/// One Figure 3 series point.
+#[derive(Debug, Serialize)]
+pub struct Figure3Point {
+    /// Threshold ε.
+    pub epsilon: f64,
+    /// Dependencies found at ε.
+    pub n: usize,
+    /// `N_ε / N_0`.
+    pub n_ratio: f64,
+    /// Seconds at ε.
+    pub secs: f64,
+    /// `Time_ε / Time_0`.
+    pub time_ratio: f64,
+}
+
+/// One Figure 4 point: the three algorithms at one row count.
+#[derive(Debug, Serialize)]
+pub struct Figure4Point {
+    /// Copy multiplier `n` of wbc×n.
+    pub copies: usize,
+    /// Total rows.
+    pub rows: usize,
+    /// Scalable TANE seconds.
+    pub tane: Option<f64>,
+    /// TANE/MEM seconds.
+    pub tane_mem: Option<f64>,
+    /// FDEP seconds (`None` beyond the feasibility cap).
+    pub fdep: Option<f64>,
+}
+
+/// One ablation measurement.
+#[derive(Debug, Serialize)]
+pub struct AblationRow {
+    /// Dataset label.
+    pub dataset: String,
+    /// Variant label, e.g. `no key pruning`.
+    pub variant: String,
+    /// Dependencies found (must be invariant across variants).
+    pub n: usize,
+    /// Seconds.
+    pub secs: f64,
+    /// Lattice sets processed (the paper's `s`).
+    pub sets_total: usize,
+    /// Validity tests.
+    pub validity_tests: usize,
+}
+
+/// Everything the harness produced in one invocation.
+#[derive(Debug, Default, Serialize)]
+pub struct Report {
+    /// Table 1 rows, if run.
+    pub table1: Vec<Table1Row>,
+    /// Table 2 rows, if run.
+    pub table2: Vec<Table2Row>,
+    /// Table 3 rows, if run.
+    pub table3: Vec<Table3Row>,
+    /// Figure 3 series per dataset, if run.
+    pub figure3: Vec<(String, Vec<Figure3Point>)>,
+    /// Figure 4 points, if run.
+    pub figure4: Vec<Figure4Point>,
+    /// Ablation rows, if run.
+    pub ablations: Vec<AblationRow>,
+}

@@ -1,0 +1,114 @@
+//! Shared algorithm runners with the measurement conventions of the paper:
+//! wall-clock seconds ("real times elapsed … as reported by Unix time",
+//! Section 7), one run per cell.
+
+use serde::Serialize;
+use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig};
+use tane_relation::Relation;
+use tane_util::Stopwatch;
+
+/// Disk-variant cache budget: 64 MiB — the paper's machine had 64 MB of
+/// RAM against ~235 MB of partition data on the largest run, so this keeps
+/// the same proportions: the small clinical datasets still spill (their
+/// lattices hold hundreds of MB of partitions), and wbc×512's ~1.4 GB of
+/// level partitions exceed the cache by ~20×, exactly the regime the
+/// paper's scalable variant was built for.
+pub const DISK_CACHE_BYTES: usize = 64 << 20;
+
+/// FDEP pair-comparison cap for `Scale::Full`: ~2·10⁹ pairs ≈ a few minutes.
+/// Beyond that a cell is reported as infeasible — the paper likewise marks
+/// FDEP cells `*` when they exceeded 5 hours on its hardware.
+pub const FDEP_PAIR_CAP_FULL: usize = 2_000_000_000;
+
+/// FDEP cap for `Scale::Fast`.
+pub const FDEP_PAIR_CAP_FAST: usize = 100_000_000;
+
+/// One measured cell: dependency count and wall-clock seconds, or `None`
+/// when the cell was skipped as infeasible (the paper's `*`).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Cell {
+    /// Number of dependencies the run produced.
+    pub n: usize,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Runs TANE with disk-resident partitions (the paper's scalable TANE).
+pub fn run_tane_disk(relation: &Relation) -> Cell {
+    let config = TaneConfig {
+        storage: Storage::Disk { cache_bytes: DISK_CACHE_BYTES },
+        ..TaneConfig::default()
+    };
+    let sw = Stopwatch::start();
+    let result = discover_fds(relation, &config).expect("disk store failure");
+    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+}
+
+/// Runs TANE/MEM (everything in main memory).
+pub fn run_tane_mem(relation: &Relation) -> Cell {
+    let sw = Stopwatch::start();
+    let result = discover_fds(relation, &TaneConfig::default()).expect("memory store cannot fail");
+    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+}
+
+/// Runs TANE/MEM with an LHS size limit (Table 3's `|X|` column).
+pub fn run_tane_mem_limited(relation: &Relation, max_lhs: usize) -> Cell {
+    let config = TaneConfig::default().with_max_lhs(max_lhs);
+    let sw = Stopwatch::start();
+    let result = discover_fds(relation, &config).expect("memory store cannot fail");
+    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+}
+
+/// Runs FDEP unless its quadratic pair scan would exceed `pair_cap`
+/// (returns `None` for the paper's `*`).
+pub fn run_fdep(relation: &Relation, pair_cap: usize) -> Option<Cell> {
+    let n = relation.num_rows();
+    let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if pairs > pair_cap {
+        return None;
+    }
+    let sw = Stopwatch::start();
+    let (fds, _) = tane_fdep::fdep_fds(relation);
+    Some(Cell { n: fds.len(), secs: sw.elapsed_secs() })
+}
+
+/// Runs approximate TANE/MEM at threshold `epsilon` (sound algorithm).
+pub fn run_approx(relation: &Relation, epsilon: f64) -> Cell {
+    let config = ApproxTaneConfig::new(epsilon);
+    let sw = Stopwatch::start();
+    let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
+    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+}
+
+/// Runs approximate TANE/MEM with the paper-faithful aggressive rhs⁺
+/// heuristic — the variant whose performance profile matches the paper's
+/// Table 2 / Figure 3 (see `ApproxTaneConfig::aggressive_rhs_plus`).
+pub fn run_approx_paper(relation: &Relation, epsilon: f64) -> Cell {
+    let config = ApproxTaneConfig::paper_faithful(epsilon);
+    let sw = Stopwatch::start();
+    let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
+    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+}
+
+/// Formats an optional cell's time the way the paper's tables do (`*` for
+/// infeasible).
+pub fn fmt_time(cell: Option<Cell>) -> String {
+    match cell {
+        Some(c) => tane_util::timing::format_secs(c.secs),
+        None => "*".to_string(),
+    }
+}
+
+/// Pads/aligns a row of columns for terminal output.
+pub fn format_row(widths: &[usize], cells: &[String]) -> String {
+    let mut out = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        if i == 0 {
+            out.push_str(&format!("{cell:<w$}"));
+        } else {
+            out.push_str(&format!("  {cell:>w$}"));
+        }
+    }
+    out
+}

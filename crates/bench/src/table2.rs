@@ -1,0 +1,55 @@
+//! Table 2: "Performance of TANE/MEM on approximate dependency discovery" —
+//! N and wall-clock across ε ∈ {0, 0.01, 0.05, 0.25, 0.5}.
+
+use crate::report::Table2Row;
+use crate::runners::{format_row, run_approx_paper as run_approx};
+use crate::Scale;
+use tane_datasets as ds;
+use tane_relation::Relation;
+
+/// The ε grid of the paper's Table 2.
+pub const EPSILONS: [f64; 5] = [0.0, 0.01, 0.05, 0.25, 0.5];
+
+fn dataset_grid(scale: Scale) -> Vec<(String, Relation)> {
+    let mut grid: Vec<(String, Relation)> = vec![
+        ("Lymphography".into(), ds::lymphography()),
+        ("Hepatitis".into(), ds::hepatitis()),
+        ("W. breast cancer".into(), ds::wisconsin_breast_cancer()),
+    ];
+    match scale {
+        Scale::Fast => grid.push(("W. breast cancer x8".into(), ds::scaled_wbc(8))),
+        Scale::Full => {
+            grid.push(("W. breast cancer x64".into(), ds::scaled_wbc(64)));
+            grid.push(("Chess".into(), ds::chess_krk()));
+        }
+    }
+    grid
+}
+
+/// Runs and prints Table 2; returns the structured rows.
+pub fn run(scale: Scale) -> Vec<Table2Row> {
+    println!("Table 2: TANE/MEM on approximate dependency discovery");
+    println!("(paper-faithful rhs+ heuristic — see ApproxTaneConfig::aggressive_rhs_plus)");
+    let mut header = vec!["Database".to_string()];
+    for eps in EPSILONS {
+        header.push(format!("N(e={eps})"));
+        header.push("Time".to_string());
+    }
+    let widths = [22usize, 9, 8, 9, 8, 9, 8, 9, 8, 9, 8];
+    println!("{}", format_row(&widths, &header));
+    let mut rows = Vec::new();
+    for (name, relation) in dataset_grid(scale) {
+        let mut cells = Vec::new();
+        let mut printed = vec![name.clone()];
+        for eps in EPSILONS {
+            let cell = run_approx(&relation, eps);
+            printed.push(cell.n.to_string());
+            printed.push(tane_util::timing::format_secs(cell.secs));
+            cells.push((eps, cell));
+        }
+        println!("{}", format_row(&widths, &printed));
+        rows.push(Table2Row { dataset: name, cells });
+    }
+    println!();
+    rows
+}

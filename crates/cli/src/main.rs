@@ -1,0 +1,278 @@
+//! `tane` — discover functional and approximate dependencies from CSV files.
+//!
+//! ```text
+//! tane discover data.csv                    # all minimal FDs
+//! tane discover data.csv --epsilon 0.05     # approximate dependencies
+//! tane discover data.csv --algorithm fdep   # use the FDEP baseline
+//! tane dataset wbc --copies 4 -o wbc4.csv   # emit a synthetic dataset
+//! tane profile data.csv                     # per-column profile
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, TaneConfig};
+use tane_relation::csv::{read_csv, write_csv, CsvOptions};
+use tane_relation::{NullSemantics, Relation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("discover") => discover(&args[1..]),
+        Some("dataset") => dataset(&args[1..]),
+        Some("profile") => profile(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `tane help`)")),
+    }
+}
+
+const USAGE: &str = "\
+tane — discovery of functional and approximate dependencies (TANE, ICDE 1998)
+
+USAGE:
+    tane discover <FILE.csv> [OPTIONS]    discover minimal dependencies
+    tane dataset <NAME> [OPTIONS]         generate a synthetic benchmark dataset
+    tane profile <FILE.csv> [OPTIONS]     print a per-column profile
+    tane help                             show this help
+
+DISCOVER OPTIONS:
+    --epsilon <E>        g3 error threshold in [0,1]; 0 = exact FDs (default)
+    --max-lhs <N>        only consider left-hand sides of at most N attributes
+    --algorithm <A>      tane (default) | fdep | naive
+    --disk <MB>          spill partitions to disk, keeping an MB-sized cache
+    --stats              print search statistics after the dependencies
+    --no-header          the CSV has no header row (attributes become A0, A1, …)
+    --delimiter <C>      field delimiter (default ,)
+    --nulls <MODE>       equal (default: ? = ?) | distinct (every ? unique)
+    --threads <N>        worker threads for partition products (default 1)
+
+DATASET OPTIONS (NAME: lymphography | hepatitis | wbc | adult | chess):
+    --copies <N>         concatenate N disjoint copies (the paper's ×n datasets)
+    -o, --output <FILE>  write CSV here (default: stdout)
+";
+
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Minimal flag parser: `--name value` for known value-flags, bare `--name`
+/// otherwise.
+fn parse_opts(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            if value_flags.contains(&name) {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?
+                    .clone();
+                flags.push((name.to_string(), Some(value)));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Opts { positional, flags })
+}
+
+impl Opts {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn csv_options(opts: &Opts) -> Result<CsvOptions, String> {
+    let delimiter = match opts.value("delimiter") {
+        Some(d) if d.len() == 1 => d.as_bytes()[0],
+        Some(d) => return Err(format!("delimiter must be a single byte, got `{d}`")),
+        None => b',',
+    };
+    let nulls = match opts.value("nulls") {
+        Some("equal") | None => NullSemantics::NullsEqual,
+        Some("distinct") => NullSemantics::NullsDistinct,
+        Some(other) => return Err(format!("unknown nulls mode `{other}`")),
+    };
+    Ok(CsvOptions { delimiter, has_header: !opts.flag("no-header"), infer_types: true, nulls })
+}
+
+fn load(path: &str, opts: &Opts) -> Result<Relation, String> {
+    let options = csv_options(opts)?;
+    read_csv(Path::new(path), &options).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn discover(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &["epsilon", "max-lhs", "algorithm", "disk", "delimiter", "nulls", "threads"])?;
+    let path = opts.positional.first().ok_or("discover needs a CSV file")?;
+    let relation = load(path, &opts)?;
+
+    let epsilon: f64 = match opts.value("epsilon") {
+        Some(e) => e.parse().map_err(|_| format!("bad epsilon `{e}`"))?,
+        None => 0.0,
+    };
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(format!("epsilon must be in [0,1], got {epsilon}"));
+    }
+    let max_lhs: Option<usize> = match opts.value("max-lhs") {
+        Some(m) => Some(m.parse().map_err(|_| format!("bad max-lhs `{m}`"))?),
+        None => None,
+    };
+    let storage = match opts.value("disk") {
+        Some(mb) => {
+            let mb: usize = mb.parse().map_err(|_| format!("bad cache size `{mb}`"))?;
+            tane_core::Storage::Disk { cache_bytes: mb << 20 }
+        }
+        None => tane_core::Storage::Memory,
+    };
+    let threads: usize = match opts.value("threads") {
+        Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
+        None => 1,
+    };
+    if threads == 0 {
+        return Err("need at least one thread".into());
+    }
+    let algorithm = opts.value("algorithm").unwrap_or("tane");
+
+    let names = relation.schema().names().to_vec();
+    let n_attrs = relation.num_attrs();
+    match algorithm {
+        "tane" => {
+            let base = TaneConfig { storage, max_lhs, threads, ..TaneConfig::default() };
+            let result = if epsilon > 0.0 {
+                let config = ApproxTaneConfig { base, ..ApproxTaneConfig::new(epsilon) };
+                discover_approx_fds(&relation, &config)
+            } else {
+                discover_fds(&relation, &base)
+            }
+            .map_err(|e| e.to_string())?;
+            for fd in &result.fds {
+                println!("{}", fd.display_with(&names));
+            }
+            eprintln!("# {} minimal dependencies", result.fds.len());
+            if opts.flag("stats") {
+                let s = &result.stats;
+                eprintln!("# levels: {}", s.levels);
+                eprintln!("# sets processed (s): {}", s.sets_total);
+                eprintln!("# largest level (s_max): {}", s.sets_max_level);
+                eprintln!("# validity tests (v): {}", s.validity_tests);
+                eprintln!("# keys found (k): {}", s.keys_found);
+                eprintln!("# partition products: {}", s.products);
+                eprintln!("# exact g3 computations: {}", s.g3_exact_computations);
+                eprintln!("# tests decided by g3 bounds: {}", s.g3_decided_by_bounds);
+                eprintln!("# disk reads/writes: {}/{}", s.disk_reads, s.disk_writes);
+                eprintln!("# time: {:.3}s", s.elapsed.as_secs_f64());
+            }
+        }
+        "fdep" => {
+            if epsilon > 0.0 {
+                return Err("FDEP only discovers exact dependencies".into());
+            }
+            let (mut fds, stats) = tane_fdep::fdep_fds(&relation);
+            if let Some(m) = max_lhs {
+                fds.retain(|fd| fd.lhs.len() <= m);
+            }
+            for fd in &fds {
+                println!("{}", fd.display_with(&names));
+            }
+            eprintln!("# {} minimal dependencies", fds.len());
+            if opts.flag("stats") {
+                eprintln!("# row pairs compared: {}", stats.pairs_compared);
+                eprintln!("# distinct agree sets: {}", stats.distinct_agree_sets);
+                eprintln!("# maximal invalid dependencies: {}", stats.max_invalid_deps);
+                eprintln!("# time: {:.3}s", stats.elapsed.as_secs_f64());
+            }
+        }
+        "naive" => {
+            if epsilon > 0.0 {
+                return Err("the naive baseline only discovers exact dependencies".into());
+            }
+            let m = max_lhs.unwrap_or(n_attrs);
+            let (fds, stats) = tane_baselines::naive_levelwise_fds(&relation, m);
+            for fd in &fds {
+                println!("{}", fd.display_with(&names));
+            }
+            eprintln!("# {} minimal dependencies", fds.len());
+            if opts.flag("stats") {
+                eprintln!("# sets visited: {}", stats.sets_visited);
+                eprintln!("# validity tests: {}", stats.validity_tests);
+            }
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    }
+    Ok(())
+}
+
+fn dataset(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &["copies", "output", "o", "delimiter"])?;
+    let name = opts.positional.first().ok_or_else(|| {
+        format!("dataset needs a name (one of: {})", tane_datasets::DATASET_NAMES.join(", "))
+    })?;
+    let mut relation = tane_datasets::by_name(name).ok_or_else(|| {
+        format!("unknown dataset `{name}` (one of: {})", tane_datasets::DATASET_NAMES.join(", "))
+    })?;
+    if let Some(copies) = opts.value("copies") {
+        let copies: usize = copies.parse().map_err(|_| format!("bad copies `{copies}`"))?;
+        if copies == 0 {
+            return Err("copies must be at least 1".into());
+        }
+        relation = relation.concat_disjoint_copies(copies).map_err(|e| e.to_string())?;
+    }
+    let delimiter = b',';
+    match opts.value("output").or_else(|| opts.value("o")) {
+        Some(path) => {
+            let file = std::fs::File::create(PathBuf::from(path))
+                .map_err(|e| format!("creating {path}: {e}"))?;
+            write_csv(&relation, file, delimiter).map_err(|e| e.to_string())?;
+            eprintln!("# wrote {} rows x {} attributes to {path}", relation.num_rows(), relation.num_attrs());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_csv(&relation, stdout.lock(), delimiter).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &["delimiter", "nulls"])?;
+    let path = opts.positional.first().ok_or("profile needs a CSV file")?;
+    let relation = load(path, &opts)?;
+    println!("rows: {}", relation.num_rows());
+    println!("attributes: {}", relation.num_attrs());
+    for a in 0..relation.num_attrs() {
+        let pi = tane_partition::StrippedPartition::from_column(relation.column_codes(a));
+        println!(
+            "  {:<24} distinct={:<8} e(A)={:.4}{}",
+            relation.schema().name(a),
+            relation.cardinality(a),
+            pi.error(),
+            if pi.is_superkey() { "  [key]" } else { "" }
+        );
+    }
+    Ok(())
+}

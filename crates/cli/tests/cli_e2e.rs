@@ -1,0 +1,136 @@
+//! End-to-end tests of the `tane` binary: real process, real files.
+
+use std::io::Write;
+use std::process::Command;
+
+fn tane() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tane"))
+}
+
+fn write_fixture(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("tane-cli-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const FIGURE1: &str = "\
+A,B,C,D
+1,a,$,Flower
+1,AA,£,Tulip
+2,AA,$,Daffodil
+2,AA,$,Flower
+2,b,£,Lily
+3,b,$,Orchid
+3,c,£,Flower
+3,c,#,Rose
+";
+
+#[test]
+fn discover_prints_the_minimal_cover() {
+    let path = write_fixture("discover.csv", FIGURE1);
+    let out = tane().args(["discover", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("{B,C} -> A"), "missing Example 2's FD in:\n{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("6 minimal dependencies"), "stderr: {stderr}");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn algorithms_agree_through_the_cli() {
+    let path = write_fixture("algos.csv", FIGURE1);
+    let mut outputs = Vec::new();
+    for algo in ["tane", "fdep", "naive"] {
+        let out = tane()
+            .args(["discover", path.to_str().unwrap(), "--algorithm", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo} failed");
+        let mut lines: Vec<String> = String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines.sort();
+        outputs.push(lines);
+    }
+    assert_eq!(outputs[0], outputs[1], "tane vs fdep");
+    assert_eq!(outputs[0], outputs[2], "tane vs naive");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn epsilon_and_stats_flags() {
+    let path = write_fixture("eps.csv", FIGURE1);
+    let out = tane()
+        .args(["discover", path.to_str().unwrap(), "--epsilon", "0.375", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // {A} -> B holds at g3 = 3/8.
+    assert!(stdout.contains("{A} -> B"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("validity tests"), "{stderr}");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn dataset_roundtrip_through_discover() {
+    let csv = std::env::temp_dir().join(format!("tane-cli-test-{}-wbc.csv", std::process::id()));
+    let out = tane().args(["dataset", "wbc", "-o", csv.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = tane()
+        .args(["discover", csv.to_str().unwrap(), "--max-lhs", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(csv).unwrap();
+}
+
+#[test]
+fn profile_reports_columns() {
+    let path = write_fixture("profile.csv", FIGURE1);
+    let out = tane().args(["profile", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("rows: 8"));
+    assert!(stdout.contains("attributes: 4"));
+    assert!(stdout.contains("distinct=6"), "D has 6 values: {stdout}");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Missing file.
+    let out = tane().args(["discover", "/nonexistent/nope.csv"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    // Bad epsilon.
+    let path = write_fixture("bad-eps.csv", FIGURE1);
+    let out = tane()
+        .args(["discover", path.to_str().unwrap(), "--epsilon", "7"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Unknown dataset.
+    let out = tane().args(["dataset", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+    // Unknown command.
+    let out = tane().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn help_is_printed() {
+    let out = tane().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    let out = tane().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,424 @@
+//! Association rules via equivalence classes — the extension sketched in
+//! the paper's concluding remarks.
+//!
+//! > *"Association rules between attribute–value pairs can be computed with
+//! > a small modification of the present algorithm. An equivalence class
+//! > corresponds then to a particular value combination of the attribute
+//! > set. By comparing equivalence classes instead of full partitions, we
+//! > can find association rules."* — Section 8
+//!
+//! Where a functional dependency `X → A` demands that **every** class of
+//! `π_X` maps to a single `A`-value, an association rule
+//! `X = x̄ ⇒ A = a` makes the claim for **one** class (one value
+//! combination `x̄`), with *support* (how many rows have `X = x̄ ∧ A = a`)
+//! and *confidence* (the fraction of the class agreeing on `a`).
+//!
+//! The search is the same levelwise walk: frequent attribute-set classes at
+//! level ℓ are the equivalence classes of `π_X` with at least `min_support`
+//! rows, and partitions for level ℓ+1 come from partition products — with
+//! infrequent classes *stripped away*, which is exactly the apriori
+//! anti-monotonicity argument in partition form.
+
+use crate::result::TaneError;
+use tane_partition::{product_with_scratch, ProductScratch, StrippedPartition};
+use tane_relation::Relation;
+use tane_util::AttrSet;
+
+/// Configuration for association-rule mining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssocConfig {
+    /// Minimum support as a fraction of `|r|` (rows matching LHS *and*
+    /// RHS). Must be positive — a zero threshold would enumerate every
+    /// value combination of every attribute set.
+    pub min_support: f64,
+    /// Minimum confidence in `[0, 1]`.
+    pub min_confidence: f64,
+    /// Maximum number of attributes on the left-hand side.
+    pub max_lhs: usize,
+}
+
+impl AssocConfig {
+    /// Standard thresholds: support ≥ `min_support`, confidence ≥
+    /// `min_confidence`, LHS of at most `max_lhs` attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support ∉ (0, 1]` or `min_confidence ∉ [0, 1]`.
+    pub fn new(min_support: f64, min_confidence: f64, max_lhs: usize) -> AssocConfig {
+        assert!(
+            min_support > 0.0 && min_support <= 1.0,
+            "min_support must be in (0, 1], got {min_support}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&min_confidence),
+            "min_confidence must be in [0, 1], got {min_confidence}"
+        );
+        AssocConfig { min_support, min_confidence, max_lhs }
+    }
+}
+
+/// An association rule `X = x̄ ⇒ A = a` between attribute–value pairs.
+///
+/// Values are dictionary codes (resolve them through
+/// [`Relation::value`] when the relation was built from typed values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssocRule {
+    /// LHS attributes `X`.
+    pub lhs_attrs: AttrSet,
+    /// The LHS value combination `x̄`, one code per attribute of
+    /// `lhs_attrs`, in ascending attribute order.
+    pub lhs_codes: Vec<u32>,
+    /// RHS attribute `A`.
+    pub rhs_attr: usize,
+    /// RHS value code `a`.
+    pub rhs_code: u32,
+    /// Rows matching LHS and RHS.
+    pub support_rows: usize,
+    /// Rows matching the LHS.
+    pub lhs_rows: usize,
+    /// `|r|`.
+    pub n_rows: usize,
+}
+
+impl AssocRule {
+    /// Support as a fraction of `|r|`.
+    pub fn support(&self) -> f64 {
+        self.support_rows as f64 / self.n_rows as f64
+    }
+
+    /// Confidence `support(X ∧ A) / support(X)`.
+    pub fn confidence(&self) -> f64 {
+        self.support_rows as f64 / self.lhs_rows as f64
+    }
+
+    /// Renders the rule with attribute names and dictionary codes, e.g.
+    /// `[B=1, C=0] => D=2 (sup 0.25, conf 0.80)`.
+    pub fn display_with(&self, names: &[String]) -> String {
+        let lhs: Vec<String> = self
+            .lhs_attrs
+            .iter()
+            .zip(&self.lhs_codes)
+            .map(|(a, c)| format!("{}={c}", names.get(a).map(String::as_str).unwrap_or("?")))
+            .collect();
+        format!(
+            "[{}] => {}={} (sup {:.3}, conf {:.3})",
+            lhs.join(", "),
+            names.get(self.rhs_attr).map(String::as_str).unwrap_or("?"),
+            self.rhs_code,
+            self.support(),
+            self.confidence()
+        )
+    }
+}
+
+/// Mines all association rules meeting `config` by the levelwise
+/// equivalence-class search described in the module docs. Rules are
+/// returned grouped by LHS attribute set, ascending, then by LHS codes.
+pub fn mine_assoc_rules(relation: &Relation, config: &AssocConfig) -> Result<Vec<AssocRule>, TaneError> {
+    let n_rows = relation.num_rows();
+    let n_attrs = relation.num_attrs();
+    let mut rules = Vec::new();
+    if n_rows == 0 || n_attrs == 0 {
+        return Ok(rules);
+    }
+    let min_rows = (config.min_support * n_rows as f64).ceil().max(1.0) as usize;
+    let mut scratch = ProductScratch::new(n_rows);
+
+    // Level 1: frequent classes of each singleton partition. (Level 0 — the
+    // empty LHS — would be the rule "⇒ A = a", i.e. plain value frequency;
+    // emitted when max_lhs permits the degenerate case.)
+    if config.max_lhs == 0 {
+        emit_rules(relation, AttrSet::empty(), &StrippedPartition::unit(n_rows), min_rows, config, &mut rules);
+        return Ok(rules);
+    }
+    emit_rules(relation, AttrSet::empty(), &StrippedPartition::unit(n_rows), min_rows, config, &mut rules);
+
+    let mut level: Vec<(AttrSet, StrippedPartition)> = (0..n_attrs)
+        .map(|a| {
+            let pi = StrippedPartition::from_column(relation.column_codes(a));
+            (AttrSet::singleton(a), keep_frequent(&pi, min_rows))
+        })
+        .filter(|(_, pi)| pi.num_classes() > 0)
+        .collect();
+
+    let mut depth = 1usize;
+    while !level.is_empty() && depth <= config.max_lhs {
+        for (set, pi) in &level {
+            emit_rules(relation, *set, pi, min_rows, config, &mut rules);
+        }
+        if depth == config.max_lhs {
+            break;
+        }
+        // Prefix join; the partition of the union is the product of the
+        // parents' *frequency-filtered* partitions — classes below the
+        // support threshold can never have frequent subclasses (apriori).
+        let mut next = Vec::new();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let (xa, pa) = &level[i];
+                let (xb, pb) = &level[j];
+                let (ma, mb) = (xa.max_attr().unwrap(), xb.max_attr().unwrap());
+                if xa.without(ma) != xb.without(mb) || ma == mb {
+                    continue;
+                }
+                let pi = keep_frequent(&product_with_scratch(pa, pb, &mut scratch), min_rows);
+                if pi.num_classes() > 0 {
+                    next.push((xa.union(*xb), pi));
+                }
+            }
+        }
+        level = next;
+        depth += 1;
+    }
+    Ok(rules)
+}
+
+/// Drops classes below the support threshold (and, as always, singletons —
+/// with `min_rows ≥ 1` a singleton class can only matter when
+/// `min_rows == 1`, where a one-row "rule" carries no evidence; we follow
+/// the stripped-partition convention and require classes of ≥ 2 rows).
+fn keep_frequent(pi: &StrippedPartition, min_rows: usize) -> StrippedPartition {
+    let mut elements = Vec::new();
+    let mut begins = vec![0u32];
+    for class in pi.classes() {
+        if class.len() >= min_rows.max(2) {
+            elements.extend_from_slice(class);
+            begins.push(elements.len() as u32);
+        }
+    }
+    StrippedPartition::from_parts(pi.n_rows(), elements, begins)
+}
+
+/// Emits the rules of one LHS attribute set: for each frequent class, split
+/// by each non-LHS attribute and keep the (class value, A value) pairs
+/// passing both thresholds.
+fn emit_rules(
+    relation: &Relation,
+    set: AttrSet,
+    pi: &StrippedPartition,
+    min_rows: usize,
+    config: &AssocConfig,
+    rules: &mut Vec<AssocRule>,
+) {
+    let n_attrs = relation.num_attrs();
+    for class in pi.classes() {
+        if class.len() < min_rows {
+            continue;
+        }
+        let rep = class[0] as usize;
+        let lhs_codes: Vec<u32> = set.iter().map(|a| relation.column_codes(a)[rep]).collect();
+        for a in 0..n_attrs {
+            if set.contains(a) {
+                continue;
+            }
+            // Count A-codes within the class.
+            let codes = relation.column_codes(a);
+            let mut counts: Vec<(u32, usize)> = Vec::new();
+            for &t in class {
+                let c = codes[t as usize];
+                match counts.iter_mut().find(|(code, _)| *code == c) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((c, 1)),
+                }
+            }
+            counts.sort_unstable();
+            for (code, support_rows) in counts {
+                if support_rows >= min_rows
+                    && support_rows as f64 / class.len() as f64 >= config.min_confidence
+                {
+                    rules.push(AssocRule {
+                        lhs_attrs: set,
+                        lhs_codes: lhs_codes.clone(),
+                        rhs_attr: a,
+                        rhs_code: code,
+                        support_rows,
+                        lhs_rows: class.len(),
+                        n_rows: relation.num_rows(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_relation::Schema;
+
+    fn rel(cols: Vec<Vec<u32>>) -> Relation {
+        Relation::from_codes(Schema::anonymous(cols.len()).unwrap(), cols).unwrap()
+    }
+
+    /// Brute-force miner for cross-checking: enumerate LHS sets and value
+    /// combinations directly.
+    fn brute_force_rules(relation: &Relation, config: &AssocConfig) -> Vec<AssocRule> {
+        let n = relation.num_rows();
+        let n_attrs = relation.num_attrs();
+        let min_rows = (config.min_support * n as f64).ceil().max(1.0) as usize;
+        let mut out = Vec::new();
+        for bits in 0u64..(1 << n_attrs) {
+            let set = AttrSet::from_bits(bits);
+            if set.len() > config.max_lhs {
+                continue;
+            }
+            // Group rows by LHS value combination.
+            let mut groups: Vec<(Vec<u32>, Vec<usize>)> = Vec::new();
+            for t in 0..n {
+                let key: Vec<u32> = set.iter().map(|a| relation.column_codes(a)[t]).collect();
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, rows)) => rows.push(t),
+                    None => groups.push((key, vec![t])),
+                }
+            }
+            for (key, rows) in groups {
+                if rows.len() < min_rows.max(2) {
+                    continue;
+                }
+                for a in 0..n_attrs {
+                    if set.contains(a) {
+                        continue;
+                    }
+                    let mut counts: Vec<(u32, usize)> = Vec::new();
+                    for &t in &rows {
+                        let c = relation.column_codes(a)[t];
+                        match counts.iter_mut().find(|(code, _)| *code == c) {
+                            Some((_, n)) => *n += 1,
+                            None => counts.push((c, 1)),
+                        }
+                    }
+                    counts.sort_unstable();
+                    for (code, support_rows) in counts {
+                        if support_rows >= min_rows
+                            && support_rows as f64 / rows.len() as f64 >= config.min_confidence
+                        {
+                            out.push(AssocRule {
+                                lhs_attrs: set,
+                                lhs_codes: key.clone(),
+                                rhs_attr: a,
+                                rhs_code: code,
+                                support_rows,
+                                lhs_rows: rows.len(),
+                                n_rows: n,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn canon(mut rules: Vec<AssocRule>) -> Vec<AssocRule> {
+        rules.sort_by(|x, y| {
+            (x.lhs_attrs, &x.lhs_codes, x.rhs_attr, x.rhs_code).cmp(&(
+                y.lhs_attrs,
+                &y.lhs_codes,
+                y.rhs_attr,
+                y.rhs_code,
+            ))
+        });
+        rules
+    }
+
+    #[test]
+    fn hand_checked_rule() {
+        // Column 0 = weather (0: sunny ×4, 1: rainy ×2); column 1 = play
+        // (sunny → mostly yes).
+        let r = rel(vec![vec![0, 0, 0, 0, 1, 1], vec![1, 1, 1, 0, 0, 0]]);
+        let config = AssocConfig::new(0.3, 0.7, 1);
+        let rules = mine_assoc_rules(&r, &config).unwrap();
+        // weather=0 ⇒ play=1 with support 3/6, confidence 3/4.
+        let rule = rules
+            .iter()
+            .find(|r| r.lhs_attrs == AttrSet::singleton(0) && r.lhs_codes == [0] && r.rhs_attr == 1 && r.rhs_code == 1)
+            .expect("rule must be found");
+        assert_eq!(rule.support_rows, 3);
+        assert_eq!(rule.lhs_rows, 4);
+        assert!((rule.confidence() - 0.75).abs() < 1e-12);
+        // weather=1 ⇒ play=0 with confidence 1.0.
+        assert!(rules.iter().any(|r| r.lhs_codes == [1] && r.rhs_code == 0 && r.confidence() == 1.0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_relations() {
+        let mut s = 0xdeadbeefu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 3) as u32
+        };
+        for trial in 0..10 {
+            let cols: Vec<Vec<u32>> = (0..4).map(|_| (0..20).map(|_| next()).collect()).collect();
+            let r = rel(cols);
+            for (sup, conf, max_lhs) in [(0.1, 0.5, 2), (0.2, 0.8, 3), (0.05, 0.0, 2)] {
+                let config = AssocConfig::new(sup, conf, max_lhs);
+                let got = canon(mine_assoc_rules(&r, &config).unwrap());
+                let want = canon(brute_force_rules(&r, &config));
+                assert_eq!(got, want, "trial {trial} sup={sup} conf={conf} max_lhs={max_lhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lhs_rules_are_value_frequencies() {
+        let r = rel(vec![vec![0, 0, 0, 1]]);
+        let config = AssocConfig::new(0.5, 0.5, 0);
+        let rules = mine_assoc_rules(&r, &config).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].rhs_code, 0);
+        assert_eq!(rules[0].support_rows, 3);
+        assert!(rules[0].lhs_attrs.is_empty());
+    }
+
+    #[test]
+    fn thresholds_filter() {
+        let r = rel(vec![vec![0, 0, 1, 1], vec![0, 1, 0, 1]]);
+        // Perfectly uncorrelated: no rule can reach 0.9 confidence with a
+        // non-empty LHS; the empty-LHS marginals are 50% as well.
+        let rules = mine_assoc_rules(&r, &AssocConfig::new(0.25, 0.9, 2)).unwrap();
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn functional_dependency_appears_as_full_confidence_rules() {
+        // Planted FD col0 → col1: every frequent class yields a
+        // confidence-1.0 rule — the paper's "unified view".
+        let r = rel(vec![vec![0, 0, 0, 1, 1, 1], vec![7, 7, 7, 8, 8, 8]]);
+        let rules = mine_assoc_rules(&r, &AssocConfig::new(0.3, 1.0, 1)).unwrap();
+        let fd_rules: Vec<_> = rules
+            .iter()
+            .filter(|r| r.lhs_attrs == AttrSet::singleton(0) && r.rhs_attr == 1)
+            .collect();
+        assert_eq!(fd_rules.len(), 2); // one per value of col0
+        assert!(fd_rules.iter().all(|r| r.confidence() == 1.0));
+    }
+
+    #[test]
+    fn empty_relation_and_degenerate_configs() {
+        let r = rel(vec![vec![]]);
+        assert!(mine_assoc_rules(&r, &AssocConfig::new(0.5, 0.5, 1)).unwrap().is_empty());
+        assert!(std::panic::catch_unwind(|| AssocConfig::new(0.0, 0.5, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| AssocConfig::new(0.5, 1.5, 1)).is_err());
+    }
+
+    #[test]
+    fn display_renders_names_and_codes() {
+        let rule = AssocRule {
+            lhs_attrs: AttrSet::from_indices([0, 2]),
+            lhs_codes: vec![1, 3],
+            rhs_attr: 1,
+            rhs_code: 2,
+            support_rows: 5,
+            lhs_rows: 10,
+            n_rows: 20,
+        };
+        let names: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let text = rule.display_with(&names);
+        assert!(text.contains("x=1"));
+        assert!(text.contains("z=3"));
+        assert!(text.contains("y=2"));
+        assert!(text.contains("conf 0.500"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Reasoning over a discovered dependency set: Armstrong closure,
+//! implication, superkey tests, and cover reduction.
+//!
+//! FD discovery (Section 1 of the paper) feeds applications — database
+//! design, reverse engineering, query optimization — that all need to *use*
+//! the discovered cover: compute which attributes a set determines, test
+//! whether a dependency is implied, find keys. These are the classical
+//! Armstrong-axiom algorithms, implemented on [`Fd`] lists so they compose
+//! directly with [`discover_fds`](crate::discover_fds) output.
+
+use tane_util::{canonical_fds, AttrSet, Fd};
+
+/// The attribute closure `X⁺` of `x` under `fds`: the largest set such that
+/// `x → X⁺` is implied by Armstrong's axioms. Runs the standard fixpoint,
+/// O(|fds| · |R|) with bitset operations.
+///
+/// # Examples
+///
+/// ```
+/// use tane_core::cover::attribute_closure;
+/// use tane_util::{AttrSet, Fd};
+///
+/// // A → B, B → C.
+/// let fds = [Fd::new(AttrSet::singleton(0), 1), Fd::new(AttrSet::singleton(1), 2)];
+/// assert_eq!(attribute_closure(&fds, AttrSet::singleton(0)), AttrSet::from_indices([0, 1, 2]));
+/// ```
+pub fn attribute_closure(fds: &[Fd], x: AttrSet) -> AttrSet {
+    let mut closure = x;
+    loop {
+        let before = closure;
+        for fd in fds {
+            if fd.lhs.is_subset_of(closure) {
+                closure.insert(fd.rhs);
+            }
+        }
+        if closure == before {
+            return closure;
+        }
+    }
+}
+
+/// `true` iff `fd` is implied by `fds` (Armstrong derivability):
+/// `rhs ∈ lhs⁺`.
+pub fn implies(fds: &[Fd], fd: Fd) -> bool {
+    attribute_closure(fds, fd.lhs).contains(fd.rhs)
+}
+
+/// `true` iff `x` is a superkey of a relation with `n_attrs` attributes,
+/// **according to** `fds` (i.e. `x⁺ = R`). For the relation-instance notion
+/// use [`StrippedPartition::is_superkey`](tane_partition::StrippedPartition::is_superkey);
+/// on the full discovered cover the two agree.
+pub fn is_superkey(fds: &[Fd], x: AttrSet, n_attrs: usize) -> bool {
+    attribute_closure(fds, x) == AttrSet::full(n_attrs)
+}
+
+/// All candidate keys derivable from `fds`: minimal attribute sets whose
+/// closure is `R`. Searches the subset lattice levelwise, pruning supersets
+/// of found keys; exponential in the worst case (as key enumeration must
+/// be), fine for the attribute counts this workspace handles.
+pub fn candidate_keys(fds: &[Fd], n_attrs: usize) -> Vec<AttrSet> {
+    let r_all = AttrSet::full(n_attrs);
+    if n_attrs == 0 {
+        return vec![AttrSet::empty()];
+    }
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Attributes that appear in no RHS must be in every key.
+    let mut core = r_all;
+    for fd in fds {
+        core.remove(fd.rhs);
+    }
+    if attribute_closure(fds, core) == r_all {
+        return vec![core];
+    }
+    // Expand the frontier of non-key sets one attribute at a time; a set
+    // whose closure reaches R at the earliest possible level is a key, and
+    // supersets of found keys are pruned from the frontier. The frontier
+    // empties by size n_attrs at the latest (R itself is always a
+    // superkey), so this terminates.
+    let mut level: Vec<AttrSet> = vec![core];
+    while !level.is_empty() {
+        let mut next = Vec::new();
+        for &x in &level {
+            for a in r_all.difference(x).iter() {
+                let candidate = x.with(a);
+                if keys.iter().any(|k| k.is_subset_of(candidate)) {
+                    continue;
+                }
+                if attribute_closure(fds, candidate) == r_all {
+                    if !keys.contains(&candidate) {
+                        keys.push(candidate);
+                    }
+                } else if !next.contains(&candidate) {
+                    next.push(candidate);
+                }
+            }
+        }
+        level = next;
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    // Final minimality sweep (cheap; the level order makes this a no-op in
+    // practice but guards the invariant).
+    let snapshot = keys.clone();
+    keys.retain(|&k| !snapshot.iter().any(|&other| other != k && other.is_subset_of(k)));
+    keys
+}
+
+/// Removes from `fds` every dependency implied by the others, yielding a
+/// non-redundant cover. The result is order-canonical; which of several
+/// equivalent dependencies survives depends on the canonical order (stable
+/// across runs).
+pub fn remove_redundant(fds: &[Fd]) -> Vec<Fd> {
+    let mut kept: Vec<Fd> = canonical_fds(fds.to_vec());
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept[i];
+        let mut rest = kept.clone();
+        rest.remove(i);
+        if implies(&rest, candidate) {
+            kept = rest;
+        } else {
+            i += 1;
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaneConfig;
+    use crate::search::discover_fds;
+    use tane_relation::{Relation, Schema};
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(AttrSet::from_indices(lhs.iter().copied()), rhs)
+    }
+
+    #[test]
+    fn closure_fixpoint_chains() {
+        // A→B, B→C, {C,D}→E.
+        let fds = [fd(&[0], 1), fd(&[1], 2), fd(&[2, 3], 4)];
+        assert_eq!(attribute_closure(&fds, AttrSet::singleton(0)), AttrSet::from_indices([0, 1, 2]));
+        assert_eq!(
+            attribute_closure(&fds, AttrSet::from_indices([0, 3])),
+            AttrSet::from_indices([0, 1, 2, 3, 4])
+        );
+        assert_eq!(attribute_closure(&fds, AttrSet::singleton(3)), AttrSet::singleton(3));
+        assert_eq!(attribute_closure(&[], AttrSet::singleton(1)), AttrSet::singleton(1));
+    }
+
+    #[test]
+    fn implication_includes_armstrong_consequences() {
+        let fds = [fd(&[0], 1), fd(&[1], 2)];
+        assert!(implies(&fds, fd(&[0], 2))); // transitivity
+        assert!(implies(&fds, fd(&[0, 3], 1))); // augmentation
+        assert!(implies(&fds, fd(&[0], 0))); // reflexivity
+        assert!(!implies(&fds, fd(&[1], 0)));
+        assert!(!implies(&fds, fd(&[2], 1)));
+    }
+
+    #[test]
+    fn superkey_by_fds() {
+        let fds = [fd(&[0], 1), fd(&[0], 2)];
+        assert!(is_superkey(&fds, AttrSet::singleton(0), 3));
+        assert!(!is_superkey(&fds, AttrSet::singleton(1), 3));
+        assert!(is_superkey(&fds, AttrSet::full(3), 3));
+    }
+
+    #[test]
+    fn candidate_keys_simple_cases() {
+        // A→B, A→C: A is the unique key.
+        let fds = [fd(&[0], 1), fd(&[0], 2)];
+        assert_eq!(candidate_keys(&fds, 3), vec![AttrSet::singleton(0)]);
+
+        // A→B, B→A, with C determined by neither: keys {A,C} and {B,C}.
+        let fds = [fd(&[0], 1), fd(&[1], 0)];
+        let keys = candidate_keys(&fds, 3);
+        assert_eq!(
+            keys,
+            vec![AttrSet::from_indices([0, 2]), AttrSet::from_indices([1, 2])]
+        );
+
+        // No FDs: the only key is R itself.
+        assert_eq!(candidate_keys(&[], 3), vec![AttrSet::full(3)]);
+        assert_eq!(candidate_keys(&[], 0), vec![AttrSet::empty()]);
+    }
+
+    #[test]
+    fn keys_from_discovered_cover_match_keys_from_search() {
+        // The keys TANE's key pruning reports must equal the keys derivable
+        // from the discovered cover.
+        let schema = Schema::anonymous(4).unwrap();
+        let r = Relation::from_codes(
+            schema,
+            vec![
+                vec![0, 1, 2, 3, 0, 1],
+                vec![0, 0, 1, 1, 2, 2],
+                vec![5, 5, 5, 6, 6, 6],
+                vec![1, 2, 1, 2, 1, 2],
+            ],
+        )
+        .unwrap();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let derived = candidate_keys(&result.fds, r.num_attrs());
+        assert_eq!(result.keys, derived);
+    }
+
+    #[test]
+    fn redundancy_removal() {
+        // A→B, B→C, A→C: the last is implied.
+        let fds = [fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)];
+        let reduced = remove_redundant(&fds);
+        assert_eq!(reduced.len(), 2);
+        // Every original dependency is still implied by the reduced cover.
+        for &f in &fds {
+            assert!(implies(&reduced, f));
+        }
+        // Nothing in the reduced cover is redundant.
+        for (i, &f) in reduced.iter().enumerate() {
+            let mut rest = reduced.clone();
+            rest.remove(i);
+            assert!(!implies(&rest, f));
+        }
+    }
+
+    #[test]
+    fn discovered_minimal_cover_is_already_nonredundant_often() {
+        // TANE's output consists of minimal FDs; reducing can still drop
+        // some (transitivity), but the result must imply the original.
+        let r = tane_datasets::wisconsin_breast_cancer().head(150);
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let reduced = remove_redundant(&result.fds);
+        assert!(reduced.len() <= result.fds.len());
+        for &f in &result.fds {
+            assert!(implies(&reduced, f), "{f} must remain implied");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Results and statistics of a TANE run.
+
+use std::fmt;
+use std::time::Duration;
+use tane_partition::StoreError;
+use tane_relation::Schema;
+use tane_util::Fd;
+
+/// Errors a TANE run can produce. The search itself is total; failures come
+/// from the partition store (disk variant) only.
+#[derive(Debug)]
+pub enum TaneError {
+    /// Partition store failure (I/O, corruption).
+    Store(StoreError),
+}
+
+impl fmt::Display for TaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaneError::Store(e) => write!(f, "partition store failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaneError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for TaneError {
+    fn from(e: StoreError) -> Self {
+        TaneError::Store(e)
+    }
+}
+
+/// Search statistics, matching the quantities of the paper's analysis
+/// (Section 6): `s` = total sets processed, `s_max` = largest level, `k` =
+/// keys found, `v` = validity tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaneStats {
+    /// Number of lattice levels processed (deepest `ℓ` with `L_ℓ ≠ ∅`).
+    pub levels: usize,
+    /// Sets processed per level (`|L_ℓ|` before pruning), index 0 = level 1.
+    pub sets_per_level: Vec<usize>,
+    /// Total sets processed, the paper's `s`.
+    pub sets_total: usize,
+    /// Largest level size, the paper's `s_max`.
+    pub sets_max_level: usize,
+    /// Validity tests performed, the paper's `v`.
+    pub validity_tests: usize,
+    /// Exact `g3` computations (approximate mode only).
+    pub g3_exact_computations: usize,
+    /// Validity tests decided by the quick `g3` bounds alone
+    /// (approximate mode with `use_g3_bounds`).
+    pub g3_decided_by_bounds: usize,
+    /// Keys found and pruned, the paper's `k`.
+    pub keys_found: usize,
+    /// Partition products computed (one per generated lattice node above
+    /// level 1).
+    pub products: usize,
+    /// Disk reads of partitions (disk storage only).
+    pub disk_reads: u64,
+    /// Disk writes of partitions (disk storage only).
+    pub disk_writes: u64,
+    /// Peak bytes of partitions resident in memory (approximate).
+    pub peak_resident_bytes: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+/// The outcome of a discovery run: the minimal cover plus statistics.
+#[derive(Debug, Clone)]
+pub struct TaneResult {
+    /// All minimal non-trivial (approximate) dependencies, canonical order.
+    pub fds: Vec<Fd>,
+    /// The candidate keys (minimal superkeys) encountered by key pruning,
+    /// ascending. Populated only when `key_pruning` is enabled (the
+    /// default); with it disabled keys are simply never detected.
+    pub keys: Vec<tane_util::AttrSet>,
+    /// Search statistics.
+    pub stats: TaneStats,
+}
+
+impl TaneResult {
+    /// Number of dependencies found (the paper's `N`).
+    pub fn count(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Renders the dependencies with attribute names, one per line, in
+    /// canonical order — the shape of the paper's published outputs.
+    pub fn render(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for fd in &self.fds {
+            out.push_str(&fd.display_with(schema.names()));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_util::AttrSet;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = TaneError::from(StoreError::Missing { key: AttrSet::singleton(1) });
+        assert!(e.to_string().contains("partition store"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn result_render() {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let result = TaneResult {
+            fds: vec![Fd::new(AttrSet::from_indices([1, 2]), 0), Fd::new(AttrSet::singleton(0), 2)],
+            keys: vec![AttrSet::singleton(0)],
+            stats: TaneStats::default(),
+        };
+        assert_eq!(result.count(), 2);
+        let text = result.render(&schema);
+        assert_eq!(text, "{B,C} -> A\n{A} -> C\n");
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = TaneStats::default();
+        assert_eq!(s.sets_total, 0);
+        assert_eq!(s.validity_tests, 0);
+        assert_eq!(s.elapsed, Duration::ZERO);
+    }
+}

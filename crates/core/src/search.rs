@@ -1,0 +1,808 @@
+//! The TANE search: COMPUTE-DEPENDENCIES, PRUNE, and the levelwise driver.
+//!
+//! This module is a direct implementation of the pseudocode in Section 5 of
+//! the paper, in both exact and approximate modes:
+//!
+//! ```text
+//! L_0 := {∅};  C⁺(∅) := R;  L_1 := {{A} | A ∈ R};  ℓ := 1
+//! while L_ℓ ≠ ∅:
+//!     COMPUTE-DEPENDENCIES(L_ℓ)
+//!     PRUNE(L_ℓ)
+//!     L_{ℓ+1} := GENERATE-NEXT-LEVEL(L_ℓ);  ℓ := ℓ + 1
+//! ```
+//!
+//! Exact validity tests are O(1) comparisons of partition summaries
+//! (Lemma 2); approximate tests use the quick `g3` bounds first and fall
+//! back to the exact O(‖π̂‖) computation only when the bounds cannot decide
+//! (paper, Section 5 "Optimizations").
+//!
+//! ## Key pruning and approximate dependencies
+//!
+//! The paper's Section 5 describes the approximate variant as changing only
+//! the validity test (line 5′) and the rhs⁺ refinement (line 8′). Read
+//! literally, that keeps PRUNE's key pruning — which is **unsound** for
+//! approximate dependencies. The exact-mode soundness argument rests on
+//! Lemma 4(2): *if `X` is a superkey and `X\{B} → B` holds, `X\{B}` is a
+//! superkey*. With `g3`-validity the lemma fails: `X\{B} → B` can hold
+//! approximately while `X\{B}` is far from a superkey. Concretely, in the
+//! Figure 1 relation at `ε = 1/8`, `{A,D}` is a key, so the node `{A,C,D}`
+//! is never generated — yet `{C,D} → A` (error 1/8) is a minimal approximate
+//! dependency whose only test lives at that node.
+//!
+//! This implementation therefore adds a *superkey-closure test* in
+//! approximate mode: after pruning level ℓ, for every live node `W` and
+//! candidate rhs `A ∉ W` such that `W ∪ {A}` contains an already-found key,
+//! the partition `π_{W∪{A}}` is a superkey partition, so
+//! `g3(W → A) = e(W)` **exactly** (the two bounds coincide) and the test is
+//! decided from metadata already on hand. Minimality for these recovered
+//! dependencies (and for key-pruning outputs in approximate mode) is
+//! checked against the set of dependencies found so far, which the
+//! levelwise order makes exact.
+//!
+//! A second, related fix applies to **both** modes: PRUNE's key-output
+//! minimality test `A ∈ ∩_{B∈X} C⁺(X∪{A}\{B})` reads same-level sets that
+//! may never have been generated *because a subset key was pruned earlier*
+//! (e.g. with key `{D}`, the sets `{B,D}` and `{C,D}` never exist, and the
+//! minimal FD `{B,C} → D` would be silently skipped at key `{B,C}` if
+//! missing sets were treated as failures). The key outputs therefore use
+//! the found-so-far minimality check as well; property tests against the
+//! brute-force oracle pin both fixes down.
+
+use crate::config::{ApproxTaneConfig, Storage, TaneConfig};
+use crate::lattice::{first_level_sets, generate_next_level, Level, LevelEntry};
+use crate::result::{TaneError, TaneResult, TaneStats};
+use tane_partition::{
+    g3_removed_rows_with_scratch, product_with_scratch, DiskStore, G3Bounds, G3Scratch,
+    MemoryStore, PartitionStore, ProductScratch, StrippedPartition,
+};
+use tane_relation::Relation;
+use tane_util::{canonical_fds, AttrSet, Fd, Stopwatch};
+
+/// Discovers all minimal non-trivial functional dependencies of `relation`
+/// (the paper's central task, Section 1).
+///
+/// # Errors
+///
+/// Only the disk storage backend can fail (I/O); see [`TaneError`].
+pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<TaneResult, TaneError> {
+    run(relation, config, Mode::Exact)
+}
+
+/// Discovers all minimal non-trivial approximate dependencies
+/// `X → A` with `g3(X → A) ≤ config.epsilon` (paper, Sections 1–2).
+///
+/// With `epsilon = 0` the result equals [`discover_fds`].
+pub fn discover_approx_fds(
+    relation: &Relation,
+    config: &ApproxTaneConfig,
+) -> Result<TaneResult, TaneError> {
+    run(
+        relation,
+        &config.base,
+        Mode::Approx {
+            epsilon: config.epsilon,
+            use_bounds: config.use_g3_bounds,
+            aggressive: config.aggressive_rhs_plus,
+        },
+    )
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Exact,
+    Approx { epsilon: f64, use_bounds: bool, aggressive: bool },
+}
+
+/// Accumulates discovered dependencies plus, per rhs, the valid LHSs found
+/// so far — the levelwise order makes "no recorded LHS is a subset" an exact
+/// minimality test, used by the approximate-mode key outputs and superkey-
+/// closure tests.
+struct Discovery {
+    fds: Vec<Fd>,
+    minimal_lhs: Vec<Vec<AttrSet>>,
+}
+
+impl Discovery {
+    fn new(n_attrs: usize) -> Discovery {
+        Discovery { fds: Vec::new(), minimal_lhs: vec![Vec::new(); n_attrs] }
+    }
+
+    fn record(&mut self, fd: Fd) {
+        self.minimal_lhs[fd.rhs].push(fd.lhs);
+        self.fds.push(fd);
+    }
+
+    /// `true` iff some already-found valid dependency `V → rhs` has
+    /// `V ⊆ lhs` (equality included, which also prevents duplicates).
+    fn has_valid_subset(&self, lhs: AttrSet, rhs: usize) -> bool {
+        self.minimal_lhs[rhs].iter().any(|&v| v.is_subset_of(lhs))
+    }
+}
+
+/// Partition storage, dispatched statically per backend.
+enum Store {
+    Memory(MemoryStore),
+    Disk(Box<DiskStore>),
+}
+
+impl Store {
+    fn from_config(storage: &Storage) -> Result<Store, TaneError> {
+        Ok(match storage {
+            Storage::Memory => Store::Memory(MemoryStore::new()),
+            Storage::Disk { cache_bytes } => Store::Disk(Box::new(DiskStore::new(*cache_bytes)?)),
+        })
+    }
+
+    fn put(&mut self, key: AttrSet, p: StrippedPartition) -> Result<(), TaneError> {
+        match self {
+            Store::Memory(s) => s.put(key, p)?,
+            Store::Disk(s) => s.put(key, p)?,
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, key: AttrSet) -> Result<std::sync::Arc<StrippedPartition>, TaneError> {
+        Ok(match self {
+            Store::Memory(s) => s.get(key)?,
+            Store::Disk(s) => s.get(key)?,
+        })
+    }
+
+    fn remove(&mut self, key: AttrSet) {
+        match self {
+            Store::Memory(s) => s.remove(key),
+            Store::Disk(s) => s.remove(key),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            Store::Memory(s) => s.resident_bytes(),
+            Store::Disk(s) => s.resident_bytes(),
+        }
+    }
+
+    fn disk_counters(&self) -> (u64, u64) {
+        match self {
+            Store::Memory(_) => (0, 0),
+            Store::Disk(s) => (s.disk_reads(), s.disk_writes()),
+        }
+    }
+}
+
+/// Minimum number of products in a level before threads are spun up;
+/// below this, thread setup costs more than the work.
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// Computes the level's partition products on `threads` worker threads.
+/// Each worker owns its scratch tables; chunks are contiguous so the output
+/// order (and therefore every downstream decision) is identical to the
+/// serial path.
+fn parallel_products(
+    fetched: &[(AttrSet, std::sync::Arc<StrippedPartition>, std::sync::Arc<StrippedPartition>)],
+    threads: usize,
+    n_rows: usize,
+) -> Vec<(AttrSet, StrippedPartition)> {
+    let chunk_size = fetched.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = fetched
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut scratch = ProductScratch::new(n_rows);
+                    chunk
+                        .iter()
+                        .map(|(set, pa, pb)| (*set, product_with_scratch(pa, pb, &mut scratch)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(fetched.len());
+        for h in handles {
+            out.extend(h.join().expect("product worker panicked"));
+        }
+        out
+    })
+    .expect("crossbeam scope panicked")
+}
+
+fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResult, TaneError> {
+    let sw = Stopwatch::start();
+    let n_attrs = relation.num_attrs();
+    let n_rows = relation.num_rows();
+    let r_all = AttrSet::full(n_attrs);
+    let mut stats = TaneStats::default();
+    let mut disc = Discovery::new(n_attrs);
+    let mut found_keys: Vec<AttrSet> = Vec::new();
+
+    if n_attrs == 0 {
+        stats.elapsed = sw.elapsed();
+        return Ok(TaneResult { fds: disc.fds, keys: found_keys, stats });
+    }
+
+    let mut store = Store::from_config(&config.storage)?;
+    let mut product_scratch = ProductScratch::new(n_rows);
+    let mut g3_scratch = G3Scratch::new(n_rows);
+
+    // L_0 = {∅} with C⁺(∅) = R. Its partition is the one-class π_∅,
+    // needed by approximate validity tests at level 1.
+    let unit = StrippedPartition::unit(n_rows);
+    let mut prev_level = Level::new();
+    prev_level.push(LevelEntry {
+        set: AttrSet::empty(),
+        cplus: r_all,
+        error_rows: unit.error_rows(),
+        is_superkey: unit.is_superkey(),
+        deleted: false,
+    });
+    store.put(AttrSet::empty(), unit)?;
+
+    // L_1: singleton partitions straight from the dictionary columns.
+    let mut current = Level::new();
+    for set in first_level_sets(n_attrs) {
+        let a = set.as_singleton().expect("singleton");
+        let pi = StrippedPartition::from_column(relation.column_codes(a));
+        current.push(LevelEntry {
+            set,
+            cplus: r_all, // overwritten by COMPUTE-DEPENDENCIES
+            error_rows: pi.error_rows(),
+            is_superkey: pi.is_superkey(),
+            deleted: false,
+        });
+        store.put(set, pi)?;
+    }
+
+    let mut ell = 1usize;
+    while !current.is_empty() {
+        stats.levels = ell;
+        let level_size = current.len();
+        stats.sets_per_level.push(level_size);
+        stats.sets_total += level_size;
+        stats.sets_max_level = stats.sets_max_level.max(level_size);
+
+        compute_dependencies(
+            relation,
+            config,
+            mode,
+            &mut current,
+            &prev_level,
+            &mut store,
+            &mut g3_scratch,
+            &mut stats,
+            &mut disc,
+        )?;
+
+        // Partitions of level ℓ−1 are no longer needed: validity tests for
+        // this level are done and products for level ℓ+1 use level ℓ.
+        for e in prev_level.entries() {
+            store.remove(e.set);
+        }
+
+        prune(config, &mut current, &mut stats, &mut disc, &mut found_keys);
+
+        // Approximate mode only: recover the dependencies whose test nodes
+        // key pruning cut away (see the module docs).
+        if let Mode::Approx { epsilon, .. } = mode {
+            if config.key_pruning {
+                superkey_closure_tests(
+                    config,
+                    &current,
+                    &found_keys,
+                    epsilon,
+                    n_rows,
+                    &mut stats,
+                    &mut disc,
+                );
+            }
+        }
+
+        // LHS size cap: dependencies tested at level ℓ+1 have LHS size ℓ.
+        if config.max_lhs.is_some_and(|m| ell > m) {
+            break;
+        }
+
+        let candidates = generate_next_level(&current);
+        let mut next = Level::new();
+        // Fetch the join parents up front (store access is sequential —
+        // cheap Arc clones in memory, actual I/O for the disk store), then
+        // compute the products, in parallel when configured.
+        let mut fetched = Vec::with_capacity(candidates.len());
+        for cand in &candidates {
+            let pa = store.get(cand.parent_a)?;
+            let pb = store.get(cand.parent_b)?;
+            fetched.push((cand.set, pa, pb));
+        }
+        let produced = if config.threads > 1 && fetched.len() >= PARALLEL_THRESHOLD {
+            parallel_products(&fetched, config.threads, n_rows)
+        } else {
+            fetched
+                .iter()
+                .map(|(set, pa, pb)| (*set, product_with_scratch(pa, pb, &mut product_scratch)))
+                .collect()
+        };
+        drop(fetched);
+        stats.products += produced.len();
+        for (set, pi) in produced {
+            next.push(LevelEntry {
+                set,
+                cplus: r_all,
+                error_rows: pi.error_rows(),
+                is_superkey: pi.is_superkey(),
+                deleted: false,
+            });
+            store.put(set, pi)?;
+        }
+        stats.peak_resident_bytes = stats.peak_resident_bytes.max(store.resident_bytes());
+
+        // Partitions of deleted level-ℓ entries never participate in
+        // products (deleted sets do not join); free them now.
+        for e in current.entries().iter().filter(|e| e.deleted) {
+            store.remove(e.set);
+        }
+
+        prev_level = current;
+        current = next;
+        ell += 1;
+    }
+
+    let (reads, writes) = store.disk_counters();
+    stats.disk_reads = reads;
+    stats.disk_writes = writes;
+    stats.elapsed = sw.elapsed();
+    found_keys.sort_unstable();
+    Ok(TaneResult { fds: canonical_fds(disc.fds), keys: found_keys, stats })
+}
+
+/// COMPUTE-DEPENDENCIES(L_ℓ) — paper, Section 5.
+#[allow(clippy::too_many_arguments)]
+fn compute_dependencies(
+    relation: &Relation,
+    config: &TaneConfig,
+    mode: Mode,
+    current: &mut Level,
+    prev: &Level,
+    store: &mut Store,
+    g3_scratch: &mut G3Scratch,
+    stats: &mut TaneStats,
+    disc: &mut Discovery,
+) -> Result<(), TaneError> {
+    let n_attrs = relation.num_attrs();
+    let n_rows = relation.num_rows();
+    let r_all = AttrSet::full(n_attrs);
+
+    // Line 2: C⁺(X) := ∩_{A ∈ X} C⁺(X \ {A}).
+    for i in 0..current.entries().len() {
+        let set = current.entries()[i].set;
+        let mut cplus = r_all;
+        for (_, sub) in set.proper_subsets_one_smaller() {
+            match prev.get(sub) {
+                Some(p) => cplus &= p.cplus,
+                None => {
+                    cplus = AttrSet::empty();
+                    break;
+                }
+            }
+        }
+        current.entries_mut()[i].cplus = cplus;
+    }
+
+    // Lines 3–8: validity tests on X\{A} → A for A ∈ X ∩ C⁺(X).
+    for i in 0..current.entries().len() {
+        let entry = &current.entries()[i];
+        let set = entry.set;
+        let x_error = entry.error_rows;
+        let candidates = set.intersect(entry.cplus);
+        let mut cplus = entry.cplus;
+        for a in candidates.iter() {
+            let sub = set.without(a);
+            let sub_entry = prev
+                .get(sub)
+                .expect("non-empty C+ implies every parent is present in the previous level");
+            stats.validity_tests += 1;
+            let (valid, holds_exactly) = match mode {
+                Mode::Exact => {
+                    let v = sub_entry.error_rows == x_error;
+                    (v, v)
+                }
+                Mode::Approx { epsilon, use_bounds, aggressive } => {
+                    let exact = sub_entry.error_rows == x_error;
+                    if exact {
+                        (true, true)
+                    } else {
+                        let valid = approx_valid(
+                            sub,
+                            set,
+                            sub_entry.error_rows,
+                            x_error,
+                            n_rows,
+                            epsilon,
+                            use_bounds,
+                            store,
+                            g3_scratch,
+                            stats,
+                        )?;
+                        // The paper-faithful heuristic treats approximately
+                        // valid dependencies like exact ones for line 8
+                        // (see ApproxTaneConfig::aggressive_rhs_plus).
+                        (valid, valid && aggressive)
+                    }
+                }
+            };
+            if valid {
+                // Line 6: output the minimal dependency.
+                disc.record(Fd::new(sub, a));
+                // Line 7: remove A from C⁺(X).
+                cplus.remove(a);
+                // Line 8 (exact) / 8′–9′ (approximate): the rhs⁺ refinement
+                // is only sound when the dependency holds *exactly*.
+                if config.rhs_plus_pruning && holds_exactly {
+                    cplus -= r_all.difference(set);
+                }
+            }
+        }
+        current.entries_mut()[i].cplus = cplus;
+    }
+    Ok(())
+}
+
+/// Approximate validity of `sub → a` (where `set = sub ∪ {a}`): quick
+/// bounds first, exact `g3` only if undecided.
+#[allow(clippy::too_many_arguments)]
+fn approx_valid(
+    sub: AttrSet,
+    set: AttrSet,
+    sub_error_rows: usize,
+    set_error_rows: usize,
+    n_rows: usize,
+    epsilon: f64,
+    use_bounds: bool,
+    store: &mut Store,
+    g3_scratch: &mut G3Scratch,
+    stats: &mut TaneStats,
+) -> Result<bool, TaneError> {
+    if use_bounds {
+        let bounds = G3Bounds {
+            lower_rows: sub_error_rows.saturating_sub(set_error_rows),
+            upper_rows: sub_error_rows,
+            n_rows,
+        };
+        if let Some(decision) = bounds.decide(epsilon) {
+            stats.g3_decided_by_bounds += 1;
+            return Ok(decision);
+        }
+    }
+    let pi_sub = store.get(sub)?;
+    let pi_set = store.get(set)?;
+    let removed = g3_removed_rows_with_scratch(&pi_sub, &pi_set, g3_scratch);
+    stats.g3_exact_computations += 1;
+    if n_rows == 0 {
+        return Ok(true);
+    }
+    Ok(removed as f64 / n_rows as f64 <= epsilon)
+}
+
+/// PRUNE(L_ℓ) — paper, Section 5: delete sets with empty `C⁺`, and delete
+/// keys after emitting the minimal dependencies that their supersets would
+/// have produced.
+fn prune(
+    config: &TaneConfig,
+    current: &mut Level,
+    stats: &mut TaneStats,
+    disc: &mut Discovery,
+    found_keys: &mut Vec<AttrSet>,
+) {
+    for i in 0..current.entries().len() {
+        let entry = &current.entries()[i];
+        if entry.deleted {
+            continue;
+        }
+        let set = entry.set;
+        // Lines 2–3: empty rhs⁺ candidate set.
+        if config.empty_cplus_pruning && entry.cplus.is_empty() {
+            current.entries_mut()[i].deleted = true;
+            continue;
+        }
+        // Lines 4–8: key pruning.
+        if config.key_pruning && entry.is_superkey {
+            stats.keys_found += 1;
+            let lhs_ok = config.max_lhs.is_none_or(|m| set.len() <= m);
+            if lhs_ok {
+                let outside = entry.cplus.difference(set);
+                for a in outside.iter() {
+                    // X is a superkey, so X → A always holds exactly; only
+                    // minimality needs checking (PRUNE line 6). The paper
+                    // tests A ∈ ∩_{B ∈ X} C⁺(X ∪ {A} \ {B}) over same-level
+                    // sets, but those sets can be missing precisely because
+                    // a *subset key* was pruned earlier — e.g. with key {D},
+                    // the sets {B,D} and {C,D} are never generated, and the
+                    // minimal FD {B,C} → D would be skipped at key {B,C}.
+                    // Checking against the dependencies found so far is
+                    // exact: every valid V → A with V ⊂ X (|V| < ℓ) has a
+                    // minimal witness already recorded by the levelwise
+                    // order.
+                    if !disc.has_valid_subset(set, a) {
+                        disc.record(Fd::new(set, a));
+                    }
+                }
+            }
+            // Line 8: delete the key; remember it (the approximate-mode
+            // superkey-closure tests consume the list, and TaneResult
+            // exposes it as the relation's candidate keys).
+            current.entries_mut()[i].deleted = true;
+            found_keys.push(set);
+        }
+    }
+}
+
+/// Approximate-mode recovery of dependencies lost to key pruning (see the
+/// module docs): for a live node `W` and rhs candidate `A ∉ W`, if
+/// `W ∪ {A}` contains a pruned key then `π_{W∪{A}}` is a superkey partition
+/// and `g3(W → A) = e(W)` exactly, so the validity test is free.
+fn superkey_closure_tests(
+    config: &TaneConfig,
+    current: &Level,
+    found_keys: &[AttrSet],
+    epsilon: f64,
+    n_rows: usize,
+    stats: &mut TaneStats,
+    disc: &mut Discovery,
+) {
+    if found_keys.is_empty() {
+        return;
+    }
+    let mut recovered: Vec<Fd> = Vec::new();
+    for entry in current.entries().iter().filter(|e| !e.deleted) {
+        let w = entry.set;
+        if config.max_lhs.is_some_and(|m| w.len() > m) {
+            continue;
+        }
+        for a in entry.cplus.difference(w).iter() {
+            let y = w.with(a);
+            if !found_keys.iter().any(|&k| k.is_subset_of(y)) {
+                continue; // Y will be (or was) generated; the normal path covers it.
+            }
+            stats.validity_tests += 1;
+            let valid = n_rows == 0 || (entry.error_rows as f64 / n_rows as f64) <= epsilon;
+            if valid && !disc.has_valid_subset(w, a) {
+                recovered.push(Fd::new(w, a));
+            }
+        }
+    }
+    // Recovered LHSs all have the same size, so none can shadow another;
+    // record them after the scan so the minimality checks above see a
+    // consistent snapshot.
+    for fd in recovered {
+        disc.record(fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ApproxTaneConfig, TaneConfig};
+    use tane_baselines::{brute_force_approx_fds, brute_force_fds, verify_minimal_cover};
+    use tane_relation::{Schema, Value};
+
+    fn figure1() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mut b = Relation::builder(schema);
+        for row in [
+            ["1", "a", "$", "Flower"],
+            ["1", "A", "L", "Tulip"],
+            ["2", "A", "$", "Daffodil"],
+            ["2", "A", "$", "Flower"],
+            ["2", "b", "L", "Lily"],
+            ["3", "b", "$", "Orchid"],
+            ["3", "c", "L", "Flower"],
+            ["3", "c", "#", "Rose"],
+        ] {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_figure1() {
+        let r = figure1();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert_eq!(result.fds, brute_force_fds(&r, 4));
+        assert!(verify_minimal_cover(&r, &result.fds, 4, 0.0).is_empty());
+        assert!(result.stats.validity_tests > 0);
+        assert!(result.stats.sets_total >= 4);
+    }
+
+    #[test]
+    fn figure1_contains_known_dependencies() {
+        let r = figure1();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        // {B,C} → A from the paper's Example 2.
+        assert!(result.fds.contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
+        // {A} → B does not hold.
+        assert!(!result.fds.contains(&Fd::new(AttrSet::singleton(0), 1)));
+    }
+
+    #[test]
+    fn all_pruning_ablations_agree() {
+        let r = figure1();
+        let reference = discover_fds(&r, &TaneConfig::default()).unwrap().fds;
+        for (rhs_plus, key) in [(false, false), (false, true), (true, false)] {
+            let config = TaneConfig {
+                rhs_plus_pruning: rhs_plus,
+                key_pruning: key,
+                ..TaneConfig::default()
+            };
+            let got = discover_fds(&r, &config).unwrap().fds;
+            assert_eq!(got, reference, "rhs_plus={rhs_plus} key={key}");
+        }
+        // Even without empty-C+ pruning.
+        let config = TaneConfig {
+            rhs_plus_pruning: false,
+            key_pruning: false,
+            empty_cplus_pruning: false,
+            ..TaneConfig::default()
+        };
+        assert_eq!(discover_fds(&r, &config).unwrap().fds, reference);
+    }
+
+    #[test]
+    fn disk_storage_agrees_with_memory() {
+        let r = figure1();
+        let mem = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let disk = discover_fds(&r, &TaneConfig::disk(1 << 12)).unwrap();
+        assert_eq!(mem.fds, disk.fds);
+        assert!(disk.stats.disk_writes > 0, "disk variant must spill partitions");
+    }
+
+    #[test]
+    fn approximate_at_zero_equals_exact() {
+        let r = figure1();
+        let exact = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let approx = discover_approx_fds(&r, &ApproxTaneConfig::new(0.0)).unwrap();
+        assert_eq!(exact.fds, approx.fds);
+    }
+
+    #[test]
+    fn approximate_matches_brute_force_across_thresholds() {
+        let r = figure1();
+        for &eps in &[0.0, 0.01, 0.125, 0.25, 0.375, 0.5, 1.0] {
+            let got = discover_approx_fds(&r, &ApproxTaneConfig::new(eps)).unwrap();
+            let want = brute_force_approx_fds(&r, 4, eps);
+            assert_eq!(got.fds, want, "epsilon={eps}");
+        }
+    }
+
+    #[test]
+    fn g3_bounds_ablation_gives_identical_results() {
+        let r = figure1();
+        for &eps in &[0.05, 0.25, 0.5] {
+            let mut with = ApproxTaneConfig::new(eps);
+            with.use_g3_bounds = true;
+            let mut without = ApproxTaneConfig::new(eps);
+            without.use_g3_bounds = false;
+            let a = discover_approx_fds(&r, &with).unwrap();
+            let b = discover_approx_fds(&r, &without).unwrap();
+            assert_eq!(a.fds, b.fds, "epsilon={eps}");
+            assert!(a.stats.g3_decided_by_bounds > 0, "bounds should fire at eps={eps}");
+            assert_eq!(b.stats.g3_decided_by_bounds, 0);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_accepts_everything_minimal() {
+        let r = figure1();
+        let result = discover_approx_fds(&r, &ApproxTaneConfig::new(1.0)).unwrap();
+        // At ε = 1 every ∅ → A is valid, so the cover is exactly those.
+        let expected: Vec<Fd> = (0..4).map(|a| Fd::new(AttrSet::empty(), a)).collect();
+        assert_eq!(result.fds, expected);
+    }
+
+    #[test]
+    fn max_lhs_limits_search() {
+        let r = figure1();
+        let full = discover_fds(&r, &TaneConfig::default()).unwrap();
+        for m in 0..=4 {
+            let limited = discover_fds(&r, &TaneConfig::default().with_max_lhs(m)).unwrap();
+            assert!(limited.fds.iter().all(|fd| fd.lhs.len() <= m), "m={m}");
+            assert_eq!(limited.fds, brute_force_fds(&r, m), "m={m}");
+            assert!(limited.stats.levels <= m + 1);
+        }
+        let unlimited = discover_fds(&r, &TaneConfig::default().with_max_lhs(4)).unwrap();
+        assert_eq!(unlimited.fds, full.fds);
+    }
+
+    #[test]
+    fn empty_relation_yields_vacuous_cover() {
+        let r = Relation::builder(Schema::new(["A", "B"]).unwrap()).build();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert_eq!(result.fds, brute_force_fds(&r, 2));
+        assert_eq!(result.fds, vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]);
+    }
+
+    #[test]
+    fn zero_attribute_relation() {
+        let r = Relation::builder(Schema::new(Vec::<String>::new()).unwrap()).build();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert!(result.fds.is_empty());
+        assert_eq!(result.stats.levels, 0);
+    }
+
+    #[test]
+    fn single_row_relation() {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![1], vec![2], vec![3]]).unwrap();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert_eq!(result.fds, brute_force_fds(&r, 3));
+    }
+
+    #[test]
+    fn duplicate_rows_mean_no_keys() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![0, 0], vec![1, 1]]).unwrap();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert_eq!(result.fds, brute_force_fds(&r, 2));
+        assert_eq!(result.stats.keys_found, 0);
+    }
+
+    #[test]
+    fn key_pruning_emits_key_dependencies() {
+        // A is a key: {A} → B and {A} → C must be emitted via key pruning.
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let r = Relation::from_codes(
+            schema,
+            vec![vec![0, 1, 2, 3], vec![0, 0, 1, 1], vec![5, 5, 5, 6]],
+        )
+        .unwrap();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert_eq!(result.fds, brute_force_fds(&r, 3));
+        assert!(result.fds.contains(&Fd::new(AttrSet::singleton(0), 1)));
+        assert!(result.fds.contains(&Fd::new(AttrSet::singleton(0), 2)));
+        assert!(result.stats.keys_found >= 1);
+    }
+
+    #[test]
+    fn candidate_keys_are_reported() {
+        // A is a key; so is {B,C} (codes chosen so B,C pairs are unique).
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let r = Relation::from_codes(
+            schema,
+            vec![vec![0, 1, 2, 3], vec![0, 0, 1, 1], vec![0, 1, 0, 1]],
+        )
+        .unwrap();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        assert!(result.keys.contains(&AttrSet::singleton(0)));
+        assert!(result.keys.contains(&AttrSet::from_indices([1, 2])));
+        // Keys are minimal: no key contains another.
+        for (i, &a) in result.keys.iter().enumerate() {
+            for &b in &result.keys[i + 1..] {
+                assert!(!a.is_subset_of(b) && !b.is_subset_of(a));
+            }
+        }
+        // The figure-1 relation has {A,D}-style two-attribute keys.
+        let fig = figure1();
+        let result = discover_fds(&fig, &TaneConfig::default()).unwrap();
+        assert!(result.keys.contains(&AttrSet::from_indices([0, 3])));
+        assert!(!result.keys.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = figure1();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let s = &result.stats;
+        assert_eq!(s.sets_per_level.iter().sum::<usize>(), s.sets_total);
+        assert_eq!(s.sets_per_level.len(), s.levels);
+        assert_eq!(*s.sets_per_level.iter().max().unwrap(), s.sets_max_level);
+        assert!(s.elapsed > std::time::Duration::ZERO);
+        assert!(s.products > 0);
+    }
+
+    #[test]
+    fn concatenated_copies_preserve_the_cover() {
+        // The paper's ×n construction: same dependencies, more rows.
+        let r = figure1();
+        let base = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let r8 = r.concat_disjoint_copies(8).unwrap();
+        let big = discover_fds(&r8, &TaneConfig::default()).unwrap();
+        assert_eq!(base.fds, big.fds);
+    }
+}

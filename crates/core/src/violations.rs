@@ -1,0 +1,150 @@
+//! Identifying the rows that violate a (near-)dependency.
+//!
+//! The paper's abstract promises that with partitions "the erroneous or
+//! exceptional rows can be identified easily": for an approximate
+//! dependency `X → A`, each equivalence class `c ∈ π_X` splits into
+//! subclasses under `π_{X∪{A}}`, and the rows outside the largest subclass
+//! of each `c` are exactly a minimum set of rows whose removal makes the
+//! dependency exact. This module computes that set — the raw material for
+//! the data-cleaning use case motivated in Section 1.
+
+use tane_partition::{g3_error, StrippedPartition};
+use tane_relation::Relation;
+use tane_util::Fd;
+
+/// The `g3` error of `fd` in `relation`, recomputed from scratch.
+pub fn fd_error(relation: &Relation, fd: Fd) -> f64 {
+    let pi_x = StrippedPartition::from_attr_set(relation, fd.lhs);
+    let pi_xa = StrippedPartition::from_attr_set(relation, fd.lhs.with(fd.rhs));
+    g3_error(&pi_x, &pi_xa)
+}
+
+/// A minimum set of row indices whose removal makes `fd` hold exactly.
+///
+/// For each class of `π_X`, the largest subclass under `π_{X∪{A}}` is kept
+/// and every other row of the class is reported. The result has exactly
+/// `g3(fd) · |r|` rows, sorted ascending. Ties between equally large
+/// subclasses are broken toward the subclass encountered first, so the
+/// output is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use tane_core::violations::violating_rows;
+/// use tane_relation::{Relation, Schema};
+/// use tane_util::{AttrSet, Fd};
+///
+/// // city -> dialing code, with one typo in row 3.
+/// let schema = Schema::new(["city", "code"]).unwrap();
+/// let r = Relation::from_codes(
+///     schema,
+///     vec![vec![0, 0, 1, 0], vec![7, 7, 8, 9]],
+/// )
+/// .unwrap();
+/// let bad = violating_rows(&r, Fd::new(AttrSet::singleton(0), 1));
+/// assert_eq!(bad, vec![3]);
+/// ```
+pub fn violating_rows(relation: &Relation, fd: Fd) -> Vec<u32> {
+    let pi_x = StrippedPartition::from_attr_set(relation, fd.lhs);
+    let rhs_codes = relation.column_codes(fd.rhs);
+    let mut out = Vec::new();
+    for class in pi_x.classes() {
+        // Count A-values within this X-class; keep the plurality value.
+        // Classes are small relative to |r|, so a local sort beats a global
+        // probe table here.
+        let mut pairs: Vec<(u32, u32)> = class.iter().map(|&t| (rhs_codes[t as usize], t)).collect();
+        pairs.sort_unstable();
+        // Find the largest run of equal A-codes (first such run on ties —
+        // sort order makes this deterministic).
+        let mut best_start = 0usize;
+        let mut best_len = 0usize;
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                j += 1;
+            }
+            if j - i > best_len {
+                best_start = i;
+                best_len = j - i;
+            }
+            i = j;
+        }
+        for (k, &(_, row)) in pairs.iter().enumerate() {
+            if k < best_start || k >= best_start + best_len {
+                out.push(row);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_relation::Schema;
+    use tane_util::AttrSet;
+
+    fn two_col(lhs: Vec<u32>, rhs: Vec<u32>) -> Relation {
+        let schema = Schema::new(["X", "A"]).unwrap();
+        Relation::from_codes(schema, vec![lhs, rhs]).unwrap()
+    }
+
+    #[test]
+    fn exact_fd_has_no_violations() {
+        let r = two_col(vec![0, 0, 1, 1], vec![5, 5, 6, 6]);
+        let fd = Fd::new(AttrSet::singleton(0), 1);
+        assert!(violating_rows(&r, fd).is_empty());
+        assert_eq!(fd_error(&r, fd), 0.0);
+    }
+
+    #[test]
+    fn single_typo_is_pinpointed() {
+        let r = two_col(vec![0, 0, 0, 1], vec![5, 5, 9, 6]);
+        let fd = Fd::new(AttrSet::singleton(0), 1);
+        assert_eq!(violating_rows(&r, fd), vec![2]);
+        assert_eq!(fd_error(&r, fd), 0.25);
+    }
+
+    #[test]
+    fn count_matches_g3() {
+        let r = two_col(vec![0, 0, 0, 0, 1, 1, 1], vec![5, 5, 6, 6, 7, 8, 9]);
+        let fd = Fd::new(AttrSet::singleton(0), 1);
+        let bad = violating_rows(&r, fd);
+        let n = r.num_rows() as f64;
+        assert!((bad.len() as f64 / n - fd_error(&r, fd)).abs() < 1e-12);
+        // Class {0..3}: tie between 5s and 6s → 2 removed; class {4,5,6}:
+        // keep one of three → 2 removed.
+        assert_eq!(bad.len(), 4);
+    }
+
+    #[test]
+    fn removal_makes_the_fd_hold() {
+        let r = two_col(vec![0, 0, 0, 1, 1, 2], vec![5, 9, 5, 6, 7, 8]);
+        let fd = Fd::new(AttrSet::singleton(0), 1);
+        let bad = violating_rows(&r, fd);
+        // Rebuild without the violating rows and check the FD exactly.
+        let keep: Vec<usize> =
+            (0..r.num_rows()).filter(|t| !bad.contains(&(*t as u32))).collect();
+        let lhs: Vec<u32> = keep.iter().map(|&t| r.column_codes(0)[t]).collect();
+        let rhs: Vec<u32> = keep.iter().map(|&t| r.column_codes(1)[t]).collect();
+        let cleaned = two_col(lhs, rhs);
+        assert!(tane_baselines::fd_holds(&cleaned, AttrSet::singleton(0), 1));
+    }
+
+    #[test]
+    fn empty_lhs_keeps_plurality_value() {
+        let r = two_col(vec![0, 1, 2], vec![5, 5, 6]);
+        let fd = Fd::new(AttrSet::empty(), 1);
+        assert_eq!(violating_rows(&r, fd), vec![2]);
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let r = two_col(vec![0, 0], vec![5, 6]);
+        let fd = Fd::new(AttrSet::singleton(0), 1);
+        assert_eq!(violating_rows(&r, fd), violating_rows(&r, fd));
+        assert_eq!(violating_rows(&r, fd).len(), 1);
+    }
+}

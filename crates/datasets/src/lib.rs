@@ -1,0 +1,28 @@
+//! Synthetic datasets emulating the paper's experimental corpus.
+//!
+//! The paper evaluates on five UCI Machine Learning Repository datasets
+//! (Lymphography, Hepatitis, Wisconsin breast cancer, Adult, Chess/KRK)
+//! plus `×n` concatenations of the Wisconsin data. Those files are not
+//! available in this offline build, so this crate generates **synthetic
+//! stand-ins with the same row counts, attribute counts, and per-attribute
+//! domain profiles** (see DESIGN.md §4). TANE's and FDEP's costs are driven
+//! by exactly those parameters plus the induced dependency structure, so
+//! the *shape* of every experiment — who wins, how the curves bend — is
+//! preserved even though absolute dependency counts differ from the UCI
+//! originals.
+//!
+//! * [`generator`] — a small declarative dataset generator: categorical,
+//!   skewed, unique, derived (plants exact FDs) and noisy-derived (plants
+//!   approximate FDs with a known error) columns.
+//! * [`uci`] — the five paper datasets as fixed-seed generator specs, plus
+//!   the `×n` scaling construction.
+//! * [`planted`] — relations with a known dependency structure for tests
+//!   and examples.
+
+pub mod generator;
+pub mod planted;
+pub mod uci;
+
+pub use generator::{generate, ColumnSpec, DatasetSpec};
+pub use planted::{planted_relation, PLANTED_NAMES};
+pub use uci::{adult, by_name, chess_krk, hepatitis, lymphography, scaled_wbc, wisconsin_breast_cancer, DATASET_NAMES};

@@ -1,0 +1,74 @@
+//! Relations with a known, planted dependency structure.
+//!
+//! Used by examples (data cleaning, schema reverse engineering) and by
+//! tests that need to assert *specific* discovered dependencies rather than
+//! cross-check algorithms against each other.
+
+use crate::generator::{generate, ColumnSpec, DatasetSpec};
+use tane_relation::Relation;
+
+/// Builds a relation shaped like a denormalized order table:
+///
+/// | # | column        | structure                                     |
+/// |---|---------------|-----------------------------------------------|
+/// | 0 | order_id      | unique key                                     |
+/// | 1 | customer_id   | categorical                                    |
+/// | 2 | customer_city | determined by customer_id (exact FD)           |
+/// | 3 | product_id    | categorical                                    |
+/// | 4 | product_price | determined by product_id, with `noise` errors  |
+/// | 5 | quantity      | independent categorical                        |
+///
+/// With `noise = 0` the planted dependencies are exact; with a small
+/// `noise`, `product_id → product_price` becomes an approximate dependency
+/// whose exceptions model data-entry errors.
+pub fn planted_relation(rows: usize, noise: f64, seed: u64) -> Relation {
+    let spec = DatasetSpec {
+        name: "orders".into(),
+        rows,
+        columns: vec![
+            ColumnSpec::Unique,                                            // order_id
+            ColumnSpec::Categorical { distinct: 40 },                      // customer_id
+            ColumnSpec::Derived { of: vec![1], distinct: 12 },             // customer_city
+            ColumnSpec::Categorical { distinct: 25 },                      // product_id
+            ColumnSpec::NoisyDerived { of: vec![3], distinct: 30, noise }, // product_price
+            ColumnSpec::Categorical { distinct: 5 },                       // quantity
+        ],
+        seed,
+    };
+    generate(&spec).expect("static spec is valid")
+}
+
+/// The attribute names for [`planted_relation`], for pretty-printing.
+pub const PLANTED_NAMES: [&str; 6] =
+    ["order_id", "customer_id", "customer_city", "product_id", "product_price", "quantity"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_baselines::{fd_g3_rows, fd_holds};
+    use tane_util::AttrSet;
+
+    #[test]
+    fn exact_planted_fds_hold() {
+        let r = planted_relation(500, 0.0, 7);
+        assert!(fd_holds(&r, AttrSet::singleton(0), 1)); // key → everything
+        assert!(fd_holds(&r, AttrSet::singleton(1), 2)); // customer → city
+        assert!(fd_holds(&r, AttrSet::singleton(3), 4)); // product → price
+        assert!(!fd_holds(&r, AttrSet::singleton(1), 3));
+    }
+
+    #[test]
+    fn noise_makes_price_approximate() {
+        let r = planted_relation(1000, 0.08, 7);
+        assert!(fd_holds(&r, AttrSet::singleton(1), 2), "city FD stays exact");
+        let g3 = fd_g3_rows(&r, AttrSet::singleton(3), 4) as f64 / 1000.0;
+        assert!(g3 > 0.01 && g3 < 0.2, "g3 = {g3}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_relation(100, 0.1, 3);
+        let b = planted_relation(100, 0.1, 3);
+        assert_eq!(a.column_codes(4), b.column_codes(4));
+    }
+}

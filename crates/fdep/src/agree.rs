@@ -1,0 +1,163 @@
+//! Agree sets and the negative cover.
+//!
+//! The agree set `ag(t,u)` of two rows is the set of attributes on which
+//! they coincide. Every pair of distinct rows refutes the dependencies
+//! `ag(t,u) → A` for the attributes `A ∉ ag(t,u)` they disagree on; the
+//! *negative cover* for rhs `A` is the family of maximal such left-hand
+//! sides. `X → A` is valid iff `X` is a subset of **no** member of that
+//! family.
+
+use tane_relation::Relation;
+use tane_util::{AttrSet, FxHashSet};
+
+/// Computes the distinct agree sets of all `|r|·(|r|−1)/2` row pairs.
+///
+/// Pairs of fully identical rows produce the full attribute set `R`, which
+/// refutes nothing (there is no `A ∉ R`) but is still returned — the
+/// maximalization in [`max_invalid_lhs`] discards it per rhs.
+///
+/// This is deliberately the quadratic pairwise scan of the FDEP paper; its
+/// Ω(|r|²) growth is what Figure 4 of the TANE paper demonstrates.
+pub fn agree_sets(relation: &Relation) -> FxHashSet<AttrSet> {
+    let n = relation.num_rows();
+    let n_attrs = relation.num_attrs();
+    let mut out: FxHashSet<AttrSet> = FxHashSet::default();
+    // Column-slice borrow once; the inner loop reads straight from the
+    // dictionary codes.
+    let columns: Vec<&[u32]> = (0..n_attrs).map(|a| relation.column_codes(a)).collect();
+    for t in 0..n {
+        for u in (t + 1)..n {
+            let mut s = AttrSet::empty();
+            for (a, col) in columns.iter().enumerate() {
+                if col[t] == col[u] {
+                    s.insert(a);
+                }
+            }
+            out.insert(s);
+        }
+    }
+    out
+}
+
+/// For one rhs `A`, the maximal invalid left-hand sides: maximal agree sets
+/// not containing `A`. Any `X ⊆ R∖{A}` is a valid LHS for `A` iff it is not
+/// a subset of any returned set.
+pub fn max_invalid_lhs(agree: &FxHashSet<AttrSet>, rhs: usize) -> Vec<AttrSet> {
+    let candidates: Vec<AttrSet> = agree.iter().copied().filter(|x| !x.contains(rhs)).collect();
+    maximalize(candidates)
+}
+
+/// Removes every set that is a proper subset of another set in the list.
+fn maximalize(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
+    // Sort by descending cardinality: a set can only be contained in an
+    // earlier (larger-or-equal) one.
+    sets.sort_unstable_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut out: Vec<AttrSet> = Vec::new();
+    for s in sets {
+        if !out.iter().any(|m| s.is_subset_of(*m)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_relation::{Schema, Value};
+
+    fn figure1() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mut b = Relation::builder(schema);
+        for row in [
+            ["1", "a", "$", "Flower"],
+            ["1", "A", "L", "Tulip"],
+            ["2", "A", "$", "Daffodil"],
+            ["2", "A", "$", "Flower"],
+            ["2", "b", "L", "Lily"],
+            ["3", "b", "$", "Orchid"],
+            ["3", "c", "L", "Flower"],
+            ["3", "c", "#", "Rose"],
+        ] {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn agree_sets_of_figure1() {
+        let r = figure1();
+        let sets = agree_sets(&r);
+        // Rows 2,3 (0-based) agree on A,B,C; rows 3,4 agree on A only.
+        assert!(sets.contains(&AttrSet::from_indices([0, 1, 2])));
+        assert!(sets.contains(&AttrSet::singleton(0)));
+        // Nothing agrees on everything (no duplicate rows).
+        assert!(!sets.contains(&AttrSet::full(4)));
+        // Agree sets are closed over actual pair structure: spot-check one.
+        assert_eq!(r.agree_set(2, 3), AttrSet::from_indices([0, 1, 2]));
+    }
+
+    #[test]
+    fn duplicate_rows_produce_full_agree_set() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![1, 1], vec![2, 2]]).unwrap();
+        let sets = agree_sets(&r);
+        assert!(sets.contains(&AttrSet::full(2)));
+        // And it refutes nothing.
+        assert!(max_invalid_lhs(&sets, 0).is_empty());
+        assert!(max_invalid_lhs(&sets, 1).is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_row_have_no_pairs() {
+        let schema = Schema::new(["A"]).unwrap();
+        let empty = Relation::builder(schema.clone()).build();
+        assert!(agree_sets(&empty).is_empty());
+        let single = Relation::from_codes(schema, vec![vec![7]]).unwrap();
+        assert!(agree_sets(&single).is_empty());
+    }
+
+    #[test]
+    fn max_invalid_lhs_maximalizes() {
+        let mut agree = FxHashSet::default();
+        agree.insert(AttrSet::from_indices([1]));
+        agree.insert(AttrSet::from_indices([1, 2]));
+        agree.insert(AttrSet::from_indices([2, 3]));
+        agree.insert(AttrSet::from_indices([0])); // contains rhs 0? no — it IS {0}
+        let max = max_invalid_lhs(&agree, 0);
+        // {1} ⊂ {1,2} dropped; {0} contains rhs and is excluded.
+        assert_eq!(max.len(), 2);
+        assert!(max.contains(&AttrSet::from_indices([1, 2])));
+        assert!(max.contains(&AttrSet::from_indices([2, 3])));
+    }
+
+    #[test]
+    fn validity_via_negative_cover_matches_brute_force() {
+        let r = figure1();
+        let agree = agree_sets(&r);
+        for rhs in 0..4usize {
+            let neg = max_invalid_lhs(&agree, rhs);
+            for bits in 0u64..16 {
+                let x = AttrSet::from_bits(bits);
+                if x.contains(rhs) {
+                    continue;
+                }
+                let valid_by_cover = !neg.iter().any(|m| x.is_subset_of(*m));
+                let valid_brute = tane_baselines::fd_holds(&r, x, rhs);
+                assert_eq!(valid_by_cover, valid_brute, "X={x:?} A={rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn maximalize_keeps_incomparable_sets() {
+        let sets = vec![
+            AttrSet::from_indices([0, 1]),
+            AttrSet::from_indices([1, 2]),
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([0, 1]), // duplicate
+        ];
+        let out = maximalize(sets);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! FDEP assembly: negative cover → positive cover.
+
+use crate::agree::{agree_sets, max_invalid_lhs};
+use crate::hitting::minimal_hitting_sets;
+use tane_relation::Relation;
+use tane_util::{canonical_fds, AttrSet, Fd, Stopwatch};
+
+/// Statistics of an FDEP run, for the benchmark harness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FdepStats {
+    /// Row pairs compared — always `|r|·(|r|−1)/2`, the quadratic phase.
+    pub pairs_compared: usize,
+    /// Distinct agree sets found.
+    pub distinct_agree_sets: usize,
+    /// Maximal invalid dependencies across all rhs (size of the negative
+    /// cover).
+    pub max_invalid_deps: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: std::time::Duration,
+}
+
+/// Discovers all minimal non-trivial functional dependencies with the FDEP
+/// algorithm (Savnik & Flach 1993). Output is identical to
+/// `tane_core::discover_fds`; only the method (and its scaling in `|r|`)
+/// differs.
+pub fn fdep_fds(relation: &Relation) -> (Vec<Fd>, FdepStats) {
+    let sw = Stopwatch::start();
+    let n_attrs = relation.num_attrs();
+    let n_rows = relation.num_rows();
+    let mut stats = FdepStats {
+        pairs_compared: n_rows * n_rows.saturating_sub(1) / 2,
+        ..FdepStats::default()
+    };
+
+    // Phase 1: negative cover.
+    let agree = agree_sets(relation);
+    stats.distinct_agree_sets = agree.len();
+
+    // Phase 2: per rhs, minimal transversals of the complement hypergraph.
+    let r_all = AttrSet::full(n_attrs);
+    let mut fds = Vec::new();
+    for rhs in 0..n_attrs {
+        let neg = max_invalid_lhs(&agree, rhs);
+        stats.max_invalid_deps += neg.len();
+        let lhs_universe = r_all.without(rhs);
+        // X valid ⟺ X ⊈ M for all maximal invalid M
+        //         ⟺ X ∩ (lhs_universe ∖ M) ≠ ∅ for all M.
+        let edges: Vec<AttrSet> = neg.iter().map(|&m| lhs_universe.difference(m)).collect();
+        for lhs in minimal_hitting_sets(&edges) {
+            fds.push(Fd::new(lhs, rhs));
+        }
+    }
+    stats.elapsed = sw.elapsed();
+    (canonical_fds(fds), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_baselines::brute_force_fds;
+    use tane_relation::{Schema, Value};
+
+    fn figure1() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mut b = Relation::builder(schema);
+        for row in [
+            ["1", "a", "$", "Flower"],
+            ["1", "A", "L", "Tulip"],
+            ["2", "A", "$", "Daffodil"],
+            ["2", "A", "$", "Flower"],
+            ["2", "b", "L", "Lily"],
+            ["3", "b", "$", "Orchid"],
+            ["3", "c", "L", "Flower"],
+            ["3", "c", "#", "Rose"],
+        ] {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_brute_force_on_figure1() {
+        let r = figure1();
+        let (fds, stats) = fdep_fds(&r);
+        assert_eq!(fds, brute_force_fds(&r, 4));
+        assert_eq!(stats.pairs_compared, 8 * 7 / 2);
+        assert!(stats.distinct_agree_sets > 0);
+        assert!(stats.max_invalid_deps > 0);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::builder(Schema::new(["A", "B"]).unwrap()).build();
+        let (fds, stats) = fdep_fds(&r);
+        assert_eq!(fds, brute_force_fds(&r, 2));
+        assert_eq!(stats.pairs_compared, 0);
+    }
+
+    #[test]
+    fn single_row() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![1], vec![2]]).unwrap();
+        let (fds, _) = fdep_fds(&r);
+        assert_eq!(fds, brute_force_fds(&r, 2));
+    }
+
+    #[test]
+    fn constant_columns() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![1, 1, 1], vec![0, 1, 2]]).unwrap();
+        let (fds, _) = fdep_fds(&r);
+        assert_eq!(fds, brute_force_fds(&r, 2));
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 0)));
+    }
+
+    #[test]
+    fn duplicate_rows() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![0, 0, 1], vec![1, 1, 0]]).unwrap();
+        let (fds, _) = fdep_fds(&r);
+        assert_eq!(fds, brute_force_fds(&r, 2));
+    }
+
+    #[test]
+    fn matches_tane_on_copies() {
+        let r = figure1().concat_disjoint_copies(3).unwrap();
+        let (fdep, _) = fdep_fds(&r);
+        let tane = tane_core::discover_fds(&r, &tane_core::TaneConfig::default()).unwrap();
+        assert_eq!(fdep, tane.fds);
+    }
+}

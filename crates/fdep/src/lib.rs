@@ -1,0 +1,29 @@
+//! FDEP — the comparison baseline of the paper's experiments.
+//!
+//! Savnik & Flach's FDEP (*Bottom-up induction of functional dependencies
+//! from relations*, KDD'93) is the algorithm TANE is measured against in
+//! Tables 1 and 3 and Figure 4. It works in two phases (paper, Section 6,
+//! "Still another approach"):
+//!
+//! 1. **Negative cover** — compare all pairs of rows; each pair's *agree
+//!    set* `ag(t,u)` witnesses the invalid dependencies `ag(t,u) → A` for
+//!    every `A` the rows disagree on. Keeping only the maximal invalid
+//!    left-hand sides per rhs yields the maximal invalid dependencies. This
+//!    phase is Ω(|r|²) in the number of rows — the source of FDEP's
+//!    quadratic curve in Figure 4 — but polynomial in `|R|`.
+//! 2. **Positive cover** — a valid LHS is exactly one that is *not* a
+//!    subset of any maximal invalid LHS, so the minimal valid LHSs are the
+//!    minimal transversals of the complement hypergraph
+//!    `{ (R∖{A})∖X : X maximal invalid for A }`. This phase is exponential
+//!    in `|R|` but independent of `|r|`.
+//!
+//! The modules mirror the two phases: [`agree`] and [`hitting`], assembled
+//! in [`fdep`].
+
+pub mod agree;
+pub mod fdep;
+pub mod hitting;
+
+pub use agree::{agree_sets, max_invalid_lhs};
+pub use fdep::{fdep_fds, FdepStats};
+pub use hitting::minimal_hitting_sets;

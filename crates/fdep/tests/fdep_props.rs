@@ -1,0 +1,38 @@
+//! Property tests: FDEP must agree with the brute-force oracle and with
+//! TANE on arbitrary random relations — the paper's Table 1 implicitly
+//! relies on all algorithms computing the same `N`.
+
+use proptest::prelude::*;
+use tane_baselines::brute_force_fds;
+use tane_core::{discover_fds, TaneConfig};
+use tane_fdep::fdep_fds;
+use tane_relation::{Relation, Schema};
+
+fn relation() -> impl Strategy<Value = Relation> {
+    (1usize..=6, 0usize..=25).prop_flat_map(|(n_attrs, n_rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..3, n_rows..=n_rows),
+            n_attrs..=n_attrs,
+        )
+        .prop_map(move |cols| {
+            Relation::from_codes(Schema::anonymous(cols.len()).unwrap(), cols).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fdep_matches_oracle(r in relation()) {
+        let (fds, _) = fdep_fds(&r);
+        prop_assert_eq!(fds, brute_force_fds(&r, r.num_attrs()));
+    }
+
+    #[test]
+    fn fdep_matches_tane(r in relation()) {
+        let (fdep, _) = fdep_fds(&r);
+        let tane = discover_fds(&r, &TaneConfig::default()).unwrap();
+        prop_assert_eq!(fdep, tane.fds);
+    }
+}

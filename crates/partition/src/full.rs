@@ -1,0 +1,272 @@
+//! Unstripped partitions: the textbook representation of Section 2.
+//!
+//! [`Partition`] keeps *every* equivalence class, including singletons, and
+//! implements the definitions of the paper directly: refinement (Lemma 1),
+//! rank, and product. It is deliberately simple — the production code uses
+//! [`StrippedPartition`] — and serves as the
+//! reference implementation that the stripped fast paths are property-tested
+//! against, as well as the representation used in the didactic examples.
+
+use crate::stripped::StrippedPartition;
+use tane_relation::Relation;
+use tane_util::{AttrSet, FxHashMap};
+
+/// A full (unstripped) partition `π_X`: every row appears in exactly one
+/// equivalence class.
+///
+/// # Examples
+///
+/// ```
+/// use tane_partition::Partition;
+///
+/// // π for codes [0,0,1]: classes {0,1} and {2}
+/// let p = Partition::from_column(&[0, 0, 1]);
+/// assert_eq!(p.rank(), 2);
+/// let q = Partition::from_column(&[0, 1, 1]);
+/// // Their product distinguishes all three rows.
+/// assert_eq!(p.product(&q).rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    n_rows: usize,
+    /// Classes in canonical order (sorted internally, ordered by first row).
+    classes: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Builds `π_{A}` from a dictionary-code column.
+    pub fn from_column(codes: &[u32]) -> Partition {
+        let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for (row, &c) in codes.iter().enumerate() {
+            groups.entry(c).or_default().push(row as u32);
+        }
+        Partition::from_classes(codes.len(), groups.into_values().collect())
+    }
+
+    /// Builds `π_X` for an arbitrary attribute set by grouping rows on their
+    /// code tuples.
+    pub fn from_attr_set(relation: &Relation, x: AttrSet) -> Partition {
+        let n = relation.num_rows();
+        if x.is_empty() {
+            return Partition::from_classes(n, if n == 0 { vec![] } else { vec![(0..n as u32).collect()] });
+        }
+        let mut groups: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+        for row in 0..n {
+            let key: Vec<u32> = x.iter().map(|a| relation.column_codes(a)[row]).collect();
+            groups.entry(key).or_default().push(row as u32);
+        }
+        Partition::from_classes(n, groups.into_values().collect())
+    }
+
+    /// Reconstructs the full partition from a stripped one: stripped classes
+    /// plus one singleton class per dropped row.
+    pub fn from_stripped(stripped: &StrippedPartition) -> Partition {
+        let n = stripped.n_rows();
+        let mut in_class = vec![false; n];
+        let mut classes: Vec<Vec<u32>> = Vec::with_capacity(stripped.rank());
+        for c in stripped.classes() {
+            for &row in c {
+                in_class[row as usize] = true;
+            }
+            classes.push(c.to_vec());
+        }
+        for (row, &covered) in in_class.iter().enumerate() {
+            if !covered {
+                classes.push(vec![row as u32]);
+            }
+        }
+        Partition::from_classes(n, classes)
+    }
+
+    /// Drops singleton classes, producing the compact representation.
+    pub fn to_stripped(&self) -> StrippedPartition {
+        let mut elements = Vec::new();
+        let mut begins = vec![0u32];
+        for c in &self.classes {
+            if c.len() >= 2 {
+                elements.extend_from_slice(c);
+                begins.push(elements.len() as u32);
+            }
+        }
+        StrippedPartition::from_parts(self.n_rows, elements, begins)
+    }
+
+    fn from_classes(n_rows: usize, mut classes: Vec<Vec<u32>>) -> Partition {
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.retain(|c| !c.is_empty());
+        classes.sort_unstable_by_key(|c| c[0]);
+        Partition { n_rows, classes }
+    }
+
+    /// `|r|`.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The rank `|π|`: number of equivalence classes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The equivalence classes, canonical order.
+    #[inline]
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Lemma 1's relation: `self` refines `other` iff every class of `self`
+    /// is contained in some class of `other`.
+    pub fn refines(&self, other: &Partition) -> bool {
+        assert_eq!(self.n_rows, other.n_rows, "partitions of different relations");
+        // class_of[row] = index of row's class in `other`.
+        let mut class_of = vec![u32::MAX; self.n_rows];
+        for (i, c) in other.classes.iter().enumerate() {
+            for &row in c {
+                class_of[row as usize] = i as u32;
+            }
+        }
+        self.classes.iter().all(|c| {
+            let target = class_of[c[0] as usize];
+            c.iter().all(|&row| class_of[row as usize] == target)
+        })
+    }
+
+    /// The product `π · π'` (Lemma 3): the least refined common refinement.
+    pub fn product(&self, other: &Partition) -> Partition {
+        assert_eq!(self.n_rows, other.n_rows, "partitions of different relations");
+        let mut class_of = vec![u32::MAX; self.n_rows];
+        for (i, c) in other.classes.iter().enumerate() {
+            for &row in c {
+                class_of[row as usize] = i as u32;
+            }
+        }
+        let mut out = Vec::new();
+        let mut buckets: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for c in &self.classes {
+            buckets.clear();
+            for &row in c {
+                buckets.entry(class_of[row as usize]).or_default().push(row);
+            }
+            out.extend(buckets.drain().map(|(_, v)| v));
+        }
+        Partition::from_classes(self.n_rows, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_relation::{Schema, Value};
+
+    fn figure1() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mut b = Relation::builder(schema);
+        for row in [
+            ["1", "a", "$", "Flower"],
+            ["1", "A", "L", "Tulip"],
+            ["2", "A", "$", "Daffodil"],
+            ["2", "A", "$", "Flower"],
+            ["2", "b", "L", "Lily"],
+            ["3", "b", "$", "Orchid"],
+            ["3", "c", "L", "Flower"],
+            ["3", "c", "#", "Rose"],
+        ] {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn example1_partitions() {
+        let r = figure1();
+        let pi_a = Partition::from_attr_set(&r, AttrSet::singleton(0));
+        assert_eq!(pi_a.classes(), &[vec![0, 1], vec![2, 3, 4], vec![5, 6, 7]]);
+        let pi_bc = Partition::from_attr_set(&r, AttrSet::from_indices([1, 2]));
+        assert_eq!(pi_bc.rank(), 7);
+    }
+
+    #[test]
+    fn lemma1_refinement_on_figure1() {
+        // {B,C} → A holds: π_{B,C} refines π_{A}. {A} → B does not.
+        let r = figure1();
+        let pi_a = Partition::from_attr_set(&r, AttrSet::singleton(0));
+        let pi_b = Partition::from_attr_set(&r, AttrSet::singleton(1));
+        let pi_bc = Partition::from_attr_set(&r, AttrSet::from_indices([1, 2]));
+        assert!(pi_bc.refines(&pi_a));
+        assert!(!pi_a.refines(&pi_b));
+        // Every partition refines itself and the unit partition.
+        let unit = Partition::from_attr_set(&r, AttrSet::empty());
+        assert!(pi_a.refines(&pi_a));
+        assert!(pi_a.refines(&unit));
+        assert!(!unit.refines(&pi_a));
+    }
+
+    #[test]
+    fn product_matches_direct_computation() {
+        let r = figure1();
+        for x in 0..4usize {
+            for y in 0..4usize {
+                let px = Partition::from_attr_set(&r, AttrSet::singleton(x));
+                let py = Partition::from_attr_set(&r, AttrSet::singleton(y));
+                let direct = Partition::from_attr_set(&r, AttrSet::from_indices([x, y]));
+                assert_eq!(px.product(&py), direct, "attrs {x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn stripped_roundtrip() {
+        let r = figure1();
+        for x in 0..4usize {
+            let full = Partition::from_attr_set(&r, AttrSet::singleton(x));
+            let stripped = full.to_stripped();
+            assert_eq!(Partition::from_stripped(&stripped), full, "attr {x}");
+            assert_eq!(stripped.rank(), full.rank());
+        }
+    }
+
+    #[test]
+    fn stripped_and_full_agree_on_attr_sets() {
+        let r = figure1();
+        for bits in 0u64..16 {
+            let x = AttrSet::from_bits(bits);
+            let full = Partition::from_attr_set(&r, x);
+            let stripped = StrippedPartition::from_attr_set(&r, x);
+            assert_eq!(full.to_stripped().canonicalize(), stripped.canonicalize(), "set {x:?}");
+            assert_eq!(full.rank(), stripped.rank(), "set {x:?}");
+        }
+    }
+
+    #[test]
+    fn empty_relation_partitions() {
+        let schema = Schema::new(["A"]).unwrap();
+        let r = Relation::builder(schema).build();
+        let p = Partition::from_attr_set(&r, AttrSet::empty());
+        assert_eq!(p.rank(), 0);
+        let p = Partition::from_attr_set(&r, AttrSet::singleton(0));
+        assert_eq!(p.rank(), 0);
+    }
+
+    #[test]
+    fn refinement_is_a_partial_order() {
+        let r = figure1();
+        let sets = [
+            AttrSet::empty(),
+            AttrSet::singleton(0),
+            AttrSet::from_indices([0, 1]),
+            AttrSet::from_indices([0, 1, 2]),
+        ];
+        // π_Y refines π_X whenever X ⊆ Y (monotonicity).
+        for (i, &x) in sets.iter().enumerate() {
+            for &y in &sets[i..] {
+                let px = Partition::from_attr_set(&r, x);
+                let py = Partition::from_attr_set(&r, y);
+                assert!(py.refines(&px), "{y:?} should refine {x:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,684 @@
+//! Partition stores: where level-(ℓ−1) partitions live between levels.
+//!
+//! The paper ships two implementations (Section 7): **TANE/MEM** keeps every
+//! partition in main memory, while the scalable **TANE** "keeps most of the
+//! partitions on disk" (Section 6: *O(s) disk accesses of size O(|r|)*,
+//! *disk space O(s_max·|r|)*). [`PartitionStore`] abstracts over the two so
+//! the search algorithm is written once:
+//!
+//! * [`MemoryStore`] — a hash map; the TANE/MEM behaviour.
+//! * [`DiskStore`] — spills partitions into append-only *segment files*
+//!   (one sequential write per partition, many partitions per file), keeps
+//!   a bounded LRU cache of hot partitions in memory, and deletes a segment
+//!   file as soon as all of its partitions have been removed — so disk
+//!   space tracks the live levels (`O(s_max·|r|)`), matching the paper's
+//!   accounting. A lattice can hold hundreds of thousands of nodes; one
+//!   file per partition would drown in filesystem metadata, which is why
+//!   segments exist.
+//!
+//! Partitions are handed out as `Arc<StrippedPartition>` so a cached
+//! partition can be used for several products without copies.
+
+use crate::stripped::StrippedPartition;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tane_util::{AttrSet, FxHashMap};
+
+/// Errors from partition stores (only the disk store can fail).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A spilled partition failed validation when read back.
+    Corrupt {
+        /// The attribute set whose record is damaged.
+        key: AttrSet,
+        /// Description of the corruption.
+        message: String,
+    },
+    /// `get` was called for a key that was never `put` (or was removed).
+    Missing {
+        /// The requested attribute set.
+        key: AttrSet,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "partition store I/O error: {e}"),
+            StoreError::Corrupt { key, message } => {
+                write!(f, "corrupt partition record for {key:?}: {message}")
+            }
+            StoreError::Missing { key } => write!(f, "no partition stored for {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Storage for the partitions of one lattice level.
+pub trait PartitionStore {
+    /// Stores the partition for `key`, replacing any previous one.
+    fn put(&mut self, key: AttrSet, partition: StrippedPartition) -> Result<(), StoreError>;
+
+    /// Retrieves the partition for `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Missing`] if the key is not present;
+    /// [`StoreError::Io`]/[`StoreError::Corrupt`] from the disk store.
+    fn get(&mut self, key: AttrSet) -> Result<Arc<StrippedPartition>, StoreError>;
+
+    /// Drops the partition for `key` (no-op if absent). Used when a level
+    /// has been fully processed and its partitions are no longer needed.
+    fn remove(&mut self, key: AttrSet);
+
+    /// Number of partitions currently stored.
+    fn len(&self) -> usize;
+
+    /// `true` iff nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of partition payload currently resident in main memory.
+    fn resident_bytes(&self) -> usize;
+}
+
+/// The TANE/MEM store: everything in a hash map.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    map: FxHashMap<AttrSet, Arc<StrippedPartition>>,
+    bytes: usize,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+}
+
+impl PartitionStore for MemoryStore {
+    fn put(&mut self, key: AttrSet, partition: StrippedPartition) -> Result<(), StoreError> {
+        let size = partition.size_bytes();
+        if let Some(old) = self.map.insert(key, Arc::new(partition)) {
+            self.bytes -= old.size_bytes();
+        }
+        self.bytes += size;
+        Ok(())
+    }
+
+    fn get(&mut self, key: AttrSet) -> Result<Arc<StrippedPartition>, StoreError> {
+        self.map.get(&key).cloned().ok_or(StoreError::Missing { key })
+    }
+
+    fn remove(&mut self, key: AttrSet) {
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.size_bytes();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Monotone counter used to give each `DiskStore` a unique directory.
+static DISK_STORE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Rotate to a fresh segment file once the active one exceeds this size.
+const SEGMENT_ROTATE_BYTES: u64 = 32 << 20;
+
+/// Location of one spilled partition.
+#[derive(Debug, Clone, Copy)]
+struct EntryLoc {
+    segment: u32,
+    offset: u64,
+}
+
+/// One closed or active segment file.
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    /// Keys still pointing into this segment; the file is deleted at zero.
+    live: usize,
+    /// Lazily opened read handle.
+    reader: Option<fs::File>,
+}
+
+/// The scalable-TANE store: sequential segment files + bounded LRU cache.
+///
+/// Record format (little-endian): magic `b"TANE"`, `u32 n_rows`,
+/// `u32 n_classes`, `u32 n_elements`, the class sizes (`n_classes` × u32),
+/// the `elements` array (`n_elements` × u32). Records are self-delimiting,
+/// so a segment is just a concatenation of records.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    owns_dir: bool,
+    /// Active segment id; its writer stays open and buffered.
+    active_id: u32,
+    active_writer: Option<io::BufWriter<fs::File>>,
+    active_bytes: u64,
+    /// Whether the active writer has unflushed bytes (reads must flush).
+    active_dirty: bool,
+    segments: FxHashMap<u32, Segment>,
+    index: FxHashMap<AttrSet, EntryLoc>,
+    /// Hot cache: key → (partition, last-use tick).
+    cache: FxHashMap<AttrSet, (Arc<StrippedPartition>, u64)>,
+    /// Eviction order: tick → key (ticks are unique).
+    lru: std::collections::BTreeMap<u64, AttrSet>,
+    cache_bytes: usize,
+    cache_budget: usize,
+    tick: u64,
+    /// Reusable record buffer for serialization.
+    scratch: Vec<u8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl DiskStore {
+    /// Creates a disk store in a fresh temporary directory, keeping at most
+    /// `cache_budget_bytes` of partitions resident.
+    pub fn new(cache_budget_bytes: usize) -> Result<DiskStore, StoreError> {
+        let id = DISK_STORE_ID.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "tane-partitions-{}-{}",
+            std::process::id(),
+            id
+        ));
+        Self::create(dir, cache_budget_bytes, true)
+    }
+
+    /// Creates a disk store in a caller-managed directory (not removed on
+    /// drop).
+    pub fn in_dir(dir: PathBuf, cache_budget_bytes: usize) -> Result<DiskStore, StoreError> {
+        Self::create(dir, cache_budget_bytes, false)
+    }
+
+    fn create(dir: PathBuf, cache_budget_bytes: usize, owns_dir: bool) -> Result<DiskStore, StoreError> {
+        fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            dir,
+            owns_dir,
+            active_id: 0,
+            active_writer: None,
+            active_bytes: 0,
+            active_dirty: false,
+            segments: FxHashMap::default(),
+            index: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            lru: std::collections::BTreeMap::new(),
+            cache_bytes: 0,
+            cache_budget: cache_budget_bytes,
+            tick: 0,
+            scratch: Vec::new(),
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Number of partition records read back from disk so far.
+    pub fn disk_reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of partition records written so far.
+    pub fn disk_writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn segment_path(&self, id: u32) -> PathBuf {
+        self.dir.join(format!("segment-{id:06}.tane"))
+    }
+
+    fn ensure_active_writer(&mut self) -> Result<(), StoreError> {
+        if self.active_writer.is_none() {
+            let path = self.segment_path(self.active_id);
+            let file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+            self.segments.insert(
+                self.active_id,
+                Segment { path, live: 0, reader: None },
+            );
+            self.active_writer = Some(io::BufWriter::new(file));
+            self.active_bytes = 0;
+        }
+        Ok(())
+    }
+
+    fn rotate_if_needed(&mut self) -> Result<(), StoreError> {
+        if self.active_bytes >= SEGMENT_ROTATE_BYTES {
+            if let Some(mut w) = self.active_writer.take() {
+                w.flush()?;
+            }
+            self.active_dirty = false;
+            self.active_id += 1;
+            self.active_bytes = 0;
+            // If the finished segment already has no live entries, reap it.
+            let finished = self.active_id - 1;
+            self.reap_if_dead(finished);
+        }
+        Ok(())
+    }
+
+    fn reap_if_dead(&mut self, id: u32) {
+        // Never reap the segment the writer is currently appending to.
+        if id == self.active_id && self.active_writer.is_some() {
+            return;
+        }
+        if let Some(seg) = self.segments.get(&id) {
+            if seg.live == 0 {
+                let path = seg.path.clone();
+                self.segments.remove(&id);
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+
+    fn touch(&mut self, key: AttrSet) {
+        self.tick += 1;
+        if let Some(entry) = self.cache.get_mut(&key) {
+            self.lru.remove(&entry.1);
+            entry.1 = self.tick;
+            self.lru.insert(self.tick, key);
+        }
+    }
+
+    fn insert_cached(&mut self, key: AttrSet, partition: Arc<StrippedPartition>) {
+        self.tick += 1;
+        let size = partition.size_bytes();
+        if let Some((old, old_tick)) = self.cache.insert(key, (partition, self.tick)) {
+            self.cache_bytes -= old.size_bytes();
+            self.lru.remove(&old_tick);
+        }
+        self.lru.insert(self.tick, key);
+        self.cache_bytes += size;
+        self.evict_to_budget();
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.cache_bytes > self.cache_budget && self.cache.len() > 1 {
+            let (&tick, &coldest) = self.lru.iter().next().expect("lru tracks the cache");
+            self.lru.remove(&tick);
+            if let Some((old, _)) = self.cache.remove(&coldest) {
+                self.cache_bytes -= old.size_bytes();
+            }
+        }
+    }
+
+    fn serialize_record(scratch: &mut Vec<u8>, partition: &StrippedPartition) {
+        scratch.clear();
+        scratch.extend_from_slice(b"TANE");
+        scratch.extend_from_slice(&(partition.n_rows() as u32).to_le_bytes());
+        scratch.extend_from_slice(&(partition.num_classes() as u32).to_le_bytes());
+        scratch.extend_from_slice(&(partition.num_elements() as u32).to_le_bytes());
+        for class in partition.classes() {
+            scratch.extend_from_slice(&(class.len() as u32).to_le_bytes());
+        }
+        for class in partition.classes() {
+            for &row in class {
+                scratch.extend_from_slice(&row.to_le_bytes());
+            }
+        }
+    }
+
+    fn read_record(&mut self, key: AttrSet) -> Result<StrippedPartition, StoreError> {
+        let loc = *self.index.get(&key).ok_or(StoreError::Missing { key })?;
+        // Reads from the active segment must see buffered writes.
+        if loc.segment == self.active_id && self.active_dirty {
+            if let Some(w) = self.active_writer.as_mut() {
+                w.flush()?;
+            }
+            self.active_dirty = false;
+        }
+        let seg = self
+            .segments
+            .get_mut(&loc.segment)
+            .ok_or(StoreError::Missing { key })?;
+        if seg.reader.is_none() {
+            seg.reader = Some(fs::File::open(&seg.path)?);
+        }
+        let r = seg.reader.as_mut().expect("opened above");
+        r.seek(SeekFrom::Start(loc.offset))?;
+
+        let mut header = [0u8; 16];
+        r.read_exact(&mut header)?;
+        if &header[0..4] != b"TANE" {
+            return Err(StoreError::Corrupt { key, message: "bad magic".into() });
+        }
+        let n_rows = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let n_classes = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        let n_elements = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        let mut sizes = vec![0u8; n_classes * 4];
+        r.read_exact(&mut sizes)?;
+        let mut begins = Vec::with_capacity(n_classes + 1);
+        begins.push(0u32);
+        let mut acc = 0u32;
+        for chunk in sizes.chunks_exact(4) {
+            let size = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            if size < 2 {
+                return Err(StoreError::Corrupt { key, message: "class of size < 2".into() });
+            }
+            acc = acc.checked_add(size).ok_or_else(|| StoreError::Corrupt {
+                key,
+                message: "element count overflow".into(),
+            })?;
+            begins.push(acc);
+        }
+        if acc as usize != n_elements {
+            return Err(StoreError::Corrupt {
+                key,
+                message: format!("class sizes sum to {acc}, header says {n_elements}"),
+            });
+        }
+        let mut raw = vec![0u8; n_elements * 4];
+        r.read_exact(&mut raw)?;
+        let mut elements = Vec::with_capacity(n_elements);
+        for chunk in raw.chunks_exact(4) {
+            let e = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+            if e as usize >= n_rows {
+                return Err(StoreError::Corrupt { key, message: "row index out of range".into() });
+            }
+            elements.push(e);
+        }
+        self.reads += 1;
+        Ok(StrippedPartition::from_parts(n_rows, elements, begins))
+    }
+}
+
+impl PartitionStore for DiskStore {
+    fn put(&mut self, key: AttrSet, partition: StrippedPartition) -> Result<(), StoreError> {
+        // Replacing a key: release its old location first.
+        if let Some(old) = self.index.remove(&key) {
+            if let Some(seg) = self.segments.get_mut(&old.segment) {
+                seg.live -= 1;
+            }
+            self.reap_if_dead(old.segment);
+        }
+
+        self.ensure_active_writer()?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        Self::serialize_record(&mut scratch, &partition);
+        let offset = self.active_bytes;
+        let writer = self.active_writer.as_mut().expect("ensured above");
+        writer.write_all(&scratch)?;
+        self.active_bytes += scratch.len() as u64;
+        self.active_dirty = true;
+        self.scratch = scratch;
+        self.writes += 1;
+
+        self.index.insert(key, EntryLoc { segment: self.active_id, offset });
+        self.segments
+            .get_mut(&self.active_id)
+            .expect("active segment registered")
+            .live += 1;
+        self.insert_cached(key, Arc::new(partition));
+        self.rotate_if_needed()?;
+        Ok(())
+    }
+
+    fn get(&mut self, key: AttrSet) -> Result<Arc<StrippedPartition>, StoreError> {
+        if self.cache.contains_key(&key) {
+            self.touch(key);
+            return Ok(self.cache[&key].0.clone());
+        }
+        if !self.index.contains_key(&key) {
+            return Err(StoreError::Missing { key });
+        }
+        let partition = Arc::new(self.read_record(key)?);
+        self.insert_cached(key, partition.clone());
+        Ok(partition)
+    }
+
+    fn remove(&mut self, key: AttrSet) {
+        if let Some((old, tick)) = self.cache.remove(&key) {
+            self.cache_bytes -= old.size_bytes();
+            self.lru.remove(&tick);
+        }
+        if let Some(loc) = self.index.remove(&key) {
+            if let Some(seg) = self.segments.get_mut(&loc.segment) {
+                seg.live -= 1;
+            }
+            self.reap_if_dead(loc.segment);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.cache_bytes
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        self.active_writer = None; // close before deleting
+        if self.owns_dir {
+            let _ = fs::remove_dir_all(&self.dir);
+        } else {
+            // Caller-managed directory: still reap our segment files.
+            for seg in self.segments.values() {
+                let _ = fs::remove_file(&seg.path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u32) -> StrippedPartition {
+        // Distinct partitions: classes {0,1} and {2,3,…,i+3}.
+        let mut elements = vec![0, 1];
+        elements.extend(2..(i + 4));
+        let begins = vec![0, 2, elements.len() as u32];
+        StrippedPartition::from_parts(1000, elements, begins)
+    }
+
+    #[test]
+    fn memory_store_roundtrip() {
+        let mut s = MemoryStore::new();
+        let key = AttrSet::from_indices([0, 2]);
+        s.put(key, sample(1)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.resident_bytes() > 0);
+        let got = s.get(key).unwrap();
+        assert_eq!(*got, sample(1));
+        assert!(matches!(s.get(AttrSet::singleton(5)), Err(StoreError::Missing { .. })));
+        s.remove(key);
+        assert!(s.is_empty());
+        assert_eq!(s.resident_bytes(), 0);
+        s.remove(key); // double remove is a no-op
+    }
+
+    #[test]
+    fn memory_store_replace_updates_bytes() {
+        let mut s = MemoryStore::new();
+        let key = AttrSet::singleton(0);
+        s.put(key, sample(100)).unwrap();
+        let big = s.resident_bytes();
+        s.put(key, sample(1)).unwrap();
+        assert!(s.resident_bytes() < big);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn disk_store_roundtrip() {
+        let mut s = DiskStore::new(1 << 20).unwrap();
+        let key = AttrSet::from_indices([1, 3, 5]);
+        let p = sample(7);
+        s.put(key, p.clone()).unwrap();
+        let got = s.get(key).unwrap();
+        assert_eq!(*got, p);
+        assert_eq!(s.len(), 1);
+        s.remove(key);
+        assert!(matches!(s.get(key), Err(StoreError::Missing { .. })));
+    }
+
+    #[test]
+    fn disk_store_evicts_and_reloads() {
+        // Budget fits ~1 partition; storing several forces eviction, and
+        // get() must transparently reload from disk.
+        let one = sample(0).size_bytes();
+        let mut s = DiskStore::new(one + 8).unwrap();
+        let keys: Vec<AttrSet> = (0..6).map(AttrSet::singleton).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            s.put(k, sample(i as u32)).unwrap();
+        }
+        assert!(s.resident_bytes() <= 2 * one + 64, "cache should stay near budget");
+        assert_eq!(s.disk_writes(), 6);
+        // All six must still be retrievable, identical to what was stored.
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(*s.get(k).unwrap(), sample(i as u32), "key {i}");
+        }
+        assert!(s.disk_reads() >= 4, "cold keys must be read from disk");
+    }
+
+    #[test]
+    fn disk_store_cache_hit_avoids_read() {
+        let mut s = DiskStore::new(1 << 24).unwrap();
+        let key = AttrSet::singleton(9);
+        s.put(key, sample(3)).unwrap();
+        let _ = s.get(key).unwrap();
+        let _ = s.get(key).unwrap();
+        assert_eq!(s.disk_reads(), 0, "hot key must be served from cache");
+    }
+
+    #[test]
+    fn disk_store_replacing_a_key_keeps_latest() {
+        let mut s = DiskStore::new(0).unwrap();
+        let key = AttrSet::singleton(2);
+        s.put(key, sample(1)).unwrap();
+        s.put(key, sample(9)).unwrap();
+        s.cache.clear();
+        s.lru.clear();
+        s.cache_bytes = 0;
+        assert_eq!(*s.get(key).unwrap(), sample(9));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn disk_store_detects_corruption() {
+        let mut s = DiskStore::new(0).unwrap(); // zero budget: minimal caching
+        let key = AttrSet::singleton(1);
+        s.put(key, sample(2)).unwrap();
+        // Purge the cache entry, then stomp the segment file.
+        s.cache.clear();
+        s.lru.clear();
+        s.cache_bytes = 0;
+        let path = s.segment_path(s.active_id);
+        s.active_writer = None; // close the writer so the stomp wins
+        fs::write(&path, vec![0u8; 64]).unwrap();
+        assert!(matches!(s.get(key), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn disk_store_cleans_up_directory() {
+        let dir;
+        {
+            let mut s = DiskStore::new(1 << 20).unwrap();
+            s.put(AttrSet::singleton(0), sample(0)).unwrap();
+            dir = s.dir.clone();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "owned temp dir must be removed on drop");
+    }
+
+    #[test]
+    fn in_dir_store_keeps_directory_but_reaps_segments() {
+        let dir = std::env::temp_dir().join(format!("tane-test-keep-{}", std::process::id()));
+        {
+            let mut s = DiskStore::in_dir(dir.clone(), 1 << 20).unwrap();
+            s.put(AttrSet::singleton(0), sample(0)).unwrap();
+        }
+        assert!(dir.exists(), "caller-managed dir must survive");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "segments must be reaped");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn many_partitions_share_few_segment_files() {
+        let mut s = DiskStore::new(1 << 16).unwrap();
+        for i in 0..2000u32 {
+            s.put(AttrSet::from_bits(u64::from(i) + 1), sample(i % 50)).unwrap();
+        }
+        assert!(s.segment_count() <= 4, "got {} segments", s.segment_count());
+        // Spot-check a cold read.
+        s.cache.clear();
+        s.lru.clear();
+        s.cache_bytes = 0;
+        assert_eq!(*s.get(AttrSet::from_bits(1500 + 1)).unwrap(), sample(1500 % 50));
+    }
+
+    #[test]
+    fn removing_all_keys_reaps_segments() {
+        let mut s = DiskStore::new(1 << 16).unwrap();
+        let keys: Vec<AttrSet> = (0..100u32).map(|i| AttrSet::from_bits(u64::from(i) + 1)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            s.put(k, sample(i as u32 % 10)).unwrap();
+        }
+        for &k in &keys {
+            s.remove(k);
+        }
+        assert_eq!(s.len(), 0);
+        // The active segment may linger until rotation; everything else is
+        // gone. At most one file remains.
+        assert!(s.segment_count() <= 1, "got {} segments", s.segment_count());
+    }
+
+    #[test]
+    fn stores_are_interchangeable_through_the_trait() {
+        fn exercise(store: &mut dyn PartitionStore) {
+            let k1 = AttrSet::singleton(1);
+            let k2 = AttrSet::from_indices([1, 2]);
+            store.put(k1, sample(1)).unwrap();
+            store.put(k2, sample(2)).unwrap();
+            assert_eq!(store.len(), 2);
+            assert_eq!(*store.get(k1).unwrap(), sample(1));
+            assert_eq!(*store.get(k2).unwrap(), sample(2));
+            store.remove(k1);
+            assert_eq!(store.len(), 1);
+        }
+        exercise(&mut MemoryStore::new());
+        exercise(&mut DiskStore::new(1 << 20).unwrap());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::Missing { key: AttrSet::singleton(3) };
+        assert!(e.to_string().contains("{3}"));
+        let e = StoreError::Corrupt { key: AttrSet::empty(), message: "x".into() };
+        assert!(e.to_string().contains("corrupt"));
+    }
+}

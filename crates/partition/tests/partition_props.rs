@@ -1,0 +1,167 @@
+//! Property-based tests: the stripped fast paths must agree with the
+//! textbook full-partition reference on arbitrary random relations, and the
+//! paper's lemmas must hold.
+
+use proptest::prelude::*;
+use tane_partition::{
+    g3_removed_rows, product, G3Bounds, MemoryStore, Partition, PartitionStore, StrippedPartition,
+};
+use tane_relation::{Relation, Schema};
+use tane_util::AttrSet;
+
+/// Random relation: up to 5 attributes, up to 40 rows, small domains so
+/// agreements are frequent.
+fn relation() -> impl Strategy<Value = Relation> {
+    (1usize..=5, 0usize..=40).prop_flat_map(|(n_attrs, n_rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..4, n_rows..=n_rows),
+            n_attrs..=n_attrs,
+        )
+        .prop_map(move |cols| {
+            Relation::from_codes(Schema::anonymous(cols.len()).unwrap(), cols).unwrap()
+        })
+    })
+}
+
+fn subsets(n_attrs: usize) -> impl Iterator<Item = AttrSet> {
+    (0u64..(1 << n_attrs)).map(AttrSet::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stripped and full partitions agree on every attribute subset.
+    #[test]
+    fn stripped_matches_full(r in relation()) {
+        for x in subsets(r.num_attrs()) {
+            let full = Partition::from_attr_set(&r, x);
+            let stripped = StrippedPartition::from_attr_set(&r, x);
+            prop_assert_eq!(full.rank(), stripped.rank(), "rank of {:?}", x);
+            prop_assert_eq!(full.to_stripped().canonicalize(), stripped.canonicalize());
+        }
+    }
+
+    /// Lemma 3: products equal direct computation, for random subset pairs.
+    #[test]
+    fn lemma3_product(r in relation()) {
+        let n = r.num_attrs();
+        for x in subsets(n).step_by(3) {
+            for y in subsets(n).step_by(2) {
+                let px = StrippedPartition::from_attr_set(&r, x);
+                let py = StrippedPartition::from_attr_set(&r, y);
+                let direct = StrippedPartition::from_attr_set(&r, x.union(y));
+                prop_assert_eq!(
+                    product(&px, &py).canonicalize(),
+                    direct.canonicalize(),
+                    "X={:?} Y={:?}", x, y
+                );
+            }
+        }
+    }
+
+    /// Lemmas 1 and 2 agree: refinement ⟺ equal rank ⟺ FD holds by brute force.
+    #[test]
+    fn lemma1_and_lemma2_agree(r in relation()) {
+        let n = r.num_attrs();
+        for x in subsets(n) {
+            for a in 0..n {
+                if x.contains(a) {
+                    continue;
+                }
+                // Brute-force FD check on codes.
+                let holds = fd_holds_brute_force(&r, x, a);
+                let full_x = Partition::from_attr_set(&r, x);
+                let full_a = Partition::from_attr_set(&r, AttrSet::singleton(a));
+                prop_assert_eq!(full_x.refines(&full_a), holds, "lemma1 X={:?} A={}", x, a);
+                let sx = StrippedPartition::from_attr_set(&r, x);
+                let sxa = StrippedPartition::from_attr_set(&r, x.with(a));
+                prop_assert_eq!(sx.rank() == sxa.rank(), holds, "lemma2 X={:?} A={}", x, a);
+                prop_assert_eq!(sx.implies_with(&sxa), holds);
+            }
+        }
+    }
+
+    /// g3 is 0 exactly when the FD holds, and the bounds always sandwich it.
+    #[test]
+    fn g3_consistency(r in relation()) {
+        let n = r.num_attrs();
+        for x in subsets(n) {
+            for a in 0..n {
+                if x.contains(a) {
+                    continue;
+                }
+                let sx = StrippedPartition::from_attr_set(&r, x);
+                let sxa = StrippedPartition::from_attr_set(&r, x.with(a));
+                let removed = g3_removed_rows(&sx, &sxa);
+                let holds = fd_holds_brute_force(&r, x, a);
+                prop_assert_eq!(removed == 0, holds, "X={:?} A={}", x, a);
+                let bounds = G3Bounds::new(&sx, &sxa);
+                prop_assert!(bounds.lower_rows <= removed);
+                prop_assert!(removed <= bounds.upper_rows);
+                // Removing that many rows must actually suffice: verify via
+                // the definitional keep-count.
+                prop_assert!(removed <= r.num_rows());
+            }
+        }
+    }
+
+    /// g3 monotonicity: enlarging the LHS never increases the error.
+    #[test]
+    fn g3_monotone_in_lhs(r in relation()) {
+        let n = r.num_attrs();
+        if n < 2 {
+            return Ok(());
+        }
+        for x in subsets(n) {
+            for b in 0..n {
+                if x.contains(b) {
+                    continue;
+                }
+                for a in 0..n {
+                    if x.contains(a) || a == b {
+                        continue;
+                    }
+                    let small = g3_removed_rows(
+                        &StrippedPartition::from_attr_set(&r, x),
+                        &StrippedPartition::from_attr_set(&r, x.with(a)),
+                    );
+                    let xb = x.with(b);
+                    let large = g3_removed_rows(
+                        &StrippedPartition::from_attr_set(&r, xb),
+                        &StrippedPartition::from_attr_set(&r, xb.with(a)),
+                    );
+                    prop_assert!(large <= small, "X={:?} B={} A={}", x, b, a);
+                }
+            }
+        }
+    }
+
+    /// The memory store returns exactly what was put, for many keys.
+    #[test]
+    fn memory_store_faithful(r in relation()) {
+        let mut store = MemoryStore::new();
+        for x in subsets(r.num_attrs()) {
+            store.put(x, StrippedPartition::from_attr_set(&r, x)).unwrap();
+        }
+        for x in subsets(r.num_attrs()) {
+            let got = store.get(x).unwrap();
+            prop_assert_eq!(
+                got.canonicalize(),
+                StrippedPartition::from_attr_set(&r, x).canonicalize()
+            );
+        }
+    }
+}
+
+/// Reference FD check straight from the definition in Section 1.
+fn fd_holds_brute_force(r: &Relation, x: AttrSet, a: usize) -> bool {
+    for t in 0..r.num_rows() {
+        for u in (t + 1)..r.num_rows() {
+            let agree_x = x.iter().all(|b| r.column_codes(b)[t] == r.column_codes(b)[u]);
+            if agree_x && r.column_codes(a)[t] != r.column_codes(a)[u] {
+                return false;
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,396 @@
+//! Dependency-free CSV reading and writing.
+//!
+//! The paper's implementations read flat files with "specialized access
+//! methods" (Section 7); this module is the equivalent ingestion path for the
+//! Rust suite. It implements the RFC 4180 dialect — quoted fields, doubled
+//! quote escapes, CR/LF tolerance — plus a configurable delimiter, optional
+//! header row, and [`Value::parse`] type inference.
+
+use crate::error::RelationError;
+use crate::relation::{NullSemantics, Relation};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Options for [`read_csv`] / [`read_csv_from`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: u8,
+    /// Whether the first record is a header naming the attributes
+    /// (default `true`). Without a header, attributes are named `A0, A1, …`.
+    pub has_header: bool,
+    /// Whether to run [`Value::parse`] type inference (default `true`).
+    /// When `false`, every field becomes a [`Value::Str`] verbatim (except
+    /// `?`/empty, which still become [`Value::Missing`]).
+    pub infer_types: bool,
+    /// Missing-value semantics passed through to the relation builder.
+    pub nulls: NullSemantics,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            has_header: true,
+            infer_types: true,
+            nulls: NullSemantics::NullsEqual,
+        }
+    }
+}
+
+/// Reads a CSV file from disk into a [`Relation`].
+///
+/// # Errors
+///
+/// I/O errors, CSV syntax errors (unterminated quotes, stray quotes inside
+/// unquoted fields), arity mismatches, and schema errors are all reported as
+/// [`RelationError`].
+pub fn read_csv(path: &Path, options: &CsvOptions) -> Result<Relation, RelationError> {
+    let file = std::fs::File::open(path)?;
+    read_csv_from(BufReader::new(file), options)
+}
+
+/// Reads CSV from any reader into a [`Relation`].
+pub fn read_csv_from<R: Read>(reader: R, options: &CsvOptions) -> Result<Relation, RelationError> {
+    let mut records = RecordReader::new(BufReader::new(reader), options.delimiter);
+
+    let first = match records.next_record()? {
+        Some(r) => r,
+        None => {
+            // Entirely empty input: empty schema, zero rows.
+            return Ok(Relation::builder(Schema::new(Vec::<String>::new())?).build());
+        }
+    };
+
+    let (schema, mut pending) = if options.has_header {
+        (Schema::new(first)?, None)
+    } else {
+        (Schema::anonymous(first.len())?, Some(first))
+    };
+
+    let mut builder = Relation::builder(schema).null_semantics(options.nulls);
+    loop {
+        let record = match pending.take() {
+            Some(r) => r,
+            None => match records.next_record()? {
+                Some(r) => r,
+                None => break,
+            },
+        };
+        builder.push_row(record.iter().map(|f| parse_field(f, options.infer_types)))?;
+    }
+    Ok(builder.build())
+}
+
+fn parse_field(field: &str, infer: bool) -> Value {
+    if infer {
+        Value::parse(field)
+    } else {
+        let t = field.trim();
+        if t.is_empty() || t == "?" {
+            Value::Missing
+        } else {
+            Value::Str(field.to_string())
+        }
+    }
+}
+
+/// Writes a relation to CSV (header + rows). Fields containing the
+/// delimiter, quotes, or newlines are quoted with doubled-quote escaping.
+pub fn write_csv<W: Write>(relation: &Relation, writer: W, delimiter: u8) -> Result<(), RelationError> {
+    let mut w = std::io::BufWriter::new(writer);
+    let delim = delimiter as char;
+    let quote_field = |f: &str| -> String {
+        if f.contains(delim) || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            format!("\"{}\"", f.replace('"', "\"\""))
+        } else {
+            f.to_string()
+        }
+    };
+    let header: Vec<String> =
+        relation.schema().names().iter().map(|n| quote_field(n)).collect();
+    writeln!(w, "{}", header.join(&delim.to_string()))?;
+    for t in 0..relation.num_rows() {
+        let row: Vec<String> = relation.render_row(t).iter().map(|f| quote_field(f)).collect();
+        writeln!(w, "{}", row.join(&delim.to_string()))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Streaming RFC 4180 record reader.
+struct RecordReader<R: BufRead> {
+    reader: R,
+    delimiter: u8,
+    line: usize,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    fn new(reader: R, delimiter: u8) -> Self {
+        RecordReader { reader, delimiter, line: 0 }
+    }
+
+    /// Reads one logical record (which may span physical lines when fields
+    /// are quoted). Returns `None` at end of input. Blank lines are skipped.
+    fn next_record(&mut self) -> Result<Option<Vec<String>>, RelationError> {
+        let mut raw = String::new();
+        loop {
+            raw.clear();
+            self.line += 1;
+            if self.reader.read_line(&mut raw)? == 0 {
+                return Ok(None);
+            }
+            // Keep reading physical lines while inside an open quote.
+            while quote_open(&raw) {
+                let mut cont = String::new();
+                self.line += 1;
+                if self.reader.read_line(&mut cont)? == 0 {
+                    return Err(RelationError::Csv {
+                        line: self.line,
+                        message: "unterminated quoted field at end of input".into(),
+                    });
+                }
+                raw.push_str(&cont);
+            }
+            let trimmed = raw.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue; // skip blank lines
+            }
+            return Ok(Some(self.split_record(trimmed)?));
+        }
+    }
+
+    fn split_record(&self, record: &str) -> Result<Vec<String>, RelationError> {
+        let bytes = record.as_bytes();
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut i = 0;
+        let mut in_quotes = false;
+        let mut was_quoted = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if in_quotes {
+                if b == b'"' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        field.push('"');
+                        i += 2;
+                        continue;
+                    }
+                    in_quotes = false;
+                    i += 1;
+                } else {
+                    // Copy one UTF-8 scalar.
+                    let ch_len = utf8_len(b);
+                    field.push_str(&record[i..i + ch_len]);
+                    i += ch_len;
+                }
+            } else if b == b'"' {
+                if field.is_empty() && !was_quoted {
+                    in_quotes = true;
+                    was_quoted = true;
+                    i += 1;
+                } else {
+                    return Err(RelationError::Csv {
+                        line: self.line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+            } else if b == self.delimiter {
+                fields.push(std::mem::take(&mut field));
+                was_quoted = false;
+                i += 1;
+            } else {
+                let ch_len = utf8_len(b);
+                field.push_str(&record[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+        if in_quotes {
+            return Err(RelationError::Csv {
+                line: self.line,
+                message: "unterminated quoted field".into(),
+            });
+        }
+        fields.push(field);
+        Ok(fields)
+    }
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// `true` if the accumulated raw text ends inside an open quoted field.
+fn quote_open(raw: &str) -> bool {
+    let mut in_quotes = false;
+    let mut prev_quote = false;
+    for b in raw.bytes() {
+        if b == b'"' {
+            if in_quotes && !prev_quote {
+                prev_quote = true; // might be closing or first of a doubled pair
+            } else if prev_quote {
+                prev_quote = false; // doubled quote inside quotes
+            } else {
+                in_quotes = true;
+            }
+        } else if prev_quote {
+            in_quotes = false;
+            prev_quote = false;
+        }
+    }
+    if prev_quote {
+        in_quotes = false;
+    }
+    in_quotes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_str(s: &str, options: &CsvOptions) -> Result<Relation, RelationError> {
+        read_csv_from(s.as_bytes(), options)
+    }
+
+    #[test]
+    fn basic_with_header() {
+        let r = read_str("a,b\n1,x\n2,y\n1,x\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.schema().name(0), "a");
+        assert_eq!(r.cardinality(0), 2);
+        assert_eq!(r.value(0, 0), Some(&Value::Int(1)));
+        assert_eq!(r.value(1, 1), Some(&Value::from("y")));
+    }
+
+    #[test]
+    fn no_header_anonymous_names() {
+        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let r = read_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.schema().name(0), "A0");
+        assert_eq!(r.schema().name(1), "A1");
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let opts = CsvOptions { delimiter: b';', ..Default::default() };
+        let r = read_str("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let r = read_str("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.value(0, 0), Some(&Value::from("x,y")));
+        assert_eq!(r.value(0, 1), Some(&Value::from("he said \"hi\"")));
+    }
+
+    #[test]
+    fn quoted_field_with_embedded_newline() {
+        let r = read_str("a,b\n\"line1\nline2\",2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 0), Some(&Value::from("line1\nline2")));
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        let r = read_str("a,b\r\n1,2\r\n\r\n\n3,4\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.value(1, 0), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn missing_values() {
+        let r = read_str("a,b\n?,2\n1,\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.value(0, 0), Some(&Value::Missing));
+        assert_eq!(r.value(1, 1), Some(&Value::Missing));
+    }
+
+    #[test]
+    fn no_type_inference() {
+        let opts = CsvOptions { infer_types: false, ..Default::default() };
+        let r = read_str("a\n42\n?\n", &opts).unwrap();
+        assert_eq!(r.value(0, 0), Some(&Value::from("42")));
+        assert_eq!(r.value(1, 0), Some(&Value::Missing));
+    }
+
+    #[test]
+    fn unicode_fields() {
+        let r = read_str("a,b\n£,日本語\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.value(0, 0), Some(&Value::from("£")));
+        assert_eq!(r.value(0, 1), Some(&Value::from("日本語")));
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = read_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.num_attrs(), 0);
+    }
+
+    #[test]
+    fn header_only() {
+        let r = read_str("a,b,c\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.num_attrs(), 3);
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let err = read_str("a,b\n1,2,3\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        let err = read_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_reported() {
+        let err = read_str("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::Csv { .. }));
+    }
+
+    #[test]
+    fn stray_quote_reported() {
+        let err = read_str("a,b\nx\"y,2\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::Csv { .. }));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let r = read_str(
+            "name,qty\n\"comma, inc\",3\nplain,4\n\"quote\"\"d\",?\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&r, &mut buf, b',').unwrap();
+        let r2 = read_str(std::str::from_utf8(&buf).unwrap(), &CsvOptions::default()).unwrap();
+        assert_eq!(r2.num_rows(), r.num_rows());
+        for t in 0..r.num_rows() {
+            for a in 0..r.num_attrs() {
+                assert_eq!(r.value(t, a), r2.value(t, a), "cell ({t},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_empty_field() {
+        let r = read_str("a,b\n1,\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.value(0, 1), Some(&Value::Missing));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let err = read_str("a,a\n1,2\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute { .. }));
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for relation construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building relations or reading/writing CSV files.
+#[derive(Debug)]
+pub enum RelationError {
+    /// The schema has more attributes than [`tane_util::MAX_ATTRS`] (64).
+    TooManyAttributes {
+        /// Number of attributes requested.
+        got: usize,
+    },
+    /// A row was added whose arity does not match the schema.
+    ArityMismatch {
+        /// 0-based index of the offending row.
+        row: usize,
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity the row actually had.
+        got: usize,
+    },
+    /// A column exceeded `u32` distinct values (dictionary overflow).
+    DictionaryOverflow {
+        /// Attribute whose dictionary overflowed.
+        attribute: String,
+    },
+    /// Two attribute names in a schema collide.
+    DuplicateAttribute {
+        /// The duplicated name.
+        name: String,
+    },
+    /// CSV syntax error.
+    Csv {
+        /// 1-based line where the error was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Underlying I/O error.
+    Io(io::Error),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::TooManyAttributes { got } => {
+                write!(f, "relation has {got} attributes; at most {} are supported", tane_util::MAX_ATTRS)
+            }
+            RelationError::ArityMismatch { row, expected, got } => {
+                write!(f, "row {row} has {got} fields but the schema has {expected} attributes")
+            }
+            RelationError::DictionaryOverflow { attribute } => {
+                write!(f, "attribute `{attribute}` has more than u32::MAX distinct values")
+            }
+            RelationError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name `{name}` in schema")
+            }
+            RelationError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            RelationError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RelationError {
+    fn from(e: io::Error) -> Self {
+        RelationError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::TooManyAttributes { got: 99 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("64"));
+
+        let e = RelationError::ArityMismatch { row: 3, expected: 5, got: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("row 3") && msg.contains('5') && msg.contains('4'));
+
+        let e = RelationError::DictionaryOverflow { attribute: "A".into() };
+        assert!(e.to_string().contains("`A`"));
+
+        let e = RelationError::DuplicateAttribute { name: "B".into() };
+        assert!(e.to_string().contains("`B`"));
+
+        let e = RelationError::Csv { line: 7, message: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 7"));
+
+        let e = RelationError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = RelationError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = RelationError::DuplicateAttribute { name: "A".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,572 @@
+//! Dictionary-encoded relations.
+//!
+//! A [`Relation`] stores one `u32` code per row per attribute; codes are
+//! assigned per column in first-occurrence order. Two rows *agree* on an
+//! attribute (in the sense of the paper's Section 1) iff their codes are
+//! equal, so every downstream algorithm — partitions, TANE, FDEP — works on
+//! codes alone and never touches the original values.
+
+use crate::error::RelationError;
+use crate::schema::Schema;
+use crate::value::Value;
+use tane_util::{AttrSet, FxHashMap};
+
+/// How missing values ([`Value::Missing`]) are encoded.
+///
+/// The paper (and the UCI files it uses) treats `?` as just another value:
+/// two missing cells agree with each other. That is [`NullSemantics::NullsEqual`],
+/// the default. [`NullSemantics::NullsDistinct`] instead gives every missing
+/// cell a fresh code, so no row agrees with any other row on a missing cell —
+/// the "null ≠ null" interpretation used by some later FD-discovery systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NullSemantics {
+    /// `? = ?`: missing is an ordinary value (paper behaviour).
+    #[default]
+    NullsEqual,
+    /// `? ≠ ?`: each missing cell is unique.
+    NullsDistinct,
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    /// One dictionary code per row.
+    codes: Vec<u32>,
+    /// Number of distinct codes (`|π_{A}|` before stripping).
+    cardinality: u32,
+    /// Decoded values, present when the relation was built from [`Value`]s.
+    values: Option<Vec<Value>>,
+}
+
+/// An immutable, column-wise, dictionary-encoded relation instance `r`.
+///
+/// # Examples
+///
+/// Building the example relation of the paper's Figure 1:
+///
+/// ```
+/// use tane_relation::{Relation, Schema, Value};
+///
+/// let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+/// let mut b = Relation::builder(schema);
+/// for row in [
+///     ["1", "a", "$", "Flower"],
+///     ["1", "A", "L", "Tulip"],
+///     ["2", "A", "$", "Daffodil"],
+///     ["2", "A", "$", "Flower"],
+///     ["2", "b", "L", "Lily"],
+///     ["3", "b", "$", "Orchid"],
+///     ["3", "c", "L", "Flower"],
+///     ["3", "c", "#", "Rose"],
+/// ] {
+///     b.push_row(row.map(Value::from)).unwrap();
+/// }
+/// let r = b.build();
+/// assert_eq!(r.num_rows(), 8);
+/// assert_eq!(r.num_attrs(), 4);
+/// assert_eq!(r.cardinality(0), 3); // attribute A has values {1,2,3}
+/// ```
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    n_rows: usize,
+    columns: Vec<Column>,
+}
+
+impl Relation {
+    /// Starts building a relation row by row.
+    pub fn builder(schema: Schema) -> RelationBuilder {
+        RelationBuilder::new(schema)
+    }
+
+    /// Constructs a relation directly from pre-encoded code columns.
+    ///
+    /// Used by the synthetic dataset generators, which produce codes
+    /// directly. Codes need not be dense; cardinality is the number of
+    /// distinct codes actually present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::ArityMismatch`] if columns have unequal
+    /// lengths, or [`RelationError::TooManyAttributes`] if there are more
+    /// columns than the schema (or more than 64).
+    pub fn from_codes(schema: Schema, columns: Vec<Vec<u32>>) -> Result<Relation, RelationError> {
+        if columns.len() != schema.len() {
+            return Err(RelationError::ArityMismatch {
+                row: 0,
+                expected: schema.len(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != n_rows {
+                return Err(RelationError::ArityMismatch { row: i, expected: n_rows, got: c.len() });
+            }
+        }
+        let columns = columns
+            .into_iter()
+            .map(|codes| {
+                let mut seen: Vec<u32> = codes.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                Column { codes, cardinality: seen.len() as u32, values: None }
+            })
+            .collect();
+        Ok(Relation { schema, n_rows, columns })
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows, `|r|` in the paper.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes, `|R|` in the paper.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The code column for attribute `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    pub fn column_codes(&self, a: usize) -> &[u32] {
+        &self.columns[a].codes
+    }
+
+    /// Number of distinct values in attribute `a` — the rank `|π_{A}|` of the
+    /// unstripped singleton partition.
+    #[inline]
+    pub fn cardinality(&self, a: usize) -> u32 {
+        self.columns[a].cardinality
+    }
+
+    /// The decoded value at (`row`, `attr`), when the relation was built from
+    /// values (not raw codes).
+    pub fn value(&self, row: usize, attr: usize) -> Option<&Value> {
+        self.columns[attr].values.as_ref().map(|v| &v[row])
+    }
+
+    /// The agree set of rows `t` and `u`: all attributes on which the two
+    /// rows have equal values. This is the primitive FDEP's negative-cover
+    /// construction is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `u` is out of range.
+    pub fn agree_set(&self, t: usize, u: usize) -> AttrSet {
+        let mut s = AttrSet::empty();
+        for (a, col) in self.columns.iter().enumerate() {
+            if col.codes[t] == col.codes[u] {
+                s.insert(a);
+            }
+        }
+        s
+    }
+
+    /// Projects the relation onto the given attributes (in ascending index
+    /// order), keeping codes as-is.
+    pub fn project(&self, attrs: AttrSet) -> Result<Relation, RelationError> {
+        let names: Vec<String> = attrs.iter().map(|a| self.schema.name(a).to_string()).collect();
+        let schema = Schema::new(names)?;
+        let columns = attrs.iter().map(|a| self.columns[a].clone()).collect();
+        Ok(Relation { schema, n_rows: self.n_rows, columns })
+    }
+
+    /// Returns a relation containing only the first `n` rows (all rows if
+    /// `n >= num_rows`). Column cardinalities are recomputed.
+    pub fn head(&self, n: usize) -> Relation {
+        let n = n.min(self.n_rows);
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let codes: Vec<u32> = c.codes[..n].to_vec();
+                let mut seen = codes.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                Column {
+                    codes,
+                    cardinality: seen.len() as u32,
+                    values: c.values.as_ref().map(|v| v[..n].to_vec()),
+                }
+            })
+            .collect();
+        Relation { schema: self.schema.clone(), n_rows: n, columns }
+    }
+
+    /// The paper's scale-up construction ("Wisconsin breast cancer `×n`"):
+    /// concatenates `n` copies of the relation, appending "a unique string
+    /// specific to that copy" to every value so that rows from different
+    /// copies never agree on anything. In code space this is
+    /// `new_code = old_code · n + copy_id`, which keeps the set of functional
+    /// dependencies exactly the same while multiplying `|r|` by `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DictionaryOverflow`] if the recoding would
+    /// exceed `u32`.
+    pub fn concat_disjoint_copies(&self, n: usize) -> Result<Relation, RelationError> {
+        assert!(n >= 1, "need at least one copy");
+        let n32 = u32::try_from(n).map_err(|_| RelationError::DictionaryOverflow {
+            attribute: "<copies>".to_string(),
+        })?;
+        let columns = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(a, c)| {
+                // max new code = max_old * n + (n-1); verify it fits.
+                let max_old = c.codes.iter().copied().max().unwrap_or(0) as u64;
+                if max_old * n as u64 + (n as u64 - 1) > u32::MAX as u64 {
+                    return Err(RelationError::DictionaryOverflow {
+                        attribute: self.schema.name(a).to_string(),
+                    });
+                }
+                let mut codes = Vec::with_capacity(c.codes.len() * n);
+                for copy in 0..n32 {
+                    codes.extend(c.codes.iter().map(|&v| v * n32 + copy));
+                }
+                Ok(Column { codes, cardinality: c.cardinality * n32, values: None })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Relation { schema: self.schema.clone(), n_rows: self.n_rows * n, columns })
+    }
+
+    /// Decodes row `t` for display/debugging. Attributes built from raw codes
+    /// render as their code.
+    pub fn render_row(&self, t: usize) -> Vec<String> {
+        (0..self.num_attrs())
+            .map(|a| match self.value(t, a) {
+                Some(v) => v.to_string(),
+                None => self.columns[a].codes[t].to_string(),
+            })
+            .collect()
+    }
+}
+
+/// Incremental, row-at-a-time relation builder with dictionary encoding.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: Schema,
+    nulls: NullSemantics,
+    dicts: Vec<FxHashMap<Value, u32>>,
+    columns: Vec<Vec<u32>>,
+    values: Vec<Vec<Value>>,
+    n_rows: usize,
+    /// Counter used to mint fresh codes for NullsDistinct missing cells.
+    next_null_code: Vec<u32>,
+}
+
+impl RelationBuilder {
+    fn new(schema: Schema) -> RelationBuilder {
+        let n = schema.len();
+        RelationBuilder {
+            schema,
+            nulls: NullSemantics::default(),
+            dicts: (0..n).map(|_| FxHashMap::default()).collect(),
+            columns: vec![Vec::new(); n],
+            values: vec![Vec::new(); n],
+            n_rows: 0,
+            next_null_code: vec![0; n],
+        }
+    }
+
+    /// Selects the missing-value semantics (default:
+    /// [`NullSemantics::NullsEqual`], the paper behaviour). Must be called
+    /// before the first row is pushed to have a consistent encoding.
+    pub fn null_semantics(mut self, nulls: NullSemantics) -> Self {
+        self.nulls = nulls;
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::ArityMismatch`] if the row length differs from the
+    /// schema; [`RelationError::DictionaryOverflow`] if a column exceeds
+    /// `u32::MAX` distinct values.
+    pub fn push_row<I>(&mut self, row: I) -> Result<(), RelationError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut count = 0usize;
+        for (a, v) in row.into_iter().enumerate() {
+            if a >= self.schema.len() {
+                count = a + 1;
+                continue; // keep counting to report the true arity
+            }
+            count = a + 1;
+            let code = if v.is_missing() && self.nulls == NullSemantics::NullsDistinct {
+                // Fresh code per missing cell; real values use even codes,
+                // nulls odd codes, so they can never collide.
+                let c = self.next_null_code[a];
+                self.next_null_code[a] = c.checked_add(1).ok_or_else(|| {
+                    RelationError::DictionaryOverflow { attribute: self.schema.name(a).to_string() }
+                })?;
+                c.checked_mul(2)
+                    .and_then(|x| x.checked_add(1))
+                    .ok_or_else(|| RelationError::DictionaryOverflow {
+                        attribute: self.schema.name(a).to_string(),
+                    })?
+            } else {
+                let dict = &mut self.dicts[a];
+                let next = dict.len() as u64;
+                let stride: u64 = if self.nulls == NullSemantics::NullsDistinct { 2 } else { 1 };
+                match dict.get(&v) {
+                    Some(&c) => c,
+                    None => {
+                        let c64 = next * stride;
+                        if c64 > u32::MAX as u64 {
+                            return Err(RelationError::DictionaryOverflow {
+                                attribute: self.schema.name(a).to_string(),
+                            });
+                        }
+                        let c = c64 as u32;
+                        dict.insert(v.clone(), c);
+                        c
+                    }
+                }
+            };
+            self.columns[a].push(code);
+            self.values[a].push(v);
+        }
+        if count != self.schema.len() {
+            // Roll back the partial row so the builder stays consistent.
+            for a in 0..count.min(self.schema.len()) {
+                self.columns[a].pop();
+                self.values[a].pop();
+            }
+            return Err(RelationError::ArityMismatch {
+                row: self.n_rows,
+                expected: self.schema.len(),
+                got: count,
+            });
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` iff no rows have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Finalizes the relation.
+    pub fn build(self) -> Relation {
+        let columns = self
+            .columns
+            .into_iter()
+            .zip(self.values)
+            .map(|(codes, values)| {
+                let mut seen = codes.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                Column { codes, cardinality: seen.len() as u32, values: Some(values) }
+            })
+            .collect();
+        Relation { schema: self.schema, n_rows: self.n_rows, columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 relation.
+    pub(crate) fn figure1() -> Relation {
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let mut b = Relation::builder(schema);
+        for row in [
+            ["1", "a", "$", "Flower"],
+            ["1", "A", "L", "Tulip"],
+            ["2", "A", "$", "Daffodil"],
+            ["2", "A", "$", "Flower"],
+            ["2", "b", "L", "Lily"],
+            ["3", "b", "$", "Orchid"],
+            ["3", "c", "L", "Flower"],
+            ["3", "c", "#", "Rose"],
+        ] {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_shape_and_cardinalities() {
+        let r = figure1();
+        assert_eq!(r.num_rows(), 8);
+        assert_eq!(r.num_attrs(), 4);
+        assert_eq!(r.cardinality(0), 3); // A: 1,2,3
+        assert_eq!(r.cardinality(1), 4); // B: a,A,b,c
+        assert_eq!(r.cardinality(2), 3); // C: $,L,#
+        assert_eq!(r.cardinality(3), 6); // D: Flower,Tulip,Daffodil,Lily,Orchid,Rose
+    }
+
+    #[test]
+    fn codes_are_first_occurrence_order() {
+        let r = figure1();
+        // Column A: values 1,1,2,2,2,3,3,3 → codes 0,0,1,1,1,2,2,2
+        assert_eq!(r.column_codes(0), &[0, 0, 1, 1, 1, 2, 2, 2]);
+        // Column D: Flower repeats on rows 0,3,6
+        let d = r.column_codes(3);
+        assert_eq!(d[0], d[3]);
+        assert_eq!(d[0], d[6]);
+        assert_eq!(d.iter().copied().max(), Some(5));
+    }
+
+    #[test]
+    fn values_are_retained() {
+        let r = figure1();
+        assert_eq!(r.value(1, 3), Some(&Value::from("Tulip")));
+        assert_eq!(r.value(0, 0), Some(&Value::from("1")));
+        assert_eq!(r.render_row(2), vec!["2", "A", "$", "Daffodil"]);
+    }
+
+    #[test]
+    fn agree_sets_match_paper_example() {
+        let r = figure1();
+        // Rows 3 and 4 (ids 4,5 in the paper) share only A.
+        assert_eq!(r.agree_set(3, 4), AttrSet::singleton(0));
+        // Rows 2 and 3 share A, B, C.
+        assert_eq!(r.agree_set(2, 3), AttrSet::from_indices([0, 1, 2]));
+        // A row agrees with itself on everything.
+        assert_eq!(r.agree_set(5, 5), AttrSet::full(4));
+    }
+
+    #[test]
+    fn arity_mismatch_is_detected_and_rolled_back() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let mut b = Relation::builder(schema);
+        b.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+        let err = b.push_row([Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { row: 1, expected: 2, got: 1 }));
+        let err = b.push_row([Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { row: 1, expected: 2, got: 3 }));
+        // The builder is still usable and consistent after errors.
+        b.push_row([Value::Int(3), Value::Int(4)]).unwrap();
+        let r = b.build();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column_codes(0), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let schema = Schema::new(["A"]).unwrap();
+        let r = Relation::builder(schema).build();
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.cardinality(0), 0);
+    }
+
+    #[test]
+    fn from_codes_validates_shape() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = Relation::from_codes(schema.clone(), vec![vec![5, 5, 9], vec![0, 1, 0]]).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.cardinality(0), 2); // codes need not be dense
+        assert_eq!(r.cardinality(1), 2);
+        assert_eq!(r.value(0, 0), None);
+
+        let err = Relation::from_codes(schema.clone(), vec![vec![1]]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        let err = Relation::from_codes(schema, vec![vec![1, 2], vec![1]]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn nulls_equal_vs_distinct() {
+        let schema = Schema::new(["A"]).unwrap();
+        let mut b = Relation::builder(schema.clone());
+        b.push_row([Value::Missing]).unwrap();
+        b.push_row([Value::Missing]).unwrap();
+        let r = b.build();
+        assert_eq!(r.cardinality(0), 1); // NullsEqual: ? = ?
+
+        let mut b = Relation::builder(schema).null_semantics(NullSemantics::NullsDistinct);
+        b.push_row([Value::Missing]).unwrap();
+        b.push_row([Value::Missing]).unwrap();
+        b.push_row([Value::Int(7)]).unwrap();
+        b.push_row([Value::Int(7)]).unwrap();
+        let r = b.build();
+        assert_eq!(r.cardinality(0), 3); // two distinct nulls + one value
+        assert_eq!(r.column_codes(0)[2], r.column_codes(0)[3]);
+        assert_ne!(r.column_codes(0)[0], r.column_codes(0)[1]);
+    }
+
+    #[test]
+    fn nulls_distinct_never_collides_with_values() {
+        let schema = Schema::new(["A"]).unwrap();
+        let mut b = Relation::builder(schema).null_semantics(NullSemantics::NullsDistinct);
+        // Interleave many values and nulls; codes must stay distinct classes.
+        for i in 0..50 {
+            b.push_row([Value::Int(i)]).unwrap();
+            b.push_row([Value::Missing]).unwrap();
+        }
+        let r = b.build();
+        assert_eq!(r.cardinality(0), 100);
+    }
+
+    #[test]
+    fn concat_disjoint_copies_preserves_structure() {
+        let r = figure1();
+        let r4 = r.concat_disjoint_copies(4).unwrap();
+        assert_eq!(r4.num_rows(), 32);
+        assert_eq!(r4.num_attrs(), 4);
+        assert_eq!(r4.cardinality(0), 12); // 3 values × 4 copies
+        // Within a copy, the agree structure is identical to the original.
+        assert_eq!(r4.agree_set(3, 4), r.agree_set(3, 4));
+        assert_eq!(r4.agree_set(8 + 3, 8 + 4), r.agree_set(3, 4));
+        // Across copies nothing agrees.
+        for a in 0..4 {
+            for t in 0..8 {
+                assert!(r4.agree_set(t, 8 + t).is_empty(), "attr {a} row {t}");
+            }
+        }
+        // n = 1 is identity on codes.
+        let r1 = r.concat_disjoint_copies(1).unwrap();
+        assert_eq!(r1.column_codes(2), r.column_codes(2));
+    }
+
+    #[test]
+    fn concat_overflow_detected() {
+        let schema = Schema::new(["A"]).unwrap();
+        let r = Relation::from_codes(schema, vec![vec![u32::MAX - 1]]).unwrap();
+        assert!(matches!(
+            r.concat_disjoint_copies(4),
+            Err(RelationError::DictionaryOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn project_and_head() {
+        let r = figure1();
+        let p = r.project(AttrSet::from_indices([1, 3])).unwrap();
+        assert_eq!(p.num_attrs(), 2);
+        assert_eq!(p.schema().name(0), "B");
+        assert_eq!(p.schema().name(1), "D");
+        assert_eq!(p.column_codes(0), r.column_codes(1));
+
+        let h = r.head(3);
+        assert_eq!(h.num_rows(), 3);
+        assert_eq!(h.cardinality(0), 2); // values 1,1,2
+        assert_eq!(h.value(2, 3), Some(&Value::from("Daffodil")));
+        assert_eq!(r.head(100).num_rows(), 8);
+    }
+}

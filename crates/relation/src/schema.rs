@@ -1,0 +1,174 @@
+//! Relation schemas: ordered, named attributes.
+
+use crate::error::RelationError;
+use tane_util::{AttrSet, FxHashMap, MAX_ATTRS};
+
+/// An ordered list of attribute names with O(1) name→index lookup.
+///
+/// # Examples
+///
+/// ```
+/// use tane_relation::Schema;
+///
+/// let schema = Schema::new(["A", "B", "C"]).unwrap();
+/// assert_eq!(schema.len(), 3);
+/// assert_eq!(schema.index_of("B"), Some(1));
+/// assert_eq!(schema.name(2), "C");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+    index: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Errors
+    ///
+    /// * [`RelationError::TooManyAttributes`] if more than 64 names are given
+    ///   (the `AttrSet` bitset is one machine word, matching the paper's
+    ///   "bit vectors of O(1) words").
+    /// * [`RelationError::DuplicateAttribute`] if two names collide.
+    pub fn new<I, S>(names: I) -> Result<Schema, RelationError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.len() > MAX_ATTRS {
+            return Err(RelationError::TooManyAttributes { got: names.len() });
+        }
+        let mut index = FxHashMap::default();
+        for (i, n) in names.iter().enumerate() {
+            if index.insert(n.clone(), i).is_some() {
+                return Err(RelationError::DuplicateAttribute { name: n.clone() });
+            }
+        }
+        Ok(Schema { names, index })
+    }
+
+    /// Generates a schema with `n` anonymous attributes `A0, A1, …`.
+    pub fn anonymous(n: usize) -> Result<Schema, RelationError> {
+        Schema::new((0..n).map(|i| format!("A{i}")))
+    }
+
+    /// Number of attributes, `|R|` in the paper.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of attribute `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    pub fn name(&self, a: usize) -> &str {
+        &self.names[a]
+    }
+
+    /// All attribute names in order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of the attribute called `name`, if any.
+    #[inline]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The full attribute set `R = {0, …, |R|-1}`.
+    #[inline]
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.len())
+    }
+
+    /// Resolves a list of attribute names to an [`AttrSet`], reporting the
+    /// first unknown name.
+    pub fn attr_set_of<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> Result<AttrSet, String> {
+        let mut s = AttrSet::empty();
+        for n in names {
+            match self.index_of(n) {
+                Some(i) => {
+                    s.insert(i);
+                }
+                None => return Err(format!("unknown attribute `{n}`")),
+            }
+        }
+        Ok(s)
+    }
+
+    /// Renders an attribute set using this schema's names, e.g. `{A,C}`.
+    pub fn display_set(&self, set: AttrSet) -> String {
+        format!("{}", set.display_with(&self.names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.name(0), "A");
+        assert_eq!(s.index_of("C"), Some(2));
+        assert_eq!(s.index_of("Z"), None);
+        assert_eq!(s.names(), &["A".to_string(), "B".into(), "C".into()]);
+    }
+
+    #[test]
+    fn anonymous_names() {
+        let s = Schema::anonymous(4).unwrap();
+        assert_eq!(s.name(0), "A0");
+        assert_eq!(s.name(3), "A3");
+        assert_eq!(s.index_of("A2"), Some(2));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(Vec::<String>::new()).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.all_attrs(), AttrSet::empty());
+    }
+
+    #[test]
+    fn too_many_attributes_rejected() {
+        let err = Schema::anonymous(65).unwrap_err();
+        assert!(matches!(err, RelationError::TooManyAttributes { got: 65 }));
+        assert!(Schema::anonymous(64).is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(["A", "B", "A"]).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn attr_set_resolution() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        assert_eq!(s.attr_set_of(["A", "C"]).unwrap(), AttrSet::from_indices([0, 2]));
+        assert_eq!(s.attr_set_of([]).unwrap(), AttrSet::empty());
+        assert!(s.attr_set_of(["A", "nope"]).unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn display_set_uses_names() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        assert_eq!(s.display_set(AttrSet::from_indices([0, 2])), "{A,C}");
+        assert_eq!(s.all_attrs(), AttrSet::full(3));
+    }
+}

@@ -1,0 +1,252 @@
+//! Typed cell values at the ingestion boundary.
+//!
+//! FD discovery only needs value *equality*, so [`Value`] implements `Eq` and
+//! `Hash` for every variant — including floats, which are compared by bit
+//! pattern (with all NaNs collapsed to one canonical NaN) so they can live in
+//! a dictionary. Missing values (`?` or empty cells in the UCI files the
+//! paper uses) are first-class: see
+//! [`NullSemantics`](crate::relation::NullSemantics) for how they enter the
+//! encoding.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single cell value.
+///
+/// # Examples
+///
+/// ```
+/// use tane_relation::Value;
+///
+/// assert_eq!(Value::parse("42"), Value::Int(42));
+/// assert_eq!(Value::parse("4.5"), Value::Float(4.5));
+/// assert_eq!(Value::parse("?"), Value::Missing);
+/// assert_eq!(Value::parse("tulip"), Value::from("tulip"));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float. Equality is bitwise with NaN canonicalized, so
+    /// `Float(NaN) == Float(NaN)` and `Float(0.0) != Float(-0.0)`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A missing value (`?` or an empty cell in UCI-style files).
+    Missing,
+}
+
+impl Value {
+    /// Parses a raw text field with type inference: `?`/empty → [`Missing`],
+    /// integers → [`Int`], other numerics → [`Float`], anything else →
+    /// [`Str`]. Leading/trailing whitespace is trimmed before inference.
+    ///
+    /// [`Missing`]: Value::Missing
+    /// [`Int`]: Value::Int
+    /// [`Float`]: Value::Float
+    /// [`Str`]: Value::Str
+    pub fn parse(field: &str) -> Value {
+        let t = field.trim();
+        if t.is_empty() || t == "?" {
+            return Value::Missing;
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(t.to_string())
+    }
+
+    /// `true` iff the value is [`Value::Missing`].
+    #[inline]
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Canonical bit pattern for float hashing/equality: all NaNs collapse.
+    #[inline]
+    fn float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Renders the value the way [`csv`](crate::csv) writes it.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => Cow::Owned(format!("{f}")),
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
+            Value::Missing => Cow::Borrowed("?"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Missing, Value::Missing) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                state.write_u8(0);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                Self::float_bits(*f).hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Value::Missing => state.write_u8(3),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn parse_inference() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("3.5"), Value::Float(3.5));
+        assert_eq!(Value::parse("1e3"), Value::Float(1000.0));
+        assert_eq!(Value::parse("abc"), Value::Str("abc".into()));
+        assert_eq!(Value::parse("?"), Value::Missing);
+        assert_eq!(Value::parse(""), Value::Missing);
+        assert_eq!(Value::parse("  12  "), Value::Int(12));
+        assert_eq!(Value::parse(" x "), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn parse_numeric_looking_strings() {
+        // Overflowing integers fall back to float, then to string.
+        assert_eq!(
+            Value::parse("99999999999999999999999999999999999999999999"),
+            Value::Float(1e44)
+        );
+        assert_eq!(Value::parse("12abc"), Value::Str("12abc".into()));
+    }
+
+    #[test]
+    fn equality_across_variants_is_false() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Int(1), Value::Str("1".into()));
+        assert_ne!(Value::Missing, Value::Str("?".into()));
+    }
+
+    #[test]
+    fn nan_equals_nan_but_zero_signs_differ() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(-f64::NAN)));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        let pairs = [
+            (Value::Int(5), Value::Int(5)),
+            (Value::Float(2.5), Value::Float(2.5)),
+            (Value::Str("x".into()), Value::Str("x".into())),
+            (Value::Missing, Value::Missing),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn render_and_display() {
+        assert_eq!(Value::Int(3).render(), "3");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+        assert_eq!(Value::Str("hi".into()).render(), "hi");
+        assert_eq!(Value::Missing.render(), "?");
+        assert_eq!(format!("{}", Value::Int(3)), "3");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(String::from("s")), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn is_missing() {
+        assert!(Value::Missing.is_missing());
+        assert!(!Value::Int(0).is_missing());
+    }
+}

@@ -1,0 +1,574 @@
+//! Attribute sets as single-word bitsets.
+//!
+//! TANE's search space is the set-containment lattice over the attributes of
+//! a relation schema (paper, Figure 2). Every node of that lattice — every
+//! candidate left-hand side `X` — is an attribute set. The paper implements
+//! these as machine-word bit vectors so that subset tests, unions,
+//! intersections and single-attribute removal are all O(1); this module is
+//! the Rust equivalent.
+//!
+//! Attributes are identified by their column index in the schema
+//! (`0..schema.len()`). A single `u64` word caps the schema width at
+//! [`MAX_ATTRS`] = 64 attributes, which covers every dataset in the paper
+//! (the widest, `Rel6`, has 60) and is checked when relations are built.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Sub, SubAssign};
+
+/// Maximum number of attributes representable by an [`AttrSet`].
+pub const MAX_ATTRS: usize = 64;
+
+/// A set of attribute indices, stored as a `u64` bitmask.
+///
+/// Bit `i` is set iff attribute `i` is a member. All operations are O(1)
+/// except iteration, which is O(cardinality) via `trailing_zeros`.
+///
+/// # Examples
+///
+/// ```
+/// use tane_util::AttrSet;
+///
+/// let x = AttrSet::from_indices([0, 2, 3]);
+/// assert_eq!(x.len(), 3);
+/// assert!(x.contains(2));
+/// assert!(!x.contains(1));
+///
+/// // X \ {A} for every A in X — the loop TANE runs for each lattice node.
+/// let subsets: Vec<AttrSet> = x.iter().map(|a| x.without(a)).collect();
+/// assert_eq!(subsets.len(), 3);
+/// assert!(subsets.iter().all(|s| s.is_subset_of(x) && s.len() == 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set `∅`.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet(0)
+    }
+
+    /// Creates the full set `{0, 1, …, n-1}` of the first `n` attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_ATTRS`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_ATTRS, "AttrSet supports at most {MAX_ATTRS} attributes, got {n}");
+        if n == MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates the singleton set `{a}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= MAX_ATTRS`.
+    #[inline]
+    pub fn singleton(a: usize) -> Self {
+        assert!(a < MAX_ATTRS, "attribute index {a} out of range");
+        AttrSet(1u64 << a)
+    }
+
+    /// Builds a set from an iterator of attribute indices.
+    #[inline]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = AttrSet::empty();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Reconstructs a set from its raw bitmask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Returns the raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of attributes in the set (the lattice level this set lives on).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff the set is `∅`.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, a: usize) -> bool {
+        a < MAX_ATTRS && (self.0 >> a) & 1 == 1
+    }
+
+    /// Inserts attribute `a`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= MAX_ATTRS`.
+    #[inline]
+    pub fn insert(&mut self, a: usize) -> bool {
+        assert!(a < MAX_ATTRS, "attribute index {a} out of range");
+        let had = self.contains(a);
+        self.0 |= 1u64 << a;
+        !had
+    }
+
+    /// Removes attribute `a`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, a: usize) -> bool {
+        let had = self.contains(a);
+        if a < MAX_ATTRS {
+            self.0 &= !(1u64 << a);
+        }
+        had
+    }
+
+    /// `X ∪ {a}` — the set with `a` added, without mutating `self`.
+    #[inline]
+    pub fn with(self, a: usize) -> Self {
+        assert!(a < MAX_ATTRS, "attribute index {a} out of range");
+        AttrSet(self.0 | (1u64 << a))
+    }
+
+    /// `X \ {a}` — the set with `a` removed, without mutating `self`.
+    ///
+    /// This is the single most executed set operation in TANE: validity tests
+    /// consider `X \ {A} → A` for each `A ∈ X`.
+    #[inline]
+    pub fn without(self, a: usize) -> Self {
+        if a < MAX_ATTRS {
+            AttrSet(self.0 & !(1u64 << a))
+        } else {
+            self
+        }
+    }
+
+    /// Set union `X ∪ Y`.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection `X ∩ Y`.
+    #[inline]
+    pub const fn intersect(self, other: Self) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `X \ Y`.
+    #[inline]
+    pub const fn difference(self, other: Self) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// `true` iff `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `true` iff `self ⊂ other` (proper subset).
+    #[inline]
+    pub const fn is_proper_subset_of(self, other: Self) -> bool {
+        self.is_subset_of(other) && self.0 != other.0
+    }
+
+    /// `true` iff `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset_of(self, other: Self) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// `true` iff the two sets share no attribute.
+    #[inline]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// The smallest attribute index in the set, or `None` if empty.
+    #[inline]
+    pub fn min_attr(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// The largest attribute index in the set, or `None` if empty.
+    #[inline]
+    pub fn max_attr(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// If the set is a singleton `{a}`, returns `a`.
+    #[inline]
+    pub fn as_singleton(self) -> Option<usize> {
+        if self.len() == 1 {
+            self.min_attr()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the attribute indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// Iterates over all `|X|` subsets of the form `X \ {a}`, paired with the
+    /// removed attribute: `(a, X \ {a})` in ascending order of `a`.
+    #[inline]
+    pub fn proper_subsets_one_smaller(self) -> impl Iterator<Item = (usize, AttrSet)> {
+        self.iter().map(move |a| (a, self.without(a)))
+    }
+
+    /// Formats the set as attribute names drawn from `names`, e.g. `{A,C}`.
+    pub fn display_with<'a>(self, names: &'a [String]) -> DisplayWith<'a> {
+        DisplayWith { set: self, names }
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Helper returned by [`AttrSet::display_with`].
+pub struct DisplayWith<'a> {
+    set: AttrSet,
+    names: &'a [String],
+}
+
+impl fmt::Display for DisplayWith<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match self.names.get(a) {
+                Some(name) => write!(f, "{name}")?,
+                None => write!(f, "#{a}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`], ascending.
+#[derive(Clone)]
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let a = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1; // clear lowest set bit
+            Some(a)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl IntoIterator for AttrSet {
+    type Item = usize;
+    type IntoIter = AttrSetIter;
+
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        AttrSet::from_indices(iter)
+    }
+}
+
+impl BitOr for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for AttrSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersect(rhs)
+    }
+}
+
+impl BitAndAssign for AttrSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitXor for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        AttrSet(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for AttrSet {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for AttrSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 &= !rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_properties() {
+        let e = AttrSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.min_attr(), None);
+        assert_eq!(e.max_attr(), None);
+        assert_eq!(e, AttrSet::EMPTY);
+        assert_eq!(e, AttrSet::default());
+    }
+
+    #[test]
+    fn full_set_small_and_max() {
+        let f5 = AttrSet::full(5);
+        assert_eq!(f5.len(), 5);
+        assert_eq!(f5.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        let f64 = AttrSet::full(64);
+        assert_eq!(f64.len(), 64);
+        assert!(f64.contains(63));
+        assert_eq!(AttrSet::full(0), AttrSet::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn full_set_too_large_panics() {
+        let _ = AttrSet::full(65);
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = AttrSet::singleton(7);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(7));
+        assert!(!s.contains(6));
+        assert_eq!(s.as_singleton(), Some(7));
+        assert_eq!(AttrSet::from_indices([1, 2]).as_singleton(), None);
+        assert_eq!(AttrSet::empty().as_singleton(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn singleton_out_of_range_panics() {
+        let _ = AttrSet::singleton(64);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = AttrSet::empty();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+        // removing an out-of-range attribute is a no-op, not a panic
+        assert!(!s.remove(100));
+    }
+
+    #[test]
+    fn with_and_without_do_not_mutate() {
+        let x = AttrSet::from_indices([0, 2]);
+        let y = x.with(1);
+        assert_eq!(x.len(), 2);
+        assert_eq!(y.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let z = y.without(2);
+        assert_eq!(y.len(), 3);
+        assert_eq!(z.iter().collect::<Vec<_>>(), vec![0, 1]);
+        // without() an absent attribute is identity
+        assert_eq!(x.without(5), x);
+        assert_eq!(x.without(99), x);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let x = AttrSet::from_indices([0, 1, 2]);
+        let y = AttrSet::from_indices([2, 3]);
+        assert_eq!(x.union(y), AttrSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(x.intersect(y), AttrSet::singleton(2));
+        assert_eq!(x.difference(y), AttrSet::from_indices([0, 1]));
+        assert_eq!(y.difference(x), AttrSet::singleton(3));
+        // operator sugar
+        assert_eq!(x | y, x.union(y));
+        assert_eq!(x & y, x.intersect(y));
+        assert_eq!(x - y, x.difference(y));
+        assert_eq!(x ^ y, AttrSet::from_indices([0, 1, 3]));
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut s = AttrSet::from_indices([0, 1]);
+        s |= AttrSet::singleton(2);
+        assert_eq!(s, AttrSet::from_indices([0, 1, 2]));
+        s &= AttrSet::from_indices([1, 2, 3]);
+        assert_eq!(s, AttrSet::from_indices([1, 2]));
+        s -= AttrSet::singleton(1);
+        assert_eq!(s, AttrSet::singleton(2));
+        s ^= AttrSet::from_indices([2, 3]);
+        assert_eq!(s, AttrSet::singleton(3));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let x = AttrSet::from_indices([1, 2]);
+        let y = AttrSet::from_indices([0, 1, 2]);
+        assert!(x.is_subset_of(y));
+        assert!(x.is_proper_subset_of(y));
+        assert!(!y.is_subset_of(x));
+        assert!(y.is_superset_of(x));
+        assert!(x.is_subset_of(x));
+        assert!(!x.is_proper_subset_of(x));
+        assert!(AttrSet::empty().is_subset_of(x));
+        assert!(x.is_disjoint(AttrSet::from_indices([3, 4])));
+        assert!(!x.is_disjoint(y));
+    }
+
+    #[test]
+    fn min_max_attr() {
+        let x = AttrSet::from_indices([5, 9, 63]);
+        assert_eq!(x.min_attr(), Some(5));
+        assert_eq!(x.max_attr(), Some(63));
+        assert_eq!(AttrSet::singleton(0).min_attr(), Some(0));
+        assert_eq!(AttrSet::singleton(0).max_attr(), Some(0));
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_exact() {
+        let x = AttrSet::from_indices([10, 3, 63, 0]);
+        let v: Vec<usize> = x.iter().collect();
+        assert_eq!(v, vec![0, 3, 10, 63]);
+        assert_eq!(x.iter().len(), 4);
+        let collected: AttrSet = v.into_iter().collect();
+        assert_eq!(collected, x);
+    }
+
+    #[test]
+    fn proper_subsets_one_smaller_enumerates_all() {
+        let x = AttrSet::from_indices([1, 4, 6]);
+        let subs: Vec<(usize, AttrSet)> = x.proper_subsets_one_smaller().collect();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0], (1, AttrSet::from_indices([4, 6])));
+        assert_eq!(subs[1], (4, AttrSet::from_indices([1, 6])));
+        assert_eq!(subs[2], (6, AttrSet::from_indices([1, 4])));
+    }
+
+    #[test]
+    fn debug_and_display_formats() {
+        let x = AttrSet::from_indices([0, 2]);
+        assert_eq!(format!("{x:?}"), "{0,2}");
+        assert_eq!(format!("{x}"), "{0,2}");
+        let names: Vec<String> = ["A", "B", "C"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(format!("{}", x.display_with(&names)), "{A,C}");
+        // out-of-range names fall back to the index
+        let short: Vec<String> = vec!["A".to_string()];
+        assert_eq!(format!("{}", x.display_with(&short)), "{A,#2}");
+        assert_eq!(format!("{}", AttrSet::empty().display_with(&names)), "{}");
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let x = AttrSet::from_indices([0, 5, 63]);
+        assert_eq!(AttrSet::from_bits(x.bits()), x);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_bits() {
+        let a = AttrSet::from_indices([0]);
+        let b = AttrSet::from_indices([1]);
+        assert!(a < b); // bit 0 = 1 < bit 1 = 2
+        let mut v = vec![b, a, AttrSet::empty()];
+        v.sort();
+        assert_eq!(v, vec![AttrSet::empty(), a, b]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Functional dependencies as values.
+//!
+//! A functional dependency `X → A` (paper, Section 1) is a left-hand side
+//! attribute set and a single right-hand side attribute. Every discovery
+//! algorithm in the workspace (TANE, FDEP, the brute-force oracle) produces
+//! [`Fd`] values, so cross-checking their outputs is a set comparison.
+
+use crate::attrset::AttrSet;
+use std::fmt;
+
+/// A functional dependency `lhs → rhs`.
+///
+/// # Examples
+///
+/// ```
+/// use tane_util::{AttrSet, Fd};
+///
+/// let fd = Fd::new(AttrSet::from_indices([1, 2]), 0);
+/// assert!(!fd.is_trivial());
+/// assert!(Fd::new(AttrSet::from_indices([0, 1]), 0).is_trivial());
+/// assert_eq!(format!("{fd}"), "{1,2} -> 0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Determinant attribute set `X`.
+    pub lhs: AttrSet,
+    /// Dependent attribute `A`.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Creates `lhs → rhs`.
+    #[inline]
+    pub const fn new(lhs: AttrSet, rhs: usize) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// A dependency is *trivial* when `A ∈ X`; trivial dependencies always
+    /// hold and are excluded from discovery.
+    #[inline]
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(self.rhs)
+    }
+
+    /// Renders with attribute names, e.g. `{B,C} -> A`.
+    pub fn display_with(&self, names: &[String]) -> String {
+        let rhs = names
+            .get(self.rhs)
+            .map(String::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", self.rhs));
+        format!("{} -> {}", self.lhs.display_with(names), rhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// Sorts dependencies canonically (by rhs, then lhs) and removes duplicates;
+/// useful before comparing outputs of different algorithms.
+pub fn canonical_fds(mut fds: Vec<Fd>) -> Vec<Fd> {
+    fds.sort_unstable_by_key(|fd| (fd.rhs, fd.lhs));
+    fds.dedup();
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_triviality() {
+        let fd = Fd::new(AttrSet::from_indices([0, 2]), 1);
+        assert_eq!(fd.lhs, AttrSet::from_indices([0, 2]));
+        assert_eq!(fd.rhs, 1);
+        assert!(!fd.is_trivial());
+        assert!(Fd::new(AttrSet::singleton(3), 3).is_trivial());
+        assert!(!Fd::new(AttrSet::empty(), 0).is_trivial());
+    }
+
+    #[test]
+    fn display_forms() {
+        let fd = Fd::new(AttrSet::from_indices([1, 2]), 0);
+        assert_eq!(format!("{fd}"), "{1,2} -> 0");
+        let names: Vec<String> = ["A", "B", "C"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(fd.display_with(&names), "{B,C} -> A");
+        let fd_oob = Fd::new(AttrSet::singleton(0), 9);
+        assert_eq!(fd_oob.display_with(&names), "{A} -> #9");
+    }
+
+    #[test]
+    fn canonicalization_sorts_and_dedups() {
+        let a = Fd::new(AttrSet::singleton(1), 0);
+        let b = Fd::new(AttrSet::singleton(0), 1);
+        let out = canonical_fds(vec![a, b, a, a]);
+        assert_eq!(out, vec![a, b]);
+    }
+
+    #[test]
+    fn ordering_groups_by_rhs() {
+        let fds = vec![
+            Fd::new(AttrSet::singleton(5), 1),
+            Fd::new(AttrSet::singleton(0), 1),
+            Fd::new(AttrSet::singleton(9), 0),
+        ];
+        let sorted = canonical_fds(fds);
+        assert_eq!(sorted[0].rhs, 0);
+        assert_eq!(sorted[1].rhs, 1);
+        assert_eq!(sorted[2].rhs, 1);
+        assert!(sorted[1].lhs < sorted[2].lhs);
+    }
+}

@@ -1,0 +1,151 @@
+//! A fast, non-cryptographic hasher for small keys.
+//!
+//! TANE keeps each lattice level in a hash map keyed by [`AttrSet`] (a single
+//! `u64`), and the partition-product probe tables are keyed by small
+//! integers. The default SipHash 1-3 in `std::collections::HashMap` is
+//! designed to resist hash-flooding attacks, which is irrelevant here and
+//! measurably slow for word-sized keys. This module implements the same
+//! multiply-and-rotate scheme as the well-known `rustc-hash`/`FxHash` crates
+//! (which are not on the approved dependency list — see DESIGN.md §6), giving
+//! the constant-time hashed random access the paper assumes in its cost
+//! model (Section 6, "Practical analysis").
+//!
+//! [`AttrSet`]: crate::AttrSet
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A multiply-and-rotate hasher (the FxHash scheme used inside rustc).
+///
+/// Not HashDoS-resistant; only use for keys the program itself generates
+/// (attribute sets, row indices, dictionary codes), never for untrusted
+/// network input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(7u64), b.hash_one(7u64));
+    }
+
+    #[test]
+    fn distinct_small_keys_do_not_collide() {
+        // Not a guarantee in general, but for sequential small ints the
+        // multiplicative scheme must spread values — this guards against
+        // a broken implementation that returns the input or zero.
+        let hashes: Vec<u64> = (0u64..1000).map(|i| hash_one(&i)).collect();
+        let unique: std::collections::HashSet<&u64> = hashes.iter().collect();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        // 9 bytes exercises both the 8-byte chunk and the remainder path.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn maps_and_sets_work_end_to_end() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn empty_write_is_stable() {
+        let mut h = FxHasher::default();
+        h.write(&[]);
+        assert_eq!(h.finish(), 0);
+    }
+}

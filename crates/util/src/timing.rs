@@ -1,0 +1,79 @@
+//! Wall-clock timing helpers for the benchmark harness.
+//!
+//! The paper reports "real times elapsed … as reported by Unix `time`"
+//! (Section 7) — i.e. wall-clock, not CPU time — so the harness measures the
+//! same quantity.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+///
+/// # Examples
+///
+/// ```
+/// use tane_util::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let _work: u64 = (0..1000).sum();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed.as_secs() < 60);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in (fractional) seconds, the unit of every table in the
+    /// paper.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Formats a duration the way the paper's tables do: seconds with two to
+/// three significant digits (`0.76`, `68.2`, `1451`).
+pub fn format_secs(secs: f64) -> String {
+    if secs < 0.01 {
+        format!("{secs:.4}")
+    } else if secs < 100.0 {
+        format!("{secs:.2}")
+    } else {
+        format!("{secs:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn format_matches_paper_style() {
+        assert_eq!(format_secs(0.001), "0.0010");
+        assert_eq!(format_secs(0.76), "0.76");
+        assert_eq!(format_secs(68.2), "68.20");
+        assert_eq!(format_secs(1451.0), "1451");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for `AttrSet`: the boolean-algebra laws that the
+//! lattice search relies on.
+
+use proptest::prelude::*;
+use tane_util::AttrSet;
+
+fn attr_set() -> impl Strategy<Value = AttrSet> {
+    any::<u64>().prop_map(AttrSet::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(x in attr_set(), y in attr_set(), z in attr_set()) {
+        prop_assert_eq!(x.union(y), y.union(x));
+        prop_assert_eq!(x.union(y).union(z), x.union(y.union(z)));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_associative(x in attr_set(), y in attr_set(), z in attr_set()) {
+        prop_assert_eq!(x.intersect(y), y.intersect(x));
+        prop_assert_eq!(x.intersect(y).intersect(z), x.intersect(y.intersect(z)));
+    }
+
+    #[test]
+    fn distributivity(x in attr_set(), y in attr_set(), z in attr_set()) {
+        prop_assert_eq!(x.intersect(y.union(z)), x.intersect(y).union(x.intersect(z)));
+        prop_assert_eq!(x.union(y.intersect(z)), x.union(y).intersect(x.union(z)));
+    }
+
+    #[test]
+    fn difference_laws(x in attr_set(), y in attr_set()) {
+        prop_assert!(x.difference(y).is_disjoint(y));
+        prop_assert_eq!(x.difference(y).union(x.intersect(y)), x);
+        prop_assert_eq!(x.difference(x), AttrSet::empty());
+        prop_assert_eq!(x.difference(AttrSet::empty()), x);
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(x in attr_set(), y in attr_set()) {
+        prop_assert_eq!(x.is_subset_of(y), x.union(y) == y);
+        prop_assert_eq!(x.is_subset_of(y), x.intersect(y) == x);
+    }
+
+    #[test]
+    fn cardinality_inclusion_exclusion(x in attr_set(), y in attr_set()) {
+        prop_assert_eq!(
+            x.union(y).len() + x.intersect(y).len(),
+            x.len() + y.len()
+        );
+    }
+
+    #[test]
+    fn iter_roundtrip(x in attr_set()) {
+        let rebuilt: AttrSet = x.iter().collect();
+        prop_assert_eq!(rebuilt, x);
+        let v: Vec<usize> = x.iter().collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&v, &sorted);
+        prop_assert_eq!(v.len(), x.len());
+    }
+
+    #[test]
+    fn with_without_inverse(x in attr_set(), a in 0usize..64) {
+        prop_assert_eq!(x.with(a).without(a), x.without(a));
+        prop_assert!(x.with(a).contains(a));
+        prop_assert!(!x.without(a).contains(a));
+        if x.contains(a) {
+            prop_assert_eq!(x.without(a).with(a), x);
+        }
+    }
+
+    #[test]
+    fn one_smaller_subsets_cover_exactly(x in attr_set()) {
+        let subs: Vec<(usize, AttrSet)> = x.proper_subsets_one_smaller().collect();
+        prop_assert_eq!(subs.len(), x.len());
+        for (a, s) in subs {
+            prop_assert!(x.contains(a));
+            prop_assert_eq!(s.with(a), x);
+            prop_assert_eq!(s.len() + 1, x.len());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Algorithm comparison: TANE vs FDEP vs naive levelwise, live.
+//!
+//! A miniature of the paper's Figure 4: run all three algorithms on growing
+//! copies of the Wisconsin-shaped dataset and watch FDEP's quadratic pair
+//! scan fall behind TANE's near-linear partition products, while all three
+//! keep producing the identical dependency set.
+//!
+//! Run with: `cargo run --release --example algorithm_comparison`
+
+use tane_repro::baselines::naive_levelwise_fds;
+use tane_repro::core::discover_fds;
+use tane_repro::datasets::scaled_wbc;
+use tane_repro::fdep::fdep_fds;
+use tane_repro::prelude::*;
+use tane_repro::util::Stopwatch;
+
+fn main() {
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12}  (seconds)",
+        "copies", "rows", "TANE", "FDEP", "naive"
+    );
+    for copies in [1usize, 2, 4] {
+        let relation = scaled_wbc(copies);
+
+        let sw = Stopwatch::start();
+        let tane = discover_fds(&relation, &TaneConfig::default()).expect("discovery");
+        let tane_secs = sw.elapsed_secs();
+
+        let sw = Stopwatch::start();
+        let (fdep, _) = fdep_fds(&relation);
+        let fdep_secs = sw.elapsed_secs();
+
+        let sw = Stopwatch::start();
+        let (naive, _) = naive_levelwise_fds(&relation, relation.num_attrs());
+        let naive_secs = sw.elapsed_secs();
+
+        assert_eq!(tane.fds, fdep, "FDEP must agree with TANE");
+        assert_eq!(tane.fds, naive, "the naive baseline must agree with TANE");
+
+        println!(
+            "{copies:>6} {:>8} {tane_secs:>12.4} {fdep_secs:>12.4} {naive_secs:>12.4}",
+            relation.num_rows()
+        );
+    }
+    println!("\nall three algorithms produced identical dependency sets at every size.");
+    println!("(the paper's Figure 4 extends this sweep to 357,888 rows, where only");
+    println!(" TANE remains feasible — run `repro figure4` for the full series)");
+}

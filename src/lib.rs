@@ -1,0 +1,30 @@
+//! # tane-repro
+//!
+//! Umbrella crate for the TANE reproduction suite. Re-exports the public API
+//! of every workspace crate so that examples and integration tests can write
+//! `use tane_repro::prelude::*;`.
+//!
+//! The individual crates:
+//!
+//! * [`tane_util`] — attribute-set bitsets and fast hashing.
+//! * [`tane_relation`] — typed relations, dictionary encoding, CSV I/O.
+//! * [`tane_datasets`] — synthetic generators emulating the paper's datasets.
+//! * [`tane_partition`] — stripped partitions, products, `g3` error.
+//! * [`tane_core`] — the TANE algorithm (exact + approximate, memory + disk).
+//! * [`tane_fdep`] — the FDEP baseline (Savnik & Flach 1993).
+//! * [`tane_baselines`] — brute-force oracle and ablation variants.
+
+pub use tane_baselines as baselines;
+pub use tane_core as core;
+pub use tane_datasets as datasets;
+pub use tane_fdep as fdep;
+pub use tane_partition as partition;
+pub use tane_relation as relation;
+pub use tane_util as util;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use tane_core::{ApproxTaneConfig, Fd, TaneConfig, TaneResult};
+    pub use tane_relation::{Relation, RelationBuilder, Schema};
+    pub use tane_util::AttrSet;
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: CSV in → discovery → verified cover out,
+//! exercising the public API exactly the way the examples and the CLI do.
+
+use tane_repro::baselines::{naive_levelwise_fds, verify_minimal_cover};
+use tane_repro::core::{discover_approx_fds, discover_fds, violating_rows};
+use tane_repro::fdep::fdep_fds;
+use tane_repro::prelude::*;
+use tane_repro::relation::csv::{read_csv_from, write_csv, CsvOptions};
+
+/// The paper's Figure 1 relation, entered as CSV text.
+const FIGURE1_CSV: &str = "\
+A,B,C,D
+1,a,$,Flower
+1,AA,£,Tulip
+2,AA,$,Daffodil
+2,AA,$,Flower
+2,b,£,Lily
+3,b,$,Orchid
+3,c,£,Flower
+3,c,#,Rose
+";
+
+fn figure1() -> Relation {
+    read_csv_from(FIGURE1_CSV.as_bytes(), &CsvOptions::default()).expect("valid CSV")
+}
+
+#[test]
+fn csv_to_verified_cover() {
+    let r = figure1();
+    assert_eq!(r.num_rows(), 8);
+    assert_eq!(r.num_attrs(), 4);
+    let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+    // The full pipeline output is a provably perfect minimal cover.
+    let issues = verify_minimal_cover(&r, &result.fds, 4, 0.0);
+    assert!(issues.is_empty(), "{issues:?}");
+    // Example 2's dependency came through the whole pipeline.
+    assert!(result.fds.contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
+}
+
+#[test]
+fn all_four_algorithms_agree_end_to_end() {
+    let r = figure1();
+    let tane = discover_fds(&r, &TaneConfig::default()).unwrap().fds;
+    let tane_disk = discover_fds(&r, &TaneConfig::disk(1 << 16)).unwrap().fds;
+    let (fdep, _) = fdep_fds(&r);
+    let (naive, _) = naive_levelwise_fds(&r, r.num_attrs());
+    assert_eq!(tane, tane_disk);
+    assert_eq!(tane, fdep);
+    assert_eq!(tane, naive);
+}
+
+#[test]
+fn csv_roundtrip_preserves_dependencies() {
+    let r = figure1();
+    let before = discover_fds(&r, &TaneConfig::default()).unwrap().fds;
+    let mut buf = Vec::new();
+    write_csv(&r, &mut buf, b',').unwrap();
+    let r2 = read_csv_from(buf.as_slice(), &CsvOptions::default()).unwrap();
+    let after = discover_fds(&r2, &TaneConfig::default()).unwrap().fds;
+    assert_eq!(before, after);
+}
+
+#[test]
+fn synthetic_datasets_flow_through_discovery() {
+    // Small representatives of each generator family.
+    let wbc = tane_repro::datasets::wisconsin_breast_cancer();
+    let result = discover_fds(&wbc, &TaneConfig::default()).unwrap();
+    assert!(result.count() > 0);
+
+    let planted = tane_repro::datasets::planted_relation(300, 0.0, 5);
+    let result = discover_fds(&planted, &TaneConfig::default()).unwrap();
+    // order_id is the planted key.
+    assert!(result.keys.contains(&AttrSet::singleton(0)));
+    assert!(result.fds.contains(&Fd::new(AttrSet::singleton(1), 2)));
+}
+
+#[test]
+fn approximate_pipeline_finds_and_localizes_exceptions() {
+    let r = tane_repro::datasets::planted_relation(600, 0.04, 9);
+    let rule = Fd::new(AttrSet::singleton(3), 4);
+
+    // Not an exact FD…
+    let exact = discover_fds(&r, &TaneConfig::default()).unwrap();
+    assert!(!exact.fds.contains(&rule));
+
+    // …but an approximate one at a tolerant threshold…
+    let approx = discover_approx_fds(&r, &ApproxTaneConfig::new(0.1)).unwrap();
+    assert!(approx.fds.contains(&rule));
+
+    // …whose violations are localized and sufficient.
+    let bad = violating_rows(&r, rule);
+    assert!(!bad.is_empty());
+    assert!(bad.len() < r.num_rows() / 10);
+}
+
+#[test]
+fn paper_scale_up_construction_end_to_end() {
+    let r = figure1();
+    let base = discover_fds(&r, &TaneConfig::default()).unwrap().fds;
+    for n in [2usize, 5, 16] {
+        let big = r.concat_disjoint_copies(n).unwrap();
+        assert_eq!(big.num_rows(), 8 * n);
+        let fds = discover_fds(&big, &TaneConfig::default()).unwrap().fds;
+        assert_eq!(fds, base, "×{n} must preserve the cover");
+    }
+}
+
+#[test]
+fn disk_and_memory_agree_on_a_bigger_input() {
+    let r = tane_repro::datasets::scaled_wbc(4);
+    let mem = discover_fds(&r, &TaneConfig::default()).unwrap();
+    let disk = discover_fds(&r, &TaneConfig::disk(1 << 14)).unwrap();
+    assert_eq!(mem.fds, disk.fds);
+    assert!(disk.stats.disk_writes > 0);
+    assert!(disk.stats.disk_reads > 0, "tiny cache must force reloads");
+}
+
+#[test]
+fn max_lhs_budget_is_respected_through_the_stack() {
+    let r = tane_repro::datasets::wisconsin_breast_cancer();
+    for m in [1usize, 2, 3] {
+        let result = discover_fds(&r, &TaneConfig::default().with_max_lhs(m)).unwrap();
+        assert!(result.fds.iter().all(|fd| fd.lhs.len() <= m));
+        assert!(result.stats.levels <= m + 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration tests for the beyond-the-paper extensions: FD-cover
+//! reasoning, association rules, and the alternative error measures —
+//! exercised together on shared synthetic data.
+
+use tane_repro::core::{
+    attribute_closure, candidate_keys, discover_fds, implies, mine_assoc_rules, remove_redundant,
+    AssocConfig,
+};
+use tane_repro::partition::{g1_error, g2_error, g3_error, StrippedPartition};
+use tane_repro::prelude::*;
+
+fn orders() -> Relation {
+    tane_repro::datasets::planted_relation(400, 0.0, 13)
+}
+
+#[test]
+fn discovered_cover_supports_armstrong_reasoning() {
+    let r = orders();
+    let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+
+    // The key's closure is everything.
+    let closure = attribute_closure(&result.fds, AttrSet::singleton(0));
+    assert_eq!(closure, r.schema().all_attrs());
+
+    // customer_id determines its city transitively through the cover.
+    assert!(implies(&result.fds, Fd::new(AttrSet::singleton(1), 2)));
+    // ... but not the product price.
+    assert!(!implies(&result.fds, Fd::new(AttrSet::singleton(1), 4)));
+
+    // Keys derived from the cover match the keys the search reported.
+    let derived = candidate_keys(&result.fds, r.num_attrs());
+    assert_eq!(derived, result.keys);
+
+    // The reduced cover still implies every discovered dependency.
+    let reduced = remove_redundant(&result.fds);
+    for fd in &result.fds {
+        assert!(implies(&reduced, *fd));
+    }
+}
+
+#[test]
+fn association_rules_refine_functional_dependencies() {
+    let r = orders();
+    let fds = discover_fds(&r, &TaneConfig::default()).unwrap().fds;
+    let rules = mine_assoc_rules(&r, &AssocConfig::new(0.01, 1.0, 1)).unwrap();
+
+    // Every confidence-1.0 rule whose LHS attribute functionally determines
+    // the RHS attribute is consistent with the FD; conversely the FD's
+    // frequent classes must all appear as rules.
+    let fd = Fd::new(AttrSet::singleton(1), 2); // customer_id -> customer_city
+    assert!(fds.contains(&fd));
+    let fd_rules: Vec<_> = rules
+        .iter()
+        .filter(|rule| rule.lhs_attrs == fd.lhs && rule.rhs_attr == fd.rhs)
+        .collect();
+    assert!(!fd_rules.is_empty());
+    assert!(fd_rules.iter().all(|rule| rule.confidence() == 1.0));
+}
+
+#[test]
+fn all_three_error_measures_agree_on_validity() {
+    let r = tane_repro::datasets::planted_relation(500, 0.05, 3);
+    for (lhs, rhs) in [(1usize, 2usize), (3, 4), (1, 4)] {
+        let x = AttrSet::singleton(lhs);
+        let px = StrippedPartition::from_attr_set(&r, x);
+        let pxa = StrippedPartition::from_attr_set(&r, x.with(rhs));
+        let (g1, g2, g3) = (g1_error(&px, &pxa), g2_error(&px, &pxa), g3_error(&px, &pxa));
+        // Zero together or positive together.
+        assert_eq!(g1 == 0.0, g2 == 0.0, "lhs={lhs} rhs={rhs}");
+        assert_eq!(g2 == 0.0, g3 == 0.0, "lhs={lhs} rhs={rhs}");
+        // Known orderings.
+        assert!(g1 <= g2 + 1e-12);
+        assert!(g3 <= g2 + 1e-12);
+    }
+}

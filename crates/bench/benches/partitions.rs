@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the partition engine — the inner loops the
-//! paper's cost model counts: singleton partition construction (O(|r|)),
-//! the partition product (O(‖π̂‖)), the exact g3 computation (O(‖π̂‖)), and
-//! the O(1) bound check that replaces it.
+//! Micro-benchmarks of the partition engine — the inner loops the paper's
+//! cost model counts: singleton partition construction (O(|r|)), the
+//! partition product (O(‖π̂‖)), the exact g3 computation (O(‖π̂‖)), and the
+//! O(1) bound check that replaces it.
+//!
+//! Hand-rolled timing harness (criterion is unavailable offline): each
+//! benchmark warms up, then reports the best-of-N wall-clock time per
+//! iteration. Run with `cargo bench --bench partitions`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 use tane_datasets::{scaled_wbc, wisconsin_breast_cancer};
 use tane_partition::{
     g3_removed_rows_with_scratch, product_with_scratch, G3Bounds, G3Scratch, ProductScratch,
@@ -11,52 +16,79 @@ use tane_partition::{
 };
 use tane_util::AttrSet;
 
-fn bench_from_column(c: &mut Criterion) {
-    let mut group = c.benchmark_group("from_column");
+/// Best-of-`samples` seconds per call of `f`, after one warmup call.
+/// Each sample runs `f` enough times to cross ~2 ms so short loops are
+/// measured above timer resolution.
+fn best_secs<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut iters = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if t.elapsed().as_secs_f64() >= 0.002 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn report(group: &str, name: &str, secs: f64, elements: Option<usize>) {
+    let per = match elements {
+        Some(n) if n > 0 => format!("  ({:.1} ns/elem)", secs * 1e9 / n as f64),
+        _ => String::new(),
+    };
+    println!("{group}/{name:<24} {:>12.3} µs{per}", secs * 1e6);
+}
+
+fn bench_from_column() {
     for copies in [1usize, 8, 64] {
         let r = scaled_wbc(copies);
         let codes = r.column_codes(1).to_vec();
-        group.throughput(Throughput::Elements(codes.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(codes.len()), &codes, |b, codes| {
-            b.iter(|| StrippedPartition::from_column(codes));
-        });
+        let secs = best_secs(20, || StrippedPartition::from_column(&codes));
+        report("from_column", &codes.len().to_string(), secs, Some(codes.len()));
     }
-    group.finish();
 }
 
-fn bench_product(c: &mut Criterion) {
-    let mut group = c.benchmark_group("product");
+fn bench_product() {
     for copies in [1usize, 8, 64] {
         let r = scaled_wbc(copies);
         let pa = StrippedPartition::from_column(r.column_codes(1));
         let pb = StrippedPartition::from_column(r.column_codes(2));
         let mut scratch = ProductScratch::new(r.num_rows());
-        group.throughput(Throughput::Elements(r.num_rows() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(r.num_rows()), &(), |b, ()| {
-            b.iter(|| product_with_scratch(&pa, &pb, &mut scratch));
-        });
+        let secs = best_secs(20, || product_with_scratch(&pa, &pb, &mut scratch));
+        report("product", &r.num_rows().to_string(), secs, Some(r.num_rows()));
     }
-    group.finish();
 }
 
-fn bench_g3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("g3");
+fn bench_g3() {
     let r = wisconsin_breast_cancer();
     let pi_x = StrippedPartition::from_attr_set(&r, AttrSet::from_indices([1, 2]));
     let pi_xa = StrippedPartition::from_attr_set(&r, AttrSet::from_indices([1, 2, 10]));
     let mut scratch = G3Scratch::new(r.num_rows());
-    group.bench_function("exact", |b| {
-        b.iter(|| g3_removed_rows_with_scratch(&pi_x, &pi_xa, &mut scratch));
-    });
-    group.bench_function("bounds_only", |b| {
-        b.iter(|| G3Bounds::new(&pi_x, &pi_xa).decide(0.05));
-    });
-    group.finish();
+    let secs = best_secs(20, || g3_removed_rows_with_scratch(&pi_x, &pi_xa, &mut scratch));
+    report("g3", "exact", secs, None);
+    let secs = best_secs(20, || G3Bounds::new(&pi_x, &pi_xa).decide(0.05));
+    report("g3", "bounds_only", secs, None);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_from_column, bench_product, bench_g3
+fn main() {
+    // `cargo test` runs benches with `--test`; benching is opt-in there.
+    if std::env::args().any(|a| a == "--test") {
+        println!("partitions bench: skipped under --test");
+        return;
+    }
+    bench_from_column();
+    bench_product();
+    bench_g3();
 }
-criterion_main!(benches);

@@ -71,19 +71,12 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&report) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("error writing {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("structured results written to {path}");
-            }
-            Err(e) => {
-                eprintln!("error serializing report: {e}");
-                return ExitCode::FAILURE;
-            }
+        let json = report.to_json().render_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
         }
+        eprintln!("structured results written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -1,10 +1,15 @@
 //! Structured experiment results, serializable with `--json`.
+//!
+//! Serialization is hand-rolled onto [`tane_util::Json`] (`serde` is not
+//! available in the offline build); each row type has a `to_json` mirror
+//! of its fields, so the emitted document is field-for-field what the
+//! `serde` derive used to produce.
 
-use crate::runners::Cell;
-use serde::Serialize;
+use crate::runners::{cell_json, Cell};
+use tane_util::Json;
 
 /// One Table 1 row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table1Row {
     /// Dataset label, e.g. `wbc x64`.
     pub dataset: String,
@@ -22,8 +27,22 @@ pub struct Table1Row {
     pub fdep: Option<Cell>,
 }
 
+impl Table1Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("rows", Json::Num(self.rows as f64)),
+            ("attrs", Json::Num(self.attrs as f64)),
+            ("n", Json::Num(self.n as f64)),
+            ("tane", cell_json(self.tane)),
+            ("tane_mem", cell_json(self.tane_mem)),
+            ("fdep", cell_json(self.fdep)),
+        ])
+    }
+}
+
 /// One Table 2 row: a dataset across the ε grid.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table2Row {
     /// Dataset label.
     pub dataset: String,
@@ -31,8 +50,25 @@ pub struct Table2Row {
     pub cells: Vec<(f64, Cell)>,
 }
 
+impl Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::Str(self.dataset.clone())),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|(eps, cell)| Json::Arr(vec![Json::Num(*eps), cell.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// One Table 3 row: ours measured, cited numbers echoed.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table3Row {
     /// Dataset label as printed in the paper.
     pub dataset: String,
@@ -51,8 +87,32 @@ pub struct Table3Row {
     pub tane: Option<Cell>,
 }
 
+impl Table3Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("rows", Json::Num(self.rows as f64)),
+            ("attrs", Json::Num(self.attrs as f64)),
+            ("max_lhs", Json::Num(self.max_lhs as f64)),
+            (
+                "cited",
+                Json::Arr(
+                    self.cited
+                        .iter()
+                        .map(|(name, secs)| {
+                            Json::Arr(vec![Json::Str(name.clone()), Json::Num(*secs)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("fdep", cell_json(self.fdep)),
+            ("tane", cell_json(self.tane)),
+        ])
+    }
+}
+
 /// One Figure 3 series point.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Figure3Point {
     /// Threshold ε.
     pub epsilon: f64,
@@ -66,8 +126,20 @@ pub struct Figure3Point {
     pub time_ratio: f64,
 }
 
+impl Figure3Point {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epsilon", Json::Num(self.epsilon)),
+            ("n", Json::Num(self.n as f64)),
+            ("n_ratio", Json::Num(self.n_ratio)),
+            ("secs", Json::Num(self.secs)),
+            ("time_ratio", Json::Num(self.time_ratio)),
+        ])
+    }
+}
+
 /// One Figure 4 point: the three algorithms at one row count.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Figure4Point {
     /// Copy multiplier `n` of wbc×n.
     pub copies: usize,
@@ -81,8 +153,21 @@ pub struct Figure4Point {
     pub fdep: Option<f64>,
 }
 
+impl Figure4Point {
+    fn to_json(&self) -> Json {
+        let secs = |s: Option<f64>| s.map_or(Json::Null, Json::Num);
+        Json::obj([
+            ("copies", Json::Num(self.copies as f64)),
+            ("rows", Json::Num(self.rows as f64)),
+            ("tane", secs(self.tane)),
+            ("tane_mem", secs(self.tane_mem)),
+            ("fdep", secs(self.fdep)),
+        ])
+    }
+}
+
 /// One ablation measurement.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct AblationRow {
     /// Dataset label.
     pub dataset: String,
@@ -98,8 +183,21 @@ pub struct AblationRow {
     pub validity_tests: usize,
 }
 
+impl AblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("variant", Json::Str(self.variant.clone())),
+            ("n", Json::Num(self.n as f64)),
+            ("secs", Json::Num(self.secs)),
+            ("sets_total", Json::Num(self.sets_total as f64)),
+            ("validity_tests", Json::Num(self.validity_tests as f64)),
+        ])
+    }
+}
+
 /// Everything the harness produced in one invocation.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct Report {
     /// Table 1 rows, if run.
     pub table1: Vec<Table1Row>,
@@ -113,4 +211,74 @@ pub struct Report {
     pub figure4: Vec<Figure4Point>,
     /// Ablation rows, if run.
     pub ablations: Vec<AblationRow>,
+}
+
+impl Report {
+    /// The whole report as a JSON document (the `--json` output).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("table1", Json::Arr(self.table1.iter().map(Table1Row::to_json).collect())),
+            ("table2", Json::Arr(self.table2.iter().map(Table2Row::to_json).collect())),
+            ("table3", Json::Arr(self.table3.iter().map(Table3Row::to_json).collect())),
+            (
+                "figure3",
+                Json::Arr(
+                    self.figure3
+                        .iter()
+                        .map(|(name, points)| {
+                            Json::Arr(vec![
+                                Json::Str(name.clone()),
+                                Json::Arr(points.iter().map(Figure3Point::to_json).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("figure4", Json::Arr(self.figure4.iter().map(Figure4Point::to_json).collect())),
+            ("ablations", Json::Arr(self.ablations.iter().map(AblationRow::to_json).collect())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = Report {
+            table1: vec![Table1Row {
+                dataset: "wbc".into(),
+                rows: 699,
+                attrs: 11,
+                n: 48,
+                tane: Some(Cell { n: 48, secs: 0.5 }),
+                tane_mem: Some(Cell { n: 48, secs: 0.25 }),
+                fdep: None,
+            }],
+            table2: vec![Table2Row {
+                dataset: "wbc".into(),
+                cells: vec![(0.01, Cell { n: 60, secs: 0.1 })],
+            }],
+            figure4: vec![Figure4Point {
+                copies: 2,
+                rows: 1398,
+                tane: Some(1.0),
+                tane_mem: Some(0.5),
+                fdep: None,
+            }],
+            ..Report::default()
+        };
+        let text = report.to_json().render_pretty();
+        let parsed = Json::parse(&text).expect("report emits valid JSON");
+        let t1 = parsed.get("table1").unwrap().as_array().unwrap();
+        assert_eq!(t1[0].get("dataset").unwrap().as_str(), Some("wbc"));
+        assert_eq!(t1[0].get("n").unwrap().as_usize(), Some(48));
+        assert!(t1[0].get("fdep").unwrap().is_null());
+        assert_eq!(
+            t1[0].get("tane").unwrap().get("secs").unwrap().as_f64(),
+            Some(0.5)
+        );
+        assert!(parsed.get("ablations").unwrap().as_array().unwrap().is_empty());
+    }
 }

@@ -2,10 +2,9 @@
 //! wall-clock seconds ("real times elapsed … as reported by Unix time",
 //! Section 7), one run per cell.
 
-use serde::Serialize;
 use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig};
 use tane_relation::Relation;
-use tane_util::Stopwatch;
+use tane_util::{Json, Stopwatch};
 
 /// Disk-variant cache budget: 64 MiB — the paper's machine had 64 MB of
 /// RAM against ~235 MB of partition data on the largest run, so this keeps
@@ -25,12 +24,24 @@ pub const FDEP_PAIR_CAP_FAST: usize = 100_000_000;
 
 /// One measured cell: dependency count and wall-clock seconds, or `None`
 /// when the cell was skipped as infeasible (the paper's `*`).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cell {
     /// Number of dependencies the run produced.
     pub n: usize,
     /// Wall-clock seconds.
     pub secs: f64,
+}
+
+impl Cell {
+    /// Structured form for the `--json` report.
+    pub fn to_json(self) -> Json {
+        Json::obj([("n", Json::Num(self.n as f64)), ("secs", Json::Num(self.secs))])
+    }
+}
+
+/// `cell.to_json()` or JSON `null` for an infeasible cell.
+pub fn cell_json(cell: Option<Cell>) -> Json {
+    cell.map_or(Json::Null, Cell::to_json)
 }
 
 /// Runs TANE with disk-resident partitions (the paper's scalable TANE).

@@ -31,6 +31,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("discover") => discover(&args[1..]),
         Some("dataset") => dataset(&args[1..]),
         Some("profile") => profile(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -46,6 +47,7 @@ USAGE:
     tane discover <FILE.csv> [OPTIONS]    discover minimal dependencies
     tane dataset <NAME> [OPTIONS]         generate a synthetic benchmark dataset
     tane profile <FILE.csv> [OPTIONS]     print a per-column profile
+    tane serve [OPTIONS]                  run the HTTP discovery service
     tane help                             show this help
 
 DISCOVER OPTIONS:
@@ -62,6 +64,13 @@ DISCOVER OPTIONS:
 DATASET OPTIONS (NAME: lymphography | hepatitis | wbc | adult | chess):
     --copies <N>         concatenate N disjoint copies (the paper's ×n datasets)
     -o, --output <FILE>  write CSV here (default: stdout)
+
+SERVE OPTIONS:
+    --port <P>           TCP port on 127.0.0.1 (default 7171; 0 = ephemeral)
+    --workers <N>        search worker threads (default: available cores)
+    --queue <N>          queued-job capacity before 429 (default 64)
+    --cache <N>          cached results kept (default 256)
+    --timeout <SECS>     per-request job timeout (default 120)
 ";
 
 struct Opts {
@@ -255,6 +264,48 @@ fn dataset(args: &[String]) -> Result<(), String> {
             write_csv(&relation, stdout.lock(), delimiter).map_err(|e| e.to_string())?;
         }
     }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    use std::io::Write;
+    let opts = parse_opts(args, &["port", "workers", "queue", "cache", "timeout"])?;
+    if let Some(extra) = opts.positional.first() {
+        return Err(format!("serve takes no positional arguments, got `{extra}`"));
+    }
+    let port: u16 = match opts.value("port") {
+        Some(p) => p.parse().map_err(|_| format!("bad port `{p}`"))?,
+        None => 7171,
+    };
+    let mut config = tane_server::ServerConfig::default();
+    if let Some(w) = opts.value("workers") {
+        config.workers = w.parse().map_err(|_| format!("bad worker count `{w}`"))?;
+        if config.workers == 0 {
+            return Err("need at least one worker".into());
+        }
+    }
+    if let Some(q) = opts.value("queue") {
+        config.queue_capacity = q.parse().map_err(|_| format!("bad queue capacity `{q}`"))?;
+    }
+    if let Some(c) = opts.value("cache") {
+        config.cache_capacity = c.parse().map_err(|_| format!("bad cache capacity `{c}`"))?;
+    }
+    if let Some(t) = opts.value("timeout") {
+        let secs: u64 = t.parse().map_err(|_| format!("bad timeout `{t}`"))?;
+        config.job_timeout = std::time::Duration::from_secs(secs);
+    }
+
+    tane_server::install_signal_handlers();
+    let workers = config.workers;
+    let server = tane_server::Server::start(&format!("127.0.0.1:{port}"), config)
+        .map_err(|e| format!("starting server: {e}"))?;
+    // The exact line below is what scripts (and the e2e test) parse to find
+    // the bound port, so it goes to stdout and is flushed immediately.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    eprintln!("# {workers} workers; POST /discover, GET /metrics; stop with SIGTERM or POST /shutdown");
+    server.wait();
+    eprintln!("# server stopped");
     Ok(())
 }
 

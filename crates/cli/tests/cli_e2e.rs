@@ -1,7 +1,8 @@
 //! End-to-end tests of the `tane` binary: real process, real files.
 
-use std::io::Write;
-use std::process::Command;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Command, Stdio};
+use std::time::Duration;
 
 fn tane() -> Command {
     Command::new(env!("CARGO_BIN_EXE_tane"))
@@ -123,6 +124,80 @@ fn errors_are_reported_not_panicked() {
     let out = tane().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
     std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn serve_answers_discover_and_shuts_down() {
+    // `--port 0` binds an ephemeral port; the first stdout line names it.
+    let mut child = tane()
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    let http = |method: &str, path: &str, body: &[u8]| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        write!(stream, "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
+            .unwrap();
+        stream.write_all(body).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status = raw[9..12].parse().unwrap();
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    };
+
+    let (status, body) = http("GET", "/health", b"");
+    assert_eq!(status, 200, "{body}");
+
+    // Discovery over HTTP matches the CLI on the same data: Example 2's FD
+    // appears, rendered identically to `tane discover`.
+    let (status, _) = http("POST", "/datasets/figure1", FIGURE1.as_bytes());
+    assert_eq!(status, 200);
+    let (status, body) = http("POST", "/discover", br#"{"dataset":"figure1"}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("{B,C} -> A"), "{body}");
+    assert!(body.contains("\"count\":6"), "{body}");
+
+    let (status, body) = http("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"queue\""), "{body}");
+    assert!(body.contains("\"level_times\""), "{body}");
+
+    // Graceful stop: the endpoint answers, then the process exits cleanly.
+    let (status, _) = http("POST", "/shutdown", b"");
+    assert_eq!(status, 200);
+    for _ in 0..100 {
+        if let Some(code) = child.try_wait().unwrap() {
+            assert!(code.success());
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    child.kill().ok();
+    panic!("server did not exit within 10s of /shutdown");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = tane().args(["serve", "--workers", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one worker"));
+    let out = tane().args(["serve", "--port", "notaport"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = tane().args(["serve", "stray"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no positional"));
 }
 
 #[test]

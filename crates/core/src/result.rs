@@ -65,8 +65,16 @@ pub struct TaneStats {
     pub disk_reads: u64,
     /// Disk writes of partitions (disk storage only).
     pub disk_writes: u64,
+    /// Bytes read back from spilled partitions (disk storage only).
+    pub disk_bytes_read: u64,
+    /// Bytes spilled to disk (disk storage only).
+    pub disk_bytes_written: u64,
     /// Peak bytes of partitions resident in memory (approximate).
     pub peak_resident_bytes: usize,
+    /// Wall-clock time spent per lattice level (validity tests, pruning,
+    /// and the products generating the next level), index 0 = level 1.
+    /// Always the same length as `sets_per_level`.
+    pub level_times: Vec<Duration>,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
 }

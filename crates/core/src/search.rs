@@ -168,6 +168,13 @@ impl Store {
             Store::Disk(s) => (s.disk_reads(), s.disk_writes()),
         }
     }
+
+    fn disk_byte_counters(&self) -> (u64, u64) {
+        match self {
+            Store::Memory(_) => (0, 0),
+            Store::Disk(s) => (s.disk_bytes_read(), s.disk_bytes_written()),
+        }
+    }
 }
 
 /// Minimum number of products in a level before threads are spun up;
@@ -177,18 +184,20 @@ const PARALLEL_THRESHOLD: usize = 64;
 /// Computes the level's partition products on `threads` worker threads.
 /// Each worker owns its scratch tables; chunks are contiguous so the output
 /// order (and therefore every downstream decision) is identical to the
-/// serial path.
+/// serial path. Built on `std::thread::scope` — the last external
+/// dependency (`crossbeam`, which predated scoped threads in std) is gone
+/// from the library path.
 fn parallel_products(
     fetched: &[(AttrSet, std::sync::Arc<StrippedPartition>, std::sync::Arc<StrippedPartition>)],
     threads: usize,
     n_rows: usize,
 ) -> Vec<(AttrSet, StrippedPartition)> {
     let chunk_size = fetched.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = fetched
             .chunks(chunk_size)
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut scratch = ProductScratch::new(n_rows);
                     chunk
                         .iter()
@@ -203,7 +212,6 @@ fn parallel_products(
         }
         out
     })
-    .expect("crossbeam scope panicked")
 }
 
 fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResult, TaneError> {
@@ -254,6 +262,7 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
 
     let mut ell = 1usize;
     while !current.is_empty() {
+        let level_sw = Stopwatch::start();
         stats.levels = ell;
         let level_size = current.len();
         stats.sets_per_level.push(level_size);
@@ -298,6 +307,7 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
 
         // LHS size cap: dependencies tested at level ℓ+1 have LHS size ℓ.
         if config.max_lhs.is_some_and(|m| ell > m) {
+            stats.level_times.push(level_sw.elapsed());
             break;
         }
 
@@ -343,11 +353,15 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
         prev_level = current;
         current = next;
         ell += 1;
+        stats.level_times.push(level_sw.elapsed());
     }
 
     let (reads, writes) = store.disk_counters();
+    let (bytes_read, bytes_written) = store.disk_byte_counters();
     stats.disk_reads = reads;
     stats.disk_writes = writes;
+    stats.disk_bytes_read = bytes_read;
+    stats.disk_bytes_written = bytes_written;
     stats.elapsed = sw.elapsed();
     found_keys.sort_unstable();
     Ok(TaneResult { fds: canonical_fds(disc.fds), keys: found_keys, stats })
@@ -651,6 +665,21 @@ mod tests {
         let disk = discover_fds(&r, &TaneConfig::disk(1 << 12)).unwrap();
         assert_eq!(mem.fds, disk.fds);
         assert!(disk.stats.disk_writes > 0, "disk variant must spill partitions");
+        assert!(disk.stats.disk_bytes_written > 0, "spills must be accounted in bytes");
+        assert_eq!(mem.stats.disk_bytes_written, 0);
+    }
+
+    #[test]
+    fn level_times_cover_every_level() {
+        let r = figure1();
+        let result = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let s = &result.stats;
+        assert_eq!(s.level_times.len(), s.sets_per_level.len());
+        let level_sum: std::time::Duration = s.level_times.iter().sum();
+        assert!(level_sum <= s.elapsed);
+        // The max_lhs early exit must not drop the last level's timing.
+        let limited = discover_fds(&r, &TaneConfig::default().with_max_lhs(1)).unwrap();
+        assert_eq!(limited.stats.level_times.len(), limited.stats.sets_per_level.len());
     }
 
     #[test]

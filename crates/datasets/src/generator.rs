@@ -16,9 +16,8 @@
 //!   uniform random value with probability `noise`: plants an approximate
 //!   dependency with `g3 ≈ noise · (1 − 1/distinct)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tane_relation::{Relation, RelationError, Schema};
+use tane_util::SplitMix64;
 
 /// One column of a synthetic dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,7 +89,7 @@ pub struct DatasetSpec {
 /// Panics if a derived column references itself or a later column, or if a
 /// categorical domain is empty while rows are requested.
 pub fn generate(spec: &DatasetSpec) -> Result<Relation, RelationError> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let n = spec.rows;
     let mut columns: Vec<Vec<u32>> = Vec::with_capacity(spec.columns.len());
 
@@ -98,7 +97,7 @@ pub fn generate(spec: &DatasetSpec) -> Result<Relation, RelationError> {
         let data: Vec<u32> = match col {
             ColumnSpec::Categorical { distinct } => {
                 assert!(*distinct > 0 || n == 0, "empty domain in column {idx}");
-                (0..n).map(|_| rng.gen_range(0..*distinct)).collect()
+                (0..n).map(|_| rng.u32_below(*distinct)).collect()
             }
             ColumnSpec::Skewed { distinct, exponent } => {
                 assert!(*distinct > 0 || n == 0, "empty domain in column {idx}");
@@ -112,7 +111,7 @@ pub fn generate(spec: &DatasetSpec) -> Result<Relation, RelationError> {
                 }
                 (0..n)
                     .map(|_| {
-                        let pick = rng.gen_range(0.0..total);
+                        let pick = rng.f64_unit() * total;
                         cumulative.partition_point(|&c| c <= pick) as u32
                     })
                     .collect()
@@ -130,8 +129,8 @@ pub fn generate(spec: &DatasetSpec) -> Result<Relation, RelationError> {
                 assert!(of.iter().all(|&p| p < idx), "column {idx} derives from a later column");
                 (0..n)
                     .map(|t| {
-                        if rng.gen_bool(*noise) {
-                            rng.gen_range(0..*distinct)
+                        if rng.bool_with_p(*noise) {
+                            rng.u32_below(*distinct)
                         } else {
                             derive_code(&columns, of, t, *distinct, spec.seed, idx)
                         }

@@ -198,6 +198,8 @@ pub struct DiskStore {
     scratch: Vec<u8>,
     reads: u64,
     writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
 }
 
 impl DiskStore {
@@ -238,6 +240,8 @@ impl DiskStore {
             scratch: Vec::new(),
             reads: 0,
             writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
         })
     }
 
@@ -249,6 +253,16 @@ impl DiskStore {
     /// Number of partition records written so far.
     pub fn disk_writes(&self) -> u64 {
         self.writes
+    }
+
+    /// Bytes of partition records read back from disk so far.
+    pub fn disk_bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Bytes of partition records spilled to disk so far.
+    pub fn disk_bytes_written(&self) -> u64 {
+        self.bytes_written
     }
 
     /// Number of segment files currently on disk.
@@ -410,6 +424,7 @@ impl DiskStore {
             elements.push(e);
         }
         self.reads += 1;
+        self.bytes_read += (16 + sizes.len() + raw.len()) as u64;
         Ok(StrippedPartition::from_parts(n_rows, elements, begins))
     }
 }
@@ -432,6 +447,7 @@ impl PartitionStore for DiskStore {
         writer.write_all(&scratch)?;
         self.active_bytes += scratch.len() as u64;
         self.active_dirty = true;
+        self.bytes_written += scratch.len() as u64;
         self.scratch = scratch;
         self.writes += 1;
 

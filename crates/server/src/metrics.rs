@@ -1,0 +1,170 @@
+//! Service counters behind `/metrics`.
+//!
+//! Everything is a relaxed atomic or a short-held mutex: metrics recording
+//! sits on the worker hot path and must never serialize the pool. The
+//! per-level search timings reuse the `TaneStats::level_times` instrumented
+//! in `tane-core` — the service aggregates them across jobs so `/metrics`
+//! shows where lattice time actually goes, level by level.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use tane_core::TaneStats;
+use tane_util::Json;
+
+/// Aggregated timings for one lattice level across all jobs.
+#[derive(Debug, Default, Clone, Copy)]
+struct LevelAgg {
+    runs: u64,
+    nanos: u64,
+}
+
+/// All counters of the service.
+pub struct Metrics {
+    start: Instant,
+    /// Requests accepted off the listener, any endpoint.
+    pub requests_total: AtomicU64,
+    /// Discovery jobs finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Discovery jobs that errored (disk store failures).
+    pub jobs_failed: AtomicU64,
+    /// Discovery requests refused with 429 (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Workers currently executing a job.
+    pub workers_busy: AtomicUsize,
+    workers_total: usize,
+    level_times: Mutex<Vec<LevelAgg>>,
+    disk_bytes_read: AtomicU64,
+    disk_bytes_written: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters for a pool of `workers_total` workers.
+    pub fn new(workers_total: usize) -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            workers_busy: AtomicUsize::new(0),
+            workers_total,
+            level_times: Mutex::new(Vec::new()),
+            disk_bytes_read: AtomicU64::new(0),
+            disk_bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one finished search into the aggregates.
+    pub fn record_search(&self, stats: &TaneStats) {
+        self.disk_bytes_read.fetch_add(stats.disk_bytes_read, Ordering::Relaxed);
+        self.disk_bytes_written.fetch_add(stats.disk_bytes_written, Ordering::Relaxed);
+        let mut levels = self.level_times.lock().expect("metrics poisoned");
+        if levels.len() < stats.level_times.len() {
+            levels.resize(stats.level_times.len(), LevelAgg::default());
+        }
+        for (agg, t) in levels.iter_mut().zip(&stats.level_times) {
+            agg.runs += 1;
+            agg.nanos += t.as_nanos() as u64;
+        }
+    }
+
+    /// The `/metrics` document. Queue and cache state is owned elsewhere and
+    /// passed in: `(depth, capacity)` and `(hits, coalesced, misses,
+    /// entries)`.
+    pub fn render(&self, queue: (usize, usize), cache: (u64, u64, u64, usize)) -> Json {
+        let n = |v: u64| Json::Num(v as f64);
+        let levels: Vec<Json> = {
+            let level_times = self.level_times.lock().expect("metrics poisoned");
+            level_times
+                .iter()
+                .enumerate()
+                .map(|(i, agg)| {
+                    Json::obj([
+                        ("level", Json::Num((i + 1) as f64)),
+                        ("runs", n(agg.runs)),
+                        ("total_secs", Json::Num(agg.nanos as f64 / 1e9)),
+                    ])
+                })
+                .collect()
+        };
+        Json::obj([
+            ("uptime_secs", Json::Num(self.start.elapsed().as_secs_f64())),
+            ("requests_total", n(self.requests_total.load(Ordering::Relaxed))),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::Num(queue.0 as f64)),
+                    ("capacity", Json::Num(queue.1 as f64)),
+                    ("rejected", n(self.jobs_rejected.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "workers",
+                Json::obj([
+                    ("total", Json::Num(self.workers_total as f64)),
+                    ("busy", Json::Num(self.workers_busy.load(Ordering::Relaxed) as f64)),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::obj([
+                    ("completed", n(self.jobs_completed.load(Ordering::Relaxed))),
+                    ("failed", n(self.jobs_failed.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", n(cache.0)),
+                    ("coalesced", n(cache.1)),
+                    ("misses", n(cache.2)),
+                    ("entries", Json::Num(cache.3 as f64)),
+                ]),
+            ),
+            (
+                "search",
+                Json::obj([
+                    ("level_times", Json::Arr(levels)),
+                    ("disk_bytes_read", n(self.disk_bytes_read.load(Ordering::Relaxed))),
+                    ("disk_bytes_written", n(self.disk_bytes_written.load(Ordering::Relaxed))),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn render_shape_and_aggregation() {
+        let m = Metrics::new(4);
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.jobs_completed.fetch_add(2, Ordering::Relaxed);
+        let mut stats = TaneStats::default();
+        stats.level_times = vec![Duration::from_millis(10), Duration::from_millis(5)];
+        stats.disk_bytes_written = 1024;
+        m.record_search(&stats);
+        stats.level_times = vec![Duration::from_millis(10)];
+        m.record_search(&stats);
+
+        let doc = m.render((2, 64), (5, 1, 7, 3));
+        assert_eq!(doc.get("requests_total").unwrap().as_usize(), Some(3));
+        assert_eq!(doc.get("queue").unwrap().get("depth").unwrap().as_usize(), Some(2));
+        assert_eq!(doc.get("workers").unwrap().get("total").unwrap().as_usize(), Some(4));
+        assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_usize(), Some(5));
+        let search = doc.get("search").unwrap();
+        assert_eq!(search.get("disk_bytes_written").unwrap().as_usize(), Some(2048));
+        let levels = search.get("level_times").unwrap().as_array().unwrap();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].get("runs").unwrap().as_usize(), Some(2));
+        assert_eq!(levels[1].get("runs").unwrap().as_usize(), Some(1));
+        let l1 = levels[0].get("total_secs").unwrap().as_f64().unwrap();
+        assert!((l1 - 0.020).abs() < 1e-9);
+        // Valid JSON end to end.
+        assert!(Json::parse(&doc.render()).is_ok());
+    }
+}

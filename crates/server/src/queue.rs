@@ -1,0 +1,178 @@
+//! A bounded multi-producer multi-consumer job queue on `Mutex` + `Condvar`.
+//!
+//! Producers (connection handlers) never block: a full queue is an
+//! immediate [`PushError::Full`], which the handler surfaces as HTTP 429 —
+//! overload sheds load instead of growing memory. Consumers (the worker
+//! pool) block until a job or shutdown arrives. `close()` wakes every
+//! consumer and hands back the undrained jobs so the server can fail their
+//! waiters instead of leaving them hanging.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed by shutdown.
+    Closed,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. `T` is one unit of work.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue refusing pushes beyond `capacity` pending jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a job, or refuses immediately.
+    pub fn push(&self, job: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((job, PushError::Closed));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((job, PushError::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (`Some`) or the queue is closed and
+    /// drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Pending jobs right now.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Maximum pending jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Closes the queue: wakes all consumers and returns the jobs nobody
+    /// will run. Workers still finish the job they already popped.
+    pub fn close(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        let drained = inner.jobs.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = JobQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let (job, e) = q.push(3).unwrap_err();
+        assert_eq!((job, e), (3, PushError::Full));
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers_and_returns_backlog() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+        q.push(8).unwrap();
+        let backlog = q.close();
+        assert_eq!(backlog, vec![8]);
+        assert_eq!(q.pop(), None);
+        assert!(matches!(q.push(9), Err((9, PushError::Closed))));
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = Arc::new(JobQueue::new(1024));
+        let mut producers = Vec::new();
+        for p in 0..8u32 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(j) = q.pop() {
+                    got.push(j);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Producers done; drain whatever is left, then close.
+        while q.depth() > 0 {
+            std::thread::yield_now();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 800);
+        all.dedup();
+        assert_eq!(all.len(), 800, "every job delivered exactly once");
+    }
+}

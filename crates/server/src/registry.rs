@@ -1,0 +1,107 @@
+//! The dataset registry: built-in synthetic datasets plus uploads.
+//!
+//! Built-ins (the paper's Table 1 corpus, `tane_datasets::by_name`) are
+//! generated lazily on first request and then kept; uploads arrive as CSV
+//! bodies on `POST /datasets/{name}`. Lookups hand out `Arc<Relation>` so
+//! concurrent jobs share one copy of the data.
+
+use std::sync::{Arc, RwLock};
+use tane_relation::Relation;
+use tane_util::FxHashMap;
+
+/// Thread-safe name → relation map.
+pub struct DatasetRegistry {
+    inner: RwLock<FxHashMap<String, Arc<Relation>>>,
+}
+
+impl Default for DatasetRegistry {
+    fn default() -> Self {
+        DatasetRegistry::new()
+    }
+}
+
+impl DatasetRegistry {
+    /// An empty registry (built-ins materialize on first use).
+    pub fn new() -> DatasetRegistry {
+        DatasetRegistry { inner: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// Resolves `name`: uploads and already-generated built-ins first, then
+    /// the built-in generators.
+    pub fn get(&self, name: &str) -> Option<Arc<Relation>> {
+        if let Some(r) = self.inner.read().expect("registry poisoned").get(name) {
+            return Some(Arc::clone(r));
+        }
+        // Built-in: generate outside any lock (seconds for the big ones),
+        // then race to insert — first writer wins so every caller shares
+        // one Arc.
+        let generated = Arc::new(tane_datasets::by_name(name)?);
+        let mut map = self.inner.write().expect("registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert(generated);
+        Some(Arc::clone(entry))
+    }
+
+    /// Registers (or replaces) an uploaded relation.
+    pub fn insert(&self, name: &str, relation: Relation) -> Arc<Relation> {
+        let arc = Arc::new(relation);
+        self.inner
+            .write()
+            .expect("registry poisoned")
+            .insert(name.to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Every dataset available right now: loaded ones with their shapes,
+    /// plus not-yet-generated built-ins (shape unknown until generated).
+    /// Sorted by name.
+    pub fn list(&self) -> Vec<(String, Option<(usize, usize)>)> {
+        let map = self.inner.read().expect("registry poisoned");
+        let mut out: Vec<(String, Option<(usize, usize)>)> = map
+            .iter()
+            .map(|(name, r)| (name.clone(), Some((r.num_rows(), r.num_attrs()))))
+            .collect();
+        for &name in tane_datasets::DATASET_NAMES {
+            if !map.contains_key(name) {
+                out.push((name.to_string(), None));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tane_relation::Schema;
+
+    #[test]
+    fn builtins_resolve_and_are_shared() {
+        let reg = DatasetRegistry::new();
+        let a = reg.get("lymphography").expect("built-in");
+        let b = reg.get("lymphography").expect("built-in");
+        assert!(Arc::ptr_eq(&a, &b), "one generation, shared Arc");
+        assert_eq!(a.num_rows(), 148);
+        assert!(reg.get("no-such-dataset").is_none());
+    }
+
+    #[test]
+    fn uploads_resolve_and_list() {
+        let reg = DatasetRegistry::new();
+        let r = Relation::from_codes(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![vec![0, 1], vec![1, 1]],
+        )
+        .unwrap();
+        reg.insert("mine", r);
+        assert_eq!(reg.get("mine").unwrap().num_rows(), 2);
+        let listing = reg.list();
+        assert!(listing.iter().any(|(n, shape)| n == "mine" && *shape == Some((2, 2))));
+        assert!(listing.iter().any(|(n, shape)| n == "chess" && shape.is_none()));
+        // Listing is sorted.
+        let names: Vec<&String> = listing.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

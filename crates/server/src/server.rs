@@ -1,0 +1,537 @@
+//! The discovery service: accept loop, worker pool, and request routing.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//! accept loop ──► handler thread per connection ──► bounded JobQueue ──► worker pool
+//!      │                │  ▲                                               │
+//!      │                ▼  │ single-flight wait                            ▼
+//!   shutdown         ResultCache ◄──────────────────── publish ── tane_core::search
+//! ```
+//!
+//! Handlers never compute: they resolve the dataset, claim or join a cache
+//! flight, and wait. Workers own the searches. Overload is shed at the
+//! queue (HTTP 429), never absorbed into memory. Shutdown (SIGTERM,
+//! SIGINT, or `POST /shutdown`) stops the accept loop, lets workers finish
+//! the jobs they hold, and fails the undrained backlog with 503.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cache::{CacheKey, CachedResult, JobResult, Lookup, ResultCache};
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::metrics::Metrics;
+use crate::queue::{JobQueue, PushError};
+use crate::registry::DatasetRegistry;
+use tane_core::{
+    discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig, TaneResult,
+};
+use tane_relation::csv::{read_csv_from, CsvOptions};
+use tane_relation::Relation;
+use tane_util::Json;
+
+/// Set by the SIGTERM/SIGINT handler; polled by every accept loop.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs process signal handlers that request a graceful shutdown.
+/// Idempotent; a no-op off Unix. Called by `tane serve`, not by tests.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            /// POSIX `signal(2)`, linked from libc via std. The handler only
+            /// performs an atomic store, which is async-signal-safe.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads running searches. `0` is allowed (nothing ever
+    /// drains — useful for overload tests).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before 429.
+    pub queue_capacity: usize,
+    /// Maximum request body size (CSV uploads, discover bodies).
+    pub max_body_bytes: usize,
+    /// Socket read timeout per request.
+    pub read_timeout: Duration,
+    /// How long a handler waits for its job before answering 504.
+    pub job_timeout: Duration,
+    /// Finished results kept in the cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            queue_capacity: 64,
+            max_body_bytes: 8 << 20,
+            read_timeout: Duration::from_secs(10),
+            job_timeout: Duration::from_secs(120),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// One unit of worker work: a claimed cache key plus everything needed to
+/// run the search and publish the result.
+struct Job {
+    key: CacheKey,
+    relation: Arc<Relation>,
+    epsilon: f64,
+    max_lhs: Option<usize>,
+    storage: Storage,
+    threads: usize,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    config: ServerConfig,
+    registry: DatasetRegistry,
+    cache: ResultCache,
+    queue: JobQueue<Job>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server; dropping it does NOT stop it — call [`Server::shutdown`]
+/// then [`Server::wait`], or let a signal / `POST /shutdown` end it.
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the accept loop and
+    /// worker pool.
+    pub fn start(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: DatasetRegistry::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            queue: JobQueue::new(config.queue_capacity),
+            metrics: Metrics::new(config.workers),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tane-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tane-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, workers))?
+        };
+
+        Ok(Server { local_addr, shared, accept_thread })
+    }
+
+    /// The bound address (resolves `:0` ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server has fully stopped: accept loop ended,
+    /// workers drained and joined.
+    pub fn wait(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, workers: Vec<std::thread::JoinHandle<()>>) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("tane-handler".into())
+                    .spawn(move || handle_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Drain: fail the backlog so its waiters unblock, let workers finish
+    // the jobs they already hold, then join them.
+    for job in shared.queue.close() {
+        shared.cache.abort(job.key, "server shutting down");
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+        let key = job.key;
+        let result = run_job(shared, job);
+        match &result {
+            Ok(_) => shared.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        };
+        shared.cache.publish(key, result);
+        shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one discovery job and shapes the outcome for the cache.
+fn run_job(shared: &Shared, job: Job) -> JobResult {
+    let base = TaneConfig {
+        storage: job.storage,
+        max_lhs: job.max_lhs,
+        threads: job.threads,
+        ..TaneConfig::default()
+    };
+    let outcome = if job.epsilon > 0.0 {
+        let config = ApproxTaneConfig { base, ..ApproxTaneConfig::new(job.epsilon) };
+        discover_approx_fds(&job.relation, &config)
+    } else {
+        discover_fds(&job.relation, &base)
+    };
+    match outcome {
+        Ok(result) => {
+            shared.metrics.record_search(&result.stats);
+            Ok(Arc::new(shape_result(&job.relation, &result)))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Renders a `TaneResult` into the cached, response-ready form. The `fds`
+/// strings use `Fd::display_with`, so they are byte-identical to the lines
+/// `tane discover` prints for the same data and parameters.
+fn shape_result(relation: &Relation, result: &TaneResult) -> CachedResult {
+    let names = relation.schema().names();
+    let s = &result.stats;
+    let stats = Json::obj([
+        ("levels", Json::Num(s.levels as f64)),
+        ("sets_total", Json::Num(s.sets_total as f64)),
+        ("sets_max_level", Json::Num(s.sets_max_level as f64)),
+        ("validity_tests", Json::Num(s.validity_tests as f64)),
+        ("keys_found", Json::Num(s.keys_found as f64)),
+        ("products", Json::Num(s.products as f64)),
+        ("g3_exact_computations", Json::Num(s.g3_exact_computations as f64)),
+        ("g3_decided_by_bounds", Json::Num(s.g3_decided_by_bounds as f64)),
+        ("disk_reads", Json::Num(s.disk_reads as f64)),
+        ("disk_writes", Json::Num(s.disk_writes as f64)),
+        ("disk_bytes_read", Json::Num(s.disk_bytes_read as f64)),
+        ("disk_bytes_written", Json::Num(s.disk_bytes_written as f64)),
+        (
+            "level_secs",
+            Json::Arr(s.level_times.iter().map(|t| Json::Num(t.as_secs_f64())).collect()),
+        ),
+        ("elapsed_secs", Json::Num(s.elapsed.as_secs_f64())),
+    ]);
+    CachedResult {
+        fds: result.fds.iter().map(|fd| fd.display_with(names)).collect(),
+        keys: result.keys.iter().map(|k| k.display_with(names).to_string()).collect(),
+        stats,
+        compute_secs: s.elapsed.as_secs_f64(),
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(request) => route(shared, &request),
+        Err(RequestError::TooLarge) => Response::error(413, "request too large"),
+        Err(RequestError::Bad(msg)) => Response::error(400, &msg),
+        Err(RequestError::Io(_)) => return, // client went away; nothing to say
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::json(
+            200,
+            &Json::obj([(
+                "status",
+                Json::Str(if shared.shutting_down() { "shutting down" } else { "ok" }.into()),
+            )]),
+        ),
+        ("GET", "/metrics") => {
+            let queue = (shared.queue.depth(), shared.queue.capacity());
+            Response::json(200, &shared.metrics.render(queue, shared.cache.stats()))
+        }
+        ("GET", "/datasets") => list_datasets(shared),
+        ("POST", "/discover") => discover(shared, &request.body),
+        ("POST", path) if path.strip_prefix("/datasets/").is_some_and(valid_name) => {
+            upload_dataset(shared, &path["/datasets/".len()..], &request.body)
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, &Json::obj([("status", Json::Str("shutting down".into()))]))
+        }
+        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// Upload names: non-empty, path-safe.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+fn list_datasets(shared: &Shared) -> Response {
+    let rows: Vec<Json> = shared
+        .registry
+        .list()
+        .into_iter()
+        .map(|(name, shape)| match shape {
+            Some((rows, attrs)) => Json::obj([
+                ("name", Json::Str(name)),
+                ("rows", Json::Num(rows as f64)),
+                ("attrs", Json::Num(attrs as f64)),
+            ]),
+            None => Json::obj([("name", Json::Str(name))]),
+        })
+        .collect();
+    Response::json(200, &Json::obj([("datasets", Json::Arr(rows))]))
+}
+
+fn upload_dataset(shared: &Shared, name: &str, body: &[u8]) -> Response {
+    let relation = match read_csv_from(body, &CsvOptions::default()) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("bad CSV: {e}")),
+    };
+    let arc = shared.registry.insert(name, relation);
+    Response::json(
+        200,
+        &Json::obj([
+            ("dataset", Json::Str(name.to_string())),
+            ("rows", Json::Num(arc.num_rows() as f64)),
+            ("attrs", Json::Num(arc.num_attrs() as f64)),
+            ("content_hash", Json::Str(format!("{:016x}", arc.content_hash()))),
+        ]),
+    )
+}
+
+/// The `/discover` body, validated.
+#[derive(Debug)]
+struct DiscoverSpec {
+    dataset: String,
+    epsilon: f64,
+    max_lhs: Option<usize>,
+    storage: Storage,
+    threads: usize,
+}
+
+fn parse_discover(body: &[u8]) -> Result<DiscoverSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let Json::Obj(members) = &doc else {
+        return Err("body must be a JSON object".into());
+    };
+    for (key, _) in members {
+        if !matches!(key.as_str(), "dataset" | "epsilon" | "max_lhs" | "storage" | "cache_mb" | "threads") {
+            return Err(format!("unknown field `{key}`"));
+        }
+    }
+    let dataset = doc
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or("missing required field `dataset`")?
+        .to_string();
+    let epsilon = match doc.get("epsilon") {
+        None => 0.0,
+        Some(v) => {
+            let e = v.as_f64().ok_or("`epsilon` must be a number")?;
+            if !(0.0..=1.0).contains(&e) {
+                return Err(format!("`epsilon` must be in [0,1], got {e}"));
+            }
+            e
+        }
+    };
+    let max_lhs = match doc.get("max_lhs") {
+        None => None,
+        Some(v) => Some(v.as_usize().ok_or("`max_lhs` must be a non-negative integer")?),
+    };
+    let storage = match doc.get("storage").map(|v| v.as_str()) {
+        None | Some(Some("memory")) => Storage::Memory,
+        Some(Some("disk")) => {
+            let mb = match doc.get("cache_mb") {
+                None => 64,
+                Some(v) => v.as_usize().ok_or("`cache_mb` must be a non-negative integer")?,
+            };
+            Storage::Disk { cache_bytes: mb << 20 }
+        }
+        Some(Some(other)) => return Err(format!("unknown storage `{other}` (memory | disk)")),
+        Some(None) => return Err("`storage` must be a string".into()),
+    };
+    if doc.get("cache_mb").is_some() && storage == Storage::Memory {
+        return Err("`cache_mb` only applies to `storage: \"disk\"`".into());
+    }
+    let threads = match doc.get("threads") {
+        None => 1,
+        Some(v) => {
+            let t = v.as_usize().ok_or("`threads` must be a positive integer")?;
+            if t == 0 {
+                return Err("`threads` must be at least 1".into());
+            }
+            t
+        }
+    };
+    Ok(DiscoverSpec { dataset, epsilon, max_lhs, storage, threads })
+}
+
+fn discover(shared: &Shared, body: &[u8]) -> Response {
+    let spec = match parse_discover(body) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    if shared.shutting_down() {
+        return Response::error(503, "server shutting down");
+    }
+    let Some(relation) = shared.registry.get(&spec.dataset) else {
+        return Response::error(404, &format!("unknown dataset `{}`", spec.dataset));
+    };
+    // The key drops the knobs that cannot change the answer (storage,
+    // threads): a disk-backed query is answered by a cached in-memory run
+    // of the same search, and vice versa.
+    let key = CacheKey {
+        dataset_hash: relation.content_hash(),
+        epsilon_bits: (spec.epsilon > 0.0).then(|| spec.epsilon.to_bits()),
+        max_lhs: spec.max_lhs,
+    };
+
+    let (flight, cached) = match shared.cache.lookup_or_claim(key) {
+        Lookup::Hit(result) => return respond_discover(&spec.dataset, &result, true),
+        Lookup::Wait(flight) => (flight, true),
+        Lookup::Claimed(flight) => {
+            let job = Job {
+                key,
+                relation,
+                epsilon: spec.epsilon,
+                max_lhs: spec.max_lhs,
+                storage: spec.storage,
+                threads: spec.threads,
+            };
+            if let Err((job, e)) = shared.queue.push(job) {
+                let (status, msg) = match e {
+                    PushError::Full => (429, "job queue full"),
+                    PushError::Closed => (503, "server shutting down"),
+                };
+                shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.cache.abort(job.key, msg);
+                let mut response = Response::error(status, msg);
+                if status == 429 {
+                    response = response.with_header("retry-after", "1");
+                }
+                return response;
+            }
+            (flight, false)
+        }
+    };
+
+    match flight.wait(shared.config.job_timeout) {
+        Some(Ok(result)) => respond_discover(&spec.dataset, &result, cached),
+        Some(Err(msg)) => {
+            let status = if msg.contains("shutting down") || msg.contains("queue full") { 503 } else { 500 };
+            Response::error(status, &msg)
+        }
+        None => Response::error(504, "job did not finish in time"),
+    }
+}
+
+fn respond_discover(dataset: &str, result: &CachedResult, cached: bool) -> Response {
+    Response::json(
+        200,
+        &Json::obj([
+            ("dataset", Json::Str(dataset.to_string())),
+            ("count", Json::Num(result.fds.len() as f64)),
+            ("fds", Json::str_array(result.fds.iter().cloned())),
+            ("keys", Json::str_array(result.keys.iter().cloned())),
+            ("stats", result.stats.clone()),
+            ("cached", Json::Bool(cached)),
+            ("compute_secs", Json::Num(result.compute_secs)),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discover_spec_parsing() {
+        let s = parse_discover(br#"{"dataset":"wbc"}"#).unwrap();
+        assert_eq!(s.dataset, "wbc");
+        assert_eq!(s.epsilon, 0.0);
+        assert_eq!(s.storage, Storage::Memory);
+        assert_eq!(s.threads, 1);
+
+        let s = parse_discover(
+            br#"{"dataset":"wbc","epsilon":0.05,"max_lhs":3,"storage":"disk","cache_mb":16,"threads":2}"#,
+        )
+        .unwrap();
+        assert_eq!(s.epsilon, 0.05);
+        assert_eq!(s.max_lhs, Some(3));
+        assert_eq!(s.storage, Storage::Disk { cache_bytes: 16 << 20 });
+        assert_eq!(s.threads, 2);
+
+        assert!(parse_discover(b"not json").is_err());
+        assert!(parse_discover(br#"{"epsilon":0.1}"#).unwrap_err().contains("dataset"));
+        assert!(parse_discover(br#"{"dataset":"x","epsilon":1.5}"#).unwrap_err().contains("[0,1]"));
+        assert!(parse_discover(br#"{"dataset":"x","storage":"tape"}"#).is_err());
+        assert!(parse_discover(br#"{"dataset":"x","threads":0}"#).is_err());
+        assert!(parse_discover(br#"{"dataset":"x","cache_mb":4}"#).is_err());
+        assert!(parse_discover(br#"{"dataset":"x","typo_field":1}"#).unwrap_err().contains("typo_field"));
+    }
+
+    #[test]
+    fn upload_names_are_validated() {
+        assert!(valid_name("my-data_set.v2"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(200)));
+    }
+}

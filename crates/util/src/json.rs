@@ -1,0 +1,587 @@
+//! A minimal JSON value type, writer, and reader.
+//!
+//! The discovery service (`tane-server`) speaks JSON over HTTP and the
+//! benchmark harness writes structured reports, but `serde`/`serde_json`
+//! are unavailable in the offline build environment (see DESIGN.md §6).
+//! This module is the hand-rolled replacement: a [`Json`] tree with a
+//! recursive-descent parser and a writer, covering the JSON that this
+//! workspace itself produces and accepts — objects, arrays, strings with
+//! standard escapes (`\uXXXX` included), numbers, booleans, null.
+//!
+//! Numbers are stored as `f64`. Integers up to 2⁵³ round-trip exactly,
+//! which covers every counter in the suite; the writer prints integral
+//! values without a decimal point so integer counters render as integers.
+//!
+//! The parser enforces a nesting-depth limit so untrusted request bodies
+//! cannot overflow the stack — the server feeds client input through it.
+
+use std::fmt;
+
+/// Maximum object/array nesting the parser accepts. Deeper input returns
+/// [`JsonError::TooDeep`] instead of recursing toward a stack overflow.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+///
+/// Object members keep their insertion order (discovery responses are
+/// byte-stable across runs because of this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors from [`Json::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Unexpected byte or premature end of input.
+    Syntax {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Nesting exceeded the parser's depth limit.
+    TooDeep,
+    /// Input had trailing non-whitespace after the value.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            JsonError::TooDeep => write!(f, "JSON nested deeper than {MAX_DEPTH} levels"),
+            JsonError::TrailingData { offset } => {
+                write!(f, "trailing data after JSON value at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for an array of strings.
+    pub fn str_array(items: impl IntoIterator<Item = impl Into<String>>) -> Json {
+        Json::Arr(items.into_iter().map(|s| Json::Str(s.into())).collect())
+    }
+
+    /// Member lookup on an object (first match); `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a usize, if integral and in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=(u64::MAX as f64)).contains(&n) {
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Parses one JSON value from `input` (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed input, depth overflow, or trailing data.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::TrailingData { offset: p.pos });
+        }
+        Ok(value)
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * level) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_nan() || n.is_infinite() {
+        // JSON has no representation for these; null is the least-wrong.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected byte 0x{b:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.err(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let start = self.pos;
+                    let len = utf8_len(b);
+                    self.pos += len;
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pair handling: a high surrogate must be followed by
+        // `\uXXXX` with a low surrogate.
+        if (0xd800..0xdc00).contains(&first) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xdc00..0xe000).contains(&second) {
+                    let combined =
+                        0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+                    return char::from_u32(combined).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xdc00..0xe000).contains(&first) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("bad \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-7", "3.25", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.render(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn object_preserves_order_and_round_trips() {
+        let text = r#"{"b":1,"a":[2,3,{"c":null}],"d":"x"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.render(), text);
+        assert_eq!(v.get("b").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("d").and_then(Json::as_str), Some("x"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn string_escapes_both_ways() {
+        let v = Json::parse(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
+        let rendered = Json::Str("tab\there \"q\" \u{1}".into()).render();
+        assert_eq!(rendered, r#""tab\there \"q\" \u0001""#);
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some("tab\there \"q\" \u{1}"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn numbers_parse_and_render() {
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(Json::parse("-2.5e-1").unwrap().as_f64(), Some(-0.25));
+        assert_eq!(Json::Num(42.0).render(), "42");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::parse("9007199254740992").unwrap().as_usize(), Some(9007199254740992));
+        assert_eq!(Json::parse("0.5").unwrap().as_usize(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
+            "01x", "{'a':1}", "[1 2]", "\"\\q\"", "nullX",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should fail");
+        }
+        assert_eq!(
+            Json::parse("null  true"),
+            Err(JsonError::TrailingData { offset: 6 })
+        );
+    }
+
+    #[test]
+    fn depth_limit_guards_the_stack() {
+        let deep = "[".repeat(2000) + &"]".repeat(2000);
+        assert_eq!(Json::parse(&deep), Err(JsonError::TooDeep));
+        let ok = "[".repeat(32) + &"]".repeat(32);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn helpers_and_constructors() {
+        let v = Json::obj([
+            ("count", Json::Num(3.0)),
+            ("items", Json::str_array(["a", "b"])),
+            ("on", Json::Bool(true)),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(v.render(), r#"{"count":3,"items":["a","b"],"on":true,"none":null}"#);
+        assert_eq!(v.get("on").and_then(Json::as_bool), Some(true));
+        assert!(v.get("none").unwrap().is_null());
+        assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_rendering_is_reparseable() {
+        let v = Json::parse(r#"{"a":[1,{"b":"c"}],"d":{}}"#).unwrap();
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"a\": [\n"));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Json::parse("{bad").unwrap_err();
+        assert!(e.to_string().contains("syntax error"));
+        assert!(JsonError::TooDeep.to_string().contains("deeper"));
+    }
+}

@@ -14,13 +14,22 @@
 //!   collision-resistant but slow for the hot `AttrSet -> level-entry` lookups
 //!   TANE performs; the paper likewise assumes constant-time hashed access.
 //! * [`timing`] — a small stopwatch used by the benchmark harness.
+//! * [`json`] — a hand-rolled JSON value type, reader, and writer: the wire
+//!   format of the discovery service and the benchmark reports (`serde` is
+//!   unavailable in the offline build).
+//! * [`rng`] — a SplitMix64 PRNG for the synthetic dataset generators
+//!   (`rand` is likewise unavailable offline).
 
 pub mod attrset;
 pub mod fd;
 pub mod hash;
+pub mod json;
+pub mod rng;
 pub mod timing;
 
 pub use attrset::{AttrSet, AttrSetIter, MAX_ATTRS};
 pub use fd::{canonical_fds, Fd};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::{Json, JsonError};
+pub use rng::SplitMix64;
 pub use timing::Stopwatch;

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: exactly what CI/the driver runs, plus an explicit
+# build of the server crate (a non-default workspace member on some cargo
+# invocations). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo build -p tane-server
+
+echo "tier1: OK"

@@ -69,8 +69,14 @@ SERVE OPTIONS:
     --port <P>           TCP port on 127.0.0.1 (default 7171; 0 = ephemeral)
     --workers <N>        search worker threads (default: available cores)
     --queue <N>          queued-job capacity before 429 (default 64)
-    --cache <N>          cached results kept (default 256)
+    --cache <N>          cached results kept; eviction drops the cheapest-
+                         to-recompute entry first (default 256)
     --timeout <SECS>     per-request job timeout (default 120)
+    --max-conns <N>      concurrent connections; excess shed with 503
+                         (default 1024)
+    --conn-requests <N>  keep-alive requests served per connection before
+                         the server closes it (default 1000)
+    --idle-timeout <SECS> disconnect idle keep-alive connections (default 10)
 ";
 
 struct Opts {
@@ -269,7 +275,10 @@ fn dataset(args: &[String]) -> Result<(), String> {
 
 fn serve(args: &[String]) -> Result<(), String> {
     use std::io::Write;
-    let opts = parse_opts(args, &["port", "workers", "queue", "cache", "timeout"])?;
+    let opts = parse_opts(
+        args,
+        &["port", "workers", "queue", "cache", "timeout", "max-conns", "conn-requests", "idle-timeout"],
+    )?;
     if let Some(extra) = opts.positional.first() {
         return Err(format!("serve takes no positional arguments, got `{extra}`"));
     }
@@ -293,6 +302,26 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(t) = opts.value("timeout") {
         let secs: u64 = t.parse().map_err(|_| format!("bad timeout `{t}`"))?;
         config.job_timeout = std::time::Duration::from_secs(secs);
+    }
+    if let Some(c) = opts.value("max-conns") {
+        config.max_connections = c.parse().map_err(|_| format!("bad connection cap `{c}`"))?;
+        if config.max_connections == 0 {
+            return Err("need at least one connection slot".into());
+        }
+    }
+    if let Some(r) = opts.value("conn-requests") {
+        config.max_requests_per_conn =
+            r.parse().map_err(|_| format!("bad per-connection request cap `{r}`"))?;
+        if config.max_requests_per_conn == 0 {
+            return Err("need at least one request per connection".into());
+        }
+    }
+    if let Some(t) = opts.value("idle-timeout") {
+        let secs: u64 = t.parse().map_err(|_| format!("bad idle timeout `{t}`"))?;
+        if secs == 0 {
+            return Err("idle timeout must be at least 1 second".into());
+        }
+        config.idle_timeout = std::time::Duration::from_secs(secs);
     }
 
     tane_server::install_signal_handlers();

@@ -147,8 +147,14 @@ fn serve_answers_discover_and_shuts_down() {
     let http = |method: &str, path: &str, body: &[u8]| -> (u16, String) {
         let mut stream = std::net::TcpStream::connect(&addr).unwrap();
         stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
-        write!(stream, "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
-            .unwrap();
+        // `connection: close` so the EOF-terminated read below works
+        // against the keep-alive server.
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
         stream.write_all(body).unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
@@ -198,6 +204,13 @@ fn serve_rejects_bad_flags() {
     let out = tane().args(["serve", "stray"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no positional"));
+    let out = tane().args(["serve", "--max-conns", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("connection slot"));
+    let out = tane().args(["serve", "--conn-requests", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = tane().args(["serve", "--idle-timeout", "0"]).output().unwrap();
+    assert!(!out.status.success());
 }
 
 #[test]

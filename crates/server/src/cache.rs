@@ -10,8 +10,14 @@
 //! the one job; concurrent requesters for the same key become **waiters**
 //! on the claimer's flight and are all answered by that single run. A
 //! thundering herd of identical queries costs one search.
+//!
+//! Eviction is **cost-aware**, not FIFO: when the cache is over capacity
+//! the entry with the lowest `compute_secs` goes first (ties broken by
+//! age, oldest first). A cached 40-second lattice walk is worth far more
+//! than a cached 2-millisecond one — recomputing the cheap entry on a
+//! future miss costs almost nothing, recomputing the expensive one stalls
+//! a worker for its full duration again.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -81,14 +87,66 @@ impl Flight {
 }
 
 enum Entry {
-    Ready(Arc<CachedResult>),
+    /// A landed result, stamped with its insertion sequence number (the
+    /// eviction tie-breaker: equal-cost entries leave oldest-first).
+    Ready { result: Arc<CachedResult>, seq: u64 },
     InFlight(Arc<Flight>),
 }
 
 struct Inner {
     map: FxHashMap<CacheKey, Entry>,
-    /// Insertion order of Ready entries, for FIFO eviction.
-    order: VecDeque<CacheKey>,
+    /// Ready entries currently in `map` (in-flight ones don't count
+    /// against capacity — they hold no result yet).
+    ready: usize,
+    /// Monotonic insertion counter for eviction tie-breaks.
+    seq: u64,
+    /// Ready entries evicted so far.
+    evictions: u64,
+    /// Total `compute_secs` thrown away by those evictions — the price a
+    /// cold re-query of every evicted entry would pay.
+    evicted_compute_secs: f64,
+}
+
+impl Inner {
+    /// Removes the Ready entry with the lowest `(compute_secs, seq)` —
+    /// cheapest to recompute first, oldest first among equals. Linear in
+    /// the entry count, which is bounded by the (small) cache capacity
+    /// and only paid on inserts past capacity.
+    fn evict_cheapest(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Ready { result, seq } => Some((result.compute_secs, *seq, *k)),
+                Entry::InFlight(_) => None,
+            })
+            .reduce(|a, b| if (b.0, b.1) < (a.0, a.1) { b } else { a });
+        if let Some((cost, _, key)) = victim {
+            self.map.remove(&key);
+            self.ready -= 1;
+            self.evictions += 1;
+            self.evicted_compute_secs += cost;
+        } else {
+            self.ready = 0; // no Ready entries at all; resync the counter
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache counters, for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookups served straight from a Ready entry.
+    pub hits: u64,
+    /// Lookups deduplicated onto another request's flight.
+    pub coalesced: u64,
+    /// Lookups that claimed the key and triggered a search.
+    pub misses: u64,
+    /// Ready entries currently held.
+    pub entries: usize,
+    /// Ready entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Sum of `compute_secs` over all evicted entries.
+    pub evicted_compute_secs: f64,
 }
 
 /// What a lookup decided.
@@ -115,7 +173,13 @@ impl ResultCache {
     /// A cache holding at most `capacity` finished results.
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
-            inner: Mutex::new(Inner { map: FxHashMap::default(), order: VecDeque::new() }),
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                ready: 0,
+                seq: 0,
+                evictions: 0,
+                evicted_compute_secs: 0.0,
+            }),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -127,7 +191,7 @@ impl ResultCache {
     pub fn lookup_or_claim(&self, key: CacheKey) -> Lookup {
         let mut inner = self.inner.lock().expect("cache poisoned");
         match inner.map.get(&key) {
-            Some(Entry::Ready(result)) => {
+            Some(Entry::Ready { result, .. }) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Lookup::Hit(Arc::clone(result))
             }
@@ -144,7 +208,8 @@ impl ResultCache {
         }
     }
 
-    /// Lands the flight for `key`: successes enter the cache, failures are
+    /// Lands the flight for `key`: successes enter the cache (evicting the
+    /// cheapest-to-recompute entries if over capacity), failures are
     /// delivered to the waiters and the key is released for retry.
     pub fn publish(&self, key: CacheKey, result: JobResult) {
         let mut inner = self.inner.lock().expect("cache poisoned");
@@ -154,13 +219,17 @@ impl ResultCache {
         };
         match &result {
             Ok(cached) => {
-                inner.map.insert(key, Entry::Ready(Arc::clone(cached)));
-                inner.order.push_back(key);
-                while inner.order.len() > self.capacity {
-                    let oldest = inner.order.pop_front().expect("len checked");
-                    if matches!(inner.map.get(&oldest), Some(Entry::Ready(_))) {
-                        inner.map.remove(&oldest);
-                    }
+                inner.seq += 1;
+                let seq = inner.seq;
+                if inner
+                    .map
+                    .insert(key, Entry::Ready { result: Arc::clone(cached), seq })
+                    .map_or(true, |prev| matches!(prev, Entry::InFlight(_)))
+                {
+                    inner.ready += 1;
+                }
+                while inner.ready > self.capacity {
+                    inner.evict_cheapest();
                 }
             }
             Err(_) => {
@@ -181,20 +250,20 @@ impl ResultCache {
         self.publish(key, Err(reason.to_string()));
     }
 
-    /// `(hits, coalesced, misses, entries)` — hits are served-from-cache,
-    /// coalesced are deduplicated onto another request's flight, misses
-    /// triggered a search.
-    pub fn stats(&self) -> (u64, u64, u64, usize) {
-        let entries = {
+    /// A snapshot of every cache counter (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        let (entries, evictions, evicted_compute_secs) = {
             let inner = self.inner.lock().expect("cache poisoned");
-            inner.map.iter().filter(|(_, e)| matches!(e, Entry::Ready(_))).count()
+            (inner.ready, inner.evictions, inner.evicted_compute_secs)
         };
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.coalesced.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
             entries,
-        )
+            evictions,
+            evicted_compute_secs,
+        }
     }
 }
 
@@ -207,11 +276,15 @@ mod tests {
     }
 
     fn result(tag: &str) -> Arc<CachedResult> {
+        costed(tag, 0.0)
+    }
+
+    fn costed(tag: &str, compute_secs: f64) -> Arc<CachedResult> {
         Arc::new(CachedResult {
             fds: vec![tag.to_string()],
             keys: vec![],
             stats: Json::Null,
-            compute_secs: 0.0,
+            compute_secs,
         })
     }
 
@@ -227,7 +300,9 @@ mod tests {
             panic!("second lookup must hit");
         };
         assert_eq!(got.fds, ["r1"]);
-        assert_eq!(c.stats(), (1, 0, 1, 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.coalesced, s.misses, s.entries), (1, 0, 1, 1));
+        assert_eq!(s.evictions, 0);
     }
 
     #[test]
@@ -250,8 +325,8 @@ mod tests {
         for w in waiters {
             assert_eq!(w.join().unwrap(), ["shared"]);
         }
-        let (hits, coalesced, misses, _) = c.stats();
-        assert_eq!((hits, coalesced, misses), (0, 4, 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.coalesced, s.misses), (0, 4, 1));
     }
 
     #[test]
@@ -276,16 +351,51 @@ mod tests {
     }
 
     #[test]
-    fn eviction_is_fifo_and_bounded() {
+    fn eviction_prefers_keeping_expensive_entries() {
+        let c = ResultCache::new(2);
+        // An expensive search lands first, then a stream of cheap ones.
+        let costs = [(1u64, 40.0), (2, 0.01), (3, 0.02), (4, 0.03)];
+        for (h, secs) in costs {
+            let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else { panic!("claim") };
+            c.publish(key(h), Ok(costed(&h.to_string(), secs)));
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 2, "capacity is still a hard bound");
+        assert_eq!(s.evictions, 2);
+        assert!((s.evicted_compute_secs - 0.03).abs() < 1e-12, "{}", s.evicted_compute_secs);
+        assert!(
+            matches!(c.lookup_or_claim(key(1)), Lookup::Hit(_)),
+            "the 40s search survives every cheap insert"
+        );
+        assert!(
+            matches!(c.lookup_or_claim(key(4)), Lookup::Hit(_)),
+            "the priciest of the cheap entries is the other survivor"
+        );
+        assert!(matches!(c.lookup_or_claim(key(2)), Lookup::Claimed(_)), "cheapest evicted");
+    }
+
+    #[test]
+    fn equal_cost_eviction_falls_back_to_fifo() {
         let c = ResultCache::new(2);
         for h in 0..5 {
             let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else { panic!("claim") };
-            c.publish(key(h), Ok(result(&h.to_string())));
+            c.publish(key(h), Ok(costed(&h.to_string(), 1.0)));
         }
-        let (_, _, _, entries) = c.stats();
-        assert_eq!(entries, 2);
+        assert_eq!(c.stats().entries, 2);
         assert!(matches!(c.lookup_or_claim(key(4)), Lookup::Hit(_)), "newest survives");
         assert!(matches!(c.lookup_or_claim(key(0)), Lookup::Claimed(_)), "oldest evicted");
+    }
+
+    #[test]
+    fn republishing_a_key_does_not_inflate_the_entry_count() {
+        let c = ResultCache::new(4);
+        for _ in 0..3 {
+            // Publish the same key repeatedly (an abort + retry cycle).
+            let _ = c.lookup_or_claim(key(7));
+            c.publish(key(7), Ok(costed("again", 1.0)));
+        }
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.stats().evictions, 0);
     }
 
     #[test]

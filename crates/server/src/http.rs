@@ -2,19 +2,22 @@
 //!
 //! The offline build bars every external crate, so the service speaks the
 //! wire protocol directly — the same spirit in which `tane-cli` hand-rolls
-//! its flag parser. Only the subset the service needs is implemented: one
-//! request per connection (`Connection: close`), `Content-Length` bodies,
-//! no chunked encoding, no keep-alive. That subset is enough for `curl`,
-//! for the test clients, and for anything speaking plain HTTP/1.1.
+//! its flag parser. Only the subset the service needs is implemented:
+//! `Content-Length` bodies and persistent connections (keep-alive is the
+//! HTTP/1.1 default, `Connection: close` opts out; HTTP/1.0 clients must
+//! opt in). Chunked transfer encoding is *rejected*, not ignored: a body
+//! the parser cannot frame would desync every later request on the same
+//! connection, so `Transfer-Encoding` is answered 501 and duplicate
+//! `Content-Length` headers 400. That subset is enough for `curl`, for the
+//! test clients, and for anything speaking plain HTTP/1.1.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{self, BufRead, Read, Write};
 use tane_util::Json;
 
 /// Upper bound on the request line + headers, independent of the body cap.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// A parsed request: method, path, and the (bounded) body.
+/// A parsed request: method, path, body, and connection disposition.
 #[derive(Debug)]
 pub struct Request {
     /// `GET`, `POST`, …, uppercase as received.
@@ -23,16 +26,29 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when the request has none).
     pub body: Vec<u8>,
+    /// Whether the client permits another request on this connection:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum RequestError {
-    /// Malformed request line or headers.
+    /// Malformed request line, headers, or body framing (HTTP 400).
     Bad(String),
-    /// Body or head exceeded the configured bound.
+    /// Framing the parser refuses to guess at, e.g. `Transfer-Encoding`
+    /// (HTTP 501).
+    NotImplemented(String),
+    /// Body or head exceeded the configured bound (HTTP 413).
     TooLarge,
-    /// Socket-level failure (including read timeout).
+    /// The connection was cleanly closed before any byte of this request —
+    /// the normal end of a keep-alive connection. Nothing to answer.
+    Closed,
+    /// The read timed out before any byte of this request arrived — an
+    /// idle keep-alive connection. Nothing to answer.
+    Idle,
+    /// Socket-level failure (including a timeout mid-request).
     Io(io::Error),
 }
 
@@ -42,11 +58,29 @@ impl From<io::Error> for RequestError {
     }
 }
 
-/// Reads one request from `stream`, rejecting bodies over `max_body_bytes`.
-pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, RequestError> {
-    let mut reader = BufReader::new(stream);
+/// True for the error kinds a socket read timeout produces.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Reads one request from `reader`, rejecting bodies over `max_body_bytes`.
+///
+/// `reader` is the connection's *persistent* buffered reader: bytes of a
+/// pipelined follow-up request that arrive early stay buffered for the
+/// next call. A timeout or EOF before the first byte of the request maps
+/// to [`RequestError::Idle`] / [`RequestError::Closed`]; either one after
+/// the first byte is a hard error, because the stream position is now
+/// unknowable and reuse would desync.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> Result<Request, RequestError> {
+    let mut raw = Vec::new();
     let mut line = String::new();
-    take_line(&mut reader, &mut line)?;
+    match take_line(reader, &mut raw, &mut line) {
+        Ok(()) => {}
+        Err(RequestError::Io(e)) if is_timeout(&e) && raw.is_empty() => {
+            return Err(RequestError::Idle)
+        }
+        Err(e) => return Err(e),
+    }
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -57,13 +91,22 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
     if !version.starts_with("HTTP/1.") {
         return Err(RequestError::Bad(format!("unsupported version {version:?}")));
     }
+    let http_10 = version == "HTTP/1.0";
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut conn_close = false;
+    let mut conn_keep_alive = false;
     let mut head_bytes = line.len();
     loop {
         line.clear();
-        take_line(&mut reader, &mut line)?;
+        match take_line(reader, &mut raw, &mut line) {
+            Ok(()) => {}
+            Err(RequestError::Closed) => {
+                return Err(RequestError::Bad("connection closed mid-headers".into()))
+            }
+            Err(e) => return Err(e),
+        }
         if line.is_empty() {
             break;
         }
@@ -71,43 +114,80 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
         if head_bytes > MAX_HEAD_BYTES {
             return Err(RequestError::TooLarge);
         }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| RequestError::Bad(format!("bad content-length {value:?}")))?;
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let n = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Bad(format!("bad content-length {value:?}")))?;
+            // Duplicate Content-Length — even two equal copies — is the
+            // classic request-smuggling ambiguity; refuse outright.
+            if let Some(prev) = content_length.replace(n) {
+                return Err(RequestError::Bad(format!(
+                    "duplicate content-length headers ({prev} and {n})"
+                )));
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Silently treating a chunked body as empty would leave the
+            // chunks on the wire to be parsed as the "next request".
+            return Err(RequestError::NotImplemented(format!(
+                "transfer-encoding {:?} not supported; use content-length",
+                value.trim()
+            )));
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                conn_close |= token.eq_ignore_ascii_case("close");
+                conn_keep_alive |= token.eq_ignore_ascii_case("keep-alive");
             }
         }
     }
 
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body_bytes {
         return Err(RequestError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    let keep_alive = !conn_close && (!http_10 || conn_keep_alive);
+    Ok(Request { method, path, body, keep_alive })
 }
 
-/// Reads one CRLF-terminated line, without the terminator, bounded.
-fn take_line(reader: &mut BufReader<&mut TcpStream>, line: &mut String) -> Result<(), RequestError> {
-    let mut raw = Vec::new();
-    let mut limited = reader.take(MAX_HEAD_BYTES as u64 + 2);
-    let n = limited.read_until(b'\n', &mut raw)?;
+/// Reads one LF-terminated line into `line`, stripping the `\n` and exactly
+/// one optional `\r` before it — a header value may legitimately *end* in a
+/// bare CR, and swallowing it would change where the header block ends.
+///
+/// `raw` is the caller's scratch buffer: on error it holds whatever bytes
+/// were consumed before the failure, so the caller can distinguish "nothing
+/// arrived" (idle / clean close) from "died mid-line" (desync).
+fn take_line<R: BufRead>(
+    reader: &mut R,
+    raw: &mut Vec<u8>,
+    line: &mut String,
+) -> Result<(), RequestError> {
+    raw.clear();
+    let n = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 2).read_until(b'\n', raw)?;
     if n == 0 {
-        return Err(RequestError::Bad("connection closed mid-request".into()));
+        return Err(RequestError::Closed);
     }
     if !raw.ends_with(b"\n") {
-        return Err(RequestError::TooLarge);
+        return if raw.len() >= MAX_HEAD_BYTES + 2 {
+            Err(RequestError::TooLarge)
+        } else {
+            Err(RequestError::Bad("connection closed mid-request".into()))
+        };
     }
-    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
         raw.pop();
     }
-    *line = String::from_utf8(raw).map_err(|_| RequestError::Bad("non-UTF-8 header".into()))?;
+    *line = String::from_utf8(std::mem::take(raw))
+        .map_err(|_| RequestError::Bad("non-UTF-8 header".into()))?;
     Ok(())
 }
 
-/// One response, written in full and then the connection closes.
+/// One response; the caller decides whether the connection persists.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -135,13 +215,16 @@ impl Response {
         self
     }
 
-    /// Serializes the response onto `stream`.
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+    /// Serializes the response onto `stream`. `keep_alive` names the
+    /// *server's* decision for this connection and is announced in the
+    /// `connection:` header so well-behaved clients agree on it.
+    pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.extra_headers {
             head.push_str(name);
@@ -156,6 +239,9 @@ impl Response {
     }
 }
 
+/// The reason phrase for `status`. Unmapped codes get a non-empty
+/// placeholder: an empty phrase would put a bare trailing space on the
+/// status line, which some clients reject as malformed.
 fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -167,30 +253,24 @@ fn status_text(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
-        _ => "",
+        _ => "Status",
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
     use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
 
-    /// Round-trips `raw` through a loopback socket into `read_request`.
+    /// Parses `raw` as the bytes of one connection; `read_request` is
+    /// generic over `BufRead`, so no socket is needed.
     fn parse(raw: &[u8], max_body: usize) -> Result<Request, RequestError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        let writer = std::thread::spawn(move || {
-            let mut c = TcpStream::connect(addr).unwrap();
-            c.write_all(&raw).unwrap();
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        let got = read_request(&mut stream, max_body);
-        writer.join().unwrap();
-        got
+        read_request(&mut Cursor::new(raw.to_vec()), max_body)
     }
 
     #[test]
@@ -199,6 +279,7 @@ mod tests {
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/metrics");
         assert!(r.body.is_empty());
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -210,6 +291,72 @@ mod tests {
         .unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn connection_header_decides_persistence() {
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 64).unwrap();
+        assert!(!close.keep_alive);
+        let mixed = parse(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n", 64).unwrap();
+        assert!(!mixed.keep_alive, "close wins when both tokens appear");
+        let old = parse(b"GET / HTTP/1.0\r\n\r\n", 64).unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_keep = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 64).unwrap();
+        assert!(old_keep.keep_alive, "HTTP/1.0 may opt in");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let two = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = Cursor::new(two.to_vec());
+        let first = read_request(&mut reader, 1024).unwrap();
+        assert_eq!((first.path.as_str(), first.body.as_slice()), ("/a", &b"xyz"[..]));
+        let second = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(RequestError::Closed)
+        ), "clean EOF between requests is Closed, not Bad");
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_as_unimplemented() {
+        let e = parse(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(e, RequestError::NotImplemented(_)), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Conflicting values.
+        let e = parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(e, RequestError::Bad(_)), "{e:?}");
+        // Even equal duplicates are refused — the ambiguity is the attack.
+        let e = parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(e, RequestError::Bad(_)), "{e:?}");
+    }
+
+    #[test]
+    fn take_line_strips_exactly_one_cr() {
+        let mut reader = Cursor::new(b"value\r\r\n\r\nbare-lf\n".to_vec());
+        let (mut raw, mut line) = (Vec::new(), String::new());
+        take_line(&mut reader, &mut raw, &mut line).unwrap();
+        assert_eq!(line, "value\r", "only the final CR belongs to the terminator");
+        take_line(&mut reader, &mut raw, &mut line).unwrap();
+        assert_eq!(line, "", "a true CRLF line is still the header terminator");
+        take_line(&mut reader, &mut raw, &mut line).unwrap();
+        assert_eq!(line, "bare-lf", "lenient bare-LF lines still parse");
     }
 
     #[test]
@@ -230,27 +377,58 @@ mod tests {
             parse(b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 128),
             Err(RequestError::Bad(_))
         ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHost: x", 128),
+            Err(RequestError::Bad(_))
+        ), "EOF mid-line is a hard error, not a clean close");
+    }
+
+    #[test]
+    fn idle_and_closed_are_distinguished_on_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // A connected client that sends nothing: the read times out ⇒ Idle.
+        let quiet = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_read_timeout(Some(Duration::from_millis(40))).unwrap();
+        let mut reader = std::io::BufReader::new(accepted);
+        assert!(matches!(read_request(&mut reader, 128), Err(RequestError::Idle)));
+
+        // The client hangs up without sending anything ⇒ Closed.
+        drop(quiet);
+        assert!(matches!(read_request(&mut reader, 128), Err(RequestError::Closed)));
     }
 
     #[test]
     fn response_wire_format() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let reader = std::thread::spawn(move || {
-            let mut c = TcpStream::connect(addr).unwrap();
-            let mut text = String::new();
-            c.read_to_string(&mut text).unwrap();
-            text
-        });
-        let (mut stream, _) = listener.accept().unwrap();
+        let mut wire = Vec::new();
         Response::json(429, &Json::obj([("error", Json::Str("queue full".into()))]))
             .with_header("retry-after", "1")
-            .write_to(&mut stream)
+            .write_to(&mut wire, false)
             .unwrap();
-        drop(stream);
-        let text = reader.join().unwrap();
+        let text = String::from_utf8(wire).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}"));
+
+        let mut wire = Vec::new();
+        Response::json(200, &Json::Null).write_to(&mut wire, true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn unmapped_status_codes_get_a_nonempty_reason() {
+        let mut wire = Vec::new();
+        Response::json(418, &Json::Null).write_to(&mut wire, false).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 418 Status\r\n"),
+            "no trailing-space status line: {text}"
+        );
+        assert_eq!(status_text(501), "Not Implemented");
+        assert_eq!(status_text(503), "Service Unavailable");
     }
 }

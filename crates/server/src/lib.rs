@@ -13,14 +13,21 @@
 //! no external crates, so the HTTP layer, job queue, and JSON codec are
 //! hand-rolled (the latter lives in `tane_util::json`).
 //!
-//! * [`http`] — minimal HTTP/1.1 request reader / response writer.
+//! * [`http`] — minimal HTTP/1.1 request reader / response writer:
+//!   keep-alive + pipelining on a persistent per-connection reader, with
+//!   strict framing (`Transfer-Encoding` ⇒ 501, duplicate
+//!   `Content-Length` ⇒ 400 — silently mis-framing a body on a reused
+//!   connection is a request-smuggling vector).
 //! * [`queue`] — bounded MPMC job queue (full ⇒ HTTP 429, never OOM).
-//! * [`cache`] — single-flight result cache.
+//! * [`cache`] — single-flight result cache with cost-aware eviction
+//!   (cheapest-to-recompute entries go first).
 //! * [`registry`] — named datasets: built-ins + CSV uploads.
-//! * [`metrics`] — counters behind `/metrics`, including per-level search
-//!   timings and partition-spill bytes threaded up from `tane-core` /
-//!   `tane-partition`.
-//! * [`server`] — accept loop, worker pool, routing, graceful shutdown.
+//! * [`metrics`] — counters behind `/metrics`, including connection
+//!   reuse/shed counts, cache eviction cost, per-level search timings and
+//!   partition-spill bytes threaded up from `tane-core` / `tane-partition`.
+//! * [`server`] — accept loop (bounded by a connection semaphore; excess
+//!   connections shed with 503 + `Retry-After`), persistent-connection
+//!   handlers, worker pool, routing, graceful shutdown.
 //!
 //! Endpoints: `GET /health`, `GET /metrics`, `GET /datasets`,
 //! `POST /datasets/{name}` (CSV body), `POST /discover` (JSON body),

@@ -12,6 +12,8 @@ use std::time::Instant;
 use tane_core::TaneStats;
 use tane_util::Json;
 
+use crate::cache::CacheStats;
+
 /// Aggregated timings for one lattice level across all jobs.
 #[derive(Debug, Default, Clone, Copy)]
 struct LevelAgg {
@@ -22,8 +24,21 @@ struct LevelAgg {
 /// All counters of the service.
 pub struct Metrics {
     start: Instant,
-    /// Requests accepted off the listener, any endpoint.
+    /// Requests *parsed* (any endpoint) — one keep-alive connection can
+    /// contribute many; a connection that never sends a byte contributes
+    /// none.
     pub requests_total: AtomicU64,
+    /// Connections admitted past the connection cap.
+    pub connections_total: AtomicU64,
+    /// Connections currently being served (the semaphore's level).
+    pub connections_active: AtomicUsize,
+    /// Connections refused with 503 at the cap.
+    pub connections_shed: AtomicU64,
+    /// Requests served on an already-used connection — every one of these
+    /// is a TCP handshake keep-alive saved the client.
+    pub connections_reused: AtomicU64,
+    /// Largest number of requests any single connection has carried.
+    pub requests_per_conn_max: AtomicU64,
     /// Discovery jobs finished successfully.
     pub jobs_completed: AtomicU64,
     /// Discovery jobs that errored (disk store failures).
@@ -44,6 +59,11 @@ impl Metrics {
         Metrics {
             start: Instant::now(),
             requests_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_active: AtomicUsize::new(0),
+            connections_shed: AtomicU64::new(0),
+            connections_reused: AtomicU64::new(0),
+            requests_per_conn_max: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
@@ -69,10 +89,14 @@ impl Metrics {
         }
     }
 
-    /// The `/metrics` document. Queue and cache state is owned elsewhere and
-    /// passed in: `(depth, capacity)` and `(hits, coalesced, misses,
-    /// entries)`.
-    pub fn render(&self, queue: (usize, usize), cache: (u64, u64, u64, usize)) -> Json {
+    /// Records the end of one connection that served `served` requests.
+    pub fn record_connection_end(&self, served: u64) {
+        self.requests_per_conn_max.fetch_max(served, Ordering::Relaxed);
+    }
+
+    /// The `/metrics` document. Queue and cache state is owned elsewhere
+    /// and passed in: `(depth, capacity)` and a [`CacheStats`] snapshot.
+    pub fn render(&self, queue: (usize, usize), cache: CacheStats) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         let levels: Vec<Json> = {
             let level_times = self.level_times.lock().expect("metrics poisoned");
@@ -91,6 +115,22 @@ impl Metrics {
         Json::obj([
             ("uptime_secs", Json::Num(self.start.elapsed().as_secs_f64())),
             ("requests_total", n(self.requests_total.load(Ordering::Relaxed))),
+            (
+                "connections",
+                Json::obj([
+                    ("accepted", n(self.connections_total.load(Ordering::Relaxed))),
+                    (
+                        "active",
+                        Json::Num(self.connections_active.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("shed", n(self.connections_shed.load(Ordering::Relaxed))),
+                    ("reused", n(self.connections_reused.load(Ordering::Relaxed))),
+                    (
+                        "max_requests_per_conn",
+                        n(self.requests_per_conn_max.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
             (
                 "queue",
                 Json::obj([
@@ -116,10 +156,12 @@ impl Metrics {
             (
                 "cache",
                 Json::obj([
-                    ("hits", n(cache.0)),
-                    ("coalesced", n(cache.1)),
-                    ("misses", n(cache.2)),
-                    ("entries", Json::Num(cache.3 as f64)),
+                    ("hits", n(cache.hits)),
+                    ("coalesced", n(cache.coalesced)),
+                    ("misses", n(cache.misses)),
+                    ("entries", Json::Num(cache.entries as f64)),
+                    ("evictions", n(cache.evictions)),
+                    ("evicted_compute_secs", Json::Num(cache.evicted_compute_secs)),
                 ]),
             ),
             (
@@ -151,11 +193,36 @@ mod tests {
         stats.level_times = vec![Duration::from_millis(10)];
         m.record_search(&stats);
 
-        let doc = m.render((2, 64), (5, 1, 7, 3));
+        m.connections_total.fetch_add(2, Ordering::Relaxed);
+        m.connections_reused.fetch_add(1, Ordering::Relaxed);
+        m.record_connection_end(9);
+        m.record_connection_end(4);
+
+        let cache = CacheStats {
+            hits: 5,
+            coalesced: 1,
+            misses: 7,
+            entries: 3,
+            evictions: 2,
+            evicted_compute_secs: 0.25,
+        };
+        let doc = m.render((2, 64), cache);
         assert_eq!(doc.get("requests_total").unwrap().as_usize(), Some(3));
         assert_eq!(doc.get("queue").unwrap().get("depth").unwrap().as_usize(), Some(2));
         assert_eq!(doc.get("workers").unwrap().get("total").unwrap().as_usize(), Some(4));
         assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_usize(), Some(5));
+        assert_eq!(doc.get("cache").unwrap().get("evictions").unwrap().as_usize(), Some(2));
+        assert!(
+            (doc.get("cache").unwrap().get("evicted_compute_secs").unwrap().as_f64().unwrap()
+                - 0.25)
+                .abs()
+                < 1e-12
+        );
+        let conns = doc.get("connections").unwrap();
+        assert_eq!(conns.get("accepted").unwrap().as_usize(), Some(2));
+        assert_eq!(conns.get("reused").unwrap().as_usize(), Some(1));
+        assert_eq!(conns.get("shed").unwrap().as_usize(), Some(0));
+        assert_eq!(conns.get("max_requests_per_conn").unwrap().as_usize(), Some(9));
         let search = doc.get("search").unwrap();
         assert_eq!(search.get("disk_bytes_written").unwrap().as_usize(), Some(2048));
         let levels = search.get("level_times").unwrap().as_array().unwrap();

@@ -10,19 +10,25 @@
 //! ```
 //!
 //! Handlers never compute: they resolve the dataset, claim or join a cache
-//! flight, and wait. Workers own the searches. Overload is shed at the
-//! queue (HTTP 429), never absorbed into memory. Shutdown (SIGTERM,
-//! SIGINT, or `POST /shutdown`) stops the accept loop, lets workers finish
-//! the jobs they hold, and fails the undrained backlog with 503.
+//! flight, and wait. Workers own the searches. One handler thread serves a
+//! connection for its whole keep-alive lifetime (up to
+//! `max_requests_per_conn` requests, closing after `idle_timeout` of
+//! silence), and the thread-per-connection spawn is bounded by a
+//! connection semaphore — connections over `max_connections` are shed
+//! with 503 + `Retry-After`. Overload is likewise shed at the queue
+//! (HTTP 429), never absorbed into memory. Shutdown (SIGTERM, SIGINT, or
+//! `POST /shutdown`) stops the accept loop, answers each persistent
+//! connection's in-flight request with `connection: close`, lets workers
+//! finish the jobs they hold, and fails the undrained backlog with 503.
 
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::{CacheKey, CachedResult, JobResult, Lookup, ResultCache};
-use crate::http::{read_request, Request, RequestError, Response};
+use crate::http::{is_timeout, read_request, Request, RequestError, Response};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
 use crate::registry::DatasetRegistry;
@@ -69,12 +75,22 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum request body size (CSV uploads, discover bodies).
     pub max_body_bytes: usize,
-    /// Socket read timeout per request.
+    /// Socket write timeout, and the read timeout while *inside* a request
+    /// (a client that stalls mid-request is disconnected after this).
     pub read_timeout: Duration,
     /// How long a handler waits for its job before answering 504.
     pub job_timeout: Duration,
     /// Finished results kept in the cache.
     pub cache_capacity: usize,
+    /// Concurrent connections served; excess connections are shed with
+    /// 503 + `Retry-After` instead of spawning unbounded handler threads.
+    pub max_connections: usize,
+    /// Requests one keep-alive connection may carry before the server
+    /// closes it (a fairness valve against connection squatting).
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server disconnects it.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +102,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             job_timeout: Duration::from_secs(120),
             cache_capacity: 256,
+            max_connections: 1024,
+            max_requests_per_conn: 1000,
+            idle_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -114,6 +133,32 @@ struct Shared {
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+
+    /// Claims a connection slot, or reports the cap reached. The gauge in
+    /// `metrics.connections_active` *is* the semaphore count; handlers
+    /// release by decrementing it when they finish.
+    fn try_admit_connection(&self) -> bool {
+        let active = &self.metrics.connections_active;
+        let mut current = active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.config.max_connections {
+                return false;
+            }
+            match active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    fn release_connection(&self) {
+        self.metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -182,10 +227,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, workers: Vec<std::t
     while !shared.shutting_down() {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let shared = Arc::clone(shared);
-                let _ = std::thread::Builder::new()
-                    .name("tane-handler".into())
-                    .spawn(move || handle_connection(&shared, stream));
+                if !shared.try_admit_connection() {
+                    shed_connection(shared, stream);
+                    continue;
+                }
+                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                let handler_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new().name("tane-handler".into()).spawn(
+                    move || {
+                        handle_connection(&handler_shared, stream);
+                        handler_shared.release_connection();
+                    },
+                );
+                if spawned.is_err() {
+                    // The closure (and its permit release) never ran; the
+                    // stream was dropped with it. Give the slot back here.
+                    shared.release_connection();
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -273,17 +331,76 @@ fn shape_result(relation: &Relation, result: &TaneResult) -> CachedResult {
     }
 }
 
+/// Refuses a connection over the cap: one quick 503 with `Retry-After`,
+/// written from a short-lived thread so a slow peer cannot stall the
+/// accept loop, then the socket closes.
+fn shed_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+    let _ = std::thread::Builder::new().name("tane-shed".into()).spawn(move || {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = Response::error(503, "connection limit reached")
+            .with_header("retry-after", "1")
+            .write_to(&mut stream, false);
+    });
+}
+
+/// Serves one connection for its whole keep-alive lifetime.
+///
+/// The `BufReader` persists across requests, so bytes of a pipelined
+/// follow-up that arrived with an earlier read are served without touching
+/// the socket. The connection closes when the client asks (`Connection:
+/// close`), idles past `idle_timeout`, exhausts `max_requests_per_conn`,
+/// commits a framing error (answered, then closed — the stream position is
+/// no longer trustworthy, and reusing it is exactly the smuggling desync
+/// the parser exists to prevent), or when the server starts shutting down
+/// (drain: the in-flight request is still answered, with
+/// `connection: close`).
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
-    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(request) => route(shared, &request),
-        Err(RequestError::TooLarge) => Response::error(413, "request too large"),
-        Err(RequestError::Bad(msg)) => Response::error(400, &msg),
-        Err(RequestError::Io(_)) => return, // client went away; nothing to say
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
     };
-    let _ = response.write_to(&mut stream);
+    let mut reader = BufReader::new(read_half);
+    let mut served: u64 = 0;
+    loop {
+        let (response, keep_alive) = match read_request(&mut reader, shared.config.max_body_bytes)
+        {
+            Ok(request) => {
+                shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                if served > 0 {
+                    shared.metrics.connections_reused.fetch_add(1, Ordering::Relaxed);
+                }
+                served += 1;
+                let response = route(shared, &request);
+                let keep = request.keep_alive
+                    && served < shared.config.max_requests_per_conn as u64
+                    && !shared.shutting_down();
+                (response, keep)
+            }
+            // The quiet ends of a keep-alive connection: the client hung
+            // up between requests, or sat idle past the timeout.
+            Err(RequestError::Closed) | Err(RequestError::Idle) => break,
+            // Framing errors are answered, then the connection closes.
+            Err(RequestError::TooLarge) => (Response::error(413, "request too large"), false),
+            Err(RequestError::Bad(msg)) => (Response::error(400, &msg), false),
+            Err(RequestError::NotImplemented(msg)) => (Response::error(501, &msg), false),
+            Err(RequestError::Io(e)) if is_timeout(&e) => {
+                // Stalled *mid*-request (Idle covers the between-requests
+                // case): tell the client before hanging up.
+                (Response::error(408, "timed out reading request"), false)
+            }
+            Err(RequestError::Io(_)) => break, // client went away; nothing to say
+        };
+        if response.write_to(&mut stream, keep_alive).is_err() {
+            break;
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+    shared.metrics.record_connection_end(served);
 }
 
 fn route(shared: &Shared, request: &Request) -> Response {

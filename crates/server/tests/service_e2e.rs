@@ -10,12 +10,13 @@ use tane_core::{discover_fds, TaneConfig};
 use tane_server::{Server, ServerConfig};
 use tane_util::Json;
 
-/// Sends one request, returns `(status, parsed body)`.
+/// Sends one request on a fresh connection (opting out of keep-alive so
+/// the EOF-terminated read below works), returns `(status, parsed body)`.
 fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Json) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification: exactly what CI/the driver runs, plus an explicit
 # build of the server crate (a non-default workspace member on some cargo
-# invocations). Run from the repo root.
+# invocations) and an explicit run of the server e2e suites (loopback
+# keep-alive/pipelining/framing + service concurrency/overload), so the
+# persistent-connection path is exercised even when a filtered `cargo
+# test` invocation would skip it. Run from the repo root; one command is
+# the whole tier-1 gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo build -p tane-server
+cargo test -q -p tane-server --test keepalive_e2e --test service_e2e
 
 echo "tier1: OK"

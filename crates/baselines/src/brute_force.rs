@@ -5,8 +5,8 @@
 //! quadratic-ish in `|r|`, which is fine for the ≤ 10-attribute random
 //! relations the test suites use.
 
-use tane_util::{canonical_fds, AttrSet, Fd, FxHashMap};
 use tane_relation::Relation;
+use tane_util::{canonical_fds, AttrSet, Fd, FxHashMap};
 
 /// `true` iff `X → A` holds in `r`: all row pairs agreeing on `X` agree on
 /// `A`. Implemented by grouping rows on their `X`-projection.
@@ -40,7 +40,11 @@ pub fn fd_g3_rows(relation: &Relation, lhs: AttrSet, rhs: usize) -> usize {
     let rhs_codes = relation.column_codes(rhs);
     for t in 0..relation.num_rows() {
         let key: Vec<u32> = lhs.iter().map(|a| relation.column_codes(a)[t]).collect();
-        *groups.entry(key).or_default().entry(rhs_codes[t]).or_insert(0) += 1;
+        *groups
+            .entry(key)
+            .or_default()
+            .entry(rhs_codes[t])
+            .or_insert(0) += 1;
     }
     let mut removed = 0usize;
     for counts in groups.values() {
@@ -215,7 +219,10 @@ mod tests {
         let r = Relation::builder(Schema::new(["A", "B"]).unwrap()).build();
         let fds = brute_force_fds(&r, 2);
         // ∅ → A and ∅ → B hold vacuously and are the minimal cover.
-        assert_eq!(fds, vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]);
+        assert_eq!(
+            fds,
+            vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]
+        );
     }
 
     #[test]
@@ -245,7 +252,10 @@ mod tests {
     fn single_attribute_relation_has_constant_or_no_fds() {
         let schema = Schema::new(["A"]).unwrap();
         let constant = Relation::from_codes(schema.clone(), vec![vec![1, 1]]).unwrap();
-        assert_eq!(brute_force_fds(&constant, 1), vec![Fd::new(AttrSet::empty(), 0)]);
+        assert_eq!(
+            brute_force_fds(&constant, 1),
+            vec![Fd::new(AttrSet::empty(), 0)]
+        );
         let varying = Relation::from_codes(schema, vec![vec![1, 2]]).unwrap();
         assert!(brute_force_fds(&varying, 1).is_empty());
     }

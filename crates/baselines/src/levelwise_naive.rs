@@ -14,8 +14,8 @@
 //! The ablation benches run this against TANE on the same datasets to show
 //! where the paper's speedups come from.
 
-use tane_util::{canonical_fds, AttrSet, Fd, FxHashMap};
 use tane_relation::Relation;
+use tane_util::{canonical_fds, AttrSet, Fd, FxHashMap};
 
 /// Search statistics reported alongside the result.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -8,8 +8,8 @@
 //! test-sized relations.
 
 use crate::brute_force::{brute_force_approx_fds, brute_force_fds, fd_g3_rows, fd_holds};
-use tane_util::{canonical_fds, Fd};
 use tane_relation::Relation;
+use tane_util::{canonical_fds, Fd};
 
 /// A defect found in a claimed minimal cover.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +33,10 @@ impl std::fmt::Display for CoverIssue {
             CoverIssue::NotValid(fd) => write!(f, "reported dependency {fd} does not hold"),
             CoverIssue::Trivial(fd) => write!(f, "reported dependency {fd} is trivial"),
             CoverIssue::NotMinimal(fd, witness) => {
-                write!(f, "reported dependency {fd} is not minimal ({witness} also holds)")
+                write!(
+                    f,
+                    "reported dependency {fd} is not minimal ({witness} also holds)"
+                )
             }
             CoverIssue::Missing(fd) => write!(f, "minimal dependency {fd} is missing"),
             CoverIssue::Duplicate(fd) => write!(f, "dependency {fd} reported twice"),
@@ -108,8 +111,8 @@ pub fn verify_minimal_cover(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tane_util::AttrSet;
     use tane_relation::Schema;
+    use tane_util::AttrSet;
 
     fn two_col() -> Relation {
         // A determines B; B is a key for nothing (B has duplicates).
@@ -130,7 +133,9 @@ mod tests {
         let mut fds = brute_force_fds(&r, 2);
         let dropped = fds.pop().unwrap();
         let issues = verify_minimal_cover(&r, &fds, 2, 0.0);
-        assert!(issues.iter().any(|i| matches!(i, CoverIssue::Missing(fd) if *fd == dropped)));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CoverIssue::Missing(fd) if *fd == dropped)));
     }
 
     #[test]
@@ -153,15 +158,14 @@ mod tests {
         // {A,B} → … with A → B already valid: non-minimal and trivially
         // constructed on a 3-column relation.
         let schema = Schema::new(["A", "B", "C"]).unwrap();
-        let r3 = Relation::from_codes(
-            schema,
-            vec![vec![0, 1, 2], vec![0, 0, 1], vec![0, 1, 0]],
-        )
-        .unwrap();
+        let r3 = Relation::from_codes(schema, vec![vec![0, 1, 2], vec![0, 0, 1], vec![0, 1, 0]])
+            .unwrap();
         let mut fds = brute_force_fds(&r3, 3);
         fds.push(Fd::new(AttrSet::from_indices([0, 1]), 2)); // A alone is a key
         let issues = verify_minimal_cover(&r3, &fds, 3, 0.0);
-        assert!(issues.iter().any(|i| matches!(i, CoverIssue::NotMinimal(..))));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CoverIssue::NotMinimal(..))));
     }
 
     #[test]
@@ -171,7 +175,9 @@ mod tests {
         let dup = fds[0];
         fds.push(dup);
         let issues = verify_minimal_cover(&r, &fds, 2, 0.0);
-        assert!(issues.iter().any(|i| matches!(i, CoverIssue::Duplicate(fd) if *fd == dup)));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CoverIssue::Duplicate(fd) if *fd == dup)));
     }
 
     #[test]
@@ -191,10 +197,14 @@ mod tests {
     #[test]
     fn issue_messages_render() {
         let fd = Fd::new(AttrSet::singleton(0), 1);
-        assert!(CoverIssue::NotValid(fd).to_string().contains("does not hold"));
+        assert!(CoverIssue::NotValid(fd)
+            .to_string()
+            .contains("does not hold"));
         assert!(CoverIssue::Missing(fd).to_string().contains("missing"));
         assert!(CoverIssue::Duplicate(fd).to_string().contains("twice"));
         assert!(CoverIssue::Trivial(fd).to_string().contains("trivial"));
-        assert!(CoverIssue::NotMinimal(fd, fd).to_string().contains("not minimal"));
+        assert!(CoverIssue::NotMinimal(fd, fd)
+            .to_string()
+            .contains("not minimal"));
     }
 }

@@ -29,19 +29,35 @@ fn report(group: &str, name: &str, secs: f64) {
 
 fn bench_exact_algorithms() {
     let r = wisconsin_breast_cancer();
-    report("exact_wbc", "tane_mem", best_secs(10, || {
-        discover_fds(&r, &TaneConfig::default()).unwrap()
-    }));
-    report("exact_wbc", "tane_disk", best_secs(10, || {
-        discover_fds(&r, &TaneConfig::disk(4 << 20)).unwrap()
-    }));
-    report("exact_wbc", "tane_no_pruning", best_secs(10, || {
-        discover_fds(&r, &TaneConfig::default().without_pruning()).unwrap()
-    }));
-    report("exact_wbc", "fdep", best_secs(10, || tane_fdep::fdep_fds(&r)));
-    report("exact_wbc", "naive_levelwise", best_secs(10, || {
-        tane_baselines::naive_levelwise_fds(&r, r.num_attrs())
-    }));
+    report(
+        "exact_wbc",
+        "tane_mem",
+        best_secs(10, || discover_fds(&r, &TaneConfig::default()).unwrap()),
+    );
+    report(
+        "exact_wbc",
+        "tane_disk",
+        best_secs(10, || discover_fds(&r, &TaneConfig::disk(4 << 20)).unwrap()),
+    );
+    report(
+        "exact_wbc",
+        "tane_no_pruning",
+        best_secs(10, || {
+            discover_fds(&r, &TaneConfig::default().without_pruning()).unwrap()
+        }),
+    );
+    report(
+        "exact_wbc",
+        "fdep",
+        best_secs(10, || tane_fdep::fdep_fds(&r)),
+    );
+    report(
+        "exact_wbc",
+        "naive_levelwise",
+        best_secs(10, || {
+            tane_baselines::naive_levelwise_fds(&r, r.num_attrs())
+        }),
+    );
 }
 
 fn bench_row_scaling() {
@@ -50,26 +66,36 @@ fn bench_row_scaling() {
     for copies in [1usize, 2, 4] {
         let r = scaled_wbc(copies);
         let rows = r.num_rows();
-        report("row_scaling", &format!("tane_mem/{rows}"), best_secs(10, || {
-            discover_fds(&r, &TaneConfig::default()).unwrap()
-        }));
-        report("row_scaling", &format!("fdep/{rows}"), best_secs(10, || {
-            tane_fdep::fdep_fds(&r)
-        }));
+        report(
+            "row_scaling",
+            &format!("tane_mem/{rows}"),
+            best_secs(10, || discover_fds(&r, &TaneConfig::default()).unwrap()),
+        );
+        report(
+            "row_scaling",
+            &format!("fdep/{rows}"),
+            best_secs(10, || tane_fdep::fdep_fds(&r)),
+        );
     }
 }
 
 fn bench_approximate() {
     let r = wisconsin_breast_cancer();
     for eps in [0.01f64, 0.05, 0.25] {
-        report("approx_wbc", &format!("with_bounds/{eps}"), best_secs(10, || {
-            discover_approx_fds(&r, &ApproxTaneConfig::new(eps)).unwrap()
-        }));
+        report(
+            "approx_wbc",
+            &format!("with_bounds/{eps}"),
+            best_secs(10, || {
+                discover_approx_fds(&r, &ApproxTaneConfig::new(eps)).unwrap()
+            }),
+        );
         let mut config = ApproxTaneConfig::new(eps);
         config.use_g3_bounds = false;
-        report("approx_wbc", &format!("without_bounds/{eps}"), best_secs(10, || {
-            discover_approx_fds(&r, &config).unwrap()
-        }));
+        report(
+            "approx_wbc",
+            &format!("without_bounds/{eps}"),
+            best_secs(10, || discover_approx_fds(&r, &config).unwrap()),
+        );
     }
 }
 

@@ -56,7 +56,12 @@ fn bench_from_column() {
         let r = scaled_wbc(copies);
         let codes = r.column_codes(1).to_vec();
         let secs = best_secs(20, || StrippedPartition::from_column(&codes));
-        report("from_column", &codes.len().to_string(), secs, Some(codes.len()));
+        report(
+            "from_column",
+            &codes.len().to_string(),
+            secs,
+            Some(codes.len()),
+        );
     }
 }
 
@@ -67,7 +72,12 @@ fn bench_product() {
         let pb = StrippedPartition::from_column(r.column_codes(2));
         let mut scratch = ProductScratch::new(r.num_rows());
         let secs = best_secs(20, || product_with_scratch(&pa, &pb, &mut scratch));
-        report("product", &r.num_rows().to_string(), secs, Some(r.num_rows()));
+        report(
+            "product",
+            &r.num_rows().to_string(),
+            secs,
+            Some(r.num_rows()),
+        );
     }
 }
 
@@ -76,7 +86,9 @@ fn bench_g3() {
     let pi_x = StrippedPartition::from_attr_set(&r, AttrSet::from_indices([1, 2]));
     let pi_xa = StrippedPartition::from_attr_set(&r, AttrSet::from_indices([1, 2, 10]));
     let mut scratch = G3Scratch::new(r.num_rows());
-    let secs = best_secs(20, || g3_removed_rows_with_scratch(&pi_x, &pi_xa, &mut scratch));
+    let secs = best_secs(20, || {
+        g3_removed_rows_with_scratch(&pi_x, &pi_xa, &mut scratch)
+    });
     report("g3", "exact", secs, None);
     let secs = best_secs(20, || G3Bounds::new(&pi_x, &pi_xa).decide(0.05));
     report("g3", "bounds_only", secs, None);

@@ -34,7 +34,15 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
         "{}",
         format_row(
             &widths,
-            &["Dataset", "Variant", "N", "Time(s)", "Sets (s)", "Tests (v)"].map(String::from)
+            &[
+                "Dataset",
+                "Variant",
+                "N",
+                "Time(s)",
+                "Sets (s)",
+                "Tests (v)"
+            ]
+            .map(String::from)
         )
     );
 
@@ -49,11 +57,27 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
         let full = TaneConfig::default();
         let variants: Vec<(&str, TaneConfig)> = vec![
             ("full TANE", full.clone()),
-            ("no rhs+ pruning", TaneConfig { rhs_plus_pruning: false, ..full.clone() }),
-            ("no key pruning", TaneConfig { key_pruning: false, ..full.clone() }),
+            (
+                "no rhs+ pruning",
+                TaneConfig {
+                    rhs_plus_pruning: false,
+                    ..full.clone()
+                },
+            ),
+            (
+                "no key pruning",
+                TaneConfig {
+                    key_pruning: false,
+                    ..full.clone()
+                },
+            ),
             (
                 "no pruning at all",
-                TaneConfig { rhs_plus_pruning: false, key_pruning: false, ..full.clone() },
+                TaneConfig {
+                    rhs_plus_pruning: false,
+                    key_pruning: false,
+                    ..full.clone()
+                },
             ),
         ];
         let mut reference_n = None;
@@ -159,7 +183,10 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
         for eps in [0.05f64, 0.25] {
             for (variant, config) in [
                 (format!("sound (eps={eps})"), ApproxTaneConfig::new(eps)),
-                (format!("paper-faithful (eps={eps})"), ApproxTaneConfig::paper_faithful(eps)),
+                (
+                    format!("paper-faithful (eps={eps})"),
+                    ApproxTaneConfig::paper_faithful(eps),
+                ),
             ] {
                 let sw = Stopwatch::start();
                 let result =

@@ -33,14 +33,29 @@ pub fn run(scale: Scale) -> Vec<(String, Vec<Figure3Point>)> {
         println!("-- {name}");
         println!(
             "{}",
-            format_row(&widths, &["eps", "N", "N/N0", "Time(s)", "Time/Time0"].map(String::from))
+            format_row(
+                &widths,
+                &["eps", "N", "N/N0", "Time(s)", "Time/Time0"].map(String::from)
+            )
         );
         let base = run_approx(&relation, 0.0);
         let mut series = Vec::new();
         for eps in EPSILONS {
-            let cell = if eps == 0.0 { base } else { run_approx(&relation, eps) };
-            let n_ratio = if base.n == 0 { 0.0 } else { cell.n as f64 / base.n as f64 };
-            let time_ratio = if base.secs == 0.0 { 0.0 } else { cell.secs / base.secs };
+            let cell = if eps == 0.0 {
+                base
+            } else {
+                run_approx(&relation, eps)
+            };
+            let n_ratio = if base.n == 0 {
+                0.0
+            } else {
+                cell.n as f64 / base.n as f64
+            };
+            let time_ratio = if base.secs == 0.0 {
+                0.0
+            } else {
+                cell.secs / base.secs
+            };
             println!(
                 "{}",
                 format_row(

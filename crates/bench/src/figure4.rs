@@ -5,7 +5,9 @@
 //! point per n) from which all three plots derive.
 
 use crate::report::Figure4Point;
-use crate::runners::{format_row, run_fdep, run_tane_disk, run_tane_mem, FDEP_PAIR_CAP_FAST, FDEP_PAIR_CAP_FULL};
+use crate::runners::{
+    format_row, run_fdep, run_tane_disk, run_tane_mem, FDEP_PAIR_CAP_FAST, FDEP_PAIR_CAP_FULL,
+};
 use crate::Scale;
 use tane_datasets as ds;
 
@@ -19,7 +21,10 @@ pub fn run(scale: Scale) -> Vec<Figure4Point> {
     let widths = [6usize, 9, 10, 10, 10];
     println!(
         "{}",
-        format_row(&widths, &["n", "rows", "TANE", "TANE/MEM", "Fdep"].map(String::from))
+        format_row(
+            &widths,
+            &["n", "rows", "TANE", "TANE/MEM", "Fdep"].map(String::from)
+        )
     );
     let mut out = Vec::new();
     for &n in copies {
@@ -37,7 +42,8 @@ pub fn run(scale: Scale) -> Vec<Figure4Point> {
                     relation.num_rows().to_string(),
                     format!("{:.3}", tane.secs),
                     format!("{:.3}", tane_mem.secs),
-                    fdep.map(|c| format!("{:.3}", c.secs)).unwrap_or_else(|| "*".to_string()),
+                    fdep.map(|c| format!("{:.3}", c.secs))
+                        .unwrap_or_else(|| "*".to_string()),
                 ]
             )
         );

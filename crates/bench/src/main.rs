@@ -31,7 +31,11 @@ OPTIONS:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--fast") { Scale::Fast } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--fast") {
+        Scale::Fast
+    } else {
+        Scale::Full
+    };
     let json_index = args.iter().position(|a| a == "--json");
     let json_path = json_index.and_then(|i| args.get(i + 1)).cloned();
     let experiment = match args

@@ -217,9 +217,18 @@ impl Report {
     /// The whole report as a JSON document (the `--json` output).
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("table1", Json::Arr(self.table1.iter().map(Table1Row::to_json).collect())),
-            ("table2", Json::Arr(self.table2.iter().map(Table2Row::to_json).collect())),
-            ("table3", Json::Arr(self.table3.iter().map(Table3Row::to_json).collect())),
+            (
+                "table1",
+                Json::Arr(self.table1.iter().map(Table1Row::to_json).collect()),
+            ),
+            (
+                "table2",
+                Json::Arr(self.table2.iter().map(Table2Row::to_json).collect()),
+            ),
+            (
+                "table3",
+                Json::Arr(self.table3.iter().map(Table3Row::to_json).collect()),
+            ),
             (
                 "figure3",
                 Json::Arr(
@@ -234,8 +243,14 @@ impl Report {
                         .collect(),
                 ),
             ),
-            ("figure4", Json::Arr(self.figure4.iter().map(Figure4Point::to_json).collect())),
-            ("ablations", Json::Arr(self.ablations.iter().map(AblationRow::to_json).collect())),
+            (
+                "figure4",
+                Json::Arr(self.figure4.iter().map(Figure4Point::to_json).collect()),
+            ),
+            (
+                "ablations",
+                Json::Arr(self.ablations.iter().map(AblationRow::to_json).collect()),
+            ),
         ])
     }
 }
@@ -279,6 +294,11 @@ mod tests {
             t1[0].get("tane").unwrap().get("secs").unwrap().as_f64(),
             Some(0.5)
         );
-        assert!(parsed.get("ablations").unwrap().as_array().unwrap().is_empty());
+        assert!(parsed
+            .get("ablations")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
     }
 }

@@ -35,7 +35,10 @@ pub struct Cell {
 impl Cell {
     /// Structured form for the `--json` report.
     pub fn to_json(self) -> Json {
-        Json::obj([("n", Json::Num(self.n as f64)), ("secs", Json::Num(self.secs))])
+        Json::obj([
+            ("n", Json::Num(self.n as f64)),
+            ("secs", Json::Num(self.secs)),
+        ])
     }
 }
 
@@ -47,19 +50,27 @@ pub fn cell_json(cell: Option<Cell>) -> Json {
 /// Runs TANE with disk-resident partitions (the paper's scalable TANE).
 pub fn run_tane_disk(relation: &Relation) -> Cell {
     let config = TaneConfig {
-        storage: Storage::Disk { cache_bytes: DISK_CACHE_BYTES },
+        storage: Storage::Disk {
+            cache_bytes: DISK_CACHE_BYTES,
+        },
         ..TaneConfig::default()
     };
     let sw = Stopwatch::start();
     let result = discover_fds(relation, &config).expect("disk store failure");
-    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+    Cell {
+        n: result.fds.len(),
+        secs: sw.elapsed_secs(),
+    }
 }
 
 /// Runs TANE/MEM (everything in main memory).
 pub fn run_tane_mem(relation: &Relation) -> Cell {
     let sw = Stopwatch::start();
     let result = discover_fds(relation, &TaneConfig::default()).expect("memory store cannot fail");
-    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+    Cell {
+        n: result.fds.len(),
+        secs: sw.elapsed_secs(),
+    }
 }
 
 /// Runs TANE/MEM with an LHS size limit (Table 3's `|X|` column).
@@ -67,7 +78,10 @@ pub fn run_tane_mem_limited(relation: &Relation, max_lhs: usize) -> Cell {
     let config = TaneConfig::default().with_max_lhs(max_lhs);
     let sw = Stopwatch::start();
     let result = discover_fds(relation, &config).expect("memory store cannot fail");
-    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+    Cell {
+        n: result.fds.len(),
+        secs: sw.elapsed_secs(),
+    }
 }
 
 /// Runs FDEP unless its quadratic pair scan would exceed `pair_cap`
@@ -80,7 +94,10 @@ pub fn run_fdep(relation: &Relation, pair_cap: usize) -> Option<Cell> {
     }
     let sw = Stopwatch::start();
     let (fds, _) = tane_fdep::fdep_fds(relation);
-    Some(Cell { n: fds.len(), secs: sw.elapsed_secs() })
+    Some(Cell {
+        n: fds.len(),
+        secs: sw.elapsed_secs(),
+    })
 }
 
 /// Runs approximate TANE/MEM at threshold `epsilon` (sound algorithm).
@@ -88,7 +105,10 @@ pub fn run_approx(relation: &Relation, epsilon: f64) -> Cell {
     let config = ApproxTaneConfig::new(epsilon);
     let sw = Stopwatch::start();
     let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
-    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+    Cell {
+        n: result.fds.len(),
+        secs: sw.elapsed_secs(),
+    }
 }
 
 /// Runs approximate TANE/MEM with the paper-faithful aggressive rhs⁺
@@ -98,7 +118,10 @@ pub fn run_approx_paper(relation: &Relation, epsilon: f64) -> Cell {
     let config = ApproxTaneConfig::paper_faithful(epsilon);
     let sw = Stopwatch::start();
     let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
-    Cell { n: result.fds.len(), secs: sw.elapsed_secs() }
+    Cell {
+        n: result.fds.len(),
+        secs: sw.elapsed_secs(),
+    }
 }
 
 /// Formats an optional cell's time the way the paper's tables do (`*` for

@@ -14,7 +14,10 @@ fn dataset_grid(scale: Scale) -> Vec<(String, Relation)> {
     let mut grid: Vec<(String, Relation)> = vec![
         ("Lymphography".into(), ds::lymphography()),
         ("Hepatitis".into(), ds::hepatitis()),
-        ("Wisconsin breast cancer".into(), ds::wisconsin_breast_cancer()),
+        (
+            "Wisconsin breast cancer".into(),
+            ds::wisconsin_breast_cancer(),
+        ),
     ];
     match scale {
         Scale::Fast => {

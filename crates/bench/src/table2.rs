@@ -48,7 +48,10 @@ pub fn run(scale: Scale) -> Vec<Table2Row> {
             cells.push((eps, cell));
         }
         println!("{}", format_row(&widths, &printed));
-        rows.push(Table2Row { dataset: name, cells });
+        rows.push(Table2Row {
+            dataset: name,
+            cells,
+        });
     }
     println!();
     rows

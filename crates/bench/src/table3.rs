@@ -5,7 +5,9 @@
 //! there, not re-run).
 
 use crate::report::Table3Row;
-use crate::runners::{fmt_time, format_row, run_fdep, run_tane_mem_limited, FDEP_PAIR_CAP_FAST, FDEP_PAIR_CAP_FULL};
+use crate::runners::{
+    fmt_time, format_row, run_fdep, run_tane_mem_limited, FDEP_PAIR_CAP_FAST, FDEP_PAIR_CAP_FULL,
+};
 use crate::Scale;
 use tane_datasets as ds;
 
@@ -21,8 +23,19 @@ pub fn run(scale: Scale) -> Vec<Table3Row> {
         "{}",
         format_row(
             &widths,
-            &["Name", "|r|", "|R|", "|X|", "N", "Bell[1]", "Bitton[2]", "Fdep", "Schlimmer", "TANE"]
-                .map(String::from)
+            &[
+                "Name",
+                "|r|",
+                "|R|",
+                "|X|",
+                "N",
+                "Bell[1]",
+                "Bitton[2]",
+                "Fdep",
+                "Schlimmer",
+                "TANE"
+            ]
+            .map(String::from)
         )
     );
 
@@ -33,10 +46,34 @@ pub fn run(scale: Scale) -> Vec<Table3Row> {
     // publicly available ("many of the databases used in previous articles
     // are not publicly available").
     for (name, r, attrs, x, n, cited) in [
-        ("Lymphography*", 150usize, 19usize, 7usize, 641usize, vec![("Bell[1]".to_string(), 118800.0), ("Fdep".to_string(), 540.0)]),
+        (
+            "Lymphography*",
+            150usize,
+            19usize,
+            7usize,
+            641usize,
+            vec![
+                ("Bell[1]".to_string(), 118800.0),
+                ("Fdep".to_string(), 540.0),
+            ],
+        ),
         ("Rel1", 7, 7, 7, 8, vec![("Bitton[2]".to_string(), 0.02)]),
-        ("Rel6", 236, 60, 60, 56, vec![("Bitton[2]".to_string(), 994.0)]),
-        ("Books", 9931, 9, 9, 25, vec![("Bell[1]".to_string(), 17040.0)]),
+        (
+            "Rel6",
+            236,
+            60,
+            60,
+            56,
+            vec![("Bitton[2]".to_string(), 994.0)],
+        ),
+        (
+            "Books",
+            9931,
+            9,
+            9,
+            25,
+            vec![("Bell[1]".to_string(), 17040.0)],
+        ),
     ] {
         let lookup = |col: &str| -> String {
             cited
@@ -85,7 +122,10 @@ pub fn run(scale: Scale) -> Vec<Table3Row> {
             "W. breast cancer".into(),
             wbc.clone(),
             4,
-            vec![("Bell[1]".to_string(), 259.0), ("Schlimmer".to_string(), 4440.0)],
+            vec![
+                ("Bell[1]".to_string(), 259.0),
+                ("Schlimmer".to_string(), 4440.0),
+            ],
         ),
         (
             "W. breast cancer".into(),

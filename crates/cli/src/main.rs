@@ -11,7 +11,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, TaneConfig};
+use tane_core::{
+    discover_approx_fds_with, discover_fds_with, ApproxTaneConfig, LevelEvent, TaneConfig,
+};
 use tane_relation::csv::{read_csv, write_csv, CsvOptions};
 use tane_relation::{NullSemantics, Relation};
 
@@ -55,6 +57,9 @@ DISCOVER OPTIONS:
     --max-lhs <N>        only consider left-hand sides of at most N attributes
     --algorithm <A>      tane (default) | fdep | naive
     --disk <MB>          spill partitions to disk, keeping an MB-sized cache
+    --stream             print each lattice level's dependencies as the
+                         search completes it (tane only), instead of all
+                         at the end
     --stats              print search statistics after the dependencies
     --no-header          the CSV has no header row (attributes become A0, A1, …)
     --delimiter <C>      field delimiter (default ,)
@@ -118,7 +123,10 @@ impl Opts {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 }
 
@@ -133,7 +141,12 @@ fn csv_options(opts: &Opts) -> Result<CsvOptions, String> {
         Some("distinct") => NullSemantics::NullsDistinct,
         Some(other) => return Err(format!("unknown nulls mode `{other}`")),
     };
-    Ok(CsvOptions { delimiter, has_header: !opts.flag("no-header"), infer_types: true, nulls })
+    Ok(CsvOptions {
+        delimiter,
+        has_header: !opts.flag("no-header"),
+        infer_types: true,
+        nulls,
+    })
 }
 
 fn load(path: &str, opts: &Opts) -> Result<Relation, String> {
@@ -142,7 +155,18 @@ fn load(path: &str, opts: &Opts) -> Result<Relation, String> {
 }
 
 fn discover(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, &["epsilon", "max-lhs", "algorithm", "disk", "delimiter", "nulls", "threads"])?;
+    let opts = parse_opts(
+        args,
+        &[
+            "epsilon",
+            "max-lhs",
+            "algorithm",
+            "disk",
+            "delimiter",
+            "nulls",
+            "threads",
+        ],
+    )?;
     let path = opts.positional.first().ok_or("discover needs a CSV file")?;
     let relation = load(path, &opts)?;
 
@@ -160,7 +184,9 @@ fn discover(args: &[String]) -> Result<(), String> {
     let storage = match opts.value("disk") {
         Some(mb) => {
             let mb: usize = mb.parse().map_err(|_| format!("bad cache size `{mb}`"))?;
-            tane_core::Storage::Disk { cache_bytes: mb << 20 }
+            tane_core::Storage::Disk {
+                cache_bytes: mb << 20,
+            }
         }
         None => tane_core::Storage::Memory,
     };
@@ -177,16 +203,46 @@ fn discover(args: &[String]) -> Result<(), String> {
     let n_attrs = relation.num_attrs();
     match algorithm {
         "tane" => {
-            let base = TaneConfig { storage, max_lhs, threads, ..TaneConfig::default() };
+            let base = TaneConfig {
+                storage,
+                max_lhs,
+                threads,
+                ..TaneConfig::default()
+            };
+            let streaming = opts.flag("stream");
+            // With --stream, dependencies print per level as the search
+            // finishes each one — a level's minimal FDs are final before
+            // the next level is even generated, so early lines are safe to
+            // act on. Level markers go to stderr so stdout stays a plain
+            // FD list either way.
+            let on_level = |ev: LevelEvent| {
+                if !streaming {
+                    return;
+                }
+                for fd in &ev.new_minimal_fds {
+                    println!("{}", fd.display_with(&names));
+                }
+                eprintln!(
+                    "# level {}: {} new, {:.3}s",
+                    ev.level,
+                    ev.new_minimal_fds.len(),
+                    ev.level_time.as_secs_f64()
+                );
+            };
             let result = if epsilon > 0.0 {
-                let config = ApproxTaneConfig { base, ..ApproxTaneConfig::new(epsilon) };
-                discover_approx_fds(&relation, &config)
+                let config = ApproxTaneConfig {
+                    base,
+                    ..ApproxTaneConfig::new(epsilon)
+                };
+                discover_approx_fds_with(&relation, &config, on_level)
             } else {
-                discover_fds(&relation, &base)
+                discover_fds_with(&relation, &base, on_level)
             }
             .map_err(|e| e.to_string())?;
-            for fd in &result.fds {
-                println!("{}", fd.display_with(&names));
+            if !streaming {
+                for fd in &result.fds {
+                    println!("{}", fd.display_with(&names));
+                }
             }
             eprintln!("# {} minimal dependencies", result.fds.len());
             if opts.flag("stats") {
@@ -207,6 +263,9 @@ fn discover(args: &[String]) -> Result<(), String> {
             if epsilon > 0.0 {
                 return Err("FDEP only discovers exact dependencies".into());
             }
+            if opts.flag("stream") {
+                return Err("--stream requires --algorithm tane".into());
+            }
             let (mut fds, stats) = tane_fdep::fdep_fds(&relation);
             if let Some(m) = max_lhs {
                 fds.retain(|fd| fd.lhs.len() <= m);
@@ -225,6 +284,9 @@ fn discover(args: &[String]) -> Result<(), String> {
         "naive" => {
             if epsilon > 0.0 {
                 return Err("the naive baseline only discovers exact dependencies".into());
+            }
+            if opts.flag("stream") {
+                return Err("--stream requires --algorithm tane".into());
             }
             let m = max_lhs.unwrap_or(n_attrs);
             let (fds, stats) = tane_baselines::naive_levelwise_fds(&relation, m);
@@ -245,17 +307,27 @@ fn discover(args: &[String]) -> Result<(), String> {
 fn dataset(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args, &["copies", "output", "o", "delimiter"])?;
     let name = opts.positional.first().ok_or_else(|| {
-        format!("dataset needs a name (one of: {})", tane_datasets::DATASET_NAMES.join(", "))
+        format!(
+            "dataset needs a name (one of: {})",
+            tane_datasets::DATASET_NAMES.join(", ")
+        )
     })?;
     let mut relation = tane_datasets::by_name(name).ok_or_else(|| {
-        format!("unknown dataset `{name}` (one of: {})", tane_datasets::DATASET_NAMES.join(", "))
+        format!(
+            "unknown dataset `{name}` (one of: {})",
+            tane_datasets::DATASET_NAMES.join(", ")
+        )
     })?;
     if let Some(copies) = opts.value("copies") {
-        let copies: usize = copies.parse().map_err(|_| format!("bad copies `{copies}`"))?;
+        let copies: usize = copies
+            .parse()
+            .map_err(|_| format!("bad copies `{copies}`"))?;
         if copies == 0 {
             return Err("copies must be at least 1".into());
         }
-        relation = relation.concat_disjoint_copies(copies).map_err(|e| e.to_string())?;
+        relation = relation
+            .concat_disjoint_copies(copies)
+            .map_err(|e| e.to_string())?;
     }
     let delimiter = b',';
     match opts.value("output").or_else(|| opts.value("o")) {
@@ -263,7 +335,11 @@ fn dataset(args: &[String]) -> Result<(), String> {
             let file = std::fs::File::create(PathBuf::from(path))
                 .map_err(|e| format!("creating {path}: {e}"))?;
             write_csv(&relation, file, delimiter).map_err(|e| e.to_string())?;
-            eprintln!("# wrote {} rows x {} attributes to {path}", relation.num_rows(), relation.num_attrs());
+            eprintln!(
+                "# wrote {} rows x {} attributes to {path}",
+                relation.num_rows(),
+                relation.num_attrs()
+            );
         }
         None => {
             let stdout = std::io::stdout();
@@ -277,10 +353,21 @@ fn serve(args: &[String]) -> Result<(), String> {
     use std::io::Write;
     let opts = parse_opts(
         args,
-        &["port", "workers", "queue", "cache", "timeout", "max-conns", "conn-requests", "idle-timeout"],
+        &[
+            "port",
+            "workers",
+            "queue",
+            "cache",
+            "timeout",
+            "max-conns",
+            "conn-requests",
+            "idle-timeout",
+        ],
     )?;
     if let Some(extra) = opts.positional.first() {
-        return Err(format!("serve takes no positional arguments, got `{extra}`"));
+        return Err(format!(
+            "serve takes no positional arguments, got `{extra}`"
+        ));
     }
     let port: u16 = match opts.value("port") {
         Some(p) => p.parse().map_err(|_| format!("bad port `{p}`"))?,
@@ -310,8 +397,9 @@ fn serve(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(r) = opts.value("conn-requests") {
-        config.max_requests_per_conn =
-            r.parse().map_err(|_| format!("bad per-connection request cap `{r}`"))?;
+        config.max_requests_per_conn = r
+            .parse()
+            .map_err(|_| format!("bad per-connection request cap `{r}`"))?;
         if config.max_requests_per_conn == 0 {
             return Err("need at least one request per connection".into());
         }
@@ -332,7 +420,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     // the bound port, so it goes to stdout and is flushed immediately.
     println!("listening on {}", server.local_addr());
     std::io::stdout().flush().ok();
-    eprintln!("# {workers} workers; POST /discover, GET /metrics; stop with SIGTERM or POST /shutdown");
+    eprintln!(
+        "# {workers} workers; POST /discover, GET /metrics; stop with SIGTERM or POST /shutdown"
+    );
     server.wait();
     eprintln!("# server stopped");
     Ok(())

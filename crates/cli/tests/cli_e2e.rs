@@ -30,12 +30,25 @@ A,B,C,D
 #[test]
 fn discover_prints_the_minimal_cover() {
     let path = write_fixture("discover.csv", FIGURE1);
-    let out = tane().args(["discover", path.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = tane()
+        .args(["discover", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("{B,C} -> A"), "missing Example 2's FD in:\n{stdout}");
+    assert!(
+        stdout.contains("{B,C} -> A"),
+        "missing Example 2's FD in:\n{stdout}"
+    );
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("6 minimal dependencies"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("6 minimal dependencies"),
+        "stderr: {stderr}"
+    );
     std::fs::remove_file(path).unwrap();
 }
 
@@ -66,7 +79,13 @@ fn algorithms_agree_through_the_cli() {
 fn epsilon_and_stats_flags() {
     let path = write_fixture("eps.csv", FIGURE1);
     let out = tane()
-        .args(["discover", path.to_str().unwrap(), "--epsilon", "0.375", "--stats"])
+        .args([
+            "discover",
+            path.to_str().unwrap(),
+            "--epsilon",
+            "0.375",
+            "--stats",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -81,8 +100,15 @@ fn epsilon_and_stats_flags() {
 #[test]
 fn dataset_roundtrip_through_discover() {
     let csv = std::env::temp_dir().join(format!("tane-cli-test-{}-wbc.csv", std::process::id()));
-    let out = tane().args(["dataset", "wbc", "-o", csv.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = tane()
+        .args(["dataset", "wbc", "-o", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = tane()
         .args(["discover", csv.to_str().unwrap(), "--max-lhs", "3"])
         .output()
@@ -94,7 +120,10 @@ fn dataset_roundtrip_through_discover() {
 #[test]
 fn profile_reports_columns() {
     let path = write_fixture("profile.csv", FIGURE1);
-    let out = tane().args(["profile", path.to_str().unwrap()]).output().unwrap();
+    let out = tane()
+        .args(["profile", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("rows: 8"));
@@ -106,7 +135,10 @@ fn profile_reports_columns() {
 #[test]
 fn errors_are_reported_not_panicked() {
     // Missing file.
-    let out = tane().args(["discover", "/nonexistent/nope.csv"]).output().unwrap();
+    let out = tane()
+        .args(["discover", "/nonexistent/nope.csv"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
     // Bad epsilon.
@@ -146,7 +178,9 @@ fn serve_answers_discover_and_shuts_down() {
 
     let http = |method: &str, path: &str, body: &[u8]| -> (u16, String) {
         let mut stream = std::net::TcpStream::connect(&addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
         // `connection: close` so the EOF-terminated read below works
         // against the keep-alive server.
         write!(
@@ -199,7 +233,10 @@ fn serve_rejects_bad_flags() {
     let out = tane().args(["serve", "--workers", "0"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("at least one worker"));
-    let out = tane().args(["serve", "--port", "notaport"]).output().unwrap();
+    let out = tane()
+        .args(["serve", "--port", "notaport"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = tane().args(["serve", "stray"]).output().unwrap();
     assert!(!out.status.success());
@@ -207,9 +244,15 @@ fn serve_rejects_bad_flags() {
     let out = tane().args(["serve", "--max-conns", "0"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("connection slot"));
-    let out = tane().args(["serve", "--conn-requests", "0"]).output().unwrap();
+    let out = tane()
+        .args(["serve", "--conn-requests", "0"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
-    let out = tane().args(["serve", "--idle-timeout", "0"]).output().unwrap();
+    let out = tane()
+        .args(["serve", "--idle-timeout", "0"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

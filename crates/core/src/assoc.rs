@@ -53,7 +53,11 @@ impl AssocConfig {
             (0.0..=1.0).contains(&min_confidence),
             "min_confidence must be in [0, 1], got {min_confidence}"
         );
-        AssocConfig { min_support, min_confidence, max_lhs }
+        AssocConfig {
+            min_support,
+            min_confidence,
+            max_lhs,
+        }
     }
 }
 
@@ -114,7 +118,10 @@ impl AssocRule {
 /// Mines all association rules meeting `config` by the levelwise
 /// equivalence-class search described in the module docs. Rules are
 /// returned grouped by LHS attribute set, ascending, then by LHS codes.
-pub fn mine_assoc_rules(relation: &Relation, config: &AssocConfig) -> Result<Vec<AssocRule>, TaneError> {
+pub fn mine_assoc_rules(
+    relation: &Relation,
+    config: &AssocConfig,
+) -> Result<Vec<AssocRule>, TaneError> {
     let n_rows = relation.num_rows();
     let n_attrs = relation.num_attrs();
     let mut rules = Vec::new();
@@ -128,10 +135,24 @@ pub fn mine_assoc_rules(relation: &Relation, config: &AssocConfig) -> Result<Vec
     // empty LHS — would be the rule "⇒ A = a", i.e. plain value frequency;
     // emitted when max_lhs permits the degenerate case.)
     if config.max_lhs == 0 {
-        emit_rules(relation, AttrSet::empty(), &StrippedPartition::unit(n_rows), min_rows, config, &mut rules);
+        emit_rules(
+            relation,
+            AttrSet::empty(),
+            &StrippedPartition::unit(n_rows),
+            min_rows,
+            config,
+            &mut rules,
+        );
         return Ok(rules);
     }
-    emit_rules(relation, AttrSet::empty(), &StrippedPartition::unit(n_rows), min_rows, config, &mut rules);
+    emit_rules(
+        relation,
+        AttrSet::empty(),
+        &StrippedPartition::unit(n_rows),
+        min_rows,
+        config,
+        &mut rules,
+    );
 
     let mut level: Vec<(AttrSet, StrippedPartition)> = (0..n_attrs)
         .map(|a| {
@@ -331,13 +352,20 @@ mod tests {
         // weather=0 ⇒ play=1 with support 3/6, confidence 3/4.
         let rule = rules
             .iter()
-            .find(|r| r.lhs_attrs == AttrSet::singleton(0) && r.lhs_codes == [0] && r.rhs_attr == 1 && r.rhs_code == 1)
+            .find(|r| {
+                r.lhs_attrs == AttrSet::singleton(0)
+                    && r.lhs_codes == [0]
+                    && r.rhs_attr == 1
+                    && r.rhs_code == 1
+            })
             .expect("rule must be found");
         assert_eq!(rule.support_rows, 3);
         assert_eq!(rule.lhs_rows, 4);
         assert!((rule.confidence() - 0.75).abs() < 1e-12);
         // weather=1 ⇒ play=0 with confidence 1.0.
-        assert!(rules.iter().any(|r| r.lhs_codes == [1] && r.rhs_code == 0 && r.confidence() == 1.0));
+        assert!(rules
+            .iter()
+            .any(|r| r.lhs_codes == [1] && r.rhs_code == 0 && r.confidence() == 1.0));
     }
 
     #[test]
@@ -356,7 +384,10 @@ mod tests {
                 let config = AssocConfig::new(sup, conf, max_lhs);
                 let got = canon(mine_assoc_rules(&r, &config).unwrap());
                 let want = canon(brute_force_rules(&r, &config));
-                assert_eq!(got, want, "trial {trial} sup={sup} conf={conf} max_lhs={max_lhs}");
+                assert_eq!(
+                    got, want,
+                    "trial {trial} sup={sup} conf={conf} max_lhs={max_lhs}"
+                );
             }
         }
     }
@@ -398,7 +429,9 @@ mod tests {
     #[test]
     fn empty_relation_and_degenerate_configs() {
         let r = rel(vec![vec![]]);
-        assert!(mine_assoc_rules(&r, &AssocConfig::new(0.5, 0.5, 1)).unwrap().is_empty());
+        assert!(mine_assoc_rules(&r, &AssocConfig::new(0.5, 0.5, 1))
+            .unwrap()
+            .is_empty());
         assert!(std::panic::catch_unwind(|| AssocConfig::new(0.0, 0.5, 1)).is_err());
         assert!(std::panic::catch_unwind(|| AssocConfig::new(0.5, 1.5, 1)).is_err());
     }

@@ -4,8 +4,7 @@
 ///
 /// The paper evaluates both variants (Section 7): the scalable **TANE**
 /// spills partitions to disk, **TANE/MEM** keeps everything in memory.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Storage {
     /// All partitions in main memory (the paper's TANE/MEM).
     #[default]
@@ -17,7 +16,6 @@ pub enum Storage {
         cache_bytes: usize,
     },
 }
-
 
 /// Configuration for exact FD discovery.
 ///
@@ -64,7 +62,10 @@ impl Default for TaneConfig {
 impl TaneConfig {
     /// The paper's scalable TANE: partitions on disk with the given cache.
     pub fn disk(cache_bytes: usize) -> TaneConfig {
-        TaneConfig { storage: Storage::Disk { cache_bytes }, ..TaneConfig::default() }
+        TaneConfig {
+            storage: Storage::Disk { cache_bytes },
+            ..TaneConfig::default()
+        }
     }
 
     /// Convenience setter for the LHS size cap.
@@ -141,7 +142,10 @@ impl ApproxTaneConfig {
     /// The paper-faithful performance variant: see
     /// [`aggressive_rhs_plus`](Self::aggressive_rhs_plus).
     pub fn paper_faithful(epsilon: f64) -> ApproxTaneConfig {
-        ApproxTaneConfig { aggressive_rhs_plus: true, ..ApproxTaneConfig::new(epsilon) }
+        ApproxTaneConfig {
+            aggressive_rhs_plus: true,
+            ..ApproxTaneConfig::new(epsilon)
+        }
     }
 }
 
@@ -160,7 +164,12 @@ mod tests {
     #[test]
     fn builders() {
         let c = TaneConfig::disk(1 << 20);
-        assert_eq!(c.storage, Storage::Disk { cache_bytes: 1 << 20 });
+        assert_eq!(
+            c.storage,
+            Storage::Disk {
+                cache_bytes: 1 << 20
+            }
+        );
         let c = TaneConfig::default().with_max_lhs(4);
         assert_eq!(c.max_lhs, Some(4));
         let c = TaneConfig::default().without_pruning();

@@ -101,7 +101,11 @@ pub fn candidate_keys(fds: &[Fd], n_attrs: usize) -> Vec<AttrSet> {
     // Final minimality sweep (cheap; the level order makes this a no-op in
     // practice but guards the invariant).
     let snapshot = keys.clone();
-    keys.retain(|&k| !snapshot.iter().any(|&other| other != k && other.is_subset_of(k)));
+    keys.retain(|&k| {
+        !snapshot
+            .iter()
+            .any(|&other| other != k && other.is_subset_of(k))
+    });
     keys
 }
 
@@ -140,13 +144,22 @@ mod tests {
     fn closure_fixpoint_chains() {
         // A→B, B→C, {C,D}→E.
         let fds = [fd(&[0], 1), fd(&[1], 2), fd(&[2, 3], 4)];
-        assert_eq!(attribute_closure(&fds, AttrSet::singleton(0)), AttrSet::from_indices([0, 1, 2]));
+        assert_eq!(
+            attribute_closure(&fds, AttrSet::singleton(0)),
+            AttrSet::from_indices([0, 1, 2])
+        );
         assert_eq!(
             attribute_closure(&fds, AttrSet::from_indices([0, 3])),
             AttrSet::from_indices([0, 1, 2, 3, 4])
         );
-        assert_eq!(attribute_closure(&fds, AttrSet::singleton(3)), AttrSet::singleton(3));
-        assert_eq!(attribute_closure(&[], AttrSet::singleton(1)), AttrSet::singleton(1));
+        assert_eq!(
+            attribute_closure(&fds, AttrSet::singleton(3)),
+            AttrSet::singleton(3)
+        );
+        assert_eq!(
+            attribute_closure(&[], AttrSet::singleton(1)),
+            AttrSet::singleton(1)
+        );
     }
 
     #[test]

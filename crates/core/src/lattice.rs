@@ -64,7 +64,10 @@ impl Level {
 
     /// Mutable entry for `set`.
     pub fn get_mut(&mut self, set: AttrSet) -> Option<&mut LevelEntry> {
-        self.index.get(&set).copied().map(move |i| &mut self.entries[i])
+        self.index
+            .get(&set)
+            .copied()
+            .map(move |i| &mut self.entries[i])
     }
 
     /// All entries, including deleted ones.
@@ -124,9 +127,9 @@ pub fn generate_next_level(level: &Level) -> Vec<NextLevelCandidate> {
         for i in 0..members.len() {
             for j in (i + 1)..members.len() {
                 let candidate = members[i].union(members[j]);
-                let all_subsets_live = candidate.proper_subsets_one_smaller().all(|(_, sub)| {
-                    level.get(sub).is_some_and(|e| !e.deleted)
-                });
+                let all_subsets_live = candidate
+                    .proper_subsets_one_smaller()
+                    .all(|(_, sub)| level.get(sub).is_some_and(|e| !e.deleted));
                 if all_subsets_live {
                     out.push(NextLevelCandidate {
                         set: candidate,
@@ -152,7 +155,13 @@ mod tests {
     use super::*;
 
     fn entry(set: AttrSet) -> LevelEntry {
-        LevelEntry { set, cplus: AttrSet::empty(), error_rows: 0, is_superkey: false, deleted: false }
+        LevelEntry {
+            set,
+            cplus: AttrSet::empty(),
+            error_rows: 0,
+            is_superkey: false,
+            deleted: false,
+        }
     }
 
     fn level_of(sets: &[AttrSet]) -> Level {
@@ -175,7 +184,10 @@ mod tests {
         l.get_mut(AttrSet::singleton(0)).unwrap().deleted = true;
         assert_eq!(l.live_len(), 1);
         assert!(!l.is_empty());
-        assert!(l.get(AttrSet::singleton(0)).is_some(), "deleted entries stay resident");
+        assert!(
+            l.get(AttrSet::singleton(0)).is_some(),
+            "deleted entries stay resident"
+        );
     }
 
     #[test]
@@ -188,7 +200,11 @@ mod tests {
 
     #[test]
     fn generate_level2_from_singletons() {
-        let l = level_of(&[AttrSet::singleton(0), AttrSet::singleton(1), AttrSet::singleton(2)]);
+        let l = level_of(&[
+            AttrSet::singleton(0),
+            AttrSet::singleton(1),
+            AttrSet::singleton(2),
+        ]);
         let next = generate_next_level(&l);
         let sets: Vec<AttrSet> = next.iter().map(|c| c.set).collect();
         assert_eq!(
@@ -228,7 +244,10 @@ mod tests {
             AttrSet::from_indices([1, 2]),
         ]);
         l.get_mut(AttrSet::from_indices([1, 2])).unwrap().deleted = true;
-        assert!(generate_next_level(&l).is_empty(), "deleted subset must block the candidate");
+        assert!(
+            generate_next_level(&l).is_empty(),
+            "deleted subset must block the candidate"
+        );
     }
 
     #[test]
@@ -241,11 +260,14 @@ mod tests {
 
     #[test]
     fn first_level() {
-        assert_eq!(first_level_sets(3), vec![
-            AttrSet::singleton(0),
-            AttrSet::singleton(1),
-            AttrSet::singleton(2),
-        ]);
+        assert_eq!(
+            first_level_sets(3),
+            vec![
+                AttrSet::singleton(0),
+                AttrSet::singleton(1),
+                AttrSet::singleton(2),
+            ]
+        );
         assert!(first_level_sets(0).is_empty());
     }
 

@@ -36,6 +36,31 @@ impl From<StoreError> for TaneError {
     }
 }
 
+/// One completed lattice level, as observed by the streaming variants
+/// [`discover_fds_with`](crate::search::discover_fds_with) /
+/// [`discover_approx_fds_with`](crate::search::discover_approx_fds_with).
+///
+/// The levelwise order makes every dependency in `new_minimal_fds` final
+/// the moment the event fires: no deeper level can add, remove, or shadow
+/// it. Consumers (the service's NDJSON stream, `tane discover --stream`)
+/// may therefore deliver each event immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelEvent {
+    /// The lattice level `ℓ` that just finished (1-based; dependencies in
+    /// this event have LHS size `ℓ − 1`).
+    pub level: usize,
+    /// The minimal dependencies first proven at this level, canonical
+    /// order within the level.
+    pub new_minimal_fds: Vec<Fd>,
+    /// Time spent on this level's validity tests and pruning (the event
+    /// fires *before* the next level's partitions are generated, so this
+    /// is not the same quantity as [`TaneStats::level_times`], which also
+    /// charges each level for producing its successor).
+    pub level_time: Duration,
+    /// Partition bytes resident in the store when the level finished.
+    pub partitions_bytes: usize,
+}
+
 /// Search statistics, matching the quantities of the paper's analysis
 /// (Section 6): `s` = total sets processed, `s_max` = largest level, `k` =
 /// keys found, `v` = validity tests.
@@ -118,7 +143,9 @@ mod tests {
     #[test]
     fn error_display_and_source() {
         use std::error::Error;
-        let e = TaneError::from(StoreError::Missing { key: AttrSet::singleton(1) });
+        let e = TaneError::from(StoreError::Missing {
+            key: AttrSet::singleton(1),
+        });
         assert!(e.to_string().contains("partition store"));
         assert!(e.source().is_some());
     }
@@ -127,7 +154,10 @@ mod tests {
     fn result_render() {
         let schema = Schema::new(["A", "B", "C"]).unwrap();
         let result = TaneResult {
-            fds: vec![Fd::new(AttrSet::from_indices([1, 2]), 0), Fd::new(AttrSet::singleton(0), 2)],
+            fds: vec![
+                Fd::new(AttrSet::from_indices([1, 2]), 0),
+                Fd::new(AttrSet::singleton(0), 2),
+            ],
             keys: vec![AttrSet::singleton(0)],
             stats: TaneStats::default(),
         };

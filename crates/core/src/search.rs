@@ -50,7 +50,7 @@
 
 use crate::config::{ApproxTaneConfig, Storage, TaneConfig};
 use crate::lattice::{first_level_sets, generate_next_level, Level, LevelEntry};
-use crate::result::{TaneError, TaneResult, TaneStats};
+use crate::result::{LevelEvent, TaneError, TaneResult, TaneStats};
 use tane_partition::{
     g3_removed_rows_with_scratch, product_with_scratch, DiskStore, G3Bounds, G3Scratch,
     MemoryStore, PartitionStore, ProductScratch, StrippedPartition,
@@ -65,7 +65,7 @@ use tane_util::{canonical_fds, AttrSet, Fd, Stopwatch};
 ///
 /// Only the disk storage backend can fail (I/O); see [`TaneError`].
 pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<TaneResult, TaneError> {
-    run(relation, config, Mode::Exact)
+    discover_fds_with(relation, config, |_| {})
 }
 
 /// Discovers all minimal non-trivial approximate dependencies
@@ -76,6 +76,33 @@ pub fn discover_approx_fds(
     relation: &Relation,
     config: &ApproxTaneConfig,
 ) -> Result<TaneResult, TaneError> {
+    discover_approx_fds_with(relation, config, |_| {})
+}
+
+/// [`discover_fds`], observing the search level by level: `on_level` fires a
+/// [`LevelEvent`] each time COMPUTE-DEPENDENCIES + PRUNE finish a lattice
+/// level, *before* the next level's partitions are generated — the earliest
+/// moment the level's dependencies are final. The buffering entry points are
+/// implemented on top of this one with a no-op observer.
+///
+/// The union of `new_minimal_fds` over all events equals the returned
+/// `TaneResult::fds` as a set (the final result is globally re-canonicalized,
+/// so the *order* across levels differs).
+pub fn discover_fds_with(
+    relation: &Relation,
+    config: &TaneConfig,
+    mut on_level: impl FnMut(LevelEvent),
+) -> Result<TaneResult, TaneError> {
+    run(relation, config, Mode::Exact, &mut on_level)
+}
+
+/// [`discover_approx_fds`] with a per-level observer; see
+/// [`discover_fds_with`] for the event contract.
+pub fn discover_approx_fds_with(
+    relation: &Relation,
+    config: &ApproxTaneConfig,
+    mut on_level: impl FnMut(LevelEvent),
+) -> Result<TaneResult, TaneError> {
     run(
         relation,
         &config.base,
@@ -84,13 +111,18 @@ pub fn discover_approx_fds(
             use_bounds: config.use_g3_bounds,
             aggressive: config.aggressive_rhs_plus,
         },
+        &mut on_level,
     )
 }
 
 #[derive(Clone, Copy)]
 enum Mode {
     Exact,
-    Approx { epsilon: f64, use_bounds: bool, aggressive: bool },
+    Approx {
+        epsilon: f64,
+        use_bounds: bool,
+        aggressive: bool,
+    },
 }
 
 /// Accumulates discovered dependencies plus, per rhs, the valid LHSs found
@@ -104,7 +136,10 @@ struct Discovery {
 
 impl Discovery {
     fn new(n_attrs: usize) -> Discovery {
-        Discovery { fds: Vec::new(), minimal_lhs: vec![Vec::new(); n_attrs] }
+        Discovery {
+            fds: Vec::new(),
+            minimal_lhs: vec![Vec::new(); n_attrs],
+        }
     }
 
     fn record(&mut self, fd: Fd) {
@@ -188,7 +223,11 @@ const PARALLEL_THRESHOLD: usize = 64;
 /// dependency (`crossbeam`, which predated scoped threads in std) is gone
 /// from the library path.
 fn parallel_products(
-    fetched: &[(AttrSet, std::sync::Arc<StrippedPartition>, std::sync::Arc<StrippedPartition>)],
+    fetched: &[(
+        AttrSet,
+        std::sync::Arc<StrippedPartition>,
+        std::sync::Arc<StrippedPartition>,
+    )],
     threads: usize,
     n_rows: usize,
 ) -> Vec<(AttrSet, StrippedPartition)> {
@@ -214,7 +253,12 @@ fn parallel_products(
     })
 }
 
-fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResult, TaneError> {
+fn run(
+    relation: &Relation,
+    config: &TaneConfig,
+    mode: Mode,
+    on_level: &mut dyn FnMut(LevelEvent),
+) -> Result<TaneResult, TaneError> {
     let sw = Stopwatch::start();
     let n_attrs = relation.num_attrs();
     let n_rows = relation.num_rows();
@@ -225,7 +269,11 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
 
     if n_attrs == 0 {
         stats.elapsed = sw.elapsed();
-        return Ok(TaneResult { fds: disc.fds, keys: found_keys, stats });
+        return Ok(TaneResult {
+            fds: disc.fds,
+            keys: found_keys,
+            stats,
+        });
     }
 
     let mut store = Store::from_config(&config.storage)?;
@@ -263,6 +311,7 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
     let mut ell = 1usize;
     while !current.is_empty() {
         let level_sw = Stopwatch::start();
+        let fds_before = disc.fds.len();
         stats.levels = ell;
         let level_size = current.len();
         stats.sets_per_level.push(level_size);
@@ -304,6 +353,18 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
                 );
             }
         }
+
+        // The level's dependency set is final here — deeper levels only ever
+        // have larger LHSs, so nothing below can shadow a dependency found at
+        // this level. Fire the observer *before* generating the next level's
+        // partitions: on wide relations that generation dominates the level's
+        // wall-clock, and streaming consumers should not wait behind it.
+        on_level(LevelEvent {
+            level: ell,
+            new_minimal_fds: canonical_fds(disc.fds[fds_before..].to_vec()),
+            level_time: level_sw.elapsed(),
+            partitions_bytes: store.resident_bytes(),
+        });
 
         // LHS size cap: dependencies tested at level ℓ+1 have LHS size ℓ.
         if config.max_lhs.is_some_and(|m| ell > m) {
@@ -364,7 +425,11 @@ fn run(relation: &Relation, config: &TaneConfig, mode: Mode) -> Result<TaneResul
     stats.disk_bytes_written = bytes_written;
     stats.elapsed = sw.elapsed();
     found_keys.sort_unstable();
-    Ok(TaneResult { fds: canonical_fds(disc.fds), keys: found_keys, stats })
+    Ok(TaneResult {
+        fds: canonical_fds(disc.fds),
+        keys: found_keys,
+        stats,
+    })
 }
 
 /// COMPUTE-DEPENDENCIES(L_ℓ) — paper, Section 5.
@@ -418,7 +483,11 @@ fn compute_dependencies(
                     let v = sub_entry.error_rows == x_error;
                     (v, v)
                 }
-                Mode::Approx { epsilon, use_bounds, aggressive } => {
+                Mode::Approx {
+                    epsilon,
+                    use_bounds,
+                    aggressive,
+                } => {
                     let exact = sub_entry.error_rows == x_error;
                     if exact {
                         (true, true)
@@ -630,7 +699,9 @@ mod tests {
         let r = figure1();
         let result = discover_fds(&r, &TaneConfig::default()).unwrap();
         // {B,C} → A from the paper's Example 2.
-        assert!(result.fds.contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
+        assert!(result
+            .fds
+            .contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
         // {A} → B does not hold.
         assert!(!result.fds.contains(&Fd::new(AttrSet::singleton(0), 1)));
     }
@@ -664,8 +735,14 @@ mod tests {
         let mem = discover_fds(&r, &TaneConfig::default()).unwrap();
         let disk = discover_fds(&r, &TaneConfig::disk(1 << 12)).unwrap();
         assert_eq!(mem.fds, disk.fds);
-        assert!(disk.stats.disk_writes > 0, "disk variant must spill partitions");
-        assert!(disk.stats.disk_bytes_written > 0, "spills must be accounted in bytes");
+        assert!(
+            disk.stats.disk_writes > 0,
+            "disk variant must spill partitions"
+        );
+        assert!(
+            disk.stats.disk_bytes_written > 0,
+            "spills must be accounted in bytes"
+        );
         assert_eq!(mem.stats.disk_bytes_written, 0);
     }
 
@@ -679,7 +756,10 @@ mod tests {
         assert!(level_sum <= s.elapsed);
         // The max_lhs early exit must not drop the last level's timing.
         let limited = discover_fds(&r, &TaneConfig::default().with_max_lhs(1)).unwrap();
-        assert_eq!(limited.stats.level_times.len(), limited.stats.sets_per_level.len());
+        assert_eq!(
+            limited.stats.level_times.len(),
+            limited.stats.sets_per_level.len()
+        );
     }
 
     #[test]
@@ -711,7 +791,10 @@ mod tests {
             let a = discover_approx_fds(&r, &with).unwrap();
             let b = discover_approx_fds(&r, &without).unwrap();
             assert_eq!(a.fds, b.fds, "epsilon={eps}");
-            assert!(a.stats.g3_decided_by_bounds > 0, "bounds should fire at eps={eps}");
+            assert!(
+                a.stats.g3_decided_by_bounds > 0,
+                "bounds should fire at eps={eps}"
+            );
             assert_eq!(b.stats.g3_decided_by_bounds, 0);
         }
     }
@@ -744,7 +827,10 @@ mod tests {
         let r = Relation::builder(Schema::new(["A", "B"]).unwrap()).build();
         let result = discover_fds(&r, &TaneConfig::default()).unwrap();
         assert_eq!(result.fds, brute_force_fds(&r, 2));
-        assert_eq!(result.fds, vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]);
+        assert_eq!(
+            result.fds,
+            vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]
+        );
     }
 
     #[test]
@@ -823,6 +909,70 @@ mod tests {
         assert_eq!(*s.sets_per_level.iter().max().unwrap(), s.sets_max_level);
         assert!(s.elapsed > std::time::Duration::ZERO);
         assert!(s.products > 0);
+    }
+
+    #[test]
+    fn level_events_partition_the_cover_in_lattice_order() {
+        let r = figure1();
+        let mut events: Vec<LevelEvent> = Vec::new();
+        let result = discover_fds_with(&r, &TaneConfig::default(), |ev| events.push(ev)).unwrap();
+        // One event per level, in order 1, 2, 3, …
+        assert_eq!(events.len(), result.stats.levels);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.level, i + 1);
+            // Every FD first proven at level ℓ has a LHS of ℓ−1 attributes,
+            // except key-pruning outputs, whose LHS (the key) has ℓ.
+            assert!(ev
+                .new_minimal_fds
+                .iter()
+                .all(|fd| { fd.lhs.len() == ev.level - 1 || fd.lhs.len() == ev.level }));
+        }
+        // The union of the events is exactly the buffered cover.
+        let mut streamed: Vec<Fd> = events
+            .iter()
+            .flat_map(|ev| ev.new_minimal_fds.iter().copied())
+            .collect();
+        streamed = canonical_fds(streamed);
+        assert_eq!(streamed, result.fds);
+    }
+
+    #[test]
+    fn level_events_fire_for_approx_and_respect_max_lhs() {
+        let r = figure1();
+        let mut levels = Vec::new();
+        let result = discover_approx_fds_with(&r, &ApproxTaneConfig::new(0.125), |ev| {
+            levels.push(ev.level)
+        })
+        .unwrap();
+        assert_eq!(levels, (1..=result.stats.levels).collect::<Vec<_>>());
+        let streamed_union = |events: &[LevelEvent]| {
+            canonical_fds(
+                events
+                    .iter()
+                    .flat_map(|e| e.new_minimal_fds.iter().copied())
+                    .collect(),
+            )
+        };
+        let mut events = Vec::new();
+        let limited = discover_fds_with(&r, &TaneConfig::default().with_max_lhs(1), |ev| {
+            events.push(ev)
+        })
+        .unwrap();
+        assert_eq!(
+            events.len(),
+            limited.stats.levels,
+            "the early-exit level still fires"
+        );
+        assert_eq!(streamed_union(&events), limited.fds);
+    }
+
+    #[test]
+    fn buffered_and_observed_runs_agree() {
+        let r = figure1();
+        let buffered = discover_fds(&r, &TaneConfig::default()).unwrap();
+        let observed = discover_fds_with(&r, &TaneConfig::default(), |_| {}).unwrap();
+        assert_eq!(buffered.fds, observed.fds);
+        assert_eq!(buffered.keys, observed.keys);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub fn violating_rows(relation: &Relation, fd: Fd) -> Vec<u32> {
         // Count A-values within this X-class; keep the plurality value.
         // Classes are small relative to |r|, so a local sort beats a global
         // probe table here.
-        let mut pairs: Vec<(u32, u32)> = class.iter().map(|&t| (rhs_codes[t as usize], t)).collect();
+        let mut pairs: Vec<(u32, u32)> =
+            class.iter().map(|&t| (rhs_codes[t as usize], t)).collect();
         pairs.sort_unstable();
         // Find the largest run of equal A-codes (first such run on ties —
         // sort order makes this deterministic).
@@ -125,8 +126,9 @@ mod tests {
         let fd = Fd::new(AttrSet::singleton(0), 1);
         let bad = violating_rows(&r, fd);
         // Rebuild without the violating rows and check the FD exactly.
-        let keep: Vec<usize> =
-            (0..r.num_rows()).filter(|t| !bad.contains(&(*t as u32))).collect();
+        let keep: Vec<usize> = (0..r.num_rows())
+            .filter(|t| !bad.contains(&(*t as u32)))
+            .collect();
         let lhs: Vec<u32> = keep.iter().map(|&t| r.column_codes(0)[t]).collect();
         let rhs: Vec<u32> = keep.iter().map(|&t| r.column_codes(1)[t]).collect();
         let cleaned = two_col(lhs, rhs);

@@ -122,11 +122,23 @@ pub fn generate(spec: &DatasetSpec) -> Result<Relation, RelationError> {
                 (0..n as u32).map(|t| t % *distinct).collect()
             }
             ColumnSpec::Derived { of, distinct } => {
-                assert!(of.iter().all(|&p| p < idx), "column {idx} derives from a later column");
-                (0..n).map(|t| derive_code(&columns, of, t, *distinct, spec.seed, idx)).collect()
+                assert!(
+                    of.iter().all(|&p| p < idx),
+                    "column {idx} derives from a later column"
+                );
+                (0..n)
+                    .map(|t| derive_code(&columns, of, t, *distinct, spec.seed, idx))
+                    .collect()
             }
-            ColumnSpec::NoisyDerived { of, distinct, noise } => {
-                assert!(of.iter().all(|&p| p < idx), "column {idx} derives from a later column");
+            ColumnSpec::NoisyDerived {
+                of,
+                distinct,
+                noise,
+            } => {
+                assert!(
+                    of.iter().all(|&p| p < idx),
+                    "column {idx} derives from a later column"
+                );
                 (0..n)
                     .map(|t| {
                         if rng.bool_with_p(*noise) {
@@ -174,15 +186,26 @@ mod tests {
     use tane_util::AttrSet;
 
     fn spec(rows: usize, columns: Vec<ColumnSpec>) -> DatasetSpec {
-        DatasetSpec { name: "test".into(), rows, columns, seed: 42 }
+        DatasetSpec {
+            name: "test".into(),
+            rows,
+            columns,
+            seed: 42,
+        }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let s = spec(100, vec![
-            ColumnSpec::Categorical { distinct: 5 },
-            ColumnSpec::Skewed { distinct: 10, exponent: 1.5 },
-        ]);
+        let s = spec(
+            100,
+            vec![
+                ColumnSpec::Categorical { distinct: 5 },
+                ColumnSpec::Skewed {
+                    distinct: 10,
+                    exponent: 1.5,
+                },
+            ],
+        );
         let a = generate(&s).unwrap();
         let b = generate(&s).unwrap();
         assert_eq!(a.column_codes(0), b.column_codes(0));
@@ -205,20 +228,29 @@ mod tests {
 
     #[test]
     fn skewed_prefers_small_codes() {
-        let r = generate(&spec(2000, vec![ColumnSpec::Skewed { distinct: 20, exponent: 2.0 }]))
-            .unwrap();
+        let r = generate(&spec(
+            2000,
+            vec![ColumnSpec::Skewed {
+                distinct: 20,
+                exponent: 2.0,
+            }],
+        ))
+        .unwrap();
         let codes = r.column_codes(0);
         let zeros = codes.iter().filter(|&&c| c == 0).count();
         let late = codes.iter().filter(|&&c| c >= 10).count();
-        assert!(zeros > late, "zipf head must dominate the tail: {zeros} vs {late}");
+        assert!(
+            zeros > late,
+            "zipf head must dominate the tail: {zeros} vs {late}"
+        );
     }
 
     #[test]
     fn unique_is_a_key() {
-        let r = generate(&spec(50, vec![
-            ColumnSpec::Unique,
-            ColumnSpec::Categorical { distinct: 3 },
-        ]))
+        let r = generate(&spec(
+            50,
+            vec![ColumnSpec::Unique, ColumnSpec::Categorical { distinct: 3 }],
+        ))
         .unwrap();
         assert_eq!(r.cardinality(0), 50);
         assert!(fd_holds(&r, AttrSet::singleton(0), 1));
@@ -226,11 +258,17 @@ mod tests {
 
     #[test]
     fn derived_plants_exact_fd() {
-        let r = generate(&spec(300, vec![
-            ColumnSpec::Categorical { distinct: 6 },
-            ColumnSpec::Categorical { distinct: 6 },
-            ColumnSpec::Derived { of: vec![0, 1], distinct: 4 },
-        ]))
+        let r = generate(&spec(
+            300,
+            vec![
+                ColumnSpec::Categorical { distinct: 6 },
+                ColumnSpec::Categorical { distinct: 6 },
+                ColumnSpec::Derived {
+                    of: vec![0, 1],
+                    distinct: 4,
+                },
+            ],
+        ))
         .unwrap();
         assert!(fd_holds(&r, AttrSet::from_indices([0, 1]), 2));
         // The hash genuinely depends on both parents: neither alone works.
@@ -241,10 +279,17 @@ mod tests {
     #[test]
     fn noisy_derived_plants_approximate_fd() {
         let noise = 0.1;
-        let r = generate(&spec(2000, vec![
-            ColumnSpec::Categorical { distinct: 5 },
-            ColumnSpec::NoisyDerived { of: vec![0], distinct: 8, noise },
-        ]))
+        let r = generate(&spec(
+            2000,
+            vec![
+                ColumnSpec::Categorical { distinct: 5 },
+                ColumnSpec::NoisyDerived {
+                    of: vec![0],
+                    distinct: 8,
+                    noise,
+                },
+            ],
+        ))
         .unwrap();
         let g3 = fd_g3_rows(&r, AttrSet::singleton(0), 1) as f64 / 2000.0;
         assert!(g3 > 0.0, "noise must break exactness");
@@ -261,6 +306,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "later column")]
     fn derived_forward_reference_panics() {
-        let _ = generate(&spec(10, vec![ColumnSpec::Derived { of: vec![1], distinct: 2 }]));
+        let _ = generate(&spec(
+            10,
+            vec![ColumnSpec::Derived {
+                of: vec![1],
+                distinct: 2,
+            }],
+        ));
     }
 }

@@ -25,4 +25,7 @@ pub mod uci;
 
 pub use generator::{generate, ColumnSpec, DatasetSpec};
 pub use planted::{planted_relation, PLANTED_NAMES};
-pub use uci::{adult, by_name, chess_krk, hepatitis, lymphography, scaled_wbc, wisconsin_breast_cancer, DATASET_NAMES};
+pub use uci::{
+    adult, by_name, chess_krk, hepatitis, lymphography, scaled_wbc, wisconsin_breast_cancer,
+    DATASET_NAMES,
+};

@@ -26,12 +26,19 @@ pub fn planted_relation(rows: usize, noise: f64, seed: u64) -> Relation {
         name: "orders".into(),
         rows,
         columns: vec![
-            ColumnSpec::Unique,                                            // order_id
-            ColumnSpec::Categorical { distinct: 40 },                      // customer_id
-            ColumnSpec::Derived { of: vec![1], distinct: 12 },             // customer_city
-            ColumnSpec::Categorical { distinct: 25 },                      // product_id
-            ColumnSpec::NoisyDerived { of: vec![3], distinct: 30, noise }, // product_price
-            ColumnSpec::Categorical { distinct: 5 },                       // quantity
+            ColumnSpec::Unique,                       // order_id
+            ColumnSpec::Categorical { distinct: 40 }, // customer_id
+            ColumnSpec::Derived {
+                of: vec![1],
+                distinct: 12,
+            }, // customer_city
+            ColumnSpec::Categorical { distinct: 25 }, // product_id
+            ColumnSpec::NoisyDerived {
+                of: vec![3],
+                distinct: 30,
+                noise,
+            }, // product_price
+            ColumnSpec::Categorical { distinct: 5 },  // quantity
         ],
         seed,
     };
@@ -39,8 +46,14 @@ pub fn planted_relation(rows: usize, noise: f64, seed: u64) -> Relation {
 }
 
 /// The attribute names for [`planted_relation`], for pretty-printing.
-pub const PLANTED_NAMES: [&str; 6] =
-    ["order_id", "customer_id", "customer_city", "product_id", "product_price", "quantity"];
+pub const PLANTED_NAMES: [&str; 6] = [
+    "order_id",
+    "customer_id",
+    "customer_city",
+    "product_id",
+    "product_price",
+    "quantity",
+];
 
 #[cfg(test)]
 mod tests {
@@ -60,7 +73,10 @@ mod tests {
     #[test]
     fn noise_makes_price_approximate() {
         let r = planted_relation(1000, 0.08, 7);
-        assert!(fd_holds(&r, AttrSet::singleton(1), 2), "city FD stays exact");
+        assert!(
+            fd_holds(&r, AttrSet::singleton(1), 2),
+            "city FD stays exact"
+        );
         let g3 = fd_g3_rows(&r, AttrSet::singleton(3), 4) as f64 / 1000.0;
         assert!(g3 > 0.01 && g3 < 0.2, "g3 = {g3}");
     }

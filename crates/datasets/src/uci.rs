@@ -9,8 +9,7 @@ use crate::generator::{generate, ColumnSpec, DatasetSpec};
 use tane_relation::{Relation, Schema};
 
 /// Names accepted by [`by_name`], in the order of Table 1.
-pub const DATASET_NAMES: &[&str] =
-    &["lymphography", "hepatitis", "wbc", "adult", "chess"];
+pub const DATASET_NAMES: &[&str] = &["lymphography", "hepatitis", "wbc", "adult", "chess"];
 
 /// Looks a dataset up by its Table 1 name. `wbc` is the Wisconsin breast
 /// cancer data; use [`scaled_wbc`] for the `×n` variants.
@@ -34,15 +33,27 @@ pub fn lymphography() -> Relation {
     let base: [u32; 12] = [4, 4, 2, 2, 2, 2, 2, 2, 2, 3, 4, 8];
     let mut columns: Vec<ColumnSpec> = base
         .into_iter()
-        .map(|d| ColumnSpec::Skewed { distinct: d, exponent: 1.0 })
+        .map(|d| ColumnSpec::Skewed {
+            distinct: d,
+            exponent: 1.0,
+        })
         .collect();
     // Correlated symptom columns: each follows two earlier attributes with
     // a small exception rate.
     for i in 0..7 {
-        columns.push(ColumnSpec::NoisyDerived { of: vec![i, i + 3], distinct: 3, noise: 0.02 });
+        columns.push(ColumnSpec::NoisyDerived {
+            of: vec![i, i + 3],
+            distinct: 3,
+            noise: 0.02,
+        });
     }
-    generate(&DatasetSpec { name: "lymphography".into(), rows: 148, columns, seed: 1 })
-        .expect("static spec is valid")
+    generate(&DatasetSpec {
+        name: "lymphography".into(),
+        rows: 148,
+        columns,
+        seed: 1,
+    })
+    .expect("static spec is valid")
 }
 
 /// Hepatitis: 155 rows × 20 attributes — a class column, many binary
@@ -52,15 +63,27 @@ pub fn lymphography() -> Relation {
 /// Calibrated: N = 6554 minimal FDs vs. 8250 on the UCI original.
 pub fn hepatitis() -> Relation {
     let mut columns = vec![
-        ColumnSpec::Skewed { distinct: 2, exponent: 1.0 },  // class
-        ColumnSpec::Skewed { distinct: 50, exponent: 0.8 }, // age
-        ColumnSpec::Skewed { distinct: 2, exponent: 0.7 },  // sex
+        ColumnSpec::Skewed {
+            distinct: 2,
+            exponent: 1.0,
+        }, // class
+        ColumnSpec::Skewed {
+            distinct: 50,
+            exponent: 0.8,
+        }, // age
+        ColumnSpec::Skewed {
+            distinct: 2,
+            exponent: 0.7,
+        }, // sex
     ];
     // Eight symptom columns: four independent, four following the class and
     // an earlier symptom with a 5% exception rate.
     for i in 0..8usize {
         if i < 4 {
-            columns.push(ColumnSpec::Skewed { distinct: 2, exponent: 1.0 });
+            columns.push(ColumnSpec::Skewed {
+                distinct: 2,
+                exponent: 1.0,
+            });
         } else {
             columns.push(ColumnSpec::NoisyDerived {
                 of: vec![0, (i - 4) + 3],
@@ -71,17 +94,41 @@ pub fn hepatitis() -> Relation {
     }
     // Four more symptoms correlated with symptom pairs.
     for i in 0..4usize {
-        columns.push(ColumnSpec::NoisyDerived { of: vec![i + 3, i + 4], distinct: 2, noise: 0.03 });
+        columns.push(ColumnSpec::NoisyDerived {
+            of: vec![i + 3, i + 4],
+            distinct: 2,
+            noise: 0.03,
+        });
     }
     columns.extend([
-        ColumnSpec::Skewed { distinct: 35, exponent: 0.7 }, // bilirubin
-        ColumnSpec::Skewed { distinct: 85, exponent: 0.6 }, // alk phosphate
-        ColumnSpec::Skewed { distinct: 85, exponent: 0.6 }, // sgot
-        ColumnSpec::Skewed { distinct: 30, exponent: 0.7 }, // albumin
-        ColumnSpec::Skewed { distinct: 45, exponent: 0.7 }, // protime
+        ColumnSpec::Skewed {
+            distinct: 35,
+            exponent: 0.7,
+        }, // bilirubin
+        ColumnSpec::Skewed {
+            distinct: 85,
+            exponent: 0.6,
+        }, // alk phosphate
+        ColumnSpec::Skewed {
+            distinct: 85,
+            exponent: 0.6,
+        }, // sgot
+        ColumnSpec::Skewed {
+            distinct: 30,
+            exponent: 0.7,
+        }, // albumin
+        ColumnSpec::Skewed {
+            distinct: 45,
+            exponent: 0.7,
+        }, // protime
     ]);
-    generate(&DatasetSpec { name: "hepatitis".into(), rows: 155, columns, seed: 2 })
-        .expect("static spec is valid")
+    generate(&DatasetSpec {
+        name: "hepatitis".into(),
+        rows: 155,
+        columns,
+        seed: 2,
+    })
+    .expect("static spec is valid")
 }
 
 /// Wisconsin breast cancer: 699 rows × 11 attributes — a sample-id column
@@ -93,13 +140,26 @@ pub fn hepatitis() -> Relation {
 pub fn wisconsin_breast_cancer() -> Relation {
     let mut columns = vec![ColumnSpec::NearUnique { distinct: 645 }];
     columns.extend(
-        std::iter::repeat_with(|| ColumnSpec::Skewed { distinct: 10, exponent: 3.0 }).take(9),
+        std::iter::repeat_with(|| ColumnSpec::Skewed {
+            distinct: 10,
+            exponent: 3.0,
+        })
+        .take(9),
     );
     // class follows three features with some noise — a realistic
     // approximate dependency.
-    columns.push(ColumnSpec::NoisyDerived { of: vec![1, 2, 3], distinct: 2, noise: 0.05 });
-    generate(&DatasetSpec { name: "wbc".into(), rows: 699, columns, seed: 3 })
-        .expect("static spec is valid")
+    columns.push(ColumnSpec::NoisyDerived {
+        of: vec![1, 2, 3],
+        distinct: 2,
+        noise: 0.05,
+    });
+    generate(&DatasetSpec {
+        name: "wbc".into(),
+        rows: 699,
+        columns,
+        seed: 3,
+    })
+    .expect("static spec is valid")
 }
 
 /// Wisconsin breast cancer `×n`: the paper's scale-up construction —
@@ -124,24 +184,74 @@ pub fn scaled_wbc(n: usize) -> Relation {
 /// on the UCI original.
 pub fn adult() -> Relation {
     let columns = vec![
-        ColumnSpec::Skewed { distinct: 74, exponent: 1.3 },    // age
-        ColumnSpec::Skewed { distinct: 9, exponent: 1.2 },     // workclass
-        ColumnSpec::Skewed { distinct: 28000, exponent: 0.9 }, // fnlwgt
-        ColumnSpec::Skewed { distinct: 16, exponent: 1.0 },    // education
-        ColumnSpec::Derived { of: vec![3], distinct: 16 },     // education-num ≡ education
-        ColumnSpec::Skewed { distinct: 7, exponent: 0.8 },     // marital-status
-        ColumnSpec::Skewed { distinct: 15, exponent: 1.0 },    // occupation
-        ColumnSpec::Skewed { distinct: 6, exponent: 0.8 },     // relationship
-        ColumnSpec::Skewed { distinct: 5, exponent: 1.5 },     // race
-        ColumnSpec::Skewed { distinct: 2, exponent: 0.5 },     // sex
-        ColumnSpec::Skewed { distinct: 120, exponent: 3.0 },   // capital-gain
-        ColumnSpec::Skewed { distinct: 99, exponent: 3.0 },    // capital-loss
-        ColumnSpec::Skewed { distinct: 96, exponent: 1.3 },    // hours-per-week
-        ColumnSpec::Skewed { distinct: 42, exponent: 1.6 },    // native-country
-        ColumnSpec::Skewed { distinct: 2, exponent: 0.5 },     // class
+        ColumnSpec::Skewed {
+            distinct: 74,
+            exponent: 1.3,
+        }, // age
+        ColumnSpec::Skewed {
+            distinct: 9,
+            exponent: 1.2,
+        }, // workclass
+        ColumnSpec::Skewed {
+            distinct: 28000,
+            exponent: 0.9,
+        }, // fnlwgt
+        ColumnSpec::Skewed {
+            distinct: 16,
+            exponent: 1.0,
+        }, // education
+        ColumnSpec::Derived {
+            of: vec![3],
+            distinct: 16,
+        }, // education-num ≡ education
+        ColumnSpec::Skewed {
+            distinct: 7,
+            exponent: 0.8,
+        }, // marital-status
+        ColumnSpec::Skewed {
+            distinct: 15,
+            exponent: 1.0,
+        }, // occupation
+        ColumnSpec::Skewed {
+            distinct: 6,
+            exponent: 0.8,
+        }, // relationship
+        ColumnSpec::Skewed {
+            distinct: 5,
+            exponent: 1.5,
+        }, // race
+        ColumnSpec::Skewed {
+            distinct: 2,
+            exponent: 0.5,
+        }, // sex
+        ColumnSpec::Skewed {
+            distinct: 120,
+            exponent: 3.0,
+        }, // capital-gain
+        ColumnSpec::Skewed {
+            distinct: 99,
+            exponent: 3.0,
+        }, // capital-loss
+        ColumnSpec::Skewed {
+            distinct: 96,
+            exponent: 1.3,
+        }, // hours-per-week
+        ColumnSpec::Skewed {
+            distinct: 42,
+            exponent: 1.6,
+        }, // native-country
+        ColumnSpec::Skewed {
+            distinct: 2,
+            exponent: 0.5,
+        }, // class
     ];
-    generate(&DatasetSpec { name: "adult".into(), rows: 48842, columns, seed: 4 })
-        .expect("static spec is valid")
+    generate(&DatasetSpec {
+        name: "adult".into(),
+        rows: 48842,
+        columns,
+        seed: 4,
+    })
+    .expect("static spec is valid")
 }
 
 /// Chess (King-Rook vs King endgame): all legal positions of white king,
@@ -168,8 +278,7 @@ pub fn chess_krk() -> Relation {
                                 continue;
                             }
                             let class = krk_class(wkf, wkr, wrf, wrr, bkf, bkr);
-                            for (c, v) in
-                                cols.iter_mut().zip([wkf, wkr, wrf, wrr, bkf, bkr, class])
+                            for (c, v) in cols.iter_mut().zip([wkf, wkr, wrf, wrr, bkf, bkr, class])
                             {
                                 c.push(v);
                             }
@@ -179,8 +288,8 @@ pub fn chess_krk() -> Relation {
             }
         }
     }
-    let schema = Schema::new(["wkf", "wkr", "wrf", "wrr", "bkf", "bkr", "class"])
-        .expect("static names");
+    let schema =
+        Schema::new(["wkf", "wkr", "wrf", "wrr", "bkf", "bkr", "class"]).expect("static names");
     Relation::from_codes(schema, cols).expect("columns are equal length")
 }
 
@@ -263,7 +372,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(lymphography().column_codes(5), lymphography().column_codes(5));
+        assert_eq!(
+            lymphography().column_codes(5),
+            lymphography().column_codes(5)
+        );
         assert_eq!(hepatitis().column_codes(1), hepatitis().column_codes(1));
         assert_eq!(
             wisconsin_breast_cancer().column_codes(0),

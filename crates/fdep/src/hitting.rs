@@ -55,8 +55,10 @@ mod tests {
     use super::*;
 
     fn hs(edges: &[&[usize]]) -> Vec<AttrSet> {
-        let edges: Vec<AttrSet> =
-            edges.iter().map(|e| AttrSet::from_indices(e.iter().copied())).collect();
+        let edges: Vec<AttrSet> = edges
+            .iter()
+            .map(|e| AttrSet::from_indices(e.iter().copied()))
+            .collect();
         minimal_hitting_sets(&edges)
     }
 
@@ -70,7 +72,11 @@ mod tests {
         let mut hitting: Vec<AttrSet> = Vec::new();
         for mask in 0u64..(1 << verts.len()) {
             let s = AttrSet::from_indices(
-                verts.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &v)| v),
+                verts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &v)| v),
             );
             if edges.iter().all(|e| !s.is_disjoint(*e)) {
                 hitting.push(s);
@@ -105,14 +111,20 @@ mod tests {
     #[test]
     fn two_disjoint_edges_need_one_from_each() {
         let out = hs(&[&[0], &[1, 2]]);
-        assert_eq!(out, vec![AttrSet::from_indices([0, 1]), AttrSet::from_indices([0, 2])]);
+        assert_eq!(
+            out,
+            vec![AttrSet::from_indices([0, 1]), AttrSet::from_indices([0, 2])]
+        );
     }
 
     #[test]
     fn overlapping_edges_share_a_vertex() {
         let out = hs(&[&[0, 1], &[1, 2]]);
         // {1} hits both; {0,2} hits both; {0,1} would contain {1} → excluded.
-        assert_eq!(out, vec![AttrSet::singleton(1), AttrSet::from_indices([0, 2])]);
+        assert_eq!(
+            out,
+            vec![AttrSet::singleton(1), AttrSet::from_indices([0, 2])]
+        );
     }
 
     #[test]
@@ -163,9 +175,15 @@ mod tests {
             state
         };
         for _ in 0..20 {
-            let edges: Vec<AttrSet> =
-                (0..6).map(|_| AttrSet::from_bits(next() & 0xff)).filter(|e| !e.is_empty()).collect();
-            assert_eq!(minimal_hitting_sets(&edges), hs_reference(&edges), "edges {edges:?}");
+            let edges: Vec<AttrSet> = (0..6)
+                .map(|_| AttrSet::from_bits(next() & 0xff))
+                .filter(|e| !e.is_empty())
+                .collect();
+            assert_eq!(
+                minimal_hitting_sets(&edges),
+                hs_reference(&edges),
+                "edges {edges:?}"
+            );
         }
     }
 }

@@ -48,7 +48,14 @@ impl Partition {
     pub fn from_attr_set(relation: &Relation, x: AttrSet) -> Partition {
         let n = relation.num_rows();
         if x.is_empty() {
-            return Partition::from_classes(n, if n == 0 { vec![] } else { vec![(0..n as u32).collect()] });
+            return Partition::from_classes(
+                n,
+                if n == 0 {
+                    vec![]
+                } else {
+                    vec![(0..n as u32).collect()]
+                },
+            );
         }
         let mut groups: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
         for row in 0..n {
@@ -121,7 +128,10 @@ impl Partition {
     /// Lemma 1's relation: `self` refines `other` iff every class of `self`
     /// is contained in some class of `other`.
     pub fn refines(&self, other: &Partition) -> bool {
-        assert_eq!(self.n_rows, other.n_rows, "partitions of different relations");
+        assert_eq!(
+            self.n_rows, other.n_rows,
+            "partitions of different relations"
+        );
         // class_of[row] = index of row's class in `other`.
         let mut class_of = vec![u32::MAX; self.n_rows];
         for (i, c) in other.classes.iter().enumerate() {
@@ -137,7 +147,10 @@ impl Partition {
 
     /// The product `π · π'` (Lemma 3): the least refined common refinement.
     pub fn product(&self, other: &Partition) -> Partition {
-        assert_eq!(self.n_rows, other.n_rows, "partitions of different relations");
+        assert_eq!(
+            self.n_rows, other.n_rows,
+            "partitions of different relations"
+        );
         let mut class_of = vec![u32::MAX; self.n_rows];
         for (i, c) in other.classes.iter().enumerate() {
             for &row in c {
@@ -236,7 +249,11 @@ mod tests {
             let x = AttrSet::from_bits(bits);
             let full = Partition::from_attr_set(&r, x);
             let stripped = StrippedPartition::from_attr_set(&r, x);
-            assert_eq!(full.to_stripped().canonicalize(), stripped.canonicalize(), "set {x:?}");
+            assert_eq!(
+                full.to_stripped().canonicalize(),
+                stripped.canonicalize(),
+                "set {x:?}"
+            );
             assert_eq!(full.rank(), stripped.rank(), "set {x:?}");
         }
     }

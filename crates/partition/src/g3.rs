@@ -33,7 +33,9 @@ pub struct G3Scratch {
 impl G3Scratch {
     /// Allocates scratch for up to `n_rows` rows.
     pub fn new(n_rows: usize) -> G3Scratch {
-        G3Scratch { size_of: vec![0; n_rows] }
+        G3Scratch {
+            size_of: vec![0; n_rows],
+        }
     }
 }
 
@@ -50,7 +52,11 @@ pub fn g3_removed_rows_with_scratch(
     pi_xa: &StrippedPartition,
     scratch: &mut G3Scratch,
 ) -> usize {
-    assert_eq!(pi_x.n_rows(), pi_xa.n_rows(), "partitions of different relations");
+    assert_eq!(
+        pi_x.n_rows(),
+        pi_xa.n_rows(),
+        "partitions of different relations"
+    );
     let n = pi_x.n_rows();
     if scratch.size_of.len() < n {
         scratch.size_of.resize(n, 0);
@@ -117,7 +123,11 @@ pub struct G3Bounds {
 impl G3Bounds {
     /// Computes the bounds from `π̂_X` and `π̂_{X∪{A}}`.
     pub fn new(pi_x: &StrippedPartition, pi_xa: &StrippedPartition) -> G3Bounds {
-        assert_eq!(pi_x.n_rows(), pi_xa.n_rows(), "partitions of different relations");
+        assert_eq!(
+            pi_x.n_rows(),
+            pi_xa.n_rows(),
+            "partitions of different relations"
+        );
         let e_x = pi_x.error_rows();
         let e_xa = pi_xa.error_rows();
         G3Bounds {
@@ -193,8 +203,7 @@ mod tests {
     fn g3_reference(r: &Relation, x: &[usize], a: usize) -> usize {
         use crate::full::Partition;
         let px = Partition::from_attr_set(r, AttrSet::from_indices(x.iter().copied()));
-        let pxa =
-            Partition::from_attr_set(r, AttrSet::from_indices(x.iter().copied()).with(a));
+        let pxa = Partition::from_attr_set(r, AttrSet::from_indices(x.iter().copied()).with(a));
         let mut keep = 0usize;
         for c in px.classes() {
             let best = pxa
@@ -289,12 +298,20 @@ mod tests {
 
     #[test]
     fn decide_respects_bounds() {
-        let b = G3Bounds { lower_rows: 2, upper_rows: 5, n_rows: 10 };
+        let b = G3Bounds {
+            lower_rows: 2,
+            upper_rows: 5,
+            n_rows: 10,
+        };
         assert_eq!(b.decide(0.6), Some(true)); // upper 0.5 ≤ 0.6
         assert_eq!(b.decide(0.5), Some(true));
         assert_eq!(b.decide(0.1), Some(false)); // lower 0.2 > 0.1
         assert_eq!(b.decide(0.3), None); // in between
-        let empty = G3Bounds { lower_rows: 0, upper_rows: 0, n_rows: 0 };
+        let empty = G3Bounds {
+            lower_rows: 0,
+            upper_rows: 0,
+            n_rows: 0,
+        };
         assert_eq!(empty.decide(0.0), Some(true));
     }
 
@@ -306,7 +323,10 @@ mod tests {
         let pi_d = pi(&r, &[3]);
         let prod = product(&pi_a, &pi_d);
         let direct = pi(&r, &[0, 3]);
-        assert_eq!(g3_removed_rows(&pi_a, &prod), g3_removed_rows(&pi_a, &direct));
+        assert_eq!(
+            g3_removed_rows(&pi_a, &prod),
+            g3_removed_rows(&pi_a, &direct)
+        );
     }
 
     #[test]
@@ -317,7 +337,10 @@ mod tests {
         let pi_ab = pi(&r, &[0, 1]);
         let first = g3_removed_rows_with_scratch(&pi_a, &pi_ab, &mut scratch);
         for _ in 0..5 {
-            assert_eq!(g3_removed_rows_with_scratch(&pi_a, &pi_ab, &mut scratch), first);
+            assert_eq!(
+                g3_removed_rows_with_scratch(&pi_a, &pi_ab, &mut scratch),
+                first
+            );
         }
     }
 

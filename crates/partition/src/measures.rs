@@ -28,7 +28,9 @@ pub struct MeasureScratch {
 impl MeasureScratch {
     /// Allocates scratch for up to `n_rows` rows.
     pub fn new(n_rows: usize) -> MeasureScratch {
-        MeasureScratch { sub_sizes: vec![0; n_rows] }
+        MeasureScratch {
+            sub_sizes: vec![0; n_rows],
+        }
     }
 }
 
@@ -43,7 +45,11 @@ pub fn g1_violating_pairs(
     pi_xa: &StrippedPartition,
     scratch: &mut MeasureScratch,
 ) -> u64 {
-    assert_eq!(pi_x.n_rows(), pi_xa.n_rows(), "partitions of different relations");
+    assert_eq!(
+        pi_x.n_rows(),
+        pi_xa.n_rows(),
+        "partitions of different relations"
+    );
     let n = pi_x.n_rows();
     if scratch.sub_sizes.len() < n {
         scratch.sub_sizes.resize(n, 0);
@@ -88,7 +94,11 @@ pub fn g1_error(pi_x: &StrippedPartition, pi_xa: &StrippedPartition) -> f64 {
 /// Number of rows involved in some violation of `X → A` (the numerator of
 /// `g2`): all rows of every `π_X` class that splits under `A`.
 pub fn g2_violating_rows(pi_x: &StrippedPartition, pi_xa: &StrippedPartition) -> usize {
-    assert_eq!(pi_x.n_rows(), pi_xa.n_rows(), "partitions of different relations");
+    assert_eq!(
+        pi_x.n_rows(),
+        pi_xa.n_rows(),
+        "partitions of different relations"
+    );
     // A class c splits iff it is not itself a class of π_{X∪{A}} — i.e. its
     // error contribution is non-zero. Compare via per-class subclass check:
     // c splits iff some row of c sits in a subclass smaller than |c|.
@@ -104,7 +114,11 @@ pub fn g2_violating_rows(pi_x: &StrippedPartition, pi_xa: &StrippedPartition) ->
     for class in pi_x.classes() {
         let c = class.len() as u32;
         let first = class[0] as usize;
-        let first_size = if sub_sizes[first] == 0 { 1 } else { sub_sizes[first] };
+        let first_size = if sub_sizes[first] == 0 {
+            1
+        } else {
+            sub_sizes[first]
+        };
         if first_size != c {
             violating += class.len();
         }
@@ -148,7 +162,8 @@ mod tests {
     fn reference(r: &Relation, x: &[usize], a: usize) -> (f64, f64) {
         let n = r.num_rows();
         let agree_x = |t: usize, u: usize| {
-            x.iter().all(|&b| r.column_codes(b)[t] == r.column_codes(b)[u])
+            x.iter()
+                .all(|&b| r.column_codes(b)[t] == r.column_codes(b)[u])
         };
         let mut pairs = 0usize;
         let mut involved = vec![false; n];
@@ -161,7 +176,10 @@ mod tests {
             }
         }
         let nf = n as f64;
-        (pairs as f64 / (nf * nf), involved.iter().filter(|&&b| b).count() as f64 / nf)
+        (
+            pairs as f64 / (nf * nf),
+            involved.iter().filter(|&&b| b).count() as f64 / nf,
+        )
     }
 
     #[test]
@@ -185,8 +203,14 @@ mod tests {
                 let r = rel(vec![col_a, col_b]);
                 let (g1, g2, _) = measures(&r, &[0], 1);
                 let (want_g1, want_g2) = reference(&r, &[0], 1);
-                assert!((g1 - want_g1).abs() < 1e-12, "g1 a={mask_a:04b} b={mask_b:04b}");
-                assert!((g2 - want_g2).abs() < 1e-12, "g2 a={mask_a:04b} b={mask_b:04b}");
+                assert!(
+                    (g1 - want_g1).abs() < 1e-12,
+                    "g1 a={mask_a:04b} b={mask_b:04b}"
+                );
+                assert!(
+                    (g2 - want_g2).abs() < 1e-12,
+                    "g2 a={mask_a:04b} b={mask_b:04b}"
+                );
             }
         }
     }

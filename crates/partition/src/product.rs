@@ -34,7 +34,10 @@ pub struct ProductScratch {
 impl ProductScratch {
     /// Allocates scratch for relations of up to `n_rows` rows.
     pub fn new(n_rows: usize) -> ProductScratch {
-        ProductScratch { t: vec![NONE; n_rows], s: Vec::new() }
+        ProductScratch {
+            t: vec![NONE; n_rows],
+            s: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, n_rows: usize, n_classes: usize) {
@@ -65,11 +68,19 @@ pub fn product_with_scratch(
     rhs: &StrippedPartition,
     scratch: &mut ProductScratch,
 ) -> StrippedPartition {
-    assert_eq!(lhs.n_rows(), rhs.n_rows(), "partitions of different relations");
+    assert_eq!(
+        lhs.n_rows(),
+        rhs.n_rows(),
+        "partitions of different relations"
+    );
     let n_rows = lhs.n_rows();
     // Probing the smaller side first touches less memory; the product is
     // commutative so this is purely a performance choice.
-    let (a, b) = if lhs.num_elements() <= rhs.num_elements() { (lhs, rhs) } else { (rhs, lhs) };
+    let (a, b) = if lhs.num_elements() <= rhs.num_elements() {
+        (lhs, rhs)
+    } else {
+        (rhs, lhs)
+    };
 
     scratch.ensure(n_rows, a.num_classes());
 
@@ -217,7 +228,11 @@ mod tests {
         let mut results = Vec::new();
         for x in 0..4 {
             for y in 0..4 {
-                results.push(product_with_scratch(&singleton(&r, x), &singleton(&r, y), &mut scratch));
+                results.push(product_with_scratch(
+                    &singleton(&r, x),
+                    &singleton(&r, y),
+                    &mut scratch,
+                ));
             }
         }
         // Recompute with fresh scratch each time; must be identical.
@@ -225,7 +240,11 @@ mod tests {
         for x in 0..4 {
             for y in 0..4 {
                 let fresh = product(&singleton(&r, x), &singleton(&r, y));
-                assert_eq!(results[i].canonicalize(), fresh.canonicalize(), "pair {x},{y}");
+                assert_eq!(
+                    results[i].canonicalize(),
+                    fresh.canonicalize(),
+                    "pair {x},{y}"
+                );
                 i += 1;
             }
         }

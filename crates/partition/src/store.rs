@@ -128,7 +128,10 @@ impl PartitionStore for MemoryStore {
     }
 
     fn get(&mut self, key: AttrSet) -> Result<Arc<StrippedPartition>, StoreError> {
-        self.map.get(&key).cloned().ok_or(StoreError::Missing { key })
+        self.map
+            .get(&key)
+            .cloned()
+            .ok_or(StoreError::Missing { key })
     }
 
     fn remove(&mut self, key: AttrSet) {
@@ -207,11 +210,8 @@ impl DiskStore {
     /// `cache_budget_bytes` of partitions resident.
     pub fn new(cache_budget_bytes: usize) -> Result<DiskStore, StoreError> {
         let id = DISK_STORE_ID.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "tane-partitions-{}-{}",
-            std::process::id(),
-            id
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tane-partitions-{}-{}", std::process::id(), id));
         Self::create(dir, cache_budget_bytes, true)
     }
 
@@ -221,7 +221,11 @@ impl DiskStore {
         Self::create(dir, cache_budget_bytes, false)
     }
 
-    fn create(dir: PathBuf, cache_budget_bytes: usize, owns_dir: bool) -> Result<DiskStore, StoreError> {
+    fn create(
+        dir: PathBuf,
+        cache_budget_bytes: usize,
+        owns_dir: bool,
+    ) -> Result<DiskStore, StoreError> {
         fs::create_dir_all(&dir)?;
         Ok(DiskStore {
             dir,
@@ -277,10 +281,17 @@ impl DiskStore {
     fn ensure_active_writer(&mut self) -> Result<(), StoreError> {
         if self.active_writer.is_none() {
             let path = self.segment_path(self.active_id);
-            let file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
             self.segments.insert(
                 self.active_id,
-                Segment { path, live: 0, reader: None },
+                Segment {
+                    path,
+                    live: 0,
+                    reader: None,
+                },
             );
             self.active_writer = Some(io::BufWriter::new(file));
             self.active_bytes = 0;
@@ -386,7 +397,10 @@ impl DiskStore {
         let mut header = [0u8; 16];
         r.read_exact(&mut header)?;
         if &header[0..4] != b"TANE" {
-            return Err(StoreError::Corrupt { key, message: "bad magic".into() });
+            return Err(StoreError::Corrupt {
+                key,
+                message: "bad magic".into(),
+            });
         }
         let n_rows = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
         let n_classes = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
@@ -399,7 +413,10 @@ impl DiskStore {
         for chunk in sizes.chunks_exact(4) {
             let size = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             if size < 2 {
-                return Err(StoreError::Corrupt { key, message: "class of size < 2".into() });
+                return Err(StoreError::Corrupt {
+                    key,
+                    message: "class of size < 2".into(),
+                });
             }
             acc = acc.checked_add(size).ok_or_else(|| StoreError::Corrupt {
                 key,
@@ -419,7 +436,10 @@ impl DiskStore {
         for chunk in raw.chunks_exact(4) {
             let e = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
             if e as usize >= n_rows {
-                return Err(StoreError::Corrupt { key, message: "row index out of range".into() });
+                return Err(StoreError::Corrupt {
+                    key,
+                    message: "row index out of range".into(),
+                });
             }
             elements.push(e);
         }
@@ -451,7 +471,13 @@ impl PartitionStore for DiskStore {
         self.scratch = scratch;
         self.writes += 1;
 
-        self.index.insert(key, EntryLoc { segment: self.active_id, offset });
+        self.index.insert(
+            key,
+            EntryLoc {
+                segment: self.active_id,
+                offset,
+            },
+        );
         self.segments
             .get_mut(&self.active_id)
             .expect("active segment registered")
@@ -531,7 +557,10 @@ mod tests {
         assert!(s.resident_bytes() > 0);
         let got = s.get(key).unwrap();
         assert_eq!(*got, sample(1));
-        assert!(matches!(s.get(AttrSet::singleton(5)), Err(StoreError::Missing { .. })));
+        assert!(matches!(
+            s.get(AttrSet::singleton(5)),
+            Err(StoreError::Missing { .. })
+        ));
         s.remove(key);
         assert!(s.is_empty());
         assert_eq!(s.resident_bytes(), 0);
@@ -572,7 +601,10 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             s.put(k, sample(i as u32)).unwrap();
         }
-        assert!(s.resident_bytes() <= 2 * one + 64, "cache should stay near budget");
+        assert!(
+            s.resident_bytes() <= 2 * one + 64,
+            "cache should stay near budget"
+        );
         assert_eq!(s.disk_writes(), 6);
         // All six must still be retrievable, identical to what was stored.
         for (i, &k) in keys.iter().enumerate() {
@@ -639,7 +671,11 @@ mod tests {
             s.put(AttrSet::singleton(0), sample(0)).unwrap();
         }
         assert!(dir.exists(), "caller-managed dir must survive");
-        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "segments must be reaped");
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            0,
+            "segments must be reaped"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -647,20 +683,26 @@ mod tests {
     fn many_partitions_share_few_segment_files() {
         let mut s = DiskStore::new(1 << 16).unwrap();
         for i in 0..2000u32 {
-            s.put(AttrSet::from_bits(u64::from(i) + 1), sample(i % 50)).unwrap();
+            s.put(AttrSet::from_bits(u64::from(i) + 1), sample(i % 50))
+                .unwrap();
         }
         assert!(s.segment_count() <= 4, "got {} segments", s.segment_count());
         // Spot-check a cold read.
         s.cache.clear();
         s.lru.clear();
         s.cache_bytes = 0;
-        assert_eq!(*s.get(AttrSet::from_bits(1500 + 1)).unwrap(), sample(1500 % 50));
+        assert_eq!(
+            *s.get(AttrSet::from_bits(1500 + 1)).unwrap(),
+            sample(1500 % 50)
+        );
     }
 
     #[test]
     fn removing_all_keys_reaps_segments() {
         let mut s = DiskStore::new(1 << 16).unwrap();
-        let keys: Vec<AttrSet> = (0..100u32).map(|i| AttrSet::from_bits(u64::from(i) + 1)).collect();
+        let keys: Vec<AttrSet> = (0..100u32)
+            .map(|i| AttrSet::from_bits(u64::from(i) + 1))
+            .collect();
         for (i, &k) in keys.iter().enumerate() {
             s.put(k, sample(i as u32 % 10)).unwrap();
         }
@@ -692,9 +734,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = StoreError::Missing { key: AttrSet::singleton(3) };
+        let e = StoreError::Missing {
+            key: AttrSet::singleton(3),
+        };
         assert!(e.to_string().contains("{3}"));
-        let e = StoreError::Corrupt { key: AttrSet::empty(), message: "x".into() };
+        let e = StoreError::Corrupt {
+            key: AttrSet::empty(),
+            message: "x".into(),
+        };
         assert!(e.to_string().contains("corrupt"));
     }
 }

@@ -100,7 +100,11 @@ impl StrippedPartition {
                 *o += 1;
             }
         }
-        StrippedPartition { n_rows, elements, begins }
+        StrippedPartition {
+            n_rows,
+            elements,
+            begins,
+        }
     }
 
     /// Builds `π̂_X` for an arbitrary attribute set by multiplying singleton
@@ -137,7 +141,11 @@ impl StrippedPartition {
     /// A partition with no stripped classes (e.g. `π̂_X` when `X` is a
     /// superkey: every class is a singleton).
     pub fn empty(n_rows: usize) -> StrippedPartition {
-        StrippedPartition { n_rows, elements: Vec::new(), begins: vec![0] }
+        StrippedPartition {
+            n_rows,
+            elements: Vec::new(),
+            begins: vec![0],
+        }
     }
 
     /// Constructs from raw parts. `begins` must be a monotone offset array
@@ -151,9 +159,16 @@ impl StrippedPartition {
         debug_assert!(!begins.is_empty());
         debug_assert_eq!(*begins.first().unwrap(), 0);
         debug_assert_eq!(*begins.last().unwrap() as usize, elements.len());
-        debug_assert!(begins.windows(2).all(|w| w[1] - w[0] >= 2), "stripped classes must have ≥2 rows");
+        debug_assert!(
+            begins.windows(2).all(|w| w[1] - w[0] >= 2),
+            "stripped classes must have ≥2 rows"
+        );
         debug_assert!(elements.iter().all(|&e| (e as usize) < n_rows));
-        StrippedPartition { n_rows, elements, begins }
+        StrippedPartition {
+            n_rows,
+            elements,
+            begins,
+        }
     }
 
     /// `|r|`: rows in the underlying relation (not just the kept ones).
@@ -258,7 +273,11 @@ impl StrippedPartition {
             elements.extend_from_slice(&c);
             begins.push(elements.len() as u32);
         }
-        StrippedPartition { n_rows: self.n_rows, elements, begins }
+        StrippedPartition {
+            n_rows: self.n_rows,
+            elements,
+            begins,
+        }
     }
 }
 
@@ -294,7 +313,10 @@ mod tests {
         // π_{A} = {{1,2},{3,4,5},{6,7,8}} in the paper's 1-based ids.
         let r = figure1();
         let p = StrippedPartition::from_column(r.column_codes(0));
-        assert_eq!(classes_of(&p), vec![vec![0, 1], vec![2, 3, 4], vec![5, 6, 7]]);
+        assert_eq!(
+            classes_of(&p),
+            vec![vec![0, 1], vec![2, 3, 4], vec![5, 6, 7]]
+        );
         assert_eq!(p.rank(), 3);
         assert_eq!(p.num_elements(), 8);
         assert_eq!(p.error_rows(), 5);

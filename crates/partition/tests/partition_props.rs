@@ -162,7 +162,9 @@ proptest! {
 fn fd_holds_brute_force(r: &Relation, x: AttrSet, a: usize) -> bool {
     for t in 0..r.num_rows() {
         for u in (t + 1)..r.num_rows() {
-            let agree_x = x.iter().all(|b| r.column_codes(b)[t] == r.column_codes(b)[u]);
+            let agree_x = x
+                .iter()
+                .all(|b| r.column_codes(b)[t] == r.column_codes(b)[u]);
             if agree_x && r.column_codes(a)[t] != r.column_codes(a)[u] {
                 return false;
             }

@@ -20,7 +20,10 @@ enum Op {
 
 fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(key, shape)| Op::Put { key: key % 24, shape }),
+        (any::<u8>(), any::<u8>()).prop_map(|(key, shape)| Op::Put {
+            key: key % 24,
+            shape
+        }),
         any::<u8>().prop_map(|key| Op::Get { key: key % 24 }),
         any::<u8>().prop_map(|key| Op::Remove { key: key % 24 }),
     ]

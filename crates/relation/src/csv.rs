@@ -99,7 +99,11 @@ fn parse_field(field: &str, infer: bool) -> Value {
 
 /// Writes a relation to CSV (header + rows). Fields containing the
 /// delimiter, quotes, or newlines are quoted with doubled-quote escaping.
-pub fn write_csv<W: Write>(relation: &Relation, writer: W, delimiter: u8) -> Result<(), RelationError> {
+pub fn write_csv<W: Write>(
+    relation: &Relation,
+    writer: W,
+    delimiter: u8,
+) -> Result<(), RelationError> {
     let mut w = std::io::BufWriter::new(writer);
     let delim = delimiter as char;
     let quote_field = |f: &str| -> String {
@@ -109,11 +113,19 @@ pub fn write_csv<W: Write>(relation: &Relation, writer: W, delimiter: u8) -> Res
             f.to_string()
         }
     };
-    let header: Vec<String> =
-        relation.schema().names().iter().map(|n| quote_field(n)).collect();
+    let header: Vec<String> = relation
+        .schema()
+        .names()
+        .iter()
+        .map(|n| quote_field(n))
+        .collect();
     writeln!(w, "{}", header.join(&delim.to_string()))?;
     for t in 0..relation.num_rows() {
-        let row: Vec<String> = relation.render_row(t).iter().map(|f| quote_field(f)).collect();
+        let row: Vec<String> = relation
+            .render_row(t)
+            .iter()
+            .map(|f| quote_field(f))
+            .collect();
         writeln!(w, "{}", row.join(&delim.to_string()))?;
     }
     w.flush()?;
@@ -129,7 +141,11 @@ struct RecordReader<R: BufRead> {
 
 impl<R: BufRead> RecordReader<R> {
     fn new(reader: R, delimiter: u8) -> Self {
-        RecordReader { reader, delimiter, line: 0 }
+        RecordReader {
+            reader,
+            delimiter,
+            line: 0,
+        }
     }
 
     /// Reads one logical record (which may span physical lines when fields
@@ -272,7 +288,10 @@ mod tests {
 
     #[test]
     fn no_header_anonymous_names() {
-        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..Default::default()
+        };
         let r = read_str("1,2\n3,4\n", &opts).unwrap();
         assert_eq!(r.num_rows(), 2);
         assert_eq!(r.schema().name(0), "A0");
@@ -281,7 +300,10 @@ mod tests {
 
     #[test]
     fn custom_delimiter() {
-        let opts = CsvOptions { delimiter: b';', ..Default::default() };
+        let opts = CsvOptions {
+            delimiter: b';',
+            ..Default::default()
+        };
         let r = read_str("a;b\n1;2\n", &opts).unwrap();
         assert_eq!(r.num_rows(), 1);
         assert_eq!(r.value(0, 1), Some(&Value::Int(2)));
@@ -289,7 +311,11 @@ mod tests {
 
     #[test]
     fn quoted_fields_and_escapes() {
-        let r = read_str("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n", &CsvOptions::default()).unwrap();
+        let r = read_str(
+            "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.value(0, 0), Some(&Value::from("x,y")));
         assert_eq!(r.value(0, 1), Some(&Value::from("he said \"hi\"")));
     }
@@ -317,7 +343,10 @@ mod tests {
 
     #[test]
     fn no_type_inference() {
-        let opts = CsvOptions { infer_types: false, ..Default::default() };
+        let opts = CsvOptions {
+            infer_types: false,
+            ..Default::default()
+        };
         let r = read_str("a\n42\n?\n", &opts).unwrap();
         assert_eq!(r.value(0, 0), Some(&Value::from("42")));
         assert_eq!(r.value(1, 0), Some(&Value::Missing));

@@ -45,18 +45,30 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::TooManyAttributes { got } => {
-                write!(f, "relation has {got} attributes; at most {} are supported", tane_util::MAX_ATTRS)
+                write!(
+                    f,
+                    "relation has {got} attributes; at most {} are supported",
+                    tane_util::MAX_ATTRS
+                )
             }
             RelationError::ArityMismatch { row, expected, got } => {
-                write!(f, "row {row} has {got} fields but the schema has {expected} attributes")
+                write!(
+                    f,
+                    "row {row} has {got} fields but the schema has {expected} attributes"
+                )
             }
             RelationError::DictionaryOverflow { attribute } => {
-                write!(f, "attribute `{attribute}` has more than u32::MAX distinct values")
+                write!(
+                    f,
+                    "attribute `{attribute}` has more than u32::MAX distinct values"
+                )
             }
             RelationError::DuplicateAttribute { name } => {
                 write!(f, "duplicate attribute name `{name}` in schema")
             }
-            RelationError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            RelationError::Csv { line, message } => {
+                write!(f, "CSV error at line {line}: {message}")
+            }
             RelationError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -87,17 +99,26 @@ mod tests {
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));
 
-        let e = RelationError::ArityMismatch { row: 3, expected: 5, got: 4 };
+        let e = RelationError::ArityMismatch {
+            row: 3,
+            expected: 5,
+            got: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("row 3") && msg.contains('5') && msg.contains('4'));
 
-        let e = RelationError::DictionaryOverflow { attribute: "A".into() };
+        let e = RelationError::DictionaryOverflow {
+            attribute: "A".into(),
+        };
         assert!(e.to_string().contains("`A`"));
 
         let e = RelationError::DuplicateAttribute { name: "B".into() };
         assert!(e.to_string().contains("`B`"));
 
-        let e = RelationError::Csv { line: 7, message: "unterminated quote".into() };
+        let e = RelationError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
         assert!(e.to_string().contains("line 7"));
 
         let e = RelationError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));

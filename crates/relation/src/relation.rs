@@ -100,7 +100,11 @@ impl Relation {
         let n_rows = columns.first().map_or(0, Vec::len);
         for (i, c) in columns.iter().enumerate() {
             if c.len() != n_rows {
-                return Err(RelationError::ArityMismatch { row: i, expected: n_rows, got: c.len() });
+                return Err(RelationError::ArityMismatch {
+                    row: i,
+                    expected: n_rows,
+                    got: c.len(),
+                });
             }
         }
         let columns = columns
@@ -109,10 +113,18 @@ impl Relation {
                 let mut seen: Vec<u32> = codes.clone();
                 seen.sort_unstable();
                 seen.dedup();
-                Column { codes, cardinality: seen.len() as u32, values: None }
+                Column {
+                    codes,
+                    cardinality: seen.len() as u32,
+                    values: None,
+                }
             })
             .collect();
-        Ok(Relation { schema, n_rows, columns })
+        Ok(Relation {
+            schema,
+            n_rows,
+            columns,
+        })
     }
 
     /// The relation's schema.
@@ -199,10 +211,17 @@ impl Relation {
     /// Projects the relation onto the given attributes (in ascending index
     /// order), keeping codes as-is.
     pub fn project(&self, attrs: AttrSet) -> Result<Relation, RelationError> {
-        let names: Vec<String> = attrs.iter().map(|a| self.schema.name(a).to_string()).collect();
+        let names: Vec<String> = attrs
+            .iter()
+            .map(|a| self.schema.name(a).to_string())
+            .collect();
         let schema = Schema::new(names)?;
         let columns = attrs.iter().map(|a| self.columns[a].clone()).collect();
-        Ok(Relation { schema, n_rows: self.n_rows, columns })
+        Ok(Relation {
+            schema,
+            n_rows: self.n_rows,
+            columns,
+        })
     }
 
     /// Returns a relation containing only the first `n` rows (all rows if
@@ -224,7 +243,11 @@ impl Relation {
                 }
             })
             .collect();
-        Relation { schema: self.schema.clone(), n_rows: n, columns }
+        Relation {
+            schema: self.schema.clone(),
+            n_rows: n,
+            columns,
+        }
     }
 
     /// The paper's scale-up construction ("Wisconsin breast cancer `×n`"):
@@ -259,10 +282,18 @@ impl Relation {
                 for copy in 0..n32 {
                     codes.extend(c.codes.iter().map(|&v| v * n32 + copy));
                 }
-                Ok(Column { codes, cardinality: c.cardinality * n32, values: None })
+                Ok(Column {
+                    codes,
+                    cardinality: c.cardinality * n32,
+                    values: None,
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Relation { schema: self.schema.clone(), n_rows: self.n_rows * n, columns })
+        Ok(Relation {
+            schema: self.schema.clone(),
+            n_rows: self.n_rows * n,
+            columns,
+        })
     }
 
     /// Decodes row `t` for display/debugging. Attributes built from raw codes
@@ -334,9 +365,11 @@ impl RelationBuilder {
                 // Fresh code per missing cell; real values use even codes,
                 // nulls odd codes, so they can never collide.
                 let c = self.next_null_code[a];
-                self.next_null_code[a] = c.checked_add(1).ok_or_else(|| {
-                    RelationError::DictionaryOverflow { attribute: self.schema.name(a).to_string() }
-                })?;
+                self.next_null_code[a] =
+                    c.checked_add(1)
+                        .ok_or_else(|| RelationError::DictionaryOverflow {
+                            attribute: self.schema.name(a).to_string(),
+                        })?;
                 c.checked_mul(2)
                     .and_then(|x| x.checked_add(1))
                     .ok_or_else(|| RelationError::DictionaryOverflow {
@@ -345,7 +378,11 @@ impl RelationBuilder {
             } else {
                 let dict = &mut self.dicts[a];
                 let next = dict.len() as u64;
-                let stride: u64 = if self.nulls == NullSemantics::NullsDistinct { 2 } else { 1 };
+                let stride: u64 = if self.nulls == NullSemantics::NullsDistinct {
+                    2
+                } else {
+                    1
+                };
                 match dict.get(&v) {
                     Some(&c) => c,
                     None => {
@@ -402,10 +439,18 @@ impl RelationBuilder {
                 let mut seen = codes.clone();
                 seen.sort_unstable();
                 seen.dedup();
-                Column { codes, cardinality: seen.len() as u32, values: Some(values) }
+                Column {
+                    codes,
+                    cardinality: seen.len() as u32,
+                    values: Some(values),
+                }
             })
             .collect();
-        Relation { schema: self.schema, n_rows: self.n_rows, columns }
+        Relation {
+            schema: self.schema,
+            n_rows: self.n_rows,
+            columns,
+        }
     }
 }
 
@@ -480,9 +525,25 @@ mod tests {
         let mut b = Relation::builder(schema);
         b.push_row([Value::Int(1), Value::Int(2)]).unwrap();
         let err = b.push_row([Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, RelationError::ArityMismatch { row: 1, expected: 2, got: 1 }));
-        let err = b.push_row([Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap_err();
-        assert!(matches!(err, RelationError::ArityMismatch { row: 1, expected: 2, got: 3 }));
+        assert!(matches!(
+            err,
+            RelationError::ArityMismatch {
+                row: 1,
+                expected: 2,
+                got: 1
+            }
+        ));
+        let err = b
+            .push_row([Value::Int(1), Value::Int(2), Value::Int(3)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::ArityMismatch {
+                row: 1,
+                expected: 2,
+                got: 3
+            }
+        ));
         // The builder is still usable and consistent after errors.
         b.push_row([Value::Int(3), Value::Int(4)]).unwrap();
         let r = b.build();
@@ -553,7 +614,7 @@ mod tests {
         assert_eq!(r4.num_rows(), 32);
         assert_eq!(r4.num_attrs(), 4);
         assert_eq!(r4.cardinality(0), 12); // 3 values × 4 copies
-        // Within a copy, the agree structure is identical to the original.
+                                           // Within a copy, the agree structure is identical to the original.
         assert_eq!(r4.agree_set(3, 4), r.agree_set(3, 4));
         assert_eq!(r4.agree_set(8 + 3, 8 + 4), r.agree_set(3, 4));
         // Across copies nothing agrees.
@@ -583,7 +644,12 @@ mod tests {
         assert_eq!(r.content_hash(), figure1().content_hash());
         // Any change to codes, shape, or names must move the hash.
         assert_ne!(r.content_hash(), r.head(7).content_hash());
-        assert_ne!(r.content_hash(), r.project(AttrSet::from_indices([0, 1, 2])).unwrap().content_hash());
+        assert_ne!(
+            r.content_hash(),
+            r.project(AttrSet::from_indices([0, 1, 2]))
+                .unwrap()
+                .content_hash()
+        );
         let renamed = Relation::from_codes(
             Schema::new(["A", "B", "C", "X"]).unwrap(),
             (0..4).map(|a| r.column_codes(a).to_vec()).collect(),
@@ -591,8 +657,10 @@ mod tests {
         .unwrap();
         assert_ne!(r.content_hash(), renamed.content_hash());
         // Name-boundary ambiguity is separated out.
-        let ab = Relation::from_codes(Schema::new(["ab", "c"]).unwrap(), vec![vec![], vec![]]).unwrap();
-        let a_bc = Relation::from_codes(Schema::new(["a", "bc"]).unwrap(), vec![vec![], vec![]]).unwrap();
+        let ab =
+            Relation::from_codes(Schema::new(["ab", "c"]).unwrap(), vec![vec![], vec![]]).unwrap();
+        let a_bc =
+            Relation::from_codes(Schema::new(["a", "bc"]).unwrap(), vec![vec![], vec![]]).unwrap();
         assert_ne!(ab.content_hash(), a_bc.content_hash());
     }
 

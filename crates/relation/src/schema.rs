@@ -95,7 +95,10 @@ impl Schema {
 
     /// Resolves a list of attribute names to an [`AttrSet`], reporting the
     /// first unknown name.
-    pub fn attr_set_of<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> Result<AttrSet, String> {
+    pub fn attr_set_of<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        names: I,
+    ) -> Result<AttrSet, String> {
         let mut s = AttrSet::empty();
         for n in names {
             match self.index_of(n) {
@@ -160,7 +163,10 @@ mod tests {
     #[test]
     fn attr_set_resolution() {
         let s = Schema::new(["A", "B", "C"]).unwrap();
-        assert_eq!(s.attr_set_of(["A", "C"]).unwrap(), AttrSet::from_indices([0, 2]));
+        assert_eq!(
+            s.attr_set_of(["A", "C"]).unwrap(),
+            AttrSet::from_indices([0, 2])
+        );
         assert_eq!(s.attr_set_of([]).unwrap(), AttrSet::empty());
         assert!(s.attr_set_of(["A", "nope"]).unwrap_err().contains("nope"));
     }

@@ -207,7 +207,10 @@ mod tests {
     #[test]
     fn nan_equals_nan_but_zero_signs_differ() {
         assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
-        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(-f64::NAN)));
+        assert_eq!(
+            hash_of(&Value::Float(f64::NAN)),
+            hash_of(&Value::Float(-f64::NAN))
+        );
         assert_ne!(Value::Float(0.0), Value::Float(-0.0));
     }
 

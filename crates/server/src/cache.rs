@@ -47,6 +47,11 @@ pub struct CachedResult {
     pub stats: Json,
     /// Wall-clock seconds the search itself took.
     pub compute_secs: f64,
+    /// The NDJSON level lines (one per lattice level, no trailing
+    /// newline), rendered once by the worker as the search ran. Streaming
+    /// cache hits and single-flight followers replay these, so a replayed
+    /// stream is byte-identical to the live one.
+    pub levels: Vec<String>,
 }
 
 /// How a job run ended, as seen by everyone waiting on its flight.
@@ -60,7 +65,10 @@ pub struct Flight {
 
 impl Flight {
     fn new() -> Arc<Flight> {
-        Arc::new(Flight { slot: Mutex::new(None), done: Condvar::new() })
+        Arc::new(Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
     }
 
     fn fill(&self, result: JobResult) {
@@ -89,7 +97,10 @@ impl Flight {
 enum Entry {
     /// A landed result, stamped with its insertion sequence number (the
     /// eviction tie-breaker: equal-cost entries leave oldest-first).
-    Ready { result: Arc<CachedResult>, seq: u64 },
+    Ready {
+        result: Arc<CachedResult>,
+        seq: u64,
+    },
     InFlight(Arc<Flight>),
 }
 
@@ -223,8 +234,14 @@ impl ResultCache {
                 let seq = inner.seq;
                 if inner
                     .map
-                    .insert(key, Entry::Ready { result: Arc::clone(cached), seq })
-                    .map_or(true, |prev| matches!(prev, Entry::InFlight(_)))
+                    .insert(
+                        key,
+                        Entry::Ready {
+                            result: Arc::clone(cached),
+                            seq,
+                        },
+                    )
+                    .is_none_or(|prev| matches!(prev, Entry::InFlight(_)))
                 {
                     inner.ready += 1;
                 }
@@ -272,7 +289,11 @@ mod tests {
     use super::*;
 
     fn key(h: u64) -> CacheKey {
-        CacheKey { dataset_hash: h, epsilon_bits: None, max_lhs: None }
+        CacheKey {
+            dataset_hash: h,
+            epsilon_bits: None,
+            max_lhs: None,
+        }
     }
 
     fn result(tag: &str) -> Arc<CachedResult> {
@@ -285,6 +306,7 @@ mod tests {
             keys: vec![],
             stats: Json::Null,
             compute_secs,
+            levels: vec![],
         })
     }
 
@@ -295,7 +317,10 @@ mod tests {
             panic!("first lookup must claim");
         };
         c.publish(key(1), Ok(result("r1")));
-        assert_eq!(flight.wait(Duration::from_secs(1)).unwrap().unwrap().fds, ["r1"]);
+        assert_eq!(
+            flight.wait(Duration::from_secs(1)).unwrap().unwrap().fds,
+            ["r1"]
+        );
         let Lookup::Hit(got) = c.lookup_or_claim(key(1)) else {
             panic!("second lookup must hit");
         };
@@ -336,7 +361,10 @@ mod tests {
             panic!("claim");
         };
         c.abort(key(3), "queue full");
-        assert_eq!(flight.wait(Duration::from_secs(1)).unwrap().unwrap_err(), "queue full");
+        assert_eq!(
+            flight.wait(Duration::from_secs(1)).unwrap().unwrap_err(),
+            "queue full"
+        );
         // The key can be claimed again.
         assert!(matches!(c.lookup_or_claim(key(3)), Lookup::Claimed(_)));
     }
@@ -356,13 +384,19 @@ mod tests {
         // An expensive search lands first, then a stream of cheap ones.
         let costs = [(1u64, 40.0), (2, 0.01), (3, 0.02), (4, 0.03)];
         for (h, secs) in costs {
-            let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else { panic!("claim") };
+            let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else {
+                panic!("claim")
+            };
             c.publish(key(h), Ok(costed(&h.to_string(), secs)));
         }
         let s = c.stats();
         assert_eq!(s.entries, 2, "capacity is still a hard bound");
         assert_eq!(s.evictions, 2);
-        assert!((s.evicted_compute_secs - 0.03).abs() < 1e-12, "{}", s.evicted_compute_secs);
+        assert!(
+            (s.evicted_compute_secs - 0.03).abs() < 1e-12,
+            "{}",
+            s.evicted_compute_secs
+        );
         assert!(
             matches!(c.lookup_or_claim(key(1)), Lookup::Hit(_)),
             "the 40s search survives every cheap insert"
@@ -371,19 +405,30 @@ mod tests {
             matches!(c.lookup_or_claim(key(4)), Lookup::Hit(_)),
             "the priciest of the cheap entries is the other survivor"
         );
-        assert!(matches!(c.lookup_or_claim(key(2)), Lookup::Claimed(_)), "cheapest evicted");
+        assert!(
+            matches!(c.lookup_or_claim(key(2)), Lookup::Claimed(_)),
+            "cheapest evicted"
+        );
     }
 
     #[test]
     fn equal_cost_eviction_falls_back_to_fifo() {
         let c = ResultCache::new(2);
         for h in 0..5 {
-            let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else { panic!("claim") };
+            let Lookup::Claimed(_) = c.lookup_or_claim(key(h)) else {
+                panic!("claim")
+            };
             c.publish(key(h), Ok(costed(&h.to_string(), 1.0)));
         }
         assert_eq!(c.stats().entries, 2);
-        assert!(matches!(c.lookup_or_claim(key(4)), Lookup::Hit(_)), "newest survives");
-        assert!(matches!(c.lookup_or_claim(key(0)), Lookup::Claimed(_)), "oldest evicted");
+        assert!(
+            matches!(c.lookup_or_claim(key(4)), Lookup::Hit(_)),
+            "newest survives"
+        );
+        assert!(
+            matches!(c.lookup_or_claim(key(0)), Lookup::Claimed(_)),
+            "oldest evicted"
+        );
     }
 
     #[test]
@@ -400,9 +445,21 @@ mod tests {
 
     #[test]
     fn distinct_queries_do_not_share_entries() {
-        let approx = CacheKey { dataset_hash: 9, epsilon_bits: Some(0.1f64.to_bits()), max_lhs: None };
-        let exact = CacheKey { dataset_hash: 9, epsilon_bits: None, max_lhs: None };
-        let limited = CacheKey { dataset_hash: 9, epsilon_bits: None, max_lhs: Some(2) };
+        let approx = CacheKey {
+            dataset_hash: 9,
+            epsilon_bits: Some(0.1f64.to_bits()),
+            max_lhs: None,
+        };
+        let exact = CacheKey {
+            dataset_hash: 9,
+            epsilon_bits: None,
+            max_lhs: None,
+        };
+        let limited = CacheKey {
+            dataset_hash: 9,
+            epsilon_bits: None,
+            max_lhs: Some(2),
+        };
         let c = ResultCache::new(8);
         for k in [approx, exact, limited] {
             assert!(matches!(c.lookup_or_claim(k), Lookup::Claimed(_)));

@@ -47,6 +47,18 @@ pub struct Metrics {
     pub jobs_rejected: AtomicU64,
     /// Workers currently executing a job.
     pub workers_busy: AtomicUsize,
+    /// Streaming `/v1/discover` responses started (live or replay).
+    pub streams_total: AtomicU64,
+    /// Level objects delivered across all streams.
+    pub levels_streamed: AtomicU64,
+    /// NDJSON payload bytes delivered across all streams (chunk contents,
+    /// not HTTP framing).
+    pub stream_bytes: AtomicU64,
+    /// Nanoseconds from request arrival to the first level chunk, summed
+    /// over streams that delivered at least one level (divide by
+    /// `first_level_count` for the mean `/metrics` reports).
+    first_level_nanos: AtomicU64,
+    first_level_count: AtomicU64,
     workers_total: usize,
     level_times: Mutex<Vec<LevelAgg>>,
     disk_bytes_read: AtomicU64,
@@ -68,6 +80,11 @@ impl Metrics {
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             workers_busy: AtomicUsize::new(0),
+            streams_total: AtomicU64::new(0),
+            levels_streamed: AtomicU64::new(0),
+            stream_bytes: AtomicU64::new(0),
+            first_level_nanos: AtomicU64::new(0),
+            first_level_count: AtomicU64::new(0),
             workers_total,
             level_times: Mutex::new(Vec::new()),
             disk_bytes_read: AtomicU64::new(0),
@@ -77,8 +94,10 @@ impl Metrics {
 
     /// Folds one finished search into the aggregates.
     pub fn record_search(&self, stats: &TaneStats) {
-        self.disk_bytes_read.fetch_add(stats.disk_bytes_read, Ordering::Relaxed);
-        self.disk_bytes_written.fetch_add(stats.disk_bytes_written, Ordering::Relaxed);
+        self.disk_bytes_read
+            .fetch_add(stats.disk_bytes_read, Ordering::Relaxed);
+        self.disk_bytes_written
+            .fetch_add(stats.disk_bytes_written, Ordering::Relaxed);
         let mut levels = self.level_times.lock().expect("metrics poisoned");
         if levels.len() < stats.level_times.len() {
             levels.resize(stats.level_times.len(), LevelAgg::default());
@@ -91,7 +110,16 @@ impl Metrics {
 
     /// Records the end of one connection that served `served` requests.
     pub fn record_connection_end(&self, served: u64) {
-        self.requests_per_conn_max.fetch_max(served, Ordering::Relaxed);
+        self.requests_per_conn_max
+            .fetch_max(served, Ordering::Relaxed);
+    }
+
+    /// Records the latency from request arrival to the first streamed
+    /// level chunk of one `/v1/discover` stream.
+    pub fn record_first_level_latency(&self, latency: std::time::Duration) {
+        self.first_level_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.first_level_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The `/metrics` document. Queue and cache state is owned elsewhere
@@ -114,11 +142,17 @@ impl Metrics {
         };
         Json::obj([
             ("uptime_secs", Json::Num(self.start.elapsed().as_secs_f64())),
-            ("requests_total", n(self.requests_total.load(Ordering::Relaxed))),
+            (
+                "requests_total",
+                n(self.requests_total.load(Ordering::Relaxed)),
+            ),
             (
                 "connections",
                 Json::obj([
-                    ("accepted", n(self.connections_total.load(Ordering::Relaxed))),
+                    (
+                        "accepted",
+                        n(self.connections_total.load(Ordering::Relaxed)),
+                    ),
                     (
                         "active",
                         Json::Num(self.connections_active.load(Ordering::Relaxed) as f64),
@@ -143,7 +177,10 @@ impl Metrics {
                 "workers",
                 Json::obj([
                     ("total", Json::Num(self.workers_total as f64)),
-                    ("busy", Json::Num(self.workers_busy.load(Ordering::Relaxed) as f64)),
+                    (
+                        "busy",
+                        Json::Num(self.workers_busy.load(Ordering::Relaxed) as f64),
+                    ),
                 ]),
             ),
             (
@@ -161,15 +198,44 @@ impl Metrics {
                     ("misses", n(cache.misses)),
                     ("entries", Json::Num(cache.entries as f64)),
                     ("evictions", n(cache.evictions)),
-                    ("evicted_compute_secs", Json::Num(cache.evicted_compute_secs)),
+                    (
+                        "evicted_compute_secs",
+                        Json::Num(cache.evicted_compute_secs),
+                    ),
                 ]),
             ),
             (
                 "search",
                 Json::obj([
                     ("level_times", Json::Arr(levels)),
-                    ("disk_bytes_read", n(self.disk_bytes_read.load(Ordering::Relaxed))),
-                    ("disk_bytes_written", n(self.disk_bytes_written.load(Ordering::Relaxed))),
+                    (
+                        "disk_bytes_read",
+                        n(self.disk_bytes_read.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "disk_bytes_written",
+                        n(self.disk_bytes_written.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "stream",
+                Json::obj([
+                    ("streams", n(self.streams_total.load(Ordering::Relaxed))),
+                    (
+                        "levels_streamed",
+                        n(self.levels_streamed.load(Ordering::Relaxed)),
+                    ),
+                    ("stream_bytes", n(self.stream_bytes.load(Ordering::Relaxed))),
+                    ("first_level_latency_secs", {
+                        let count = self.first_level_count.load(Ordering::Relaxed);
+                        let nanos = self.first_level_nanos.load(Ordering::Relaxed);
+                        Json::Num(if count == 0 {
+                            0.0
+                        } else {
+                            nanos as f64 / count as f64 / 1e9
+                        })
+                    }),
                 ]),
             ),
         ])
@@ -208,12 +274,33 @@ mod tests {
         };
         let doc = m.render((2, 64), cache);
         assert_eq!(doc.get("requests_total").unwrap().as_usize(), Some(3));
-        assert_eq!(doc.get("queue").unwrap().get("depth").unwrap().as_usize(), Some(2));
-        assert_eq!(doc.get("workers").unwrap().get("total").unwrap().as_usize(), Some(4));
-        assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_usize(), Some(5));
-        assert_eq!(doc.get("cache").unwrap().get("evictions").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            doc.get("queue").unwrap().get("depth").unwrap().as_usize(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("workers").unwrap().get("total").unwrap().as_usize(),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("cache").unwrap().get("hits").unwrap().as_usize(),
+            Some(5)
+        );
+        assert_eq!(
+            doc.get("cache")
+                .unwrap()
+                .get("evictions")
+                .unwrap()
+                .as_usize(),
+            Some(2)
+        );
         assert!(
-            (doc.get("cache").unwrap().get("evicted_compute_secs").unwrap().as_f64().unwrap()
+            (doc.get("cache")
+                .unwrap()
+                .get("evicted_compute_secs")
+                .unwrap()
+                .as_f64()
+                .unwrap()
                 - 0.25)
                 .abs()
                 < 1e-12
@@ -222,16 +309,57 @@ mod tests {
         assert_eq!(conns.get("accepted").unwrap().as_usize(), Some(2));
         assert_eq!(conns.get("reused").unwrap().as_usize(), Some(1));
         assert_eq!(conns.get("shed").unwrap().as_usize(), Some(0));
-        assert_eq!(conns.get("max_requests_per_conn").unwrap().as_usize(), Some(9));
+        assert_eq!(
+            conns.get("max_requests_per_conn").unwrap().as_usize(),
+            Some(9)
+        );
         let search = doc.get("search").unwrap();
-        assert_eq!(search.get("disk_bytes_written").unwrap().as_usize(), Some(2048));
+        assert_eq!(
+            search.get("disk_bytes_written").unwrap().as_usize(),
+            Some(2048)
+        );
         let levels = search.get("level_times").unwrap().as_array().unwrap();
         assert_eq!(levels.len(), 2);
         assert_eq!(levels[0].get("runs").unwrap().as_usize(), Some(2));
         assert_eq!(levels[1].get("runs").unwrap().as_usize(), Some(1));
         let l1 = levels[0].get("total_secs").unwrap().as_f64().unwrap();
         assert!((l1 - 0.020).abs() < 1e-9);
+        let stream = doc.get("stream").unwrap();
+        assert_eq!(stream.get("levels_streamed").unwrap().as_usize(), Some(0));
+        assert_eq!(
+            stream.get("first_level_latency_secs").unwrap().as_f64(),
+            Some(0.0)
+        );
         // Valid JSON end to end.
         assert!(Json::parse(&doc.render()).is_ok());
+    }
+
+    #[test]
+    fn first_level_latency_reports_the_mean() {
+        let m = Metrics::new(1);
+        m.record_first_level_latency(Duration::from_millis(10));
+        m.record_first_level_latency(Duration::from_millis(30));
+        m.levels_streamed.fetch_add(7, Ordering::Relaxed);
+        m.stream_bytes.fetch_add(4096, Ordering::Relaxed);
+        let doc = m.render(
+            (0, 1),
+            CacheStats {
+                hits: 0,
+                coalesced: 0,
+                misses: 0,
+                entries: 0,
+                evictions: 0,
+                evicted_compute_secs: 0.0,
+            },
+        );
+        let stream = doc.get("stream").unwrap();
+        assert_eq!(stream.get("levels_streamed").unwrap().as_usize(), Some(7));
+        assert_eq!(stream.get("stream_bytes").unwrap().as_usize(), Some(4096));
+        let mean = stream
+            .get("first_level_latency_secs")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((mean - 0.020).abs() < 1e-9, "{mean}");
     }
 }

@@ -35,7 +35,10 @@ impl<T> JobQueue<T> {
     /// A queue refusing pushes beyond `capacity` pending jobs.
     pub fn new(capacity: usize) -> JobQueue<T> {
         JobQueue {
-            inner: Mutex::new(Inner { jobs: VecDeque::new(), closed: false }),
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
             capacity,
         }
@@ -169,7 +172,10 @@ mod tests {
             std::thread::yield_now();
         }
         q.close();
-        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all.len(), 800);
         all.dedup();

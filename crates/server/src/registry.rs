@@ -9,6 +9,17 @@ use std::sync::{Arc, RwLock};
 use tane_relation::Relation;
 use tane_util::FxHashMap;
 
+/// What [`DatasetRegistry::remove`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// The upload existed and is gone.
+    Removed,
+    /// The name belongs to a built-in dataset; those cannot be removed.
+    Builtin,
+    /// No dataset of that name was registered.
+    NotFound,
+}
+
 /// Thread-safe name → relation map.
 pub struct DatasetRegistry {
     inner: RwLock<FxHashMap<String, Arc<Relation>>>,
@@ -23,7 +34,9 @@ impl Default for DatasetRegistry {
 impl DatasetRegistry {
     /// An empty registry (built-ins materialize on first use).
     pub fn new() -> DatasetRegistry {
-        DatasetRegistry { inner: RwLock::new(FxHashMap::default()) }
+        DatasetRegistry {
+            inner: RwLock::new(FxHashMap::default()),
+        }
     }
 
     /// Resolves `name`: uploads and already-generated built-ins first, then
@@ -39,6 +52,33 @@ impl DatasetRegistry {
         let mut map = self.inner.write().expect("registry poisoned");
         let entry = map.entry(name.to_string()).or_insert(generated);
         Some(Arc::clone(entry))
+    }
+
+    /// Whether `name` is one of the built-in benchmark datasets. Built-ins
+    /// can be uploaded *over* (the upload wins for lookups) but never
+    /// unregistered — the service's corpus stays intact.
+    pub fn is_builtin(name: &str) -> bool {
+        tane_datasets::DATASET_NAMES.contains(&name)
+    }
+
+    /// Unregisters an uploaded dataset. Built-in names are refused
+    /// ([`RemoveOutcome::Builtin`]) whether or not they have been
+    /// generated; unknown names report [`RemoveOutcome::NotFound`].
+    pub fn remove(&self, name: &str) -> RemoveOutcome {
+        if Self::is_builtin(name) {
+            return RemoveOutcome::Builtin;
+        }
+        let removed = self
+            .inner
+            .write()
+            .expect("registry poisoned")
+            .remove(name)
+            .is_some();
+        if removed {
+            RemoveOutcome::Removed
+        } else {
+            RemoveOutcome::NotFound
+        }
     }
 
     /// Registers (or replaces) an uploaded relation.
@@ -86,6 +126,34 @@ mod tests {
     }
 
     #[test]
+    fn uploads_can_be_removed_but_builtins_cannot() {
+        let reg = DatasetRegistry::new();
+        let r = Relation::from_codes(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![vec![0, 1], vec![1, 1]],
+        )
+        .unwrap();
+        reg.insert("mine", r);
+        assert!(reg.get("mine").is_some());
+        assert_eq!(reg.remove("mine"), RemoveOutcome::Removed);
+        assert!(
+            reg.get("mine").is_none(),
+            "removed uploads no longer resolve"
+        );
+        assert_eq!(reg.remove("mine"), RemoveOutcome::NotFound);
+        // Built-ins are protected, generated or not.
+        assert_eq!(reg.remove("chess"), RemoveOutcome::Builtin);
+        let _ = reg.get("lymphography").expect("built-in");
+        assert_eq!(reg.remove("lymphography"), RemoveOutcome::Builtin);
+        assert!(
+            reg.get("lymphography").is_some(),
+            "built-in survives the refusal"
+        );
+        assert!(DatasetRegistry::is_builtin("wbc"));
+        assert!(!DatasetRegistry::is_builtin("mine"));
+    }
+
+    #[test]
     fn uploads_resolve_and_list() {
         let reg = DatasetRegistry::new();
         let r = Relation::from_codes(
@@ -96,8 +164,12 @@ mod tests {
         reg.insert("mine", r);
         assert_eq!(reg.get("mine").unwrap().num_rows(), 2);
         let listing = reg.list();
-        assert!(listing.iter().any(|(n, shape)| n == "mine" && *shape == Some((2, 2))));
-        assert!(listing.iter().any(|(n, shape)| n == "chess" && shape.is_none()));
+        assert!(listing
+            .iter()
+            .any(|(n, shape)| n == "mine" && *shape == Some((2, 2))));
+        assert!(listing
+            .iter()
+            .any(|(n, shape)| n == "chess" && shape.is_none()));
         // Listing is sorted.
         let names: Vec<&String> = listing.iter().map(|(n, _)| n).collect();
         let mut sorted = names.clone();

@@ -5,7 +5,7 @@
 //! ```text
 //! accept loop ──► handler thread per connection ──► bounded JobQueue ──► worker pool
 //!      │                │  ▲                                               │
-//!      │                ▼  │ single-flight wait                            ▼
+//!      │                ▼  │ single-flight wait / level events             ▼
 //!   shutdown         ResultCache ◄──────────────────── publish ── tane_core::search
 //! ```
 //!
@@ -20,20 +20,45 @@
 //! `POST /shutdown`) stops the accept loop, answers each persistent
 //! connection's in-flight request with `connection: close`, lets workers
 //! finish the jobs they hold, and fails the undrained backlog with 503.
+//!
+//! ## API versions
+//!
+//! Every endpoint lives under `/v1/...`; the original unversioned paths
+//! remain byte-for-byte compatible aliases that additionally carry a
+//! `Deprecation: true` header. Routing normalizes the path once
+//! ([`split_version`]) and dispatches both trees through one table; only
+//! error *shapes* differ — `/v1` answers errors with the
+//! `{"error":{"code","message"}}` envelope, legacy paths keep the flat
+//! `{"error": "..."}` body existing clients parse. Failures that happen
+//! *before* routing (framing errors, oversized heads, the connection cap)
+//! have no version to speak, so they stay in the legacy shape.
+//!
+//! ## Streaming
+//!
+//! `POST /v1/discover` with `"stream": true` answers with an NDJSON body
+//! in chunked transfer encoding: one object per completed lattice level as
+//! the search reaches it, then a `summary` trailer. The worker publishes
+//! levels through a **bounded** channel ([`STREAM_EVENT_DEPTH`]) — a slow
+//! client stalls the search rather than buffering it, and a vanished
+//! client fails the send, which simply stops the feed while the search
+//! runs on to land in the cache. Cache hits and single-flight followers
+//! replay the recorded level lines, byte-identical to the live stream.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::cache::{CacheKey, CachedResult, JobResult, Lookup, ResultCache};
-use crate::http::{is_timeout, read_request, Request, RequestError, Response};
+use crate::http::{is_timeout, read_request, ChunkedBody, Request, RequestError, Response};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
-use crate::registry::DatasetRegistry;
+use crate::registry::{DatasetRegistry, RemoveOutcome};
 use tane_core::{
-    discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig, TaneResult,
+    discover_approx_fds_with, discover_fds_with, ApproxTaneConfig, LevelEvent, Storage, TaneConfig,
+    TaneResult,
 };
 use tane_relation::csv::{read_csv_from, CsvOptions};
 use tane_relation::Relation;
@@ -41,6 +66,12 @@ use tane_util::Json;
 
 /// Set by the SIGTERM/SIGINT handler; polled by every accept loop.
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Capacity of the worker→handler level-event channel of one streaming
+/// request. Small on purpose: the channel is a hand-off, not a buffer — a
+/// client that cannot keep up blocks the worker's `send`, which is the
+/// backpressure that keeps a slow reader from ballooning server memory.
+const STREAM_EVENT_DEPTH: usize = 8;
 
 /// Installs process signal handlers that request a graceful shutdown.
 /// Idempotent; a no-op off Unix. Called by `tane serve`, not by tests.
@@ -118,6 +149,11 @@ struct Job {
     max_lhs: Option<usize>,
     storage: Storage,
     threads: usize,
+    /// A streaming handler's level-event channel, when the claiming
+    /// request asked to stream. Bounded ([`STREAM_EVENT_DEPTH`]); dropped
+    /// receivers turn sends into no-ops rather than errors that stop the
+    /// search.
+    events: Option<SyncSender<String>>,
 }
 
 /// State shared by every thread of one server.
@@ -158,7 +194,9 @@ impl Shared {
     }
 
     fn release_connection(&self) {
-        self.metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+        self.metrics
+            .connections_active
+            .fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -203,7 +241,11 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared, workers))?
         };
 
-        Ok(Server { local_addr, shared, accept_thread })
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_thread,
+        })
     }
 
     /// The bound address (resolves `:0` ports).
@@ -223,7 +265,11 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, workers: Vec<std::thread::JoinHandle<()>>) {
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+) {
     while !shared.shutting_down() {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -231,14 +277,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, workers: Vec<std::t
                     shed_connection(shared, stream);
                     continue;
                 }
-                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
                 let handler_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new().name("tane-handler".into()).spawn(
-                    move || {
+                let spawned = std::thread::Builder::new()
+                    .name("tane-handler".into())
+                    .spawn(move || {
                         handle_connection(&handler_shared, stream);
                         handler_shared.release_connection();
-                    },
-                );
+                    });
                 if spawned.is_err() {
                     // The closure (and its permit release) never ran; the
                     // stream was dropped with it. Give the slot back here.
@@ -267,7 +316,10 @@ fn worker_loop(shared: &Shared) {
         let key = job.key;
         let result = run_job(shared, job);
         match &result {
-            Ok(_) => shared.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed),
+            Ok(_) => shared
+                .metrics
+                .jobs_completed
+                .fetch_add(1, Ordering::Relaxed),
             Err(_) => shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed),
         };
         shared.cache.publish(key, result);
@@ -276,6 +328,12 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Runs one discovery job and shapes the outcome for the cache.
+///
+/// The level observer does double duty: every level line is recorded for
+/// the cache (so later streams replay byte-identical output), and — when
+/// the claiming request is streaming — also sent through the bounded
+/// events channel. A failed send means the streaming client went away;
+/// the search keeps running so the result still lands in the cache.
 fn run_job(shared: &Shared, job: Job) -> JobResult {
     let base = TaneConfig {
         storage: job.storage,
@@ -283,25 +341,73 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
         threads: job.threads,
         ..TaneConfig::default()
     };
+    let names = job.relation.schema().names();
+    let mut levels: Vec<String> = Vec::new();
+    let mut sink = job.events;
+    let on_level = |ev: LevelEvent| {
+        let line = render_level_event(&ev, names);
+        if let Some(tx) = &sink {
+            if tx.send(line.clone()).is_err() {
+                sink = None;
+            }
+        }
+        levels.push(line);
+    };
     let outcome = if job.epsilon > 0.0 {
-        let config = ApproxTaneConfig { base, ..ApproxTaneConfig::new(job.epsilon) };
-        discover_approx_fds(&job.relation, &config)
+        let config = ApproxTaneConfig {
+            base,
+            ..ApproxTaneConfig::new(job.epsilon)
+        };
+        discover_approx_fds_with(&job.relation, &config, on_level)
     } else {
-        discover_fds(&job.relation, &base)
+        discover_fds_with(&job.relation, &base, on_level)
     };
     match outcome {
         Ok(result) => {
             shared.metrics.record_search(&result.stats);
-            Ok(Arc::new(shape_result(&job.relation, &result)))
+            Ok(Arc::new(shape_result(&job.relation, &result, levels)))
         }
         Err(e) => Err(e.to_string()),
     }
 }
 
+/// One NDJSON stream object: the minimal dependencies that became final at
+/// `ev.level`, with the level's timings. Rendered by the worker exactly
+/// once per level; live streams and cache replays both emit these bytes.
+fn render_level_event(ev: &LevelEvent, names: &[String]) -> String {
+    Json::obj([
+        ("level", Json::Num(ev.level as f64)),
+        (
+            "fds",
+            Json::str_array(ev.new_minimal_fds.iter().map(|fd| fd.display_with(names))),
+        ),
+        ("level_secs", Json::Num(ev.level_time.as_secs_f64())),
+        ("partitions_bytes", Json::Num(ev.partitions_bytes as f64)),
+    ])
+    .render()
+}
+
+/// The final NDJSON stream object. Deliberately *without* a `cached`
+/// field: a replayed stream must be byte-identical to the live one.
+fn render_trailer(dataset: &str, result: &CachedResult) -> String {
+    Json::obj([(
+        "summary",
+        Json::obj([
+            ("dataset", Json::Str(dataset.to_string())),
+            ("count", Json::Num(result.fds.len() as f64)),
+            ("keys", Json::str_array(result.keys.iter().cloned())),
+            ("stats", result.stats.clone()),
+            ("compute_secs", Json::Num(result.compute_secs)),
+        ]),
+    )])
+    .render()
+}
+
 /// Renders a `TaneResult` into the cached, response-ready form. The `fds`
 /// strings use `Fd::display_with`, so they are byte-identical to the lines
-/// `tane discover` prints for the same data and parameters.
-fn shape_result(relation: &Relation, result: &TaneResult) -> CachedResult {
+/// `tane discover` prints for the same data and parameters. `levels` is
+/// the observer's per-level NDJSON record, kept for stream replay.
+fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -> CachedResult {
     let names = relation.schema().names();
     let s = &result.stats;
     let stats = Json::obj([
@@ -311,37 +417,58 @@ fn shape_result(relation: &Relation, result: &TaneResult) -> CachedResult {
         ("validity_tests", Json::Num(s.validity_tests as f64)),
         ("keys_found", Json::Num(s.keys_found as f64)),
         ("products", Json::Num(s.products as f64)),
-        ("g3_exact_computations", Json::Num(s.g3_exact_computations as f64)),
-        ("g3_decided_by_bounds", Json::Num(s.g3_decided_by_bounds as f64)),
+        (
+            "g3_exact_computations",
+            Json::Num(s.g3_exact_computations as f64),
+        ),
+        (
+            "g3_decided_by_bounds",
+            Json::Num(s.g3_decided_by_bounds as f64),
+        ),
         ("disk_reads", Json::Num(s.disk_reads as f64)),
         ("disk_writes", Json::Num(s.disk_writes as f64)),
         ("disk_bytes_read", Json::Num(s.disk_bytes_read as f64)),
         ("disk_bytes_written", Json::Num(s.disk_bytes_written as f64)),
         (
             "level_secs",
-            Json::Arr(s.level_times.iter().map(|t| Json::Num(t.as_secs_f64())).collect()),
+            Json::Arr(
+                s.level_times
+                    .iter()
+                    .map(|t| Json::Num(t.as_secs_f64()))
+                    .collect(),
+            ),
         ),
         ("elapsed_secs", Json::Num(s.elapsed.as_secs_f64())),
     ]);
     CachedResult {
         fds: result.fds.iter().map(|fd| fd.display_with(names)).collect(),
-        keys: result.keys.iter().map(|k| k.display_with(names).to_string()).collect(),
+        keys: result
+            .keys
+            .iter()
+            .map(|k| k.display_with(names).to_string())
+            .collect(),
         stats,
         compute_secs: s.elapsed.as_secs_f64(),
+        levels,
     }
 }
 
 /// Refuses a connection over the cap: one quick 503 with `Retry-After`,
 /// written from a short-lived thread so a slow peer cannot stall the
-/// accept loop, then the socket closes.
+/// accept loop, then the socket closes. Pre-routing, hence legacy-shaped.
 fn shed_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    shared.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
-    let _ = std::thread::Builder::new().name("tane-shed".into()).spawn(move || {
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = Response::error(503, "connection limit reached")
-            .with_header("retry-after", "1")
-            .write_to(&mut stream, false);
-    });
+    shared
+        .metrics
+        .connections_shed
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = std::thread::Builder::new()
+        .name("tane-shed".into())
+        .spawn(move || {
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = Response::error(503, "connection limit reached")
+                .with_header("retry-after", "1")
+                .write_to(&mut stream, false);
+        });
 }
 
 /// Serves one connection for its whole keep-alive lifetime.
@@ -352,9 +479,9 @@ fn shed_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
 /// close`), idles past `idle_timeout`, exhausts `max_requests_per_conn`,
 /// commits a framing error (answered, then closed — the stream position is
 /// no longer trustworthy, and reusing it is exactly the smuggling desync
-/// the parser exists to prevent), or when the server starts shutting down
-/// (drain: the in-flight request is still answered, with
-/// `connection: close`).
+/// the parser exists to prevent), aborts a chunked stream mid-body, or
+/// when the server starts shutting down (drain: the in-flight request is
+/// still answered, with `connection: close`).
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
@@ -365,68 +492,231 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let mut reader = BufReader::new(read_half);
     let mut served: u64 = 0;
     loop {
-        let (response, keep_alive) = match read_request(&mut reader, shared.config.max_body_bytes)
-        {
+        let received = Instant::now();
+        let (action, keep_alive) = match read_request(&mut reader, shared.config.max_body_bytes) {
             Ok(request) => {
-                shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
                 if served > 0 {
-                    shared.metrics.connections_reused.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .connections_reused
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 served += 1;
-                let response = route(shared, &request);
+                let action = route(shared, &request);
                 let keep = request.keep_alive
                     && served < shared.config.max_requests_per_conn as u64
                     && !shared.shutting_down();
-                (response, keep)
+                (action, keep)
             }
             // The quiet ends of a keep-alive connection: the client hung
             // up between requests, or sat idle past the timeout.
             Err(RequestError::Closed) | Err(RequestError::Idle) => break,
-            // Framing errors are answered, then the connection closes.
-            Err(RequestError::TooLarge) => (Response::error(413, "request too large"), false),
-            Err(RequestError::Bad(msg)) => (Response::error(400, &msg), false),
-            Err(RequestError::NotImplemented(msg)) => (Response::error(501, &msg), false),
+            // Framing errors are answered (legacy-shaped: they precede
+            // routing, so there is no API version to speak), then the
+            // connection closes.
+            Err(RequestError::TooLarge) => (
+                Action::Respond(Response::error(413, "request too large")),
+                false,
+            ),
+            Err(RequestError::Bad(msg)) => (Action::Respond(Response::error(400, &msg)), false),
+            Err(RequestError::NotImplemented(msg)) => {
+                (Action::Respond(Response::error(501, &msg)), false)
+            }
             Err(RequestError::Io(e)) if is_timeout(&e) => {
                 // Stalled *mid*-request (Idle covers the between-requests
                 // case): tell the client before hanging up.
-                (Response::error(408, "timed out reading request"), false)
+                (
+                    Action::Respond(Response::error(408, "timed out reading request")),
+                    false,
+                )
             }
             Err(RequestError::Io(_)) => break, // client went away; nothing to say
         };
-        if response.write_to(&mut stream, keep_alive).is_err() {
-            break;
-        }
-        if !keep_alive {
+        let wrote = match action {
+            Action::Respond(response) => response.write_to(&mut stream, keep_alive).is_ok(),
+            Action::Stream(plan) => {
+                stream_discover(shared, plan, &mut stream, keep_alive, received)
+            }
+        };
+        if !wrote || !keep_alive {
             break;
         }
     }
     shared.metrics.record_connection_end(served);
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/health") => Response::json(
+/// What one routed request asks the connection handler to do: write a
+/// complete response, or take over the socket for a chunked stream.
+enum Action {
+    Respond(Response),
+    Stream(StreamPlan),
+}
+
+/// A streaming `/v1/discover`, resolved up to (but not including) the
+/// first byte on the wire.
+struct StreamPlan {
+    dataset: String,
+    source: StreamSource,
+}
+
+enum StreamSource {
+    /// A cache hit: replay the recorded level lines and trailer.
+    Replay(Arc<CachedResult>),
+    /// Another request's flight is computing this key: wait for it, then
+    /// replay. Resolved before the response head so failures still get
+    /// real status codes.
+    Follow(Arc<crate::cache::Flight>),
+    /// This request claimed the key: levels arrive live over the bounded
+    /// channel, the trailer comes from the flight.
+    Live {
+        rx: Receiver<String>,
+        flight: Arc<crate::cache::Flight>,
+    },
+}
+
+/// A routed failure, shaped per API version at the edge: `/v1` gets the
+/// `{"error":{"code","message"}}` envelope, legacy paths get the flat
+/// `{"error": message}` body with exactly the historical message strings.
+struct ApiError {
+    status: u16,
+    /// Stable machine-matchable slug — part of the `/v1` contract.
+    code: &'static str,
+    message: String,
+    retry_after: Option<&'static str>,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    fn with_retry_after(mut self, seconds: &'static str) -> ApiError {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    fn job_timeout() -> ApiError {
+        ApiError::new(504, "job-timeout", "job did not finish in time")
+    }
+
+    fn into_response(self, versioned: bool) -> Response {
+        let response = if versioned {
+            Response::error_envelope(self.status, self.code, &self.message)
+        } else {
+            Response::error(self.status, &self.message)
+        };
+        match self.retry_after {
+            Some(seconds) => response.with_header("retry-after", seconds),
+            None => response,
+        }
+    }
+}
+
+/// Classifies a flight failure message into status + slug. The message is
+/// the abort reason recorded by whichever handler failed to enqueue, so
+/// waiters see the same text the claimer was answered with.
+fn flight_error(msg: String) -> ApiError {
+    if msg.contains("shutting down") {
+        ApiError::new(503, "shutting-down", msg)
+    } else if msg.contains("queue full") {
+        ApiError::new(503, "queue-full", msg)
+    } else {
+        ApiError::new(500, "search-failed", msg)
+    }
+}
+
+/// The one path-normalization step: `/v1/x` → (`/x`, versioned); anything
+/// else — including a bare `/v1` and non-prefix lookalikes like `/v1x` —
+/// is the legacy tree, verbatim.
+fn split_version(path: &str) -> (&str, bool) {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (rest, true),
+        _ => (path, false),
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> Action {
+    let (path, versioned) = split_version(&request.path);
+    let action = dispatch(shared, request, path, versioned)
+        .unwrap_or_else(|e| Action::Respond(e.into_response(versioned)));
+    if versioned {
+        return action;
+    }
+    match action {
+        // Every legacy-path response advertises the migration; bodies stay
+        // byte-identical, clients notice at their leisure.
+        Action::Respond(response) => Action::Respond(response.with_header("deprecation", "true")),
+        // Unreachable today (`stream` is rejected on legacy /discover),
+        // kept total rather than panicking on a future slip.
+        stream => stream,
+    }
+}
+
+/// The shared dispatch table. `path` is already version-stripped;
+/// `versioned` gates the endpoints and behaviors that only exist under
+/// `/v1` (dataset detail/delete, streaming, the content-type check).
+fn dispatch(
+    shared: &Shared,
+    request: &Request,
+    path: &str,
+    versioned: bool,
+) -> Result<Action, ApiError> {
+    let respond = |r: Response| Ok(Action::Respond(r));
+    match (request.method.as_str(), path) {
+        ("GET", "/health") => respond(Response::json(
             200,
             &Json::obj([(
                 "status",
-                Json::Str(if shared.shutting_down() { "shutting down" } else { "ok" }.into()),
+                Json::Str(
+                    if shared.shutting_down() {
+                        "shutting down"
+                    } else {
+                        "ok"
+                    }
+                    .into(),
+                ),
             )]),
-        ),
+        )),
         ("GET", "/metrics") => {
             let queue = (shared.queue.depth(), shared.queue.capacity());
-            Response::json(200, &shared.metrics.render(queue, shared.cache.stats()))
+            respond(Response::json(
+                200,
+                &shared.metrics.render(queue, shared.cache.stats()),
+            ))
         }
-        ("GET", "/datasets") => list_datasets(shared),
-        ("POST", "/discover") => discover(shared, &request.body),
-        ("POST", path) if path.strip_prefix("/datasets/").is_some_and(valid_name) => {
-            upload_dataset(shared, &path["/datasets/".len()..], &request.body)
+        ("GET", "/datasets") => respond(list_datasets(shared)),
+        ("POST", "/discover") => discover(shared, request, versioned),
+        ("POST", p) if p.strip_prefix("/datasets/").is_some_and(valid_name) => {
+            upload_dataset(shared, &p["/datasets/".len()..], &request.body).map(Action::Respond)
+        }
+        ("GET", p) if versioned && p.strip_prefix("/datasets/").is_some_and(valid_name) => {
+            dataset_detail(shared, &p["/datasets/".len()..]).map(Action::Respond)
+        }
+        ("DELETE", p) if versioned && p.strip_prefix("/datasets/").is_some_and(valid_name) => {
+            remove_dataset(shared, &p["/datasets/".len()..]).map(Action::Respond)
         }
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            Response::json(200, &Json::obj([("status", Json::Str("shutting down".into()))]))
+            respond(Response::json(
+                200,
+                &Json::obj([("status", Json::Str("shutting down".into()))]),
+            ))
         }
-        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
-        _ => Response::error(405, "method not allowed"),
+        ("GET" | "POST", _) => Err(ApiError::new(404, "unknown-endpoint", "no such endpoint")),
+        _ => Err(ApiError::new(
+            405,
+            "method-not-allowed",
+            "method not allowed",
+        )),
     }
 }
 
@@ -434,7 +724,13 @@ fn route(shared: &Shared, request: &Request) -> Response {
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 128
-        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+fn unknown_dataset(name: &str) -> ApiError {
+    ApiError::new(404, "unknown-dataset", format!("unknown dataset `{name}`"))
 }
 
 fn list_datasets(shared: &Shared) -> Response {
@@ -454,21 +750,72 @@ fn list_datasets(shared: &Shared) -> Response {
     Response::json(200, &Json::obj([("datasets", Json::Arr(rows))]))
 }
 
-fn upload_dataset(shared: &Shared, name: &str, body: &[u8]) -> Response {
+/// `GET /v1/datasets/{name}`: the dataset's schema and identity. Resolving
+/// generates a built-in on first touch, exactly like discovery would.
+fn dataset_detail(shared: &Shared, name: &str) -> Result<Response, ApiError> {
+    let Some(relation) = shared.registry.get(name) else {
+        return Err(unknown_dataset(name));
+    };
+    Ok(Response::json(
+        200,
+        &Json::obj([
+            ("dataset", Json::Str(name.to_string())),
+            ("rows", Json::Num(relation.num_rows() as f64)),
+            ("attrs", Json::Num(relation.num_attrs() as f64)),
+            (
+                "attributes",
+                Json::str_array(relation.schema().names().iter().cloned()),
+            ),
+            (
+                "content_hash",
+                Json::Str(format!("{:016x}", relation.content_hash())),
+            ),
+            ("builtin", Json::Bool(DatasetRegistry::is_builtin(name))),
+        ]),
+    ))
+}
+
+/// `DELETE /v1/datasets/{name}`: unregisters an upload. The built-in
+/// benchmark corpus is part of the service, not user state — deleting it
+/// is refused with 403. Cached results for the deleted content are kept:
+/// they are keyed by content hash, so they can only ever answer a
+/// re-upload of the identical data.
+fn remove_dataset(shared: &Shared, name: &str) -> Result<Response, ApiError> {
+    match shared.registry.remove(name) {
+        RemoveOutcome::Removed => Ok(Response::json(
+            200,
+            &Json::obj([
+                ("dataset", Json::Str(name.to_string())),
+                ("removed", Json::Bool(true)),
+            ]),
+        )),
+        RemoveOutcome::Builtin => Err(ApiError::new(
+            403,
+            "builtin-dataset",
+            format!("dataset `{name}` is built-in and cannot be removed"),
+        )),
+        RemoveOutcome::NotFound => Err(unknown_dataset(name)),
+    }
+}
+
+fn upload_dataset(shared: &Shared, name: &str, body: &[u8]) -> Result<Response, ApiError> {
     let relation = match read_csv_from(body, &CsvOptions::default()) {
         Ok(r) => r,
-        Err(e) => return Response::error(400, &format!("bad CSV: {e}")),
+        Err(e) => return Err(ApiError::new(400, "invalid-body", format!("bad CSV: {e}"))),
     };
     let arc = shared.registry.insert(name, relation);
-    Response::json(
+    Ok(Response::json(
         200,
         &Json::obj([
             ("dataset", Json::Str(name.to_string())),
             ("rows", Json::Num(arc.num_rows() as f64)),
             ("attrs", Json::Num(arc.num_attrs() as f64)),
-            ("content_hash", Json::Str(format!("{:016x}", arc.content_hash()))),
+            (
+                "content_hash",
+                Json::Str(format!("{:016x}", arc.content_hash())),
+            ),
         ]),
-    )
+    ))
 }
 
 /// The `/discover` body, validated.
@@ -479,16 +826,24 @@ struct DiscoverSpec {
     max_lhs: Option<usize>,
     storage: Storage,
     threads: usize,
+    stream: bool,
 }
 
-fn parse_discover(body: &[u8]) -> Result<DiscoverSpec, String> {
+/// `allow_stream` is true only for `/v1/discover`: on the legacy path
+/// `stream` stays an unknown field, so legacy request handling is
+/// byte-for-byte what it always was.
+fn parse_discover(body: &[u8], allow_stream: bool) -> Result<DiscoverSpec, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
     let Json::Obj(members) = &doc else {
         return Err("body must be a JSON object".into());
     };
     for (key, _) in members {
-        if !matches!(key.as_str(), "dataset" | "epsilon" | "max_lhs" | "storage" | "cache_mb" | "threads") {
+        let known = matches!(
+            key.as_str(),
+            "dataset" | "epsilon" | "max_lhs" | "storage" | "cache_mb" | "threads"
+        ) || (allow_stream && key == "stream");
+        if !known {
             return Err(format!("unknown field `{key}`"));
         }
     }
@@ -509,16 +864,23 @@ fn parse_discover(body: &[u8]) -> Result<DiscoverSpec, String> {
     };
     let max_lhs = match doc.get("max_lhs") {
         None => None,
-        Some(v) => Some(v.as_usize().ok_or("`max_lhs` must be a non-negative integer")?),
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or("`max_lhs` must be a non-negative integer")?,
+        ),
     };
     let storage = match doc.get("storage").map(|v| v.as_str()) {
         None | Some(Some("memory")) => Storage::Memory,
         Some(Some("disk")) => {
             let mb = match doc.get("cache_mb") {
                 None => 64,
-                Some(v) => v.as_usize().ok_or("`cache_mb` must be a non-negative integer")?,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or("`cache_mb` must be a non-negative integer")?,
             };
-            Storage::Disk { cache_bytes: mb << 20 }
+            Storage::Disk {
+                cache_bytes: mb << 20,
+            }
         }
         Some(Some(other)) => return Err(format!("unknown storage `{other}` (memory | disk)")),
         Some(None) => return Err("`storage` must be a string".into()),
@@ -536,19 +898,39 @@ fn parse_discover(body: &[u8]) -> Result<DiscoverSpec, String> {
             t
         }
     };
-    Ok(DiscoverSpec { dataset, epsilon, max_lhs, storage, threads })
+    let stream = match doc.get("stream") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("`stream` must be a boolean")?,
+    };
+    Ok(DiscoverSpec {
+        dataset,
+        epsilon,
+        max_lhs,
+        storage,
+        threads,
+        stream,
+    })
 }
 
-fn discover(shared: &Shared, body: &[u8]) -> Response {
-    let spec = match parse_discover(body) {
-        Ok(s) => s,
-        Err(msg) => return Response::error(400, &msg),
-    };
+fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Action, ApiError> {
+    if versioned {
+        if let Some(media) = request.content_type.as_deref() {
+            if media != "application/json" {
+                return Err(ApiError::new(
+                    415,
+                    "unsupported-media-type",
+                    format!("unsupported content-type `{media}`; use application/json"),
+                ));
+            }
+        }
+    }
+    let spec = parse_discover(&request.body, versioned)
+        .map_err(|msg| ApiError::new(400, "invalid-body", msg))?;
     if shared.shutting_down() {
-        return Response::error(503, "server shutting down");
+        return Err(ApiError::new(503, "shutting-down", "server shutting down"));
     }
     let Some(relation) = shared.registry.get(&spec.dataset) else {
-        return Response::error(404, &format!("unknown dataset `{}`", spec.dataset));
+        return Err(unknown_dataset(&spec.dataset));
     };
     // The key drops the knobs that cannot change the answer (storage,
     // threads): a disk-backed query is answered by a cached in-memory run
@@ -559,10 +941,38 @@ fn discover(shared: &Shared, body: &[u8]) -> Response {
         max_lhs: spec.max_lhs,
     };
 
-    let (flight, cached) = match shared.cache.lookup_or_claim(key) {
-        Lookup::Hit(result) => return respond_discover(&spec.dataset, &result, true),
-        Lookup::Wait(flight) => (flight, true),
+    match shared.cache.lookup_or_claim(key) {
+        Lookup::Hit(result) => {
+            if spec.stream {
+                Ok(Action::Stream(StreamPlan {
+                    dataset: spec.dataset,
+                    source: StreamSource::Replay(result),
+                }))
+            } else {
+                Ok(Action::Respond(respond_discover(
+                    &spec.dataset,
+                    &result,
+                    true,
+                )))
+            }
+        }
+        Lookup::Wait(flight) => {
+            if spec.stream {
+                Ok(Action::Stream(StreamPlan {
+                    dataset: spec.dataset,
+                    source: StreamSource::Follow(flight),
+                }))
+            } else {
+                wait_and_respond(shared, &spec.dataset, &flight, true)
+            }
+        }
         Lookup::Claimed(flight) => {
+            let (events, rx) = if spec.stream {
+                let (tx, rx) = sync_channel(STREAM_EVENT_DEPTH);
+                (Some(tx), Some(rx))
+            } else {
+                (None, None)
+            };
             let job = Job {
                 key,
                 relation,
@@ -570,31 +980,42 @@ fn discover(shared: &Shared, body: &[u8]) -> Response {
                 max_lhs: spec.max_lhs,
                 storage: spec.storage,
                 threads: spec.threads,
+                events,
             };
             if let Err((job, e)) = shared.queue.push(job) {
-                let (status, msg) = match e {
-                    PushError::Full => (429, "job queue full"),
-                    PushError::Closed => (503, "server shutting down"),
+                let err = match e {
+                    PushError::Full => {
+                        ApiError::new(429, "queue-full", "job queue full").with_retry_after("1")
+                    }
+                    PushError::Closed => {
+                        ApiError::new(503, "shutting-down", "server shutting down")
+                    }
                 };
                 shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                shared.cache.abort(job.key, msg);
-                let mut response = Response::error(status, msg);
-                if status == 429 {
-                    response = response.with_header("retry-after", "1");
-                }
-                return response;
+                shared.cache.abort(job.key, &err.message);
+                return Err(err);
             }
-            (flight, false)
+            match rx {
+                Some(rx) => Ok(Action::Stream(StreamPlan {
+                    dataset: spec.dataset,
+                    source: StreamSource::Live { rx, flight },
+                })),
+                None => wait_and_respond(shared, &spec.dataset, &flight, false),
+            }
         }
-    };
+    }
+}
 
+fn wait_and_respond(
+    shared: &Shared,
+    dataset: &str,
+    flight: &crate::cache::Flight,
+    cached: bool,
+) -> Result<Action, ApiError> {
     match flight.wait(shared.config.job_timeout) {
-        Some(Ok(result)) => respond_discover(&spec.dataset, &result, cached),
-        Some(Err(msg)) => {
-            let status = if msg.contains("shutting down") || msg.contains("queue full") { 503 } else { 500 };
-            Response::error(status, &msg)
-        }
-        None => Response::error(504, "job did not finish in time"),
+        Some(Ok(result)) => Ok(Action::Respond(respond_discover(dataset, &result, cached))),
+        Some(Err(msg)) => Err(flight_error(msg)),
+        None => Err(ApiError::job_timeout()),
     }
 }
 
@@ -613,34 +1034,272 @@ fn respond_discover(dataset: &str, result: &CachedResult, cached: bool) -> Respo
     )
 }
 
+/// Per-stream tallies, folded into [`Metrics`] however the stream ends.
+#[derive(Default)]
+struct StreamTally {
+    levels: u64,
+    first_level: Option<Duration>,
+}
+
+/// Serves one streaming `/v1/discover` on `stream`. Returns whether the
+/// connection is still in a clean, reusable state: a finished chunked
+/// body (terminating zero-chunk written) keeps keep-alive intact; a write
+/// failure or an in-band error object forces a close.
+fn stream_discover(
+    shared: &Shared,
+    plan: StreamPlan,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    received: Instant,
+) -> bool {
+    // Followers resolve their flight *before* the first byte goes out, so
+    // a failed or timed-out computation still gets a real status code
+    // instead of a 200 head followed by an in-band error.
+    let source = match plan.source {
+        StreamSource::Follow(flight) => match flight.wait(shared.config.job_timeout) {
+            Some(Ok(result)) => StreamSource::Replay(result),
+            Some(Err(msg)) => {
+                return flight_error(msg)
+                    .into_response(true)
+                    .write_to(stream, keep_alive)
+                    .is_ok()
+            }
+            None => {
+                return ApiError::job_timeout()
+                    .into_response(true)
+                    .write_to(stream, keep_alive)
+                    .is_ok()
+            }
+        },
+        source => source,
+    };
+
+    shared.metrics.streams_total.fetch_add(1, Ordering::Relaxed);
+    let mut tally = StreamTally::default();
+    let (payload_bytes, clean) = match ChunkedBody::start(stream, 200, &[], keep_alive) {
+        Ok(body) => pump_stream(shared, &plan.dataset, source, body, received, &mut tally),
+        Err(_) => (0, false),
+    };
+    shared
+        .metrics
+        .stream_bytes
+        .fetch_add(payload_bytes, Ordering::Relaxed);
+    shared
+        .metrics
+        .levels_streamed
+        .fetch_add(tally.levels, Ordering::Relaxed);
+    if let Some(latency) = tally.first_level {
+        shared.metrics.record_first_level_latency(latency);
+    }
+    clean
+}
+
+/// Writes the NDJSON body: level lines, then the trailer (or an in-band
+/// error object). Returns `(payload_bytes, connection_reusable)`.
+fn pump_stream<W: Write>(
+    shared: &Shared,
+    dataset: &str,
+    source: StreamSource,
+    mut body: ChunkedBody<'_, W>,
+    received: Instant,
+    tally: &mut StreamTally,
+) -> (u64, bool) {
+    let deadline = received + shared.config.job_timeout;
+    match source {
+        StreamSource::Replay(result) => {
+            for line in &result.levels {
+                if write_level(&mut body, line, received, tally).is_err() {
+                    return (body.payload_bytes(), false);
+                }
+            }
+            finish_with_trailer(body, dataset, &result)
+        }
+        StreamSource::Live { rx, flight } => {
+            loop {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return abort_stream(body, ApiError::job_timeout());
+                };
+                match rx.recv_timeout(left) {
+                    Ok(line) => {
+                        if write_level(&mut body, &line, received, tally).is_err() {
+                            // Dropping `rx` (on return) fails the worker's
+                            // next send; the search runs on for the cache.
+                            return (body.payload_bytes(), false);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        return abort_stream(body, ApiError::job_timeout());
+                    }
+                    // The worker dropped its sender: the search is done
+                    // and the publish is imminent.
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or_default()
+                .max(Duration::from_millis(100));
+            match flight.wait(left) {
+                Some(Ok(result)) => finish_with_trailer(body, dataset, &result),
+                Some(Err(msg)) => abort_stream(body, flight_error(msg)),
+                None => abort_stream(body, ApiError::job_timeout()),
+            }
+        }
+        StreamSource::Follow(_) => {
+            unreachable!("followers are resolved before the response head")
+        }
+    }
+}
+
+/// One level line as one chunk (chunk boundaries align with NDJSON lines).
+fn write_level<W: Write>(
+    body: &mut ChunkedBody<'_, W>,
+    line: &str,
+    received: Instant,
+    tally: &mut StreamTally,
+) -> io::Result<()> {
+    body.write_chunk(format!("{line}\n").as_bytes())?;
+    tally.levels += 1;
+    if tally.first_level.is_none() {
+        tally.first_level = Some(received.elapsed());
+    }
+    Ok(())
+}
+
+fn finish_with_trailer<W: Write>(
+    mut body: ChunkedBody<'_, W>,
+    dataset: &str,
+    result: &CachedResult,
+) -> (u64, bool) {
+    let line = format!("{}\n", render_trailer(dataset, result));
+    if body.write_chunk(line.as_bytes()).is_err() {
+        return (body.payload_bytes(), false);
+    }
+    let bytes = body.payload_bytes();
+    (bytes, body.finish().is_ok())
+}
+
+/// The head is already out as 200, so the failure travels in-band as a
+/// final NDJSON error object; the body is still terminated properly, but
+/// the connection closes — this stream did not deliver its result.
+fn abort_stream<W: Write>(mut body: ChunkedBody<'_, W>, err: ApiError) -> (u64, bool) {
+    let line = format!(
+        "{}\n",
+        Json::obj([(
+            "error",
+            Json::obj([
+                ("code", Json::Str(err.code.to_string())),
+                ("message", Json::Str(err.message)),
+            ]),
+        )])
+        .render()
+    );
+    let _ = body.write_chunk(line.as_bytes());
+    let bytes = body.payload_bytes();
+    let _ = body.finish();
+    (bytes, false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn discover_spec_parsing() {
-        let s = parse_discover(br#"{"dataset":"wbc"}"#).unwrap();
+        let s = parse_discover(br#"{"dataset":"wbc"}"#, false).unwrap();
         assert_eq!(s.dataset, "wbc");
         assert_eq!(s.epsilon, 0.0);
         assert_eq!(s.storage, Storage::Memory);
         assert_eq!(s.threads, 1);
+        assert!(!s.stream);
 
         let s = parse_discover(
             br#"{"dataset":"wbc","epsilon":0.05,"max_lhs":3,"storage":"disk","cache_mb":16,"threads":2}"#,
+            false,
         )
         .unwrap();
         assert_eq!(s.epsilon, 0.05);
         assert_eq!(s.max_lhs, Some(3));
-        assert_eq!(s.storage, Storage::Disk { cache_bytes: 16 << 20 });
+        assert_eq!(
+            s.storage,
+            Storage::Disk {
+                cache_bytes: 16 << 20
+            }
+        );
         assert_eq!(s.threads, 2);
 
-        assert!(parse_discover(b"not json").is_err());
-        assert!(parse_discover(br#"{"epsilon":0.1}"#).unwrap_err().contains("dataset"));
-        assert!(parse_discover(br#"{"dataset":"x","epsilon":1.5}"#).unwrap_err().contains("[0,1]"));
-        assert!(parse_discover(br#"{"dataset":"x","storage":"tape"}"#).is_err());
-        assert!(parse_discover(br#"{"dataset":"x","threads":0}"#).is_err());
-        assert!(parse_discover(br#"{"dataset":"x","cache_mb":4}"#).is_err());
-        assert!(parse_discover(br#"{"dataset":"x","typo_field":1}"#).unwrap_err().contains("typo_field"));
+        assert!(parse_discover(b"not json", false).is_err());
+        assert!(parse_discover(br#"{"epsilon":0.1}"#, false)
+            .unwrap_err()
+            .contains("dataset"));
+        assert!(parse_discover(br#"{"dataset":"x","epsilon":1.5}"#, false)
+            .unwrap_err()
+            .contains("[0,1]"));
+        assert!(parse_discover(br#"{"dataset":"x","storage":"tape"}"#, false).is_err());
+        assert!(parse_discover(br#"{"dataset":"x","threads":0}"#, false).is_err());
+        assert!(parse_discover(br#"{"dataset":"x","cache_mb":4}"#, false).is_err());
+        assert!(parse_discover(br#"{"dataset":"x","typo_field":1}"#, false)
+            .unwrap_err()
+            .contains("typo_field"));
+    }
+
+    #[test]
+    fn stream_flag_is_versioned_only() {
+        // Legacy /discover: `stream` stays an unknown field.
+        assert!(parse_discover(br#"{"dataset":"x","stream":true}"#, false)
+            .unwrap_err()
+            .contains("stream"));
+        // /v1/discover accepts it.
+        assert!(
+            parse_discover(br#"{"dataset":"x","stream":true}"#, true)
+                .unwrap()
+                .stream
+        );
+        assert!(
+            !parse_discover(br#"{"dataset":"x","stream":false}"#, true)
+                .unwrap()
+                .stream
+        );
+        assert!(parse_discover(br#"{"dataset":"x","stream":1}"#, true)
+            .unwrap_err()
+            .contains("boolean"));
+    }
+
+    #[test]
+    fn version_prefix_is_split_once() {
+        assert_eq!(split_version("/v1/discover"), ("/discover", true));
+        assert_eq!(split_version("/v1/datasets/abc"), ("/datasets/abc", true));
+        assert_eq!(split_version("/discover"), ("/discover", false));
+        assert_eq!(split_version("/v1"), ("/v1", false));
+        assert_eq!(split_version("/v1x/health"), ("/v1x/health", false));
+        assert_eq!(split_version("/v2/health"), ("/v2/health", false));
+    }
+
+    #[test]
+    fn api_errors_shape_per_version() {
+        let body = |r: Response| Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let legacy =
+            body(ApiError::new(404, "unknown-dataset", "unknown dataset `x`").into_response(false));
+        assert_eq!(
+            legacy.get("error").unwrap().as_str(),
+            Some("unknown dataset `x`")
+        );
+        let v1 =
+            body(ApiError::new(404, "unknown-dataset", "unknown dataset `x`").into_response(true));
+        let err = v1.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("unknown-dataset"));
+        assert_eq!(
+            err.get("message").unwrap().as_str(),
+            Some("unknown dataset `x`")
+        );
+        // retry-after survives both shapes.
+        let r = ApiError::new(429, "queue-full", "job queue full")
+            .with_retry_after("1")
+            .into_response(true);
+        assert!(r
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == "retry-after" && v == "1"));
     }
 
     #[test]

@@ -21,13 +21,17 @@ struct Reply {
     status: u16,
     /// The `connection:` response header value.
     connection: String,
+    /// The `deprecation:` response header value, set on legacy paths.
+    deprecation: Option<String>,
     body: Json,
 }
 
 impl Conn {
     fn open(addr: SocketAddr) -> Conn {
         let stream = TcpStream::connect(addr).expect("connect");
-        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
         Conn { stream, reader }
     }
@@ -54,6 +58,7 @@ impl Conn {
             .unwrap_or_else(|| panic!("bad status line: {line:?}"));
         let mut content_length = 0usize;
         let mut connection = String::new();
+        let mut deprecation = None;
         loop {
             line.clear();
             self.reader.read_line(&mut line).expect("header line");
@@ -65,6 +70,7 @@ impl Conn {
                 match name.trim().to_ascii_lowercase().as_str() {
                     "content-length" => content_length = value.trim().parse().unwrap(),
                     "connection" => connection = value.trim().to_string(),
+                    "deprecation" => deprecation = Some(value.trim().to_string()),
                     _ => {}
                 }
             }
@@ -73,7 +79,12 @@ impl Conn {
         self.reader.read_exact(&mut body).expect("body");
         let text = String::from_utf8(body).expect("UTF-8 body");
         let body = Json::parse(&text).unwrap_or_else(|e| panic!("bad body ({e:?}): {text}"));
-        Reply { status, connection, body }
+        Reply {
+            status,
+            connection,
+            deprecation,
+            body,
+        }
     }
 
     /// True once the server has closed its end (read returns EOF).
@@ -96,6 +107,11 @@ fn one_connection_serves_many_requests() {
     let up = conn.recv();
     assert_eq!(up.status, 200, "{:?}", up.body);
     assert_eq!(up.connection, "keep-alive");
+    assert_eq!(
+        up.deprecation.as_deref(),
+        Some("true"),
+        "legacy paths are deprecated aliases"
+    );
 
     // ≥ 8 sequential requests on the same socket, alternating endpoints.
     for i in 0..5 {
@@ -103,6 +119,7 @@ fn one_connection_serves_many_requests() {
         let reply = conn.recv();
         assert_eq!(reply.status, 200, "request {i}: {:?}", reply.body);
         assert_eq!(reply.connection, "keep-alive");
+        assert_eq!(reply.deprecation.as_deref(), Some("true"));
         if i > 0 {
             assert_eq!(reply.body.get("cached").unwrap().as_bool(), Some(true));
         }
@@ -116,14 +133,23 @@ fn one_connection_serves_many_requests() {
     conn.send("GET", "/metrics", b"", true);
     let last = conn.recv();
     assert_eq!(last.connection, "close", "the final request opted out");
-    assert!(conn.at_eof(), "server closes after honoring Connection: close");
+    assert!(
+        conn.at_eof(),
+        "server closes after honoring Connection: close"
+    );
 
     let conns = last.body.get("connections").unwrap();
     let reused = conns.get("reused").unwrap().as_usize().unwrap();
-    assert!(reused >= 10, "11 of 12 requests rode an existing connection, got {reused}");
+    assert!(
+        reused >= 10,
+        "11 of 12 requests rode an existing connection, got {reused}"
+    );
     assert!(conns.get("accepted").unwrap().as_usize().unwrap() >= 1);
     let requests = last.body.get("requests_total").unwrap().as_usize().unwrap();
-    assert!(requests >= 12, "requests are counted per request, not per connection: {requests}");
+    assert!(
+        requests >= 12,
+        "requests are counted per request, not per connection: {requests}"
+    );
 
     server.shutdown();
     server.wait();
@@ -145,8 +171,15 @@ fn pipelined_requests_are_answered_in_order() {
     let second = conn.recv();
     assert!(second.body.get("datasets").is_some(), "{:?}", second.body);
     let third = conn.recv();
-    assert!(third.body.get("requests_total").is_some(), "{:?}", third.body);
-    assert_eq!(third.body.get("requests_total").unwrap().as_usize(), Some(3));
+    assert!(
+        third.body.get("requests_total").is_some(),
+        "{:?}",
+        third.body
+    );
+    assert_eq!(
+        third.body.get("requests_total").unwrap().as_usize(),
+        Some(3)
+    );
 
     server.shutdown();
     server.wait();
@@ -171,7 +204,10 @@ fn trickled_request_bytes_still_parse() {
 
 #[test]
 fn idle_connections_are_disconnected() {
-    let config = ServerConfig { idle_timeout: Duration::from_millis(200), ..ServerConfig::default() };
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
     let server = Server::start("127.0.0.1:0", config).unwrap();
     let mut conn = Conn::open(server.local_addr());
 
@@ -179,9 +215,14 @@ fn idle_connections_are_disconnected() {
     conn.send("GET", "/health", b"", false);
     assert_eq!(conn.recv().status, 200);
     let start = std::time::Instant::now();
-    conn.stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn.stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     assert!(conn.at_eof(), "server must hang up on an idle connection");
-    assert!(start.elapsed() < Duration::from_secs(5), "and do so near the idle timeout");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "and do so near the idle timeout"
+    );
 
     server.shutdown();
     server.wait();
@@ -189,7 +230,10 @@ fn idle_connections_are_disconnected() {
 
 #[test]
 fn request_cap_closes_the_connection() {
-    let config = ServerConfig { max_requests_per_conn: 2, ..ServerConfig::default() };
+    let config = ServerConfig {
+        max_requests_per_conn: 2,
+        ..ServerConfig::default()
+    };
     let server = Server::start("127.0.0.1:0", config).unwrap();
     let mut conn = Conn::open(server.local_addr());
 
@@ -207,7 +251,10 @@ fn request_cap_closes_the_connection() {
 
 #[test]
 fn connections_over_the_cap_are_shed_with_503() {
-    let config = ServerConfig { max_connections: 1, ..ServerConfig::default() };
+    let config = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
     let server = Server::start("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr();
 
@@ -235,7 +282,11 @@ fn connections_over_the_cap_are_shed_with_503() {
     admitted.send("GET", "/metrics", b"", false);
     let metrics = admitted.recv();
     let conns = metrics.body.get("connections").unwrap();
-    assert!(conns.get("shed").unwrap().as_usize().unwrap() >= 2, "{:?}", conns);
+    assert!(
+        conns.get("shed").unwrap().as_usize().unwrap() >= 2,
+        "{:?}",
+        conns
+    );
     assert_eq!(conns.get("active").unwrap().as_usize(), Some(1));
 
     // Releasing the slot readmits new connections.
@@ -277,7 +328,10 @@ fn framing_errors_are_answered_then_the_connection_closes() {
     let reply = chunked.recv();
     assert_eq!(reply.status, 501, "{:?}", reply.body);
     assert_eq!(reply.connection, "close");
-    assert!(chunked.at_eof(), "no desync: the smuggled bytes are never parsed");
+    assert!(
+        chunked.at_eof(),
+        "no desync: the smuggled bytes are never parsed"
+    );
 
     let mut dup = Conn::open(addr);
     dup.stream
@@ -315,7 +369,10 @@ fn shutdown_closes_persistent_connections_after_the_inflight_request() {
     conn.send("GET", "/health", b"", false);
     let reply = conn.recv();
     assert_eq!(reply.status, 200);
-    assert_eq!(reply.connection, "close", "persistent handlers observe shutdown");
+    assert_eq!(
+        reply.connection, "close",
+        "persistent handlers observe shutdown"
+    );
     assert!(conn.at_eof());
     server.wait();
 }

@@ -14,7 +14,9 @@ use tane_util::Json;
 /// the EOF-terminated read below works), returns `(status, parsed body)`.
 fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Json) {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
         body.len()
@@ -28,6 +30,18 @@ fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Json) 
         .and_then(|r| r.get(..3))
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line: {raw:.60}"));
+    // Every *routed* response on an unversioned path is a deprecated alias
+    // of its /v1 twin and must say so. Failures that precede routing
+    // (framing 400/501, body cap 413, mid-request 408, connection shed)
+    // have no version to speak and carry no header.
+    let pre_routing =
+        matches!(status, 408 | 413 | 501) || raw.contains("\"connection limit reached\"");
+    if !path.starts_with("/v1") && !pre_routing {
+        assert!(
+            raw.contains("deprecation: true\r\n"),
+            "legacy path {path} must carry `Deprecation: true`: {raw:.200}"
+        );
+    }
     let body_text = raw.split("\r\n\r\n").nth(1).unwrap_or("");
     let parsed = Json::parse(body_text).unwrap_or_else(|e| panic!("bad body ({e:?}): {body_text}"));
     (status, parsed)
@@ -68,14 +82,20 @@ fn concurrent_discover_is_correct_deduplicated_and_cached() {
     let addr2 = addr;
     let clients: Vec<_> = (0..64)
         .map(|_| {
-            std::thread::spawn(move || call(addr2, "POST", "/discover", &discover_body("lymphography")))
+            std::thread::spawn(move || {
+                call(addr2, "POST", "/discover", &discover_body("lymphography"))
+            })
         })
         .collect();
     let mut cached_seen = false;
     for c in clients {
         let (status, body) = c.join().unwrap();
         assert_eq!(status, 200, "{body:?}");
-        assert_eq!(fds_of(&body), expected, "server must byte-match the CLI dependency set");
+        assert_eq!(
+            fds_of(&body),
+            expected,
+            "server must byte-match the CLI dependency set"
+        );
         cached_seen |= body.get("cached").unwrap().as_bool().unwrap();
     }
     assert!(cached_seen, "concurrent identical queries must coalesce");
@@ -93,12 +113,21 @@ fn concurrent_discover_is_correct_deduplicated_and_cached() {
     let hits = cache.get("hits").unwrap().as_usize().unwrap();
     let coalesced = cache.get("coalesced").unwrap().as_usize().unwrap();
     assert!(hits >= 1, "the repeat query is a guaranteed hit");
-    assert!(hits + coalesced >= 64, "64 of 65 identical queries must not re-search");
+    assert!(
+        hits + coalesced >= 64,
+        "64 of 65 identical queries must not re-search"
+    );
     assert_eq!(cache.get("entries").unwrap().as_usize(), Some(1));
     let queue = metrics.get("queue").unwrap();
     assert!(queue.get("depth").unwrap().as_usize().is_some());
     assert!(queue.get("capacity").unwrap().as_usize().unwrap() > 0);
-    let levels = metrics.get("search").unwrap().get("level_times").unwrap().as_array().unwrap();
+    let levels = metrics
+        .get("search")
+        .unwrap()
+        .get("level_times")
+        .unwrap()
+        .as_array()
+        .unwrap();
     assert!(!levels.is_empty(), "per-level timings must be reported");
     assert!(levels[0].get("runs").unwrap().as_usize().unwrap() >= 1);
 
@@ -120,7 +149,11 @@ fn distinct_queries_get_distinct_cache_entries() {
         br#"{"dataset":"hepatitis","epsilon":0.1}"#,
     );
     assert_eq!(status, 200);
-    assert_eq!(approx.get("cached").unwrap().as_bool(), Some(false), "different key, no reuse");
+    assert_eq!(
+        approx.get("cached").unwrap().as_bool(),
+        Some(false),
+        "different key, no reuse"
+    );
     // Approximate discovery at eps > 0 finds at least the exact cover.
     assert!(fds_of(&approx).len() >= 1);
     assert_ne!(fds_of(&exact), fds_of(&approx));
@@ -158,7 +191,13 @@ fn uploads_roundtrip_through_discovery() {
     // B and C determine each other; A is a key.
     assert!(fds.contains(&"{B} -> C".to_string()), "{fds:?}");
     assert!(fds.contains(&"{C} -> B".to_string()), "{fds:?}");
-    assert!(body.get("keys").unwrap().as_array().unwrap().iter().any(|k| k.as_str() == Some("{A}")));
+    assert!(body
+        .get("keys")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|k| k.as_str() == Some("{A}")));
 
     // The listing shows the upload with its shape.
     let (_, listing) = call(addr, "GET", "/datasets", b"");
@@ -188,16 +227,19 @@ fn overload_sheds_with_429_not_memory() {
     let server = Server::start("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr();
 
-    // Two distinct queries occupy the queue; their handlers will 504.
-    let mut blocked = Vec::new();
-    for m in 1..=2 {
-        let body = format!("{{\"dataset\":\"tiny\",\"max_lhs\":{m}}}").into_bytes();
-        blocked.push(std::thread::spawn(move || call(addr, "POST", "/discover", &body)));
-    }
     // Upload first so dataset resolution succeeds.
     let csv = b"A,B\n1,1\n2,2\n";
     let (status, _) = call(addr, "POST", "/datasets/tiny", csv);
     assert_eq!(status, 200);
+
+    // Two distinct queries occupy the queue; their handlers will 504.
+    let mut blocked = Vec::new();
+    for m in 1..=2 {
+        let body = format!("{{\"dataset\":\"tiny\",\"max_lhs\":{m}}}").into_bytes();
+        blocked.push(std::thread::spawn(move || {
+            call(addr, "POST", "/discover", &body)
+        }));
+    }
 
     // Fill the queue (races with the two above are fine: only capacity
     // matters), then the next distinct query must be shed.
@@ -205,18 +247,38 @@ fn overload_sheds_with_429_not_memory() {
     for m in 3..=6 {
         let body = format!("{{\"dataset\":\"tiny\",\"max_lhs\":{m}}}").into_bytes();
         let addr2 = addr;
-        statuses.push(std::thread::spawn(move || call(addr2, "POST", "/discover", &body).0));
+        statuses.push(std::thread::spawn(move || {
+            call(addr2, "POST", "/discover", &body).0
+        }));
     }
     let results: Vec<u16> = statuses.into_iter().map(|t| t.join().unwrap()).collect();
-    assert!(results.iter().any(|&s| s == 429), "queue overflow must answer 429, got {results:?}");
-    assert!(results.iter().all(|&s| s == 429 || s == 504), "got {results:?}");
+    assert!(
+        results.iter().any(|&s| s == 429),
+        "queue overflow must answer 429, got {results:?}"
+    );
+    assert!(
+        results.iter().all(|&s| s == 429 || s == 504),
+        "got {results:?}"
+    );
     for b in blocked {
         let (status, _) = b.join().unwrap();
-        assert!(status == 504 || status == 429, "queued-forever handlers time out, got {status}");
+        assert!(
+            status == 504 || status == 429,
+            "queued-forever handlers time out, got {status}"
+        );
     }
 
     let (_, metrics) = call(addr, "GET", "/metrics", b"");
-    assert!(metrics.get("queue").unwrap().get("rejected").unwrap().as_usize().unwrap() >= 1);
+    assert!(
+        metrics
+            .get("queue")
+            .unwrap()
+            .get("rejected")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            >= 1
+    );
 
     server.shutdown();
     server.wait();
@@ -233,7 +295,10 @@ fn shutdown_endpoint_drains_and_stops() {
     let waiter = std::thread::spawn(move || server.wait());
     let start = std::time::Instant::now();
     waiter.join().unwrap();
-    assert!(start.elapsed() < Duration::from_secs(5), "shutdown must not hang");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown must not hang"
+    );
     // The port stops answering.
     std::thread::sleep(Duration::from_millis(50));
     assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
@@ -244,7 +309,10 @@ fn health_and_errors() {
     let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = server.local_addr();
     let (status, body) = call(addr, "GET", "/health", b"");
-    assert_eq!((status, body.get("status").unwrap().as_str()), (200, Some("ok")));
+    assert_eq!(
+        (status, body.get("status").unwrap().as_str()),
+        (200, Some("ok"))
+    );
     let (status, _) = call(addr, "GET", "/no-such", b"");
     assert_eq!(status, 404);
     let (status, _) = call(addr, "POST", "/discover", b"{not json");
@@ -252,9 +320,17 @@ fn health_and_errors() {
     let (status, _) = call(addr, "DELETE", "/health", b"");
     assert_eq!(status, 405);
     // Body over the configured cap is refused up front.
-    let tiny = ServerConfig { max_body_bytes: 64, ..ServerConfig::default() };
+    let tiny = ServerConfig {
+        max_body_bytes: 64,
+        ..ServerConfig::default()
+    };
     let small = Server::start("127.0.0.1:0", tiny).unwrap();
-    let (status, _) = call(small.local_addr(), "POST", "/datasets/big", &vec![b'x'; 1024]);
+    let (status, _) = call(
+        small.local_addr(),
+        "POST",
+        "/datasets/big",
+        &vec![b'x'; 1024],
+    );
     assert_eq!(status, 413);
     small.shutdown();
     small.wait();
@@ -264,7 +340,10 @@ fn health_and_errors() {
 
 #[test]
 fn worker_pool_processes_distinct_queries_in_parallel() {
-    let config = ServerConfig { workers: 4, ..ServerConfig::default() };
+    let config = ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    };
     let server = Server::start("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr();
     let relation = Arc::new(tane_datasets::lymphography());
@@ -281,11 +360,23 @@ fn worker_pool_processes_distinct_queries_in_parallel() {
         assert_eq!(status, 200);
         let expected = discover_fds(&relation, &TaneConfig::default().with_max_lhs(m)).unwrap();
         let names = relation.schema().names().to_vec();
-        let want: Vec<String> = expected.fds.iter().map(|fd| fd.display_with(&names)).collect();
+        let want: Vec<String> = expected
+            .fds
+            .iter()
+            .map(|fd| fd.display_with(&names))
+            .collect();
         assert_eq!(fds_of(&body), want, "max_lhs={m}");
     }
     let (_, metrics) = call(addr, "GET", "/metrics", b"");
-    assert_eq!(metrics.get("jobs").unwrap().get("completed").unwrap().as_usize(), Some(4));
+    assert_eq!(
+        metrics
+            .get("jobs")
+            .unwrap()
+            .get("completed")
+            .unwrap()
+            .as_usize(),
+        Some(4)
+    );
     server.shutdown();
     server.wait();
 }

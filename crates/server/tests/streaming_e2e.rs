@@ -1,0 +1,668 @@
+//! End-to-end tests for the `/v1` API: NDJSON streaming over chunked
+//! transfer encoding, versioned routing with the error envelope, dataset
+//! detail/delete, and the `Deprecation` header on legacy paths — all over
+//! real loopback sockets with a hand-rolled chunked-decoding client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use tane_server::{Server, ServerConfig};
+use tane_util::Json;
+
+/// One persistent client connection speaking HTTP/1.1.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Response head as the client saw it.
+struct Head {
+    status: u16,
+    connection: String,
+    content_type: String,
+    transfer_encoding: String,
+    deprecation: Option<String>,
+    content_length: usize,
+}
+
+/// One fully-read chunked response: the chunk payloads in arrival order,
+/// each stamped with when its bytes landed.
+struct StreamReply {
+    head: Head,
+    chunks: Vec<String>,
+    arrived: Vec<Instant>,
+}
+
+impl StreamReply {
+    /// The NDJSON objects of the stream, parsed.
+    fn objects(&self) -> Vec<Json> {
+        self.chunks
+            .concat()
+            .lines()
+            .map(|line| Json::parse(line).unwrap_or_else(|e| panic!("bad line ({e:?}): {line}")))
+            .collect()
+    }
+
+    fn payload(&self) -> String {
+        self.chunks.concat()
+    }
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Conn { stream, reader }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &[u8], close: bool) {
+        self.send_with_content_type(method, path, body, close, "application/json");
+    }
+
+    fn send_with_content_type(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        close: bool,
+        content_type: &str,
+    ) {
+        let conn_header = if close { "connection: close\r\n" } else { "" };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\n{conn_header}content-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).unwrap();
+        self.stream.write_all(body).unwrap();
+    }
+
+    fn read_head(&mut self) -> Head {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.get(..3))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+        let mut head = Head {
+            status,
+            connection: String::new(),
+            content_type: String::new(),
+            transfer_encoding: String::new(),
+            deprecation: None,
+            content_length: 0,
+        };
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line).expect("header line");
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let value = value.trim().to_string();
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "connection" => head.connection = value,
+                    "content-type" => head.content_type = value,
+                    "transfer-encoding" => head.transfer_encoding = value,
+                    "deprecation" => head.deprecation = Some(value),
+                    "content-length" => head.content_length = value.parse().unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        head
+    }
+
+    /// Reads one `Content-Length`-framed response.
+    fn recv(&mut self) -> (Head, Json) {
+        let head = self.read_head();
+        let mut body = vec![0u8; head.content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        let text = String::from_utf8(body).expect("UTF-8 body");
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("bad body ({e:?}): {text}"));
+        (head, json)
+    }
+
+    /// Reads one chunked-transfer-encoded response, chunk by chunk, until
+    /// the terminating zero-length chunk.
+    fn recv_chunked(&mut self) -> StreamReply {
+        let head = self.read_head();
+        assert_eq!(head.transfer_encoding, "chunked", "streams must be chunked");
+        let mut chunks = Vec::new();
+        let mut arrived = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            self.reader
+                .read_line(&mut size_line)
+                .expect("chunk size line");
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .unwrap_or_else(|_| panic!("bad chunk size line: {size_line:?}"));
+            if size == 0 {
+                let mut crlf = [0u8; 2];
+                self.reader.read_exact(&mut crlf).expect("final CRLF");
+                assert_eq!(&crlf, b"\r\n");
+                arrived.push(Instant::now());
+                break;
+            }
+            let mut payload = vec![0u8; size];
+            self.reader.read_exact(&mut payload).expect("chunk payload");
+            arrived.push(Instant::now());
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf).expect("chunk CRLF");
+            assert_eq!(&crlf, b"\r\n");
+            chunks.push(String::from_utf8(payload).expect("UTF-8 chunk"));
+        }
+        StreamReply {
+            head,
+            chunks,
+            arrived,
+        }
+    }
+}
+
+/// A deterministic pseudo-random CSV: `attrs` columns of cardinality
+/// `card`. Low cardinality pushes candidate keys deep into the lattice, so
+/// the search has many levels and level 1 finishes far ahead of the whole.
+fn gen_csv(rows: usize, attrs: usize, card: u64) -> Vec<u8> {
+    let mut out = String::new();
+    for a in 0..attrs {
+        if a > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("C{a}"));
+    }
+    out.push('\n');
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..rows {
+        for a in 0..attrs {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if a > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("v{}", (state >> 33) % card));
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn upload(conn: &mut Conn, name: &str, csv: &[u8]) {
+    conn.send("POST", &format!("/v1/datasets/{name}"), csv, false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 200, "{body:?}");
+}
+
+#[test]
+fn stream_delivers_levels_in_lattice_order_before_completion() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut conn = Conn::open(addr);
+    upload(&mut conn, "deep", &gen_csv(3000, 10, 4));
+
+    conn.send(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"deep","stream":true}"#,
+        false,
+    );
+    let reply = conn.recv_chunked();
+    assert_eq!(reply.head.status, 200);
+    assert_eq!(reply.head.content_type, "application/x-ndjson");
+    assert_eq!(reply.head.deprecation, None, "/v1 is not deprecated");
+
+    let objects = reply.objects();
+    let (levels, trailer) = objects.split_at(objects.len() - 1);
+    assert!(
+        levels.len() >= 3,
+        "want a multi-level lattice, got {} levels",
+        levels.len()
+    );
+    // Level objects arrive in lattice order, 1, 2, 3, …, each complete.
+    for (i, level) in levels.iter().enumerate() {
+        assert_eq!(
+            level.get("level").unwrap().as_usize(),
+            Some(i + 1),
+            "{level:?}"
+        );
+        assert!(level.get("fds").unwrap().as_array().is_some());
+        assert!(level.get("level_secs").unwrap().as_f64().is_some());
+        assert!(level.get("partitions_bytes").unwrap().as_usize().is_some());
+    }
+    let summary = trailer[0]
+        .get("summary")
+        .unwrap_or_else(|| panic!("{:?}", trailer[0]));
+    assert_eq!(summary.get("dataset").unwrap().as_str(), Some("deep"));
+
+    // Early delivery, asserted against the search's own timings rather
+    // than sleeps: the first level line left the server before level 2+
+    // were computed, so the gap between its arrival and the trailer's must
+    // cover a solid fraction of the post-level-1 search time reported in
+    // the trailer's stats.
+    let level_secs: Vec<f64> = summary
+        .get("stats")
+        .unwrap()
+        .get("level_secs")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let after_first: f64 = level_secs[1..].iter().sum();
+    let gap = (*reply.arrived.last().unwrap() - reply.arrived[0]).as_secs_f64();
+    assert!(
+        gap >= 0.5 * after_first,
+        "first level must arrive while later levels compute: gap {gap:.4}s vs {after_first:.4}s of post-level-1 search"
+    );
+
+    // The streamed cover is exactly the buffered cover.
+    let mut streamed: Vec<String> = levels
+        .iter()
+        .flat_map(|l| l.get("fds").unwrap().as_array().unwrap().iter())
+        .map(|fd| fd.as_str().unwrap().to_string())
+        .collect();
+    streamed.sort();
+    conn.send("POST", "/v1/discover", br#"{"dataset":"deep"}"#, false);
+    let (head, buffered) = conn.recv();
+    assert_eq!(head.status, 200);
+    let mut expected: Vec<String> = buffered
+        .get("fds")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|fd| fd.as_str().unwrap().to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(
+        streamed, expected,
+        "level-by-level union must equal the buffered cover"
+    );
+    assert_eq!(
+        summary.get("count").unwrap().as_usize(),
+        Some(expected.len()),
+        "trailer count agrees"
+    );
+
+    // The stream counters surfaced in /v1/metrics.
+    conn.send("GET", "/v1/metrics", b"", true);
+    let (_, metrics) = conn.recv();
+    let stream = metrics.get("stream").unwrap();
+    assert_eq!(
+        stream.get("levels_streamed").unwrap().as_usize(),
+        Some(levels.len())
+    );
+    assert!(stream.get("stream_bytes").unwrap().as_usize().unwrap() >= reply.payload().len());
+    assert!(
+        stream
+            .get("first_level_latency_secs")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn cache_hits_and_followers_replay_identical_bytes() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut conn = Conn::open(addr);
+    upload(&mut conn, "small", &gen_csv(500, 6, 4));
+
+    // Two concurrent streams of the same query: one claims and streams
+    // live, the other follows the flight and replays the recorded lines.
+    let live = std::thread::spawn(move || {
+        let mut c = Conn::open(addr);
+        c.send(
+            "POST",
+            "/v1/discover",
+            br#"{"dataset":"small","stream":true}"#,
+            true,
+        );
+        c.recv_chunked().payload()
+    });
+    let follow = std::thread::spawn(move || {
+        let mut c = Conn::open(addr);
+        c.send(
+            "POST",
+            "/v1/discover",
+            br#"{"dataset":"small","stream":true}"#,
+            true,
+        );
+        c.recv_chunked().payload()
+    });
+    let (a, b) = (live.join().unwrap(), follow.join().unwrap());
+    assert_eq!(
+        a, b,
+        "live stream and single-flight follower must be byte-identical"
+    );
+
+    // A later cache hit replays the same bytes again.
+    conn.send(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"small","stream":true}"#,
+        true,
+    );
+    let replay = conn.recv_chunked();
+    assert_eq!(
+        replay.payload(),
+        a,
+        "cache-hit replay must be byte-identical"
+    );
+    assert!(
+        !replay.payload().contains("\"cached\""),
+        "stream objects carry no cached flag — that is what makes replays identical"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn streaming_composes_with_keep_alive() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut conn = Conn::open(server.local_addr());
+    upload(&mut conn, "small", &gen_csv(500, 6, 4));
+
+    // A finished chunked body leaves the connection reusable: stream,
+    // then keep talking on the same socket.
+    conn.send(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"small","stream":true}"#,
+        false,
+    );
+    let reply = conn.recv_chunked();
+    assert_eq!(reply.head.status, 200);
+    assert_eq!(reply.head.connection, "keep-alive");
+
+    conn.send("GET", "/v1/health", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 200);
+    assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(head.deprecation, None);
+
+    // A second stream on the same connection still frames correctly.
+    conn.send(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"small","stream":true}"#,
+        false,
+    );
+    let second = conn.recv_chunked();
+    assert_eq!(second.payload(), reply.payload());
+
+    // Legacy paths still work on this connection — and say so.
+    conn.send("GET", "/health", b"", true);
+    let (head, _) = conn.recv();
+    assert_eq!(head.status, 200);
+    assert_eq!(
+        head.deprecation.as_deref(),
+        Some("true"),
+        "legacy paths carry Deprecation"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn mid_stream_disconnect_does_not_kill_the_job() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut conn = Conn::open(addr);
+    upload(&mut conn, "deep", &gen_csv(3000, 10, 4));
+
+    // Start a stream, read only the head and the first chunk, hang up.
+    conn.send(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"deep","stream":true}"#,
+        false,
+    );
+    let head = conn.read_head();
+    assert_eq!(head.status, 200);
+    let mut size_line = String::new();
+    conn.reader.read_line(&mut size_line).unwrap();
+    let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+    let mut first = vec![0u8; size];
+    conn.reader.read_exact(&mut first).unwrap();
+    drop(conn);
+
+    // The worker keeps searching and publishes to the cache: a buffered
+    // query for the same key coalesces onto (or hits) that flight and is
+    // answered from it.
+    let mut probe = Conn::open(addr);
+    probe.send("POST", "/v1/discover", br#"{"dataset":"deep"}"#, false);
+    let (head, body) = probe.recv();
+    assert_eq!(head.status, 200, "{body:?}");
+    assert_eq!(
+        body.get("cached").unwrap().as_bool(),
+        Some(true),
+        "the abandoned stream's search must still land in the cache"
+    );
+    probe.send("GET", "/v1/health", b"", true);
+    let (head, _) = probe.recv();
+    assert_eq!(
+        head.status, 200,
+        "server stays healthy after the disconnect"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn v1_errors_use_the_envelope_and_legacy_stays_flat() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut conn = Conn::open(server.local_addr());
+
+    // Unknown dataset: 404 + slug under /v1, flat string on legacy.
+    conn.send("POST", "/v1/discover", br#"{"dataset":"nope"}"#, false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 404);
+    assert_eq!(head.deprecation, None);
+    let err = body.get("error").unwrap();
+    assert_eq!(err.get("code").unwrap().as_str(), Some("unknown-dataset"));
+    assert_eq!(
+        err.get("message").unwrap().as_str(),
+        Some("unknown dataset `nope`")
+    );
+
+    conn.send("POST", "/discover", br#"{"dataset":"nope"}"#, false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 404);
+    assert_eq!(head.deprecation.as_deref(), Some("true"));
+    assert_eq!(
+        body.get("error").unwrap().as_str(),
+        Some("unknown dataset `nope`"),
+        "legacy error bodies stay flat strings"
+    );
+
+    // Malformed body: invalid-body.
+    conn.send("POST", "/v1/discover", b"{not json", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 400);
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("invalid-body")
+    );
+
+    // Wrong media type on /v1/discover: 415. Legacy never checks.
+    conn.send_with_content_type(
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"x"}"#,
+        false,
+        "text/csv",
+    );
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 415, "{body:?}");
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unsupported-media-type")
+    );
+    conn.send_with_content_type(
+        "POST",
+        "/discover",
+        br#"{"dataset":"nope"}"#,
+        false,
+        "text/csv",
+    );
+    let (head, _) = conn.recv();
+    assert_eq!(head.status, 404, "legacy /discover ignores content-type");
+
+    // `stream` is a /v1 field; legacy rejects it as unknown.
+    conn.send(
+        "POST",
+        "/discover",
+        br#"{"dataset":"x","stream":true}"#,
+        false,
+    );
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 400);
+    assert!(body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("stream"));
+
+    // Unknown endpoints and bad methods get slugs too.
+    conn.send("GET", "/v1/nope", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 404);
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unknown-endpoint")
+    );
+    conn.send("PUT", "/v1/discover", b"", true);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 405);
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("method-not-allowed")
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn dataset_detail_and_delete() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut conn = Conn::open(server.local_addr());
+    upload(&mut conn, "mine", &gen_csv(50, 4, 3));
+
+    // Detail: schema, shape, identity.
+    conn.send("GET", "/v1/datasets/mine", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 200, "{body:?}");
+    assert_eq!(body.get("dataset").unwrap().as_str(), Some("mine"));
+    assert_eq!(body.get("rows").unwrap().as_usize(), Some(50));
+    assert_eq!(body.get("attrs").unwrap().as_usize(), Some(4));
+    let attributes: Vec<&str> = body
+        .get("attributes")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(attributes, ["C0", "C1", "C2", "C3"]);
+    assert_eq!(body.get("builtin").unwrap().as_bool(), Some(false));
+    let hash = body
+        .get("content_hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(hash.len(), 16);
+
+    // Built-ins resolve too, flagged as such.
+    conn.send("GET", "/v1/datasets/lymphography", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 200);
+    assert_eq!(body.get("rows").unwrap().as_usize(), Some(148));
+    assert_eq!(body.get("builtin").unwrap().as_bool(), Some(true));
+
+    // Deleting an upload works once, then 404s; built-ins are 403.
+    conn.send("DELETE", "/v1/datasets/mine", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 200, "{body:?}");
+    assert_eq!(body.get("removed").unwrap().as_bool(), Some(true));
+    conn.send("GET", "/v1/datasets/mine", b"", false);
+    let (head, _) = conn.recv();
+    assert_eq!(head.status, 404);
+    conn.send("DELETE", "/v1/datasets/mine", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 404);
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unknown-dataset")
+    );
+    conn.send("DELETE", "/v1/datasets/lymphography", b"", false);
+    let (head, body) = conn.recv();
+    assert_eq!(head.status, 403, "{body:?}");
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("builtin-dataset")
+    );
+
+    // Legacy has no detail/delete: unchanged 404/405 there.
+    conn.send("GET", "/datasets/lymphography", b"", false);
+    let (head, _) = conn.recv();
+    assert_eq!(head.status, 404);
+    conn.send("DELETE", "/datasets/lymphography", b"", true);
+    let (head, _) = conn.recv();
+    assert_eq!(head.status, 405);
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn v1_success_bodies_match_legacy_byte_for_byte() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut conn = Conn::open(server.local_addr());
+    upload(&mut conn, "small", &gen_csv(200, 5, 3));
+
+    // Warm the cache so both calls are answered from the same entry (the
+    // `cached` flag would otherwise differ).
+    conn.send("POST", "/v1/discover", br#"{"dataset":"small"}"#, false);
+    let (head, _) = conn.recv();
+    assert_eq!(head.status, 200);
+
+    let mut read_raw = |path: &str| {
+        conn.send("POST", path, br#"{"dataset":"small"}"#, false);
+        let head = conn.read_head();
+        let mut body = vec![0u8; head.content_length];
+        conn.reader.read_exact(&mut body).unwrap();
+        (head, String::from_utf8(body).unwrap())
+    };
+    let (v1_head, v1_body) = read_raw("/v1/discover");
+    let (legacy_head, legacy_body) = read_raw("/discover");
+    assert_eq!(v1_head.status, 200);
+    assert_eq!(legacy_head.status, 200);
+    assert_eq!(
+        v1_body, legacy_body,
+        "buffered /v1/discover is the same document"
+    );
+    assert_eq!(v1_head.deprecation, None);
+    assert_eq!(legacy_head.deprecation.as_deref(), Some("true"));
+
+    server.shutdown();
+    server.wait();
+}

@@ -58,7 +58,10 @@ impl AttrSet {
     /// Panics if `n > MAX_ATTRS`.
     #[inline]
     pub fn full(n: usize) -> Self {
-        assert!(n <= MAX_ATTRS, "AttrSet supports at most {MAX_ATTRS} attributes, got {n}");
+        assert!(
+            n <= MAX_ATTRS,
+            "AttrSet supports at most {MAX_ATTRS} attributes, got {n}"
+        );
         if n == MAX_ATTRS {
             AttrSet(u64::MAX)
         } else {

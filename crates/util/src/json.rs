@@ -79,7 +79,12 @@ impl std::error::Error for JsonError {}
 impl Json {
     /// Convenience constructor for an object.
     pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Convenience constructor for an array of strings.
@@ -148,7 +153,10 @@ impl Json {
     ///
     /// [`JsonError`] on malformed input, depth overflow, or trailing data.
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let value = p.value(0)?;
         p.skip_ws();
@@ -264,7 +272,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError::Syntax { offset: self.pos, message: message.into() }
+        JsonError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -391,9 +402,7 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => out.push(self.unicode_escape()?),
-                        other => {
-                            return Err(self.err(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 0x00..=0x1f => return Err(self.err("raw control character in string")),
@@ -419,8 +428,7 @@ impl Parser<'_> {
                 self.pos += 2;
                 let second = self.hex4()?;
                 if (0xdc00..0xe000).contains(&second) {
-                    let combined =
-                        0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+                    let combined = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
                     return char::from_u32(combined).ok_or_else(|| self.err("bad surrogate pair"));
                 }
             }
@@ -435,8 +443,12 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let digit = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
             v = v * 16 + digit;
             self.pos += 1;
         }
@@ -466,8 +478,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err(format!("bad number `{text}`")))
@@ -511,7 +522,10 @@ mod tests {
         assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
         let rendered = Json::Str("tab\there \"q\" \u{1}".into()).render();
         assert_eq!(rendered, r#""tab\there \"q\" \u0001""#);
-        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some("tab\there \"q\" \u{1}"));
+        assert_eq!(
+            Json::parse(&rendered).unwrap().as_str(),
+            Some("tab\there \"q\" \u{1}")
+        );
     }
 
     #[test]
@@ -529,7 +543,10 @@ mod tests {
         assert_eq!(Json::Num(42.0).render(), "42");
         assert_eq!(Json::Num(0.5).render(), "0.5");
         assert_eq!(Json::Num(f64::NAN).render(), "null");
-        assert_eq!(Json::parse("9007199254740992").unwrap().as_usize(), Some(9007199254740992));
+        assert_eq!(
+            Json::parse("9007199254740992").unwrap().as_usize(),
+            Some(9007199254740992)
+        );
         assert_eq!(Json::parse("0.5").unwrap().as_usize(), None);
         assert_eq!(Json::parse("-1").unwrap().as_usize(), None);
     }
@@ -537,8 +554,18 @@ mod tests {
     #[test]
     fn malformed_inputs_error_cleanly() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
-            "01x", "{'a':1}", "[1 2]", "\"\\q\"", "nullX",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{'a':1}",
+            "[1 2]",
+            "\"\\q\"",
+            "nullX",
         ] {
             assert!(Json::parse(bad).is_err(), "`{bad}` should fail");
         }
@@ -564,7 +591,10 @@ mod tests {
             ("on", Json::Bool(true)),
             ("none", Json::Null),
         ]);
-        assert_eq!(v.render(), r#"{"count":3,"items":["a","b"],"on":true,"none":null}"#);
+        assert_eq!(
+            v.render(),
+            r#"{"count":3,"items":["a","b"],"on":true,"none":null}"#
+        );
         assert_eq!(v.get("on").and_then(Json::as_bool), Some(true));
         assert!(v.get("none").unwrap().is_null());
         assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 2);

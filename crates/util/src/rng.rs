@@ -117,7 +117,10 @@ mod tests {
             assert!(v < 7);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 7 values must appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 7 values must appear in 1000 draws"
+        );
         for _ in 0..100 {
             assert!(r.usize_below(3) < 3);
         }

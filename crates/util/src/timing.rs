@@ -27,7 +27,9 @@ impl Stopwatch {
     /// Starts a new stopwatch.
     #[inline]
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Wall-clock time elapsed since [`Stopwatch::start`].

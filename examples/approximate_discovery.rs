@@ -32,7 +32,10 @@ fn main() {
 
     // Sweep ε: the rule appears once the threshold passes its error.
     println!("\nepsilon sweep:");
-    println!("{:>8}  {:>6}  {:>32}", "epsilon", "N", "product_id -> product_price?");
+    println!(
+        "{:>8}  {:>6}  {:>32}",
+        "epsilon", "N", "product_id -> product_price?"
+    );
     for eps in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1] {
         let result =
             discover_approx_fds(&relation, &ApproxTaneConfig::new(eps)).expect("discovery");

@@ -19,7 +19,10 @@ fn main() {
     // Mine rules with modest support and high confidence.
     let config = AssocConfig::new(0.02, 0.9, 2);
     let rules = mine_assoc_rules(&relation, &config).expect("mining cannot fail in memory");
-    println!("{} association rules at support >= 2%, confidence >= 90%", rules.len());
+    println!(
+        "{} association rules at support >= 2%, confidence >= 90%",
+        rules.len()
+    );
 
     // Show the strongest rules about product prices.
     println!("\nrules predicting product_price (top 8 by support):");

@@ -18,8 +18,7 @@ fn main() {
     let names: Vec<String> = PLANTED_NAMES.iter().map(|s| s.to_string()).collect();
 
     // Step 1: find rules that hold on at least 95% of the data.
-    let result =
-        discover_approx_fds(&relation, &ApproxTaneConfig::new(0.05)).expect("discovery");
+    let result = discover_approx_fds(&relation, &ApproxTaneConfig::new(0.05)).expect("discovery");
 
     // Step 2: among them, pick the near-rules — valid approximately but not
     // exactly — with small LHS (the interesting cleaning candidates).
@@ -35,7 +34,10 @@ fn main() {
 
     // Step 3: for the product-price rule, identify the culprits.
     let rule = Fd::new(AttrSet::singleton(3), 4);
-    assert!(near.contains(&rule), "the planted near-rule must be rediscovered");
+    assert!(
+        near.contains(&rule),
+        "the planted near-rule must be rediscovered"
+    );
     let bad_rows = violating_rows(&relation, rule);
     println!(
         "\n{}: {} of {} rows violate the rule",
@@ -56,13 +58,17 @@ fn main() {
     }
 
     // Step 4: drop the culprits and verify the rule now holds exactly.
-    let keep: Vec<usize> =
-        (0..relation.num_rows()).filter(|t| !bad_rows.contains(&(*t as u32))).collect();
+    let keep: Vec<usize> = (0..relation.num_rows())
+        .filter(|t| !bad_rows.contains(&(*t as u32)))
+        .collect();
     let schema = Schema::new(PLANTED_NAMES).expect("valid schema");
     let mut builder = Relation::builder(schema);
     for &t in &keep {
         builder
-            .push_row((0..relation.num_attrs()).map(|a| Value::from(i64::from(relation.column_codes(a)[t]))))
+            .push_row(
+                (0..relation.num_attrs())
+                    .map(|a| Value::from(i64::from(relation.column_codes(a)[t]))),
+            )
             .expect("row matches schema");
     }
     let cleaned = builder.build();
@@ -70,7 +76,11 @@ fn main() {
     println!(
         "\nafter removing {} rows: g3 = {err_after} (rule now {})",
         bad_rows.len(),
-        if err_after == 0.0 { "holds exactly" } else { "still violated" }
+        if err_after == 0.0 {
+            "holds exactly"
+        } else {
+            "still violated"
+        }
     );
     assert_eq!(err_after, 0.0);
 }

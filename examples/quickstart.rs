@@ -23,7 +23,9 @@ fn main() {
         ["3", "c", "£", "Flower"],
         ["3", "c", "#", "Rose"],
     ] {
-        builder.push_row(row.map(Value::from)).expect("row matches schema");
+        builder
+            .push_row(row.map(Value::from))
+            .expect("row matches schema");
     }
     let relation = builder.build();
 
@@ -51,6 +53,12 @@ fn main() {
 
     // The dependency the paper proves in Example 2.
     let bc_to_a = Fd::new(AttrSet::from_indices([1, 2]), 0);
-    assert!(result.fds.contains(&bc_to_a), "{{B,C}} -> A must be discovered");
-    println!("\n{} holds, as shown in Example 2 of the paper.", bc_to_a.display_with(relation.schema().names()));
+    assert!(
+        result.fds.contains(&bc_to_a),
+        "{{B,C}} -> A must be discovered"
+    );
+    println!(
+        "\n{} holds, as shown in Example 2 of the paper.",
+        bc_to_a.display_with(relation.schema().names())
+    );
 }

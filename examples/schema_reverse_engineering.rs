@@ -26,7 +26,10 @@ fn main() {
     for key in &result.keys {
         println!("  {}", relation.schema().display_set(*key));
     }
-    assert!(result.keys.contains(&AttrSet::singleton(0)), "order_id must be a key");
+    assert!(
+        result.keys.contains(&AttrSet::singleton(0)),
+        "order_id must be a key"
+    );
 
     // Partial-dependency analysis: single-attribute determinants that are
     // not keys indicate embedded entities.
@@ -37,8 +40,12 @@ fn main() {
         if result.keys.contains(&lhs) {
             continue;
         }
-        let dependents: Vec<usize> =
-            result.fds.iter().filter(|fd| fd.lhs == lhs).map(|fd| fd.rhs).collect();
+        let dependents: Vec<usize> = result
+            .fds
+            .iter()
+            .filter(|fd| fd.lhs == lhs)
+            .map(|fd| fd.rhs)
+            .collect();
         if !dependents.is_empty() {
             proposed.push((a, dependents));
         }
@@ -67,7 +74,11 @@ fn main() {
 
     // The planted structure must be recovered: customer_id -> customer_city
     // and product_id -> product_price.
-    assert!(proposed.iter().any(|(d, deps)| *d == 1 && deps.contains(&2)));
-    assert!(proposed.iter().any(|(d, deps)| *d == 3 && deps.contains(&4)));
+    assert!(proposed
+        .iter()
+        .any(|(d, deps)| *d == 1 && deps.contains(&2)));
+    assert!(proposed
+        .iter()
+        .any(|(d, deps)| *d == 3 && deps.contains(&4)));
     println!("\nrecovered both planted entities (customers, products).");
 }

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verification: exactly what CI/the driver runs, plus an explicit
-# build of the server crate (a non-default workspace member on some cargo
-# invocations) and an explicit run of the server e2e suites (loopback
-# keep-alive/pipelining/framing + service concurrency/overload), so the
-# persistent-connection path is exercised even when a filtered `cargo
-# test` invocation would skip it. Run from the repo root; one command is
-# the whole tier-1 gate.
+# Tier-1 verification: exactly what CI/the driver runs, plus static
+# gates (rustfmt + clippy with warnings denied), an explicit build of
+# the server crate (a non-default workspace member on some cargo
+# invocations), and an explicit run of the server e2e suites (loopback
+# keep-alive/pipelining/framing + service concurrency/overload +
+# /v1 streaming), so the persistent-connection and chunked-streaming
+# paths are exercised even when a filtered `cargo test` invocation
+# would skip them. Run from the repo root; one command is the whole
+# tier-1 gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
 
 cargo build --release
 cargo test -q
 cargo build -p tane-server
-cargo test -q -p tane-server --test keepalive_e2e --test service_e2e
+cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e
 
 echo "tier1: OK"

@@ -34,7 +34,9 @@ fn csv_to_verified_cover() {
     let issues = verify_minimal_cover(&r, &result.fds, 4, 0.0);
     assert!(issues.is_empty(), "{issues:?}");
     // Example 2's dependency came through the whole pipeline.
-    assert!(result.fds.contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
+    assert!(result
+        .fds
+        .contains(&Fd::new(AttrSet::from_indices([1, 2]), 0)));
 }
 
 #[test]

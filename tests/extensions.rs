@@ -64,7 +64,11 @@ fn all_three_error_measures_agree_on_validity() {
         let x = AttrSet::singleton(lhs);
         let px = StrippedPartition::from_attr_set(&r, x);
         let pxa = StrippedPartition::from_attr_set(&r, x.with(rhs));
-        let (g1, g2, g3) = (g1_error(&px, &pxa), g2_error(&px, &pxa), g3_error(&px, &pxa));
+        let (g1, g2, g3) = (
+            g1_error(&px, &pxa),
+            g2_error(&px, &pxa),
+            g3_error(&px, &pxa),
+        );
         // Zero together or positive together.
         assert_eq!(g1 == 0.0, g2 == 0.0, "lhs={lhs} rhs={rhs}");
         assert_eq!(g2 == 0.0, g3 == 0.0, "lhs={lhs} rhs={rhs}");

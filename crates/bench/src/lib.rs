@@ -11,6 +11,7 @@
 //! | Figure 3 | [`figure3::run`] | N_ε/N_0 and Time_ε/Time_0 series per dataset |
 //! | Figure 4 | [`figure4::run`] | time vs rows on wbc×n for all three algorithms |
 //! | —        | [`ablations::run`] | (beyond paper) pruning/optimization ablations |
+//! | —        | [`scaling::run`] | (beyond paper) thread scaling of the parallel runtime |
 //!
 //! Runners print aligned text tables to stdout and return structured
 //! [`report`] values that `--json` serializes for EXPERIMENTS.md updates.
@@ -20,6 +21,7 @@ pub mod figure3;
 pub mod figure4;
 pub mod report;
 pub mod runners;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -7,7 +7,9 @@
 //! ```
 
 use std::process::ExitCode;
-use tane_bench::{ablations, figure3, figure4, report::Report, table1, table2, table3, Scale};
+use tane_bench::{
+    ablations, figure3, figure4, report::Report, scaling, table1, table2, table3, Scale,
+};
 
 const USAGE: &str = "\
 repro — regenerate the TANE paper's tables and figures on synthetic stand-ins
@@ -22,7 +24,8 @@ EXPERIMENTS:
     figure3     N and time relative to exact, as epsilon grows
     figure4     scale-up in the number of rows (wbc x n)
     ablations   effect of each pruning rule / optimization (beyond paper)
-    all         everything above
+    scaling     thread scaling of the parallel search runtime (beyond paper)
+    all         everything above except scaling
 
 OPTIONS:
     --fast      trimmed dataset sizes (seconds instead of minutes)
@@ -59,6 +62,7 @@ fn main() -> ExitCode {
         "figure3" => report.figure3 = figure3::run(scale),
         "figure4" => report.figure4 = figure4::run(scale),
         "ablations" => report.ablations = ablations::run(scale),
+        "scaling" => report.scaling = scaling::run(scale),
         "all" => {
             report.table1 = table1::run(scale);
             report.table2 = table2::run(scale);

@@ -196,6 +196,50 @@ impl AblationRow {
     }
 }
 
+/// One thread-scaling measurement: the same search at one worker count on
+/// one storage backend. The dependency count `n` must be identical down
+/// every column — the parallel runtime is deterministic by construction.
+#[derive(Debug)]
+pub struct ScalingRow {
+    /// Storage backend label, `memory` or `disk`.
+    pub storage: String,
+    /// Worker threads configured for the search.
+    pub threads: usize,
+    /// Dependencies found (thread-invariant).
+    pub n: usize,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Partition products computed (thread-invariant).
+    pub products: usize,
+    /// Summed worker busy time across the pool.
+    pub worker_busy_secs: f64,
+    /// Time the product stage spent waiting on partition fetches.
+    pub fetch_stall_secs: f64,
+    /// Bytes read back from spilled partitions.
+    pub disk_bytes_read: u64,
+    /// Bytes spilled to disk.
+    pub disk_bytes_written: u64,
+}
+
+impl ScalingRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("storage", Json::Str(self.storage.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("n", Json::Num(self.n as f64)),
+            ("secs", Json::Num(self.secs)),
+            ("products", Json::Num(self.products as f64)),
+            ("worker_busy_secs", Json::Num(self.worker_busy_secs)),
+            ("fetch_stall_secs", Json::Num(self.fetch_stall_secs)),
+            ("disk_bytes_read", Json::Num(self.disk_bytes_read as f64)),
+            (
+                "disk_bytes_written",
+                Json::Num(self.disk_bytes_written as f64),
+            ),
+        ])
+    }
+}
+
 /// Everything the harness produced in one invocation.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -211,6 +255,8 @@ pub struct Report {
     pub figure4: Vec<Figure4Point>,
     /// Ablation rows, if run.
     pub ablations: Vec<AblationRow>,
+    /// Thread-scaling rows, if run.
+    pub scaling: Vec<ScalingRow>,
 }
 
 impl Report {
@@ -251,6 +297,10 @@ impl Report {
                 "ablations",
                 Json::Arr(self.ablations.iter().map(AblationRow::to_json).collect()),
             ),
+            (
+                "scaling",
+                Json::Arr(self.scaling.iter().map(ScalingRow::to_json).collect()),
+            ),
         ])
     }
 }
@@ -267,13 +317,24 @@ mod tests {
                 rows: 699,
                 attrs: 11,
                 n: 48,
-                tane: Some(Cell { n: 48, secs: 0.5 }),
-                tane_mem: Some(Cell { n: 48, secs: 0.25 }),
+                tane: Some(Cell::new(48, 0.5)),
+                tane_mem: Some(Cell::new(48, 0.25)),
                 fdep: None,
             }],
             table2: vec![Table2Row {
                 dataset: "wbc".into(),
-                cells: vec![(0.01, Cell { n: 60, secs: 0.1 })],
+                cells: vec![(0.01, Cell::new(60, 0.1))],
+            }],
+            scaling: vec![ScalingRow {
+                storage: "disk".into(),
+                threads: 2,
+                n: 48,
+                secs: 0.75,
+                products: 1925,
+                worker_busy_secs: 1.2,
+                fetch_stall_secs: 0.1,
+                disk_bytes_read: 4096,
+                disk_bytes_written: 8192,
             }],
             figure4: vec![Figure4Point {
                 copies: 2,
@@ -300,5 +361,12 @@ mod tests {
             .as_array()
             .unwrap()
             .is_empty());
+        let scaling = parsed.get("scaling").unwrap().as_array().unwrap();
+        assert_eq!(scaling[0].get("storage").unwrap().as_str(), Some("disk"));
+        assert_eq!(scaling[0].get("threads").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            scaling[0].get("disk_bytes_written").unwrap().as_usize(),
+            Some(8192)
+        );
     }
 }

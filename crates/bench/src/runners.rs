@@ -2,7 +2,9 @@
 //! wall-clock seconds ("real times elapsed … as reported by Unix time",
 //! Section 7), one run per cell.
 
-use tane_core::{discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig};
+use tane_core::{
+    discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig, TaneResult,
+};
 use tane_relation::Relation;
 use tane_util::{Json, Stopwatch};
 
@@ -30,14 +32,45 @@ pub struct Cell {
     pub n: usize,
     /// Wall-clock seconds.
     pub secs: f64,
+    /// Bytes read back from spilled partitions (0 for memory runs and
+    /// algorithms without a partition store).
+    pub disk_bytes_read: u64,
+    /// Bytes spilled to disk (0 likewise).
+    pub disk_bytes_written: u64,
 }
 
 impl Cell {
+    /// A cell for an algorithm with no partition store (FDEP, memory runs
+    /// that never spill).
+    pub fn new(n: usize, secs: f64) -> Cell {
+        Cell {
+            n,
+            secs,
+            disk_bytes_read: 0,
+            disk_bytes_written: 0,
+        }
+    }
+
+    /// A cell carrying a TANE run's disk traffic alongside the timing.
+    pub fn from_result(result: &TaneResult, secs: f64) -> Cell {
+        Cell {
+            n: result.fds.len(),
+            secs,
+            disk_bytes_read: result.stats.disk_bytes_read,
+            disk_bytes_written: result.stats.disk_bytes_written,
+        }
+    }
+
     /// Structured form for the `--json` report.
     pub fn to_json(self) -> Json {
         Json::obj([
             ("n", Json::Num(self.n as f64)),
             ("secs", Json::Num(self.secs)),
+            ("disk_bytes_read", Json::Num(self.disk_bytes_read as f64)),
+            (
+                "disk_bytes_written",
+                Json::Num(self.disk_bytes_written as f64),
+            ),
         ])
     }
 }
@@ -57,20 +90,14 @@ pub fn run_tane_disk(relation: &Relation) -> Cell {
     };
     let sw = Stopwatch::start();
     let result = discover_fds(relation, &config).expect("disk store failure");
-    Cell {
-        n: result.fds.len(),
-        secs: sw.elapsed_secs(),
-    }
+    Cell::from_result(&result, sw.elapsed_secs())
 }
 
 /// Runs TANE/MEM (everything in main memory).
 pub fn run_tane_mem(relation: &Relation) -> Cell {
     let sw = Stopwatch::start();
     let result = discover_fds(relation, &TaneConfig::default()).expect("memory store cannot fail");
-    Cell {
-        n: result.fds.len(),
-        secs: sw.elapsed_secs(),
-    }
+    Cell::from_result(&result, sw.elapsed_secs())
 }
 
 /// Runs TANE/MEM with an LHS size limit (Table 3's `|X|` column).
@@ -78,10 +105,7 @@ pub fn run_tane_mem_limited(relation: &Relation, max_lhs: usize) -> Cell {
     let config = TaneConfig::default().with_max_lhs(max_lhs);
     let sw = Stopwatch::start();
     let result = discover_fds(relation, &config).expect("memory store cannot fail");
-    Cell {
-        n: result.fds.len(),
-        secs: sw.elapsed_secs(),
-    }
+    Cell::from_result(&result, sw.elapsed_secs())
 }
 
 /// Runs FDEP unless its quadratic pair scan would exceed `pair_cap`
@@ -94,10 +118,7 @@ pub fn run_fdep(relation: &Relation, pair_cap: usize) -> Option<Cell> {
     }
     let sw = Stopwatch::start();
     let (fds, _) = tane_fdep::fdep_fds(relation);
-    Some(Cell {
-        n: fds.len(),
-        secs: sw.elapsed_secs(),
-    })
+    Some(Cell::new(fds.len(), sw.elapsed_secs()))
 }
 
 /// Runs approximate TANE/MEM at threshold `epsilon` (sound algorithm).
@@ -105,10 +126,7 @@ pub fn run_approx(relation: &Relation, epsilon: f64) -> Cell {
     let config = ApproxTaneConfig::new(epsilon);
     let sw = Stopwatch::start();
     let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
-    Cell {
-        n: result.fds.len(),
-        secs: sw.elapsed_secs(),
-    }
+    Cell::from_result(&result, sw.elapsed_secs())
 }
 
 /// Runs approximate TANE/MEM with the paper-faithful aggressive rhs⁺
@@ -118,10 +136,7 @@ pub fn run_approx_paper(relation: &Relation, epsilon: f64) -> Cell {
     let config = ApproxTaneConfig::paper_faithful(epsilon);
     let sw = Stopwatch::start();
     let result = discover_approx_fds(relation, &config).expect("memory store cannot fail");
-    Cell {
-        n: result.fds.len(),
-        secs: sw.elapsed_secs(),
-    }
+    Cell::from_result(&result, sw.elapsed_secs())
 }
 
 /// Formats an optional cell's time the way the paper's tables do (`*` for

@@ -64,7 +64,9 @@ DISCOVER OPTIONS:
     --no-header          the CSV has no header row (attributes become A0, A1, …)
     --delimiter <C>      field delimiter (default ,)
     --nulls <MODE>       equal (default: ? = ?) | distinct (every ? unique)
-    --threads <N>        worker threads for partition products (default 1)
+    --threads <N>        worker threads for the parallel search runtime
+                         (default: available cores; 1 = the paper's serial
+                         algorithm — results are identical either way)
 
 DATASET OPTIONS (NAME: lymphography | hepatitis | wbc | adult | chess):
     --copies <N>         concatenate N disjoint copies (the paper's ×n datasets)
@@ -192,7 +194,9 @@ fn discover(args: &[String]) -> Result<(), String> {
     };
     let threads: usize = match opts.value("threads") {
         Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
-        None => 1,
+        // Parallelism never changes the output, so default to every core
+        // and leave `--threads 1` for paper-faithful serial runs.
+        None => std::thread::available_parallelism().map_or(1, usize::from),
     };
     if threads == 0 {
         return Err("need at least one thread".into());
@@ -256,6 +260,19 @@ fn discover(args: &[String]) -> Result<(), String> {
                 eprintln!("# exact g3 computations: {}", s.g3_exact_computations);
                 eprintln!("# tests decided by g3 bounds: {}", s.g3_decided_by_bounds);
                 eprintln!("# disk reads/writes: {}/{}", s.disk_reads, s.disk_writes);
+                eprintln!(
+                    "# disk bytes read/written: {}/{}",
+                    s.disk_bytes_read, s.disk_bytes_written
+                );
+                eprintln!(
+                    "# parallel workers/grains: {}/{}",
+                    s.parallel_workers, s.parallel_grains
+                );
+                eprintln!(
+                    "# worker busy / fetch stall: {:.3}s/{:.3}s",
+                    s.worker_busy.as_secs_f64(),
+                    s.fetch_stall.as_secs_f64()
+                );
                 eprintln!("# time: {:.3}s", s.elapsed.as_secs_f64());
             }
         }

@@ -96,6 +96,21 @@ pub struct TaneStats {
     pub disk_bytes_written: u64,
     /// Peak bytes of partitions resident in memory (approximate).
     pub peak_resident_bytes: usize,
+    /// Workers in the search's persistent pool (the configured `threads`;
+    /// `1` means the serial, paper-faithful runtime).
+    pub parallel_workers: usize,
+    /// Work grains claimed from the pool's shared cursor across the run —
+    /// products, singleton constructions, and batched `g3` tests all count.
+    /// `0` when every batch stayed under the parallel work threshold.
+    pub parallel_grains: u64,
+    /// Total time pool workers spent executing dispatched work, summed
+    /// across workers (can exceed `elapsed` when several run at once).
+    pub worker_busy: Duration,
+    /// Time the product stage spent waiting on partition fetches: with the
+    /// pipelined disk backend, the workers' blocked-on-channel time; on the
+    /// serial path, the whole up-front fetch phase. Pipelining engages when
+    /// this drops below the serial baseline for the same search.
+    pub fetch_stall: Duration,
     /// Wall-clock time spent per lattice level (validity tests, pruning,
     /// and the products generating the next level), index 0 = level 1.
     /// Always the same length as `sets_per_level`.

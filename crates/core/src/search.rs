@@ -49,14 +49,19 @@
 //! brute-force oracle pin both fixes down.
 
 use crate::config::{ApproxTaneConfig, Storage, TaneConfig};
-use crate::lattice::{first_level_sets, generate_next_level, Level, LevelEntry};
+use crate::lattice::{
+    first_level_sets, generate_next_level, Level, LevelEntry, NextLevelCandidate,
+};
 use crate::result::{LevelEvent, TaneError, TaneResult, TaneStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 use tane_partition::{
     g3_removed_rows_with_scratch, product_with_scratch, DiskStore, G3Bounds, G3Scratch,
     MemoryStore, PartitionStore, ProductScratch, StrippedPartition,
 };
 use tane_relation::Relation;
-use tane_util::{canonical_fds, AttrSet, Fd, Stopwatch};
+use tane_util::{canonical_fds, AttrSet, Fd, Slots, Stopwatch, WorkerPool};
 
 /// Discovers all minimal non-trivial functional dependencies of `relation`
 /// (the paper's central task, Section 1).
@@ -212,45 +217,227 @@ impl Store {
     }
 }
 
-/// Minimum number of products in a level before threads are spun up;
-/// below this, thread setup costs more than the work.
-const PARALLEL_THRESHOLD: usize = 64;
+/// Minimum estimated work — stripped-partition elements `Σ‖π̂‖` across a
+/// batch — before the batch is dispatched to the worker pool; below this,
+/// dispatch overhead costs more than the work. The old gate compared the
+/// *candidate count*, which kept a ten-product level over millions of rows
+/// serial; product and `g3` cost is proportional to partition elements,
+/// not item count, so that is what the gate must estimate.
+const PARALLEL_MIN_ELEMENTS: usize = 1 << 15;
 
-/// Computes the level's partition products on `threads` worker threads.
-/// Each worker owns its scratch tables; chunks are contiguous so the output
-/// order (and therefore every downstream decision) is identical to the
-/// serial path. Built on `std::thread::scope` — the last external
-/// dependency (`crossbeam`, which predated scoped threads in std) is gone
-/// from the library path.
-fn parallel_products(
-    fetched: &[(
-        AttrSet,
-        std::sync::Arc<StrippedPartition>,
-        std::sync::Arc<StrippedPartition>,
-    )],
-    threads: usize,
-    n_rows: usize,
-) -> Vec<(AttrSet, StrippedPartition)> {
-    let chunk_size = fetched.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = fetched
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut scratch = ProductScratch::new(n_rows);
-                    chunk
-                        .iter()
-                        .map(|(set, pa, pb)| (*set, product_with_scratch(pa, pb, &mut scratch)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(fetched.len());
-        for h in handles {
-            out.extend(h.join().expect("product worker panicked"));
+/// Indices claimed from the shared cursor per grab. Small, because item
+/// costs within a level vary by orders of magnitude (‖π̂‖ differs wildly
+/// between sets); large grains would re-create static-chunk imbalance.
+const PARALLEL_GRAIN: usize = 4;
+
+/// The per-search parallel runtime: one persistent [`WorkerPool`] plus
+/// per-worker scratch tables, all allocated once per run and reused across
+/// every lattice level (no per-level thread spawns or O(|r|) allocations).
+///
+/// Determinism argument: workers write results into index-addressed
+/// [`Slots`], so batch outputs are gathered in input order, and every
+/// decision that *consumes* those outputs (C⁺ updates, pruning, FD
+/// recording) stays in the serial driver — the search result is
+/// byte-identical for any worker count.
+struct ParallelRuntime {
+    pool: WorkerPool,
+    product_scratches: Vec<Mutex<ProductScratch>>,
+    g3_scratches: Vec<Mutex<G3Scratch>>,
+    /// Accumulated time the product stage waited on partition fetches
+    /// (see [`TaneStats::fetch_stall`]).
+    fetch_stall: Duration,
+}
+
+impl ParallelRuntime {
+    fn new(threads: usize, n_rows: usize) -> ParallelRuntime {
+        let pool = WorkerPool::new(threads);
+        ParallelRuntime {
+            product_scratches: (0..threads)
+                .map(|_| Mutex::new(ProductScratch::new(n_rows)))
+                .collect(),
+            g3_scratches: (0..threads)
+                .map(|_| Mutex::new(G3Scratch::new(n_rows)))
+                .collect(),
+            pool,
+            fetch_stall: Duration::ZERO,
         }
-        out
-    })
+    }
+
+    /// True when a batch of estimated `Σ‖π̂‖ = est_elements` is worth
+    /// dispatching to the pool.
+    fn engage(&self, est_elements: usize) -> bool {
+        self.pool.threads() > 1 && est_elements >= PARALLEL_MIN_ELEMENTS
+    }
+
+    /// The level's products, in candidate order. Parents are fetched from
+    /// the store on this thread, in candidate order — identical to the
+    /// serial path, so disk-cache evolution and read counters never depend
+    /// on the worker count. For the disk backend the fetches are pipelined
+    /// with the products instead (see [`pipelined_products`]).
+    fn products(
+        &mut self,
+        store: &mut Store,
+        candidates: &[NextLevelCandidate],
+    ) -> Result<Vec<(AttrSet, StrippedPartition)>, TaneError> {
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Disk parents mean real I/O per fetch: overlap it with compute
+        // whenever there is a second worker to compute on.
+        if self.pool.threads() > 1 && matches!(store, Store::Disk(_)) {
+            return self.pipelined_products(store, candidates);
+        }
+        let fetch_sw = Stopwatch::start();
+        let mut fetched = Vec::with_capacity(candidates.len());
+        for cand in candidates {
+            let pa = store.get(cand.parent_a)?;
+            let pb = store.get(cand.parent_b)?;
+            fetched.push((cand.set, pa, pb));
+        }
+        self.fetch_stall += fetch_sw.elapsed();
+        let est: usize = fetched
+            .iter()
+            .map(|(_, pa, pb)| pa.num_elements() + pb.num_elements())
+            .sum();
+        if self.engage(est) {
+            let scratches = &self.product_scratches;
+            Ok(self.pool.run_indexed(fetched.len(), PARALLEL_GRAIN, {
+                let fetched = &fetched;
+                move |worker, i| {
+                    let (set, pa, pb) = &fetched[i];
+                    let mut scratch = scratches[worker].lock().expect("product scratch");
+                    (*set, product_with_scratch(pa, pb, &mut scratch))
+                }
+            }))
+        } else {
+            let mut scratch = self.product_scratches[0].lock().expect("product scratch");
+            Ok(fetched
+                .iter()
+                .map(|(set, pa, pb)| (*set, product_with_scratch(pa, pb, &mut scratch)))
+                .collect())
+        }
+    }
+
+    /// Disk-backend products with fetch/compute overlap: worker 0 owns the
+    /// store and streams parent pairs — in candidate order, so disk-cache
+    /// evolution matches the serial path — through a bounded channel;
+    /// every other worker (and worker 0 itself, once the last fetch is
+    /// sent) computes products into index-addressed slots. Segment reads
+    /// overlap products instead of completing serially before the first
+    /// product starts; the workers' blocked-on-channel time is the
+    /// pipeline's residual fetch stall.
+    fn pipelined_products(
+        &mut self,
+        store: &mut Store,
+        candidates: &[NextLevelCandidate],
+    ) -> Result<Vec<(AttrSet, StrippedPartition)>, TaneError> {
+        type Item = (
+            usize,
+            AttrSet,
+            Arc<StrippedPartition>,
+            Arc<StrippedPartition>,
+        );
+        let depth = self.pool.threads() * 2;
+        let (tx, rx) = mpsc::sync_channel::<Item>(depth);
+        let tx = Mutex::new(Some(tx));
+        let rx = Mutex::new(rx);
+        let store = Mutex::new(store);
+        let fetch_err: Mutex<Option<TaneError>> = Mutex::new(None);
+        let stall_nanos = AtomicU64::new(0);
+        let slots: Slots<(AttrSet, StrippedPartition)> = Slots::new(candidates.len());
+        let pool = &self.pool;
+        let scratches = &self.product_scratches;
+        pool.run(&|worker| {
+            if worker == 0 {
+                let tx = tx.lock().expect("sender").take().expect("fetcher sender");
+                let mut store = store.lock().expect("store");
+                'fetch: for (i, cand) in candidates.iter().enumerate() {
+                    let pair = store
+                        .get(cand.parent_a)
+                        .and_then(|pa| store.get(cand.parent_b).map(|pb| (pa, pb)));
+                    let (pa, pb) = match pair {
+                        Ok(p) => p,
+                        Err(e) => {
+                            *fetch_err.lock().expect("fetch error slot") = Some(e);
+                            break;
+                        }
+                    };
+                    let mut item = (i, cand.set, pa, pb);
+                    // try_send instead of send: if every compute worker
+                    // died of a panic, a blocking send would never return.
+                    loop {
+                        match tx.try_send(item) {
+                            Ok(()) => break,
+                            Err(mpsc::TrySendError::Full(back)) => {
+                                if pool.panicked() {
+                                    break 'fetch;
+                                }
+                                item = back;
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => break 'fetch,
+                        }
+                    }
+                }
+                // Sender drops here: computers drain the queue and stop.
+            }
+            let mut scratch = scratches[worker].lock().expect("product scratch");
+            loop {
+                let wait_sw = Stopwatch::start();
+                let item = rx.lock().expect("receiver").recv();
+                stall_nanos.fetch_add(wait_sw.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                match item {
+                    Ok((i, set, pa, pb)) => {
+                        pool.add_grains(1);
+                        slots.put(i, (set, product_with_scratch(&pa, &pb, &mut scratch)));
+                    }
+                    Err(mpsc::RecvError) => break,
+                }
+            }
+        });
+        self.fetch_stall += Duration::from_nanos(stall_nanos.into_inner());
+        if let Some(e) = fetch_err.into_inner().expect("fetch error slot") {
+            return Err(e);
+        }
+        Ok(slots.into_vec())
+    }
+
+    /// Level-1 singleton partitions, in attribute order.
+    fn singleton_partitions(&self, relation: &Relation) -> Vec<StrippedPartition> {
+        let n_attrs = relation.num_attrs();
+        // Counting sort over a column touches all |r| rows, so the work
+        // estimate is |R|·|r| (singleton partitions have ‖π̂‖ ≤ |r|).
+        if self.engage(n_attrs.saturating_mul(relation.num_rows())) {
+            self.pool.run_indexed(n_attrs, 1, |_, a| {
+                StrippedPartition::from_column(relation.column_codes(a))
+            })
+        } else {
+            (0..n_attrs)
+                .map(|a| StrippedPartition::from_column(relation.column_codes(a)))
+                .collect()
+        }
+    }
+
+    /// Exact `g3` for a batch of undecided validity tests, in input order.
+    fn g3_batch(&self, pending: &[(Arc<StrippedPartition>, Arc<StrippedPartition>)]) -> Vec<usize> {
+        let est: usize = pending
+            .iter()
+            .map(|(sub, set)| sub.num_elements() + set.num_elements())
+            .sum();
+        if self.engage(est) {
+            self.pool.run_indexed(pending.len(), 1, |worker, i| {
+                let (pi_sub, pi_set) = &pending[i];
+                let mut scratch = self.g3_scratches[worker].lock().expect("g3 scratch");
+                g3_removed_rows_with_scratch(pi_sub, pi_set, &mut scratch)
+            })
+        } else {
+            let mut scratch = self.g3_scratches[0].lock().expect("g3 scratch");
+            pending
+                .iter()
+                .map(|(pi_sub, pi_set)| g3_removed_rows_with_scratch(pi_sub, pi_set, &mut scratch))
+                .collect()
+        }
+    }
 }
 
 fn run(
@@ -277,8 +464,9 @@ fn run(
     }
 
     let mut store = Store::from_config(&config.storage)?;
-    let mut product_scratch = ProductScratch::new(n_rows);
-    let mut g3_scratch = G3Scratch::new(n_rows);
+    // The whole parallel runtime — pool threads and per-worker scratch
+    // tables — is allocated here, once, and reused by every level.
+    let mut runtime = ParallelRuntime::new(config.threads, n_rows);
 
     // L_0 = {∅} with C⁺(∅) = R. Its partition is the one-class π_∅,
     // needed by approximate validity tests at level 1.
@@ -293,11 +481,12 @@ fn run(
     });
     store.put(AttrSet::empty(), unit)?;
 
-    // L_1: singleton partitions straight from the dictionary columns.
+    // L_1: singleton partitions straight from the dictionary columns,
+    // constructed on the pool when the relation is large enough (they are
+    // independent counting sorts) and stored in attribute order either way.
     let mut current = Level::new();
-    for set in first_level_sets(n_attrs) {
-        let a = set.as_singleton().expect("singleton");
-        let pi = StrippedPartition::from_column(relation.column_codes(a));
+    let singletons = runtime.singleton_partitions(relation);
+    for (set, pi) in first_level_sets(n_attrs).into_iter().zip(singletons) {
         current.push(LevelEntry {
             set,
             cplus: r_all, // overwritten by COMPUTE-DEPENDENCIES
@@ -325,7 +514,7 @@ fn run(
             &mut current,
             &prev_level,
             &mut store,
-            &mut g3_scratch,
+            &runtime,
             &mut stats,
             &mut disc,
         )?;
@@ -374,24 +563,11 @@ fn run(
 
         let candidates = generate_next_level(&current);
         let mut next = Level::new();
-        // Fetch the join parents up front (store access is sequential —
-        // cheap Arc clones in memory, actual I/O for the disk store), then
-        // compute the products, in parallel when configured.
-        let mut fetched = Vec::with_capacity(candidates.len());
-        for cand in &candidates {
-            let pa = store.get(cand.parent_a)?;
-            let pb = store.get(cand.parent_b)?;
-            fetched.push((cand.set, pa, pb));
-        }
-        let produced = if config.threads > 1 && fetched.len() >= PARALLEL_THRESHOLD {
-            parallel_products(&fetched, config.threads, n_rows)
-        } else {
-            fetched
-                .iter()
-                .map(|(set, pa, pb)| (*set, product_with_scratch(pa, pb, &mut product_scratch)))
-                .collect()
-        };
-        drop(fetched);
+        // The next level's partitions: parents stream out of the store in
+        // candidate order and multiply per Lemma 3 — on the pool when the
+        // level's estimated element volume warrants it, with disk fetches
+        // pipelined against the products.
+        let produced = runtime.products(&mut store, &candidates)?;
         stats.products += produced.len();
         for (set, pi) in produced {
             next.push(LevelEntry {
@@ -423,6 +599,10 @@ fn run(
     stats.disk_writes = writes;
     stats.disk_bytes_read = bytes_read;
     stats.disk_bytes_written = bytes_written;
+    stats.parallel_workers = runtime.pool.threads();
+    stats.parallel_grains = runtime.pool.grains_executed();
+    stats.worker_busy = runtime.pool.busy_time();
+    stats.fetch_stall = runtime.fetch_stall;
     stats.elapsed = sw.elapsed();
     found_keys.sort_unstable();
     Ok(TaneResult {
@@ -441,7 +621,7 @@ fn compute_dependencies(
     current: &mut Level,
     prev: &Level,
     store: &mut Store,
-    g3_scratch: &mut G3Scratch,
+    runtime: &ParallelRuntime,
     stats: &mut TaneStats,
     disc: &mut Discovery,
 ) -> Result<(), TaneError> {
@@ -466,6 +646,27 @@ fn compute_dependencies(
     }
 
     // Lines 3–8: validity tests on X\{A} → A for A ∈ X ∩ C⁺(X).
+    //
+    // Within one level the tests are mutually independent: each candidate
+    // list `X ∩ C⁺(X)` is fixed by the line-2 pass above, and a test's
+    // outcome depends only on previous-level summaries and partitions —
+    // never on another test's C⁺ update. Approximate mode exploits that by
+    // splitting the loop in two: a *decide* pass that resolves every test
+    // (batching the undecided-by-bounds exact `g3` computations onto the
+    // worker pool), then an *apply* pass that replays the tests in the
+    // original serial order, recording dependencies and refining C⁺ —
+    // so the output is byte-identical to the serial interleaving.
+    let decisions = match mode {
+        Mode::Exact => None,
+        Mode::Approx {
+            epsilon,
+            use_bounds,
+            ..
+        } => Some(decide_approx_tests(
+            current, prev, store, runtime, stats, epsilon, use_bounds, n_rows,
+        )?),
+    };
+    let mut next_decision = decisions.iter().flatten();
     for i in 0..current.entries().len() {
         let entry = &current.entries()[i];
         let set = entry.set;
@@ -473,47 +674,29 @@ fn compute_dependencies(
         let candidates = set.intersect(entry.cplus);
         let mut cplus = entry.cplus;
         for a in candidates.iter() {
-            let sub = set.without(a);
-            let sub_entry = prev
-                .get(sub)
-                .expect("non-empty C+ implies every parent is present in the previous level");
-            stats.validity_tests += 1;
             let (valid, holds_exactly) = match mode {
                 Mode::Exact => {
+                    let sub_entry = prev.get(set.without(a)).expect(
+                        "non-empty C+ implies every parent is present in the previous level",
+                    );
+                    stats.validity_tests += 1;
                     let v = sub_entry.error_rows == x_error;
                     (v, v)
                 }
-                Mode::Approx {
-                    epsilon,
-                    use_bounds,
-                    aggressive,
-                } => {
-                    let exact = sub_entry.error_rows == x_error;
-                    if exact {
-                        (true, true)
-                    } else {
-                        let valid = approx_valid(
-                            sub,
-                            set,
-                            sub_entry.error_rows,
-                            x_error,
-                            n_rows,
-                            epsilon,
-                            use_bounds,
-                            store,
-                            g3_scratch,
-                            stats,
-                        )?;
+                Mode::Approx { aggressive, .. } => {
+                    match next_decision.next().expect("one decision per test") {
+                        TestDecision::ValidExactly => (true, true),
                         // The paper-faithful heuristic treats approximately
                         // valid dependencies like exact ones for line 8
                         // (see ApproxTaneConfig::aggressive_rhs_plus).
-                        (valid, valid && aggressive)
+                        TestDecision::ValidApproximately => (true, aggressive),
+                        TestDecision::Invalid => (false, false),
                     }
                 }
             };
             if valid {
                 // Line 6: output the minimal dependency.
-                disc.record(Fd::new(sub, a));
+                disc.record(Fd::new(set.without(a), a));
                 // Line 7: remove A from C⁺(X).
                 cplus.remove(a);
                 // Line 8 (exact) / 8′–9′ (approximate): the rhs⁺ refinement
@@ -528,40 +711,92 @@ fn compute_dependencies(
     Ok(())
 }
 
-/// Approximate validity of `sub → a` (where `set = sub ∪ {a}`): quick
-/// bounds first, exact `g3` only if undecided.
+/// The outcome of one approximate validity test, decided ahead of the
+/// serial apply pass.
+#[derive(Clone, Copy)]
+enum TestDecision {
+    /// `g3 = 0`: the dependency holds exactly (Lemma 2 comparison).
+    ValidExactly,
+    /// `0 < g3 ≤ ε`: holds approximately (bounds or exact `g3`).
+    ValidApproximately,
+    /// `g3 > ε`.
+    Invalid,
+}
+
+/// Approximate-mode decide pass: resolves every validity test of the level
+/// in the serial candidate order — Lemma 2 equality first, then the quick
+/// `g3` bounds, leaving only the genuinely undecided tests, whose exact
+/// O(‖π̂‖) `g3` computations are batched onto the worker pool. Partition
+/// fetches for the batch stay on this thread, in test order, so the disk
+/// cache evolves exactly as under the serial interleaving.
 #[allow(clippy::too_many_arguments)]
-fn approx_valid(
-    sub: AttrSet,
-    set: AttrSet,
-    sub_error_rows: usize,
-    set_error_rows: usize,
-    n_rows: usize,
+fn decide_approx_tests(
+    current: &Level,
+    prev: &Level,
+    store: &mut Store,
+    runtime: &ParallelRuntime,
+    stats: &mut TaneStats,
     epsilon: f64,
     use_bounds: bool,
-    store: &mut Store,
-    g3_scratch: &mut G3Scratch,
-    stats: &mut TaneStats,
-) -> Result<bool, TaneError> {
-    if use_bounds {
-        let bounds = G3Bounds {
-            lower_rows: sub_error_rows.saturating_sub(set_error_rows),
-            upper_rows: sub_error_rows,
-            n_rows,
-        };
-        if let Some(decision) = bounds.decide(epsilon) {
-            stats.g3_decided_by_bounds += 1;
-            return Ok(decision);
+    n_rows: usize,
+) -> Result<Vec<TestDecision>, TaneError> {
+    let mut decisions: Vec<TestDecision> = Vec::new();
+    // Index into `pending` per undecided test, parallel to `decisions`.
+    let mut pending_at: Vec<Option<usize>> = Vec::new();
+    let mut pending: Vec<(Arc<StrippedPartition>, Arc<StrippedPartition>)> = Vec::new();
+    for entry in current.entries() {
+        let set = entry.set;
+        let x_error = entry.error_rows;
+        for a in set.intersect(entry.cplus).iter() {
+            let sub = set.without(a);
+            let sub_entry = prev
+                .get(sub)
+                .expect("non-empty C+ implies every parent is present in the previous level");
+            stats.validity_tests += 1;
+            if sub_entry.error_rows == x_error {
+                decisions.push(TestDecision::ValidExactly);
+                pending_at.push(None);
+                continue;
+            }
+            if use_bounds {
+                let bounds = G3Bounds {
+                    lower_rows: sub_entry.error_rows.saturating_sub(x_error),
+                    upper_rows: sub_entry.error_rows,
+                    n_rows,
+                };
+                if let Some(decision) = bounds.decide(epsilon) {
+                    stats.g3_decided_by_bounds += 1;
+                    decisions.push(if decision {
+                        TestDecision::ValidApproximately
+                    } else {
+                        TestDecision::Invalid
+                    });
+                    pending_at.push(None);
+                    continue;
+                }
+            }
+            let pi_sub = store.get(sub)?;
+            let pi_set = store.get(set)?;
+            decisions.push(TestDecision::Invalid); // placeholder, patched below
+            pending_at.push(Some(pending.len()));
+            pending.push((pi_sub, pi_set));
         }
     }
-    let pi_sub = store.get(sub)?;
-    let pi_set = store.get(set)?;
-    let removed = g3_removed_rows_with_scratch(&pi_sub, &pi_set, g3_scratch);
-    stats.g3_exact_computations += 1;
-    if n_rows == 0 {
-        return Ok(true);
+    if !pending.is_empty() {
+        stats.g3_exact_computations += pending.len();
+        let removed = runtime.g3_batch(&pending);
+        for (slot, at) in decisions.iter_mut().zip(&pending_at) {
+            if let Some(k) = *at {
+                let valid = n_rows == 0 || removed[k] as f64 / n_rows as f64 <= epsilon;
+                *slot = if valid {
+                    TestDecision::ValidApproximately
+                } else {
+                    TestDecision::Invalid
+                };
+            }
+        }
     }
-    Ok(removed as f64 / n_rows as f64 <= epsilon)
+    Ok(decisions)
 }
 
 /// PRUNE(L_ℓ) — paper, Section 5: delete sets with empty `C⁺`, and delete

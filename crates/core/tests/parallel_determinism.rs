@@ -1,0 +1,196 @@
+//! Determinism under parallelism: the worker count must never change a
+//! search result. The pool writes batch outputs into index-addressed slots
+//! and every decision stays in the serial driver, so `threads ∈ {1, 2, 8}`
+//! have to produce identical dependencies, keys, and lattice statistics on
+//! every combination of dataset × storage backend × mode — including the
+//! counters (`products`, `validity_tests`, `g3_*`) that would drift first
+//! if scheduling leaked into the search.
+
+use tane_core::{
+    discover_approx_fds, discover_fds, ApproxTaneConfig, Storage, TaneConfig, TaneResult,
+};
+use tane_datasets::{generate, ColumnSpec, DatasetSpec};
+use tane_relation::{Relation, Schema, Value};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The paper's Figure 1 relation.
+fn figure1() -> Relation {
+    let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+    let mut b = Relation::builder(schema);
+    for row in [
+        ["1", "a", "$", "Flower"],
+        ["1", "A", "L", "Tulip"],
+        ["2", "A", "$", "Daffodil"],
+        ["2", "A", "$", "Flower"],
+        ["2", "b", "L", "Lily"],
+        ["3", "b", "$", "Orchid"],
+        ["3", "c", "L", "Rose"],
+        ["3", "c", "#", "Rose"],
+    ] {
+        b.push_row(row.map(Value::from)).unwrap();
+    }
+    b.build()
+}
+
+/// A generated relation with planted exact and approximate dependencies,
+/// large enough (8 attrs × 6000 rows) that the element-count gate engages
+/// the pool for level-1 construction, products, and batched `g3` tests.
+fn planted() -> Relation {
+    generate(&DatasetSpec {
+        name: "planted".into(),
+        rows: 6000,
+        columns: vec![
+            ColumnSpec::Categorical { distinct: 24 },
+            ColumnSpec::Categorical { distinct: 30 },
+            ColumnSpec::Skewed {
+                distinct: 40,
+                exponent: 1.2,
+            },
+            ColumnSpec::NearUnique { distinct: 2900 },
+            ColumnSpec::Derived {
+                of: vec![0, 1],
+                distinct: 16,
+            },
+            ColumnSpec::NoisyDerived {
+                of: vec![1, 2],
+                distinct: 12,
+                noise: 0.04,
+            },
+            ColumnSpec::Categorical { distinct: 6 },
+            ColumnSpec::NoisyDerived {
+                of: vec![0, 6],
+                distinct: 10,
+                noise: 0.08,
+            },
+        ],
+        seed: 0x7a3e,
+    })
+    .unwrap()
+}
+
+fn storages() -> Vec<(&'static str, Storage)> {
+    vec![
+        ("memory", Storage::Memory),
+        // A small cache so partitions actually spill and the pipelined
+        // fetch path runs.
+        (
+            "disk",
+            Storage::Disk {
+                cache_bytes: 1 << 16,
+            },
+        ),
+    ]
+}
+
+/// Everything that must be invariant across worker counts. Wall-clock and
+/// the parallel instrumentation (grains, busy time) legitimately vary.
+fn invariant_view(r: &TaneResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.fds.clone(),
+        r.keys.clone(),
+        r.stats.products,
+        r.stats.levels,
+        r.stats.sets_per_level.clone(),
+        r.stats.validity_tests,
+        r.stats.g3_exact_computations,
+        r.stats.g3_decided_by_bounds,
+        r.stats.keys_found,
+        r.stats.disk_reads,
+        r.stats.disk_bytes_read,
+        r.stats.disk_bytes_written,
+    )
+}
+
+fn assert_thread_invariant(relation: &Relation, label: &str, epsilon: f64) {
+    for (storage_label, storage) in storages() {
+        let run = |threads: usize| {
+            let base = TaneConfig {
+                storage: storage.clone(),
+                threads,
+                ..TaneConfig::default()
+            };
+            if epsilon > 0.0 {
+                let config = ApproxTaneConfig {
+                    base,
+                    ..ApproxTaneConfig::new(epsilon)
+                };
+                discover_approx_fds(relation, &config).unwrap()
+            } else {
+                discover_fds(relation, &base).unwrap()
+            }
+        };
+        let baseline = run(THREAD_COUNTS[0]);
+        assert_eq!(
+            baseline.stats.parallel_workers, THREAD_COUNTS[0],
+            "worker count must be reported"
+        );
+        for &threads in &THREAD_COUNTS[1..] {
+            let got = run(threads);
+            assert_eq!(
+                invariant_view(&got),
+                invariant_view(&baseline),
+                "{label} ε={epsilon} on {storage_label}: threads={threads} diverged from serial"
+            );
+            assert_eq!(got.stats.parallel_workers, threads);
+        }
+    }
+}
+
+#[test]
+fn figure1_exact_is_thread_invariant() {
+    assert_thread_invariant(&figure1(), "figure1", 0.0);
+}
+
+#[test]
+fn figure1_approx_is_thread_invariant() {
+    assert_thread_invariant(&figure1(), "figure1", 0.125);
+}
+
+#[test]
+fn planted_exact_is_thread_invariant() {
+    assert_thread_invariant(&planted(), "planted", 0.0);
+}
+
+#[test]
+fn planted_approx_is_thread_invariant() {
+    // ε chosen between the planted noise levels so some tests sit inside
+    // the g3 bounds gap and the batched exact-g3 path actually runs.
+    assert_thread_invariant(&planted(), "planted", 0.05);
+}
+
+#[test]
+fn parallel_paths_actually_engage_on_the_planted_relation() {
+    // Guards the suite against silently testing serial-vs-serial: with 8
+    // workers on the planted relation the pool must have claimed grains.
+    let r = planted();
+    let config = TaneConfig {
+        threads: 8,
+        ..TaneConfig::default()
+    };
+    let result = discover_fds(&r, &config).unwrap();
+    assert_eq!(result.stats.parallel_workers, 8);
+    assert!(
+        result.stats.parallel_grains > 0,
+        "pool never engaged: gate or dispatch is broken"
+    );
+    assert!(result.stats.worker_busy > std::time::Duration::ZERO);
+
+    // And the approximate run must push undecided tests through the
+    // batched exact-g3 path.
+    let approx = discover_approx_fds(
+        &r,
+        &ApproxTaneConfig {
+            base: TaneConfig {
+                threads: 8,
+                ..TaneConfig::default()
+            },
+            ..ApproxTaneConfig::new(0.05)
+        },
+    )
+    .unwrap();
+    assert!(
+        approx.stats.g3_exact_computations > 0,
+        "no undecided tests: the batched g3 path is untested at ε=0.05"
+    );
+}

@@ -63,6 +63,9 @@ pub struct Metrics {
     level_times: Mutex<Vec<LevelAgg>>,
     disk_bytes_read: AtomicU64,
     disk_bytes_written: AtomicU64,
+    parallel_grains: AtomicU64,
+    worker_busy_nanos: AtomicU64,
+    fetch_stall_nanos: AtomicU64,
 }
 
 impl Metrics {
@@ -89,6 +92,9 @@ impl Metrics {
             level_times: Mutex::new(Vec::new()),
             disk_bytes_read: AtomicU64::new(0),
             disk_bytes_written: AtomicU64::new(0),
+            parallel_grains: AtomicU64::new(0),
+            worker_busy_nanos: AtomicU64::new(0),
+            fetch_stall_nanos: AtomicU64::new(0),
         }
     }
 
@@ -98,6 +104,12 @@ impl Metrics {
             .fetch_add(stats.disk_bytes_read, Ordering::Relaxed);
         self.disk_bytes_written
             .fetch_add(stats.disk_bytes_written, Ordering::Relaxed);
+        self.parallel_grains
+            .fetch_add(stats.parallel_grains, Ordering::Relaxed);
+        self.worker_busy_nanos
+            .fetch_add(stats.worker_busy.as_nanos() as u64, Ordering::Relaxed);
+        self.fetch_stall_nanos
+            .fetch_add(stats.fetch_stall.as_nanos() as u64, Ordering::Relaxed);
         let mut levels = self.level_times.lock().expect("metrics poisoned");
         if levels.len() < stats.level_times.len() {
             levels.resize(stats.level_times.len(), LevelAgg::default());
@@ -216,6 +228,18 @@ impl Metrics {
                         "disk_bytes_written",
                         n(self.disk_bytes_written.load(Ordering::Relaxed)),
                     ),
+                    (
+                        "parallel_grains",
+                        n(self.parallel_grains.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "worker_busy_secs",
+                        Json::Num(self.worker_busy_nanos.load(Ordering::Relaxed) as f64 / 1e9),
+                    ),
+                    (
+                        "fetch_stall_secs",
+                        Json::Num(self.fetch_stall_nanos.load(Ordering::Relaxed) as f64 / 1e9),
+                    ),
                 ]),
             ),
             (
@@ -255,6 +279,8 @@ mod tests {
         let mut stats = TaneStats::default();
         stats.level_times = vec![Duration::from_millis(10), Duration::from_millis(5)];
         stats.disk_bytes_written = 1024;
+        stats.parallel_grains = 12;
+        stats.worker_busy = Duration::from_millis(40);
         m.record_search(&stats);
         stats.level_times = vec![Duration::from_millis(10)];
         m.record_search(&stats);
@@ -318,6 +344,10 @@ mod tests {
             search.get("disk_bytes_written").unwrap().as_usize(),
             Some(2048)
         );
+        assert_eq!(search.get("parallel_grains").unwrap().as_usize(), Some(24));
+        let busy = search.get("worker_busy_secs").unwrap().as_f64().unwrap();
+        assert!((busy - 0.080).abs() < 1e-9, "{busy}");
+        assert_eq!(search.get("fetch_stall_secs").unwrap().as_f64(), Some(0.0));
         let levels = search.get("level_times").unwrap().as_array().unwrap();
         assert_eq!(levels.len(), 2);
         assert_eq!(levels[0].get("runs").unwrap().as_usize(), Some(2));

@@ -429,6 +429,10 @@ fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -
         ("disk_writes", Json::Num(s.disk_writes as f64)),
         ("disk_bytes_read", Json::Num(s.disk_bytes_read as f64)),
         ("disk_bytes_written", Json::Num(s.disk_bytes_written as f64)),
+        ("parallel_workers", Json::Num(s.parallel_workers as f64)),
+        ("parallel_grains", Json::Num(s.parallel_grains as f64)),
+        ("worker_busy_secs", Json::Num(s.worker_busy.as_secs_f64())),
+        ("fetch_stall_secs", Json::Num(s.fetch_stall.as_secs_f64())),
         (
             "level_secs",
             Json::Arr(
@@ -829,6 +833,11 @@ struct DiscoverSpec {
     stream: bool,
 }
 
+/// Search worker threads when a request does not say: all available cores.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
 /// `allow_stream` is true only for `/v1/discover`: on the legacy path
 /// `stream` stays an unknown field, so legacy request handling is
 /// byte-for-byte what it always was.
@@ -888,8 +897,11 @@ fn parse_discover(body: &[u8], allow_stream: bool) -> Result<DiscoverSpec, Strin
     if doc.get("cache_mb").is_some() && storage == Storage::Memory {
         return Err("`cache_mb` only applies to `storage: \"disk\"`".into());
     }
+    // Default to every available core: the search runtime is deterministic
+    // in the worker count, so parallelism is free to switch on. Explicit
+    // `threads: 1` remains the paper-faithful serial run.
     let threads = match doc.get("threads") {
-        None => 1,
+        None => default_threads(),
         Some(v) => {
             let t = v.as_usize().ok_or("`threads` must be a positive integer")?;
             if t == 0 {
@@ -1210,8 +1222,12 @@ mod tests {
         assert_eq!(s.dataset, "wbc");
         assert_eq!(s.epsilon, 0.0);
         assert_eq!(s.storage, Storage::Memory);
-        assert_eq!(s.threads, 1);
+        assert_eq!(s.threads, default_threads(), "default is all cores");
         assert!(!s.stream);
+
+        // The serial, paper-faithful run stays reachable explicitly.
+        let s = parse_discover(br#"{"dataset":"wbc","threads":1}"#, false).unwrap();
+        assert_eq!(s.threads, 1);
 
         let s = parse_discover(
             br#"{"dataset":"wbc","epsilon":0.05,"max_lhs":3,"storage":"disk","cache_mb":16,"threads":2}"#,

@@ -1,0 +1,435 @@
+//! A persistent worker pool with dynamic work claiming.
+//!
+//! TANE's per-level work — partition products, exact `g3` computations,
+//! singleton partition construction — is embarrassingly parallel, but the
+//! cost of individual items varies by orders of magnitude (a product costs
+//! O(‖π̂'‖ + ‖π̂''‖), and stripped-partition sizes within one level differ
+//! wildly). A pool of threads created *once per search* and re-dispatched
+//! every level, with workers claiming small grains of indices from a shared
+//! atomic cursor, gives load balance without per-level thread spawns.
+//!
+//! Determinism: parallel execution must not change any search result. Work
+//! items write into an index-addressed [`Slots`] vector, so the gathered
+//! output is in input order regardless of which worker computed what — the
+//! serial and parallel paths are byte-identical downstream.
+//!
+//! The pool is std-only: `std::thread`, atomics, and condvars.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A dispatched job: a borrowed closure with its lifetime erased.
+///
+/// Safety: [`WorkerPool::run`] does not return until every worker has
+/// finished the epoch, so the pointee outlives every dereference.
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointer is only dereferenced by pool workers while the
+// `run` call that published it is still blocked waiting for them, and the
+// pointee is `Sync`, so sharing the pointer across threads is sound.
+unsafe impl Send for JobPtr {}
+
+/// Dispatch state shared between the owner and the workers.
+struct State {
+    /// Monotonically increasing job counter; a change signals new work.
+    epoch: u64,
+    /// The current job, present while an epoch is in flight.
+    job: Option<JobPtr>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Set by `Drop`; workers exit at the next wakeup.
+    shutdown: bool,
+    /// First panic payload captured from a worker this epoch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new epoch or shutdown.
+    work_cv: Condvar,
+    /// Signals the owner: a worker finished the epoch.
+    done_cv: Condvar,
+    /// Total nanoseconds workers (the caller included) spent executing job
+    /// bodies, across the pool's lifetime.
+    busy_nanos: AtomicU64,
+    /// Work grains claimed across the pool's lifetime (see
+    /// [`WorkerPool::run_indexed`] and [`WorkerPool::add_grains`]).
+    grains: AtomicU64,
+    /// True once any worker body has panicked (sticky; lets cooperating
+    /// producers stop feeding a pipeline whose consumers died).
+    panicked: AtomicBool,
+}
+
+/// A fixed pool of `threads − 1` worker threads plus the calling thread.
+///
+/// [`run`](WorkerPool::run) executes one closure on every worker
+/// concurrently (worker ids `0..threads`, the caller being worker 0) and
+/// blocks until all of them return. Worker panics are captured and
+/// re-raised on the caller after the epoch completes, and the pool remains
+/// usable afterwards. With `threads == 1` no threads are spawned and every
+/// job runs inline on the caller.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool executing jobs on `threads` workers total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> WorkerPool {
+        assert!(threads >= 1, "need at least one worker");
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            busy_nanos: AtomicU64::new(0),
+            grains: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|id| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tane-pool-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total workers, caller included (the `threads` passed to `new`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body(worker_id)` on every worker concurrently and returns when
+    /// all invocations have finished. The caller participates as worker 0.
+    ///
+    /// # Panics
+    ///
+    /// If any invocation panics, the (first) panic is re-raised here after
+    /// every worker has finished; the pool stays usable.
+    pub fn run(&self, body: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            let t = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(0)));
+            self.shared
+                .busy_nanos
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if let Err(payload) = outcome {
+                self.shared.panicked.store(true, Ordering::Relaxed);
+                resume_unwind(payload);
+            }
+            return;
+        }
+        {
+            // SAFETY: the trait-object lifetime is erased to publish the
+            // borrowed closure to the workers; this function does not
+            // return until every worker has finished with it.
+            let body: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+            let mut state = self.shared.state.lock().expect("pool state");
+            state.epoch += 1;
+            state.job = Some(JobPtr(body as *const _));
+            state.remaining = self.handles.len();
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is worker 0; its panic (if any) is deferred until the
+        // other workers drain, so `body`'s captures stay borrowed-valid for
+        // the whole epoch.
+        let t = Instant::now();
+        let caller = catch_unwind(AssertUnwindSafe(|| body(0)));
+        self.shared
+            .busy_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if caller.is_err() {
+            self.shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let worker_panic = {
+            let mut state = self.shared.state.lock().expect("pool state");
+            while state.remaining > 0 {
+                state = self.shared.done_cv.wait(state).expect("pool state");
+            }
+            state.job = None;
+            state.panic.take()
+        };
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Computes `f(worker_id, i)` for every `i in 0..n`, claiming indices
+    /// from a shared cursor `grain` at a time, and returns the results in
+    /// index order — byte-identical to a serial `(0..n).map(|i| f(0, i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain == 0`, and re-raises worker panics (see
+    /// [`run`](WorkerPool::run)).
+    pub fn run_indexed<T, F>(&self, n: usize, grain: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        assert!(grain >= 1, "grain must be at least 1");
+        let slots = Slots::new(n);
+        let cursor = AtomicUsize::new(0);
+        self.run(&|worker| loop {
+            let start = cursor.fetch_add(grain, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            self.add_grains(1);
+            for i in start..(start + grain).min(n) {
+                slots.put(i, f(worker, i));
+            }
+        });
+        slots.into_vec()
+    }
+
+    /// Counts `n` externally executed work grains (for job shapes that
+    /// distribute work themselves, e.g. a channel-fed pipeline).
+    pub fn add_grains(&self, n: u64) {
+        self.shared.grains.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Work grains claimed over the pool's lifetime.
+    pub fn grains_executed(&self) -> u64 {
+        self.shared.grains.load(Ordering::Relaxed)
+    }
+
+    /// Total time workers spent executing job bodies over the pool's
+    /// lifetime (sums across workers, so it can exceed wall-clock).
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// True once any job body has panicked on any worker. Sticky; lets a
+    /// producer worker bail out of a bounded pipeline instead of blocking
+    /// forever on consumers that died.
+    pub fn panicked(&self) -> bool {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state");
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut last_epoch = 0u64;
+    let mut state = shared.state.lock().expect("pool state");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        if state.epoch != last_epoch {
+            last_epoch = state.epoch;
+            // SAFETY: `run` published this pointer and blocks until
+            // `remaining` reaches zero, which happens strictly after this
+            // worker's decrement below — the closure is alive throughout.
+            let body = unsafe { &*state.job.as_ref().expect("job for new epoch").0 };
+            drop(state);
+            let t = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(id)));
+            shared
+                .busy_nanos
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            state = shared.state.lock().expect("pool state");
+            if let Err(payload) = outcome {
+                shared.panicked.store(true, Ordering::Relaxed);
+                if state.panic.is_none() {
+                    state.panic = Some(payload);
+                }
+            }
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                shared.done_cv.notify_all();
+            }
+        } else {
+            state = shared.work_cv.wait(state).expect("pool state");
+        }
+    }
+}
+
+/// An index-addressed output vector for parallel producers: any worker may
+/// fill any slot, and [`into_vec`](Slots::into_vec) gathers the values in
+/// index order, making parallel output order-independent of scheduling.
+///
+/// Each slot is its own mutex, so concurrent writes to distinct indices
+/// never contend; writing the same index twice keeps the later value.
+pub struct Slots<T> {
+    cells: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> Slots<T> {
+    /// `n` empty slots.
+    pub fn new(n: usize) -> Slots<T> {
+        Slots {
+            cells: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True iff the vector has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Fills slot `i`.
+    pub fn put(&self, i: usize, value: T) {
+        *self.cells[i].lock().expect("slot") = Some(value);
+    }
+
+    /// All values, in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot was never filled.
+    pub fn into_vec(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.into_inner()
+                    .expect("slot")
+                    .unwrap_or_else(|| panic!("slot {i} never filled"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_indexed_matches_serial_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_indexed(100, 3, |_worker, i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert!(pool.grains_executed() > 0);
+        assert!(pool.busy_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn pool_is_reused_across_jobs() {
+        // Two searches' worth of dispatches on one pool: the same threads
+        // serve both (thread count is observable via distinct worker ids).
+        let pool = WorkerPool::new(3);
+        let first = pool.run_indexed(50, 1, |_w, i| i + 1);
+        let second = pool.run_indexed(10, 4, |_w, i| i * 2);
+        assert_eq!(first, (1..=50).collect::<Vec<_>>());
+        assert_eq!(second, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let seen = Mutex::new(std::collections::BTreeSet::new());
+        pool.run(&|worker| {
+            seen.lock().unwrap().insert(worker);
+            // Hold every worker briefly so all three must participate.
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        assert_eq!(*seen.lock().unwrap(), (0..3).collect());
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let attempts = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|worker| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                if worker == 2 {
+                    panic!("worker 2 exploded");
+                }
+            });
+        }));
+        let err = outcome.expect_err("worker panic must reach the caller");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+        assert!(pool.panicked());
+        // The pool still works after the panic.
+        let out = pool.run_indexed(20, 2, |_w, i| i);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caller_panic_propagates_too() {
+        let pool = WorkerPool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|worker| {
+                if worker == 0 {
+                    panic!("caller side");
+                }
+            });
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(pool.run_indexed(3, 1, |_w, i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let out = pool.run_indexed(10, 4, |worker, i| {
+            assert_eq!(worker, 0, "no threads to hand work to");
+            i
+        });
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|_| panic!("inline"));
+        }))
+        .is_err());
+        assert!(pool.panicked());
+    }
+
+    #[test]
+    fn slots_gather_in_index_order() {
+        let slots = Slots::new(4);
+        assert_eq!(slots.len(), 4);
+        assert!(!slots.is_empty());
+        for i in (0..4).rev() {
+            slots.put(i, i * 10);
+        }
+        assert_eq!(slots.into_vec(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never filled")]
+    fn unfilled_slot_panics_on_gather() {
+        let slots: Slots<usize> = Slots::new(2);
+        slots.put(0, 7);
+        let _ = slots.into_vec();
+    }
+}

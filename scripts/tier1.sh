@@ -18,5 +18,8 @@ cargo build --release
 cargo test -q
 cargo build -p tane-server
 cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e
+# Parallel-runtime determinism: threads in {1,2,8} must be byte-identical
+# on both storage backends, exact and approximate mode.
+cargo test -q -p tane-core --test parallel_determinism
 
 echo "tier1: OK"

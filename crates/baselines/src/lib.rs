@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Oracle and baseline algorithms for FD discovery.
 //!
 //! This crate serves two purposes:

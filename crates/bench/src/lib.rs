@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark harness regenerating the paper's tables and figures.
 //!
 //! Every experiment of Section 7 has a runner here; the `repro` binary

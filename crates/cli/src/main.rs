@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `tane` — discover functional and approximate dependencies from CSV files.
 //!
 //! ```text
@@ -34,6 +35,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("dataset") => dataset(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -50,6 +52,7 @@ USAGE:
     tane dataset <NAME> [OPTIONS]         generate a synthetic benchmark dataset
     tane profile <FILE.csv> [OPTIONS]     print a per-column profile
     tane serve [OPTIONS]                  run the HTTP discovery service
+    tane lint [--json] [PATHS...]         run the workspace static analyzer
     tane help                             show this help
 
 DISCOVER OPTIONS:
@@ -84,6 +87,11 @@ SERVE OPTIONS:
     --conn-requests <N>  keep-alive requests served per connection before
                          the server closes it (default 1000)
     --idle-timeout <SECS> disconnect idle keep-alive connections (default 10)
+
+LINT:
+    Checks the workspace's own invariants: unsafe-audit, determinism,
+    lock-discipline, error-hygiene. Exits non-zero on violations.
+    Suppress a finding with `// lint:allow(<rule>): <reason>`.
 ";
 
 struct Opts {
@@ -364,6 +372,38 @@ fn dataset(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `tane lint [--json] [PATHS...]` — the workspace static analyzer.
+fn lint(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if a.starts_with('-') => return Err(format!("unknown lint flag `{a}`")),
+            _ => paths.push(a.clone()),
+        }
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("working directory: {e}"))?;
+    let root = tane_lint::find_root(&cwd)
+        .ok_or_else(|| format!("no workspace Cargo.toml found above {}", cwd.display()))?;
+    let report = if paths.is_empty() {
+        tane_lint::run_workspace(&root)
+    } else {
+        tane_lint::run_explicit(&root, &paths)
+    }
+    .map_err(|e| format!("lint walk: {e}"))?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.diagnostics.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", report.diagnostics.len()))
+    }
 }
 
 fn serve(args: &[String]) -> Result<(), String> {

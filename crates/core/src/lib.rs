@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # TANE: levelwise discovery of functional and approximate dependencies
 //!
 //! This crate implements the algorithm of Huhtala, Kärkkäinen, Porkka and

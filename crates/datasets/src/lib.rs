@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic datasets emulating the paper's experimental corpus.
 //!
 //! The paper evaluates on five UCI Machine Learning Repository datasets

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! FDEP — the comparison baseline of the paper's experiments.
 //!
 //! Savnik & Flach's FDEP (*Bottom-up induction of functional dependencies

@@ -1,0 +1,88 @@
+//! Diagnostics: one violation, with human and JSON rendering.
+
+use tane_util::Json;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule slug (`unsafe-audit`, `determinism`, `lock-discipline`,
+    /// `error-hygiene`, or `lint-allow` for suppression errors).
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// `file:line: [rule] message` — the shape editors jump on.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+
+    pub fn render_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::Str(self.rule.to_string())),
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::Num(self.line as f64)),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// The whole report: diagnostics in deterministic order plus scan counts.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts diagnostics by (file, line, rule, message): output is
+    /// byte-identical regardless of scan or rule order — the linter holds
+    /// itself to the determinism standard it enforces.
+    pub fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+    }
+
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "tane-lint: {} violation(s) in {} file(s) scanned\n",
+            self.diagnostics.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        Json::obj([
+            (
+                "violations",
+                Json::Arr(self.diagnostics.iter().map(|d| d.render_json()).collect()),
+            ),
+            ("count", Json::Num(self.diagnostics.len() as f64)),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+        ])
+        .render()
+    }
+}

@@ -1,0 +1,398 @@
+//! A small Rust lexer, sufficient for token-stream lint passes.
+//!
+//! The lexer's one job is to never mistake the *inside* of a comment,
+//! string, raw string, byte string, or char literal for code: every rule
+//! downstream matches identifier/punctuation sequences, and a `"unsafe"`
+//! inside a string must not trigger the unsafe audit. Comments are not
+//! discarded — they are collected separately with their line spans, because
+//! two rules read them (`// SAFETY:` adjacency and `// lint:allow(...)`
+//! suppressions).
+//!
+//! The lexer is deliberately forgiving: it never fails. Malformed input
+//! (an unterminated string, a stray byte) degrades to best-effort tokens,
+//! which at worst costs a lint pass some precision — the compiler, not the
+//! linter, is the arbiter of syntax.
+
+/// What a token is. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `lock`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `:`, `!`, ...).
+    Punct,
+    /// String, byte-string, char, or numeric literal (content opaque).
+    Literal,
+    /// A lifetime (`'a`) — distinct from a char literal.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    /// The token text for `Ident` and `Punct`; empty for literals (their
+    /// content is never matched against).
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == Kind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// One comment (line `//...` or block `/* ... */`), with the source lines
+/// it covers. Block comments may span several lines; doc comments are
+/// comments like any other.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The lexed file: code tokens (comments stripped) plus the comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Infallible by design (see module docs).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(lit(tok_line));
+            }
+            b'\'' => {
+                // Lifetime or char literal. After the quote: a backslash
+                // means a char escape; an identifier character followed by
+                // a closing quote means a char ('a'); an identifier
+                // character *not* followed by a closing quote means a
+                // lifetime ('a in `&'a str` — no closing quote at all).
+                let tok_line = line;
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if is_ident_char(n))
+                    && after != Some(b'\'')
+                    && next != Some(b'\\');
+                if is_lifetime {
+                    i += 1;
+                    let start = i;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: Kind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line: tok_line,
+                    });
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                    out.tokens.push(lit(tok_line));
+                }
+            }
+            c if c == b'r' || c == b'b' => {
+                // Possible raw string r"..." / r#"..."#, byte string
+                // b"..." / br"...", byte char b'x', or a plain identifier.
+                let tok_line = line;
+                if let Some(end) = try_raw_or_byte_string(b, i, &mut line) {
+                    out.tokens.push(lit(tok_line));
+                    i = end;
+                } else {
+                    i = lex_ident(src, b, i, line, &mut out.tokens);
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                i = lex_ident(src, b, i, line, &mut out.tokens);
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (integer, float, hex, suffixed). Consuming
+                // [0-9a-zA-Z_.] is crude but safe: no rule inspects them.
+                while i < b.len() && (is_ident_char(b[i]) || b[i] == b'.') {
+                    // Do not swallow `..` (range) or a method call `.foo()`
+                    // on a literal.
+                    if b[i] == b'.' && b.get(i + 1).is_some_and(|&n| !n.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(lit(line));
+            }
+            _ => {
+                if c.is_ascii() {
+                    out.tokens.push(Tok {
+                        kind: Kind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                }
+                // Skip over any UTF-8 continuation bytes too.
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lit(line: u32) -> Tok {
+    Tok {
+        kind: Kind::Literal,
+        text: String::new(),
+        line,
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes an identifier (or raw identifier `r#ident`) starting at `i`.
+fn lex_ident(src: &str, b: &[u8], mut i: usize, line: u32, tokens: &mut Vec<Tok>) -> usize {
+    let mut start = i;
+    // Raw identifier: r#type — strip the r# so rules see `type`.
+    if b[i] == b'r'
+        && b.get(i + 1) == Some(&b'#')
+        && b.get(i + 2).is_some_and(|&c| is_ident_char(c))
+    {
+        i += 2;
+        start = i;
+    }
+    while i < b.len() && is_ident_char(b[i]) {
+        i += 1;
+    }
+    tokens.push(Tok {
+        kind: Kind::Ident,
+        text: src[start..i].to_string(),
+        line,
+    });
+    i
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the index
+/// just past the closing quote. Tracks newlines (multi-line strings).
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'x'` char literal starting at the quote; returns the index past
+/// the closing quote (or past the escape on malformed input).
+fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    if i < b.len() && b[i] == b'\\' {
+        i += 2; // escape + escaped char ('\n', '\'', '\\', '\u{..}' head)
+                // '\u{...}' — consume to the closing brace.
+        while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+            i += 1;
+        }
+    } else if i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        i += 1;
+    }
+    i
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`), byte string (`b"`),
+/// raw byte string (`br#"`), or byte char (`b'x'`), skips it and returns
+/// the end index; otherwise `None` (it is an ordinary identifier).
+fn try_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        // Count hashes, then require a quote: r"", r#""#, r##""##, ...
+        let mut hashes = 0;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None; // r#ident or plain identifier starting with r/br
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes. No escapes in raw strings.
+        loop {
+            match b.get(j) {
+                None => return Some(j),
+                Some(b'\n') => {
+                    *line += 1;
+                    j += 1;
+                }
+                Some(b'"') => {
+                    let close = (0..hashes).all(|k| b.get(j + 1 + k) == Some(&b'#'));
+                    j += 1;
+                    if close {
+                        return Some(j + hashes);
+                    }
+                }
+                Some(_) => j += 1,
+            }
+        }
+    }
+    // Non-raw byte forms: b"..." and b'x'.
+    if b[i] == b'b' {
+        match b.get(i + 1) {
+            Some(&b'"') => return Some(skip_string(b, i + 1, line)),
+            Some(&b'\'') => return Some(skip_char_literal(b, i + 1, line)),
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = r####"
+            // unsafe in a line comment
+            /* unsafe in a /* nested */ block */
+            let a = "unsafe { }";
+            let b = r#"unsafe " quote"#;
+            let c = b"unsafe";
+            let d = 'u';
+            let e = br##"deep"## ;
+        "####;
+        assert!(
+            !idents(src).iter().any(|t| t == "unsafe"),
+            "{:?}",
+            idents(src)
+        );
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unsafe in a line comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Literal).count(),
+            1,
+            "'x' is a char literal"
+        );
+    }
+
+    #[test]
+    fn char_escapes_do_not_derail() {
+        let src = r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; let after = 1;";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_sigil() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nunsafe {}";
+        let toks = lex(src).tokens;
+        let uns = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(uns.line, 3);
+    }
+
+    #[test]
+    fn block_comment_spans_are_recorded() {
+        let src = "/* one\ntwo\nthree */\nfn f() {}";
+        let lx = lex(src);
+        assert_eq!(lx.comments[0].start_line, 1);
+        assert_eq!(lx.comments[0].end_line, 3);
+        assert_eq!(lx.tokens[0].line, 4);
+    }
+}

@@ -1,0 +1,227 @@
+#![forbid(unsafe_code)]
+//! `tane-lint` — a std-only static analyzer for the TANE workspace.
+//!
+//! The workspace's correctness story rests on invariants no unit test can
+//! pin down forever: the determinism contract of DESIGN §9 (results
+//! byte-identical across thread counts, hash seeds, and wall-clock), the
+//! audited-`unsafe` discipline around the worker pool's lifetime-erasing
+//! transmute, and the server's lock and panic hygiene. This crate checks
+//! them *statically*, on every tier-1 run: a hand-rolled Rust lexer strips
+//! comments/strings/raw strings, and four rule passes scan the token
+//! stream with file/line diagnostics:
+//!
+//! | rule | scope | invariant |
+//! |---|---|---|
+//! | `unsafe-audit` | whole workspace | `unsafe` only in allowlisted files, each site `// SAFETY:`-commented |
+//! | `determinism` | core, partition, relation (+util clocks) | no hash-order or clock leakage into results |
+//! | `lock-discipline` | server | no undeclared lock nesting, no unhandled poison |
+//! | `error-hygiene` | server | request paths return errors, never panic |
+//!
+//! Suppression: `// lint:allow(<rule>[, <rule>...]): <why>` on the line
+//! above (or the same line as) a violation. The reason is part of the
+//! syntax by convention — an allow is a documented exception, not an
+//! off-switch. Unknown rule names in an allow are themselves violations,
+//! so a typo cannot silently mask nothing.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::{Diagnostic, Report};
+use rules::Ctx;
+
+pub const RULE_UNSAFE: &str = "unsafe-audit";
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_LOCK: &str = "lock-discipline";
+pub const RULE_HYGIENE: &str = "error-hygiene";
+/// Meta-rule for malformed/unknown suppressions.
+pub const RULE_ALLOW: &str = "lint-allow";
+
+pub const ALL_RULES: &[&str] = &[RULE_UNSAFE, RULE_DETERMINISM, RULE_LOCK, RULE_HYGIENE];
+
+/// Lints one file's source. `path` is the repo-relative path (forward
+/// slashes) — it selects which rules apply, so callers with out-of-tree
+/// content (fixtures) choose scoping by choosing the path.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let ctx = Ctx::new(path, &lexed);
+    let mut diags = rules::unsafe_audit::run(&ctx);
+    if rules::determinism::in_scope(path) {
+        diags.extend(rules::determinism::run(&ctx));
+    }
+    if rules::lock_discipline::in_scope(path) {
+        diags.extend(rules::lock_discipline::run(&ctx));
+    }
+    if rules::error_hygiene::in_scope(path) {
+        diags.extend(rules::error_hygiene::run(&ctx));
+    }
+    let (suppressed, mut allow_diags) = suppressions(path, &lexed);
+    diags.retain(|d| {
+        !suppressed
+            .iter()
+            .any(|(rule, line)| rule == d.rule && *line == d.line)
+    });
+    diags.append(&mut allow_diags);
+    diags
+}
+
+/// Parses `lint:allow(...)` comments. A suppression covers every line of
+/// the contiguous comment run containing the directive (so the reason may
+/// wrap onto continuation lines) plus the line after it — both trailing
+/// and preceding placement work. Returns (suppressed (rule, line) pairs,
+/// diagnostics for unknown rule names).
+fn suppressions(path: &str, lexed: &lexer::Lexed) -> (Vec<(String, u32)>, Vec<Diagnostic>) {
+    let mut pairs = Vec::new();
+    let mut diags = Vec::new();
+    for (ci, c) in lexed.comments.iter().enumerate() {
+        // Directive position is anchored: the comment must *start* with
+        // `lint:allow(` (after the comment sigils). Mid-sentence mentions
+        // — e.g. docs describing the syntax — are not directives.
+        let body = c
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_ascii_start();
+        if !body.starts_with("lint:allow(") {
+            continue;
+        }
+        let rest = &body["lint:allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            diags.push(Diagnostic::new(
+                RULE_ALLOW,
+                path,
+                c.start_line,
+                "malformed `lint:allow(...)`: missing closing parenthesis",
+            ));
+            continue;
+        };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim();
+            if !ALL_RULES.contains(&rule) {
+                diags.push(Diagnostic::new(
+                    RULE_ALLOW,
+                    path,
+                    c.start_line,
+                    format!(
+                        "unknown rule `{rule}` in lint:allow (known: {})",
+                        ALL_RULES.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            let mut cover_end = c.end_line;
+            for next in &lexed.comments[ci + 1..] {
+                if next.start_line == cover_end + 1 {
+                    cover_end = next.end_line;
+                } else {
+                    break;
+                }
+            }
+            for line in c.start_line..=cover_end + 1 {
+                pairs.push((rule.to_string(), line));
+            }
+        }
+    }
+    (pairs, diags)
+}
+
+/// Lints one on-disk file, using `rel` for scoping and reporting.
+pub fn lint_file(root: &Path, rel: &str) -> io::Result<Vec<Diagnostic>> {
+    let src = fs::read_to_string(root.join(rel))?;
+    Ok(lint_source(rel, &src))
+}
+
+/// All workspace `.rs` files to lint, repo-root-relative, sorted. Skips
+/// build output and the linter's own violation fixtures.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || rel.contains("tests/fixtures") {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Forward slashes for stable diagnostics across platforms.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lints the whole workspace under `root`.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    run_paths(root, &workspace_files(root)?)
+}
+
+/// Lints an explicit path list (files or directories, root-relative or
+/// absolute).
+pub fn run_explicit(root: &Path, paths: &[String]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for p in paths {
+        let full = if Path::new(p).is_absolute() {
+            PathBuf::from(p)
+        } else {
+            root.join(p)
+        };
+        if full.is_dir() {
+            walk(&full, root, &mut files)?;
+        } else {
+            files.push(rel_path(root, &full));
+        }
+    }
+    files.sort();
+    files.dedup();
+    run_paths(root, &files)
+}
+
+fn run_paths(root: &Path, files: &[String]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for rel in files {
+        report.diagnostics.extend(lint_file(root, rel)?);
+        report.files_scanned += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,70 @@
+#![forbid(unsafe_code)]
+//! `tane-lint` binary: `cargo run -p tane-lint -- [--json] [PATHS...]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("tane-lint: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    run(json, &paths)
+}
+
+const USAGE: &str = "usage: tane-lint [--json] [PATHS...]\n\
+    Lints the whole workspace when no PATHS are given. Rules:\n\
+    unsafe-audit, determinism, lock-discipline, error-hygiene.\n\
+    Suppress with `// lint:allow(<rule>): <reason>`.";
+
+fn run(json: bool, paths: &[String]) -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tane-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = tane_lint::find_root(&cwd) else {
+        eprintln!(
+            "tane-lint: no workspace Cargo.toml found above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+    let report = if paths.is_empty() {
+        tane_lint::run_workspace(&root)
+    } else {
+        tane_lint::run_explicit(&root, paths)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tane-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,121 @@
+//! R4 `error-hygiene`: request-handling paths never panic.
+//!
+//! A panic in a handler or worker kills its thread mid-request: the client
+//! sees a dropped connection, the connection-permit accounting and the
+//! single-flight cache have to clean up after it, and any held mutex is
+//! poisoned for everyone else. So in `crates/server/src`, `panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`, `.unwrap()` and `.expect(..)`
+//! are violations — errors must travel as values to the HTTP edge, which
+//! knows how to shape them into a status code.
+//!
+//! Exemptions: construction-time code (functions named `new`, `start`,
+//! `default`, `main`, `install_signal_handlers` — failing fast at startup
+//! is correct), test code, and lock-poison handling (`.lock().unwrap()`),
+//! which is R3's jurisdiction and reported once, there.
+
+use super::Ctx;
+use crate::diag::Diagnostic;
+use crate::lexer::{Kind, Tok};
+use crate::RULE_HYGIENE;
+
+pub const SCOPE: &str = "crates/server/src";
+
+/// Function names whose bodies are init-time, not request-time.
+pub const INIT_FNS: &[&str] = &["new", "start", "default", "main", "install_signal_handlers"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn in_scope(path: &str) -> bool {
+    path.contains(SCOPE)
+}
+
+pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    // Stack of (fn name, brace depth of its body).
+    let mut fns: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+
+    for i in 0..toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some(name) = pending_fn.take() {
+                fns.push((name, depth));
+            }
+        } else if t.is_punct('}') {
+            if fns.last().is_some_and(|&(_, d)| d == depth) {
+                fns.pop();
+            }
+            depth -= 1;
+        } else if t.is_punct(';') {
+            pending_fn = None; // trait method signature without a body
+        } else if t.is_ident("fn") {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == Kind::Ident {
+                    pending_fn = Some(n.text.clone());
+                }
+            }
+        }
+        let in_init = fns
+            .iter()
+            .any(|(name, _)| INIT_FNS.contains(&name.as_str()));
+        if in_init {
+            continue;
+        }
+
+        // Panic-family macros: `name!(...)`.
+        if t.kind == Kind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Diagnostic::new(
+                RULE_HYGIENE,
+                ctx.path,
+                t.line,
+                format!(
+                    "`{}!` in a request-handling path kills the thread mid-request; \
+                     return an error value to the HTTP edge instead",
+                    t.text
+                ),
+            ));
+        }
+        // `.unwrap()` / `.expect(..)` — except directly on a lock
+        // acquisition, which R3 owns.
+        let is_unwrap = t.is_ident("unwrap")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        let is_expect = t.is_ident("expect") && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if (is_unwrap || is_expect) && i > 0 && toks[i - 1].is_punct('.') && !on_lock(toks, i) {
+            out.push(Diagnostic::new(
+                RULE_HYGIENE,
+                ctx.path,
+                t.line,
+                format!(
+                    "`.{}(...)` in a request-handling path can panic; propagate the \
+                     error (init fns and tests are exempt)",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// True when the call chain is `<..>.lock().unwrap()` / `.read().expect(..)`
+/// etc. — lock-poison handling, reported by R3 rather than twice.
+fn on_lock(toks: &[Tok], i: usize) -> bool {
+    // i is unwrap/expect; i-1 is '.', so i-2/i-3/i-4 should be `) ( lockish`.
+    if i < 4 {
+        return false;
+    }
+    toks[i - 2].is_punct(')')
+        && toks[i - 3].is_punct('(')
+        && (toks[i - 4].is_ident("lock")
+            || toks[i - 4].is_ident("read")
+            || toks[i - 4].is_ident("write"))
+}

@@ -1,0 +1,205 @@
+//! R3 `lock-discipline`: no undeclared lock nesting, no unhandled poison.
+//!
+//! The server is the only crate holding multiple mutexes (cache, queue,
+//! registry, metrics, per-flight slots). Two invariants keep it
+//! deadlock-free and panic-tolerant:
+//!
+//! 1. **Nesting must be declared.** Acquiring a lock while a guard from
+//!    another lock is live is only legal for pairs in [`LOCK_ORDER`]
+//!    (outer acquired before inner, everywhere). The scan is
+//!    intra-function: guards from `let` bindings live to end of scope or
+//!    an explicit `drop(guard)`; guards from temporaries live to the end
+//!    of their statement. Cross-function nesting (f locks, calls g which
+//!    locks) is out of reach for a token scan — the defense there is the
+//!    code-structure rule that `publish` drops its guard before waking
+//!    waiters, which this rule protects from regressing *within* each
+//!    function.
+//! 2. **Poison is a decision, not a crash.** `.lock().unwrap()` /
+//!    `.lock().expect(...)` turns one panicking thread into a cascade of
+//!    panicking request handlers. Handlers must either recover
+//!    (`unwrap_or_else(|e| e.into_inner())` — every mutex-guarded
+//!    structure in the server tolerates this) or carry an explicit
+//!    `// poison:` comment arguing why propagation is right.
+
+use super::{is_binding_noise, Ctx};
+use crate::diag::Diagnostic;
+use crate::lexer::{Kind, Tok};
+use crate::RULE_LOCK;
+
+pub const SCOPE: &str = "crates/server/src";
+
+/// Declared legal nestings: (outer, inner) lock names. Empty today — the
+/// server holds at most one lock at a time by design (`publish` drops the
+/// cache guard before filling the flight). Growing this table is the
+/// explicit, reviewed act the rule exists to force.
+pub const LOCK_ORDER: &[(&str, &str)] = &[];
+
+pub fn in_scope(path: &str) -> bool {
+    path.contains(SCOPE)
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding names (for `drop(name)` matching); empty for temporaries.
+    names: Vec<String>,
+    /// Lock identity: the receiver field/variable name before `.lock()`.
+    id: String,
+    /// Brace depth at which the guard lives; dies when depth drops below.
+    depth: i32,
+    line: u32,
+}
+
+#[derive(Debug, Default)]
+struct PendingLet {
+    names: Vec<String>,
+    past_eq: bool,
+    locked: Vec<(String, u32)>,
+}
+
+pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut temps: Vec<Guard> = Vec::new();
+    let mut pending: Option<PendingLet> = None;
+
+    let mut i = 0;
+    while i < toks.len() {
+        if ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            // An `if let`/`while let` guard becomes durable in its block.
+            finalize_let(&mut pending, &mut guards, depth);
+            temps.clear();
+        } else if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            temps.clear();
+        } else if t.is_punct(';') {
+            finalize_let(&mut pending, &mut guards, depth);
+            temps.clear();
+        } else if t.is_ident("let") {
+            pending = Some(PendingLet::default());
+        } else if t.is_punct('=') {
+            if let Some(p) = pending.as_mut() {
+                p.past_eq = true;
+            }
+        } else if t.kind == Kind::Ident {
+            if let Some(p) = pending.as_mut() {
+                if !p.past_eq && !is_binding_noise(&t.text) {
+                    p.names.push(t.text.clone());
+                }
+            }
+            // drop(name) releases the named guard early.
+            if t.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(i + 2).is_some_and(|n| n.kind == Kind::Ident)
+                && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            {
+                let name = &toks[i + 2].text;
+                guards.retain(|g| !g.names.iter().any(|n| n == name));
+            }
+            if let Some(id) = acquisition(toks, i) {
+                // Nested acquisition check against every live guard.
+                for held in guards.iter().chain(temps.iter()) {
+                    let declared = LOCK_ORDER
+                        .iter()
+                        .any(|&(outer, inner)| outer == held.id && inner == id);
+                    if !declared {
+                        out.push(Diagnostic::new(
+                            RULE_LOCK,
+                            ctx.path,
+                            t.line,
+                            format!(
+                                "acquiring `{id}` while holding `{}` (locked on line {}) \
+                                 — nesting must be declared in tane-lint's LOCK_ORDER \
+                                 table or the guard dropped first",
+                                held.id, held.line
+                            ),
+                        ));
+                    }
+                }
+                poison_check(ctx, toks, i, &id, &mut out);
+                match pending.as_mut() {
+                    Some(p) if p.past_eq => p.locked.push((id, t.line)),
+                    _ => temps.push(Guard {
+                        names: Vec::new(),
+                        id,
+                        depth,
+                        line: t.line,
+                    }),
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn finalize_let(pending: &mut Option<PendingLet>, guards: &mut Vec<Guard>, depth: i32) {
+    if let Some(p) = pending.take() {
+        for (id, line) in p.locked {
+            guards.push(Guard {
+                names: p.names.clone(),
+                id,
+                depth,
+                line,
+            });
+        }
+    }
+}
+
+/// Returns the lock name if token `i` is a guard acquisition: `.lock()`,
+/// or the zero-argument `.read()` / `.write()` of an `RwLock` (I/O
+/// `read`/`write` always take a buffer, so empty parens disambiguate).
+fn acquisition(toks: &[Tok], i: usize) -> Option<String> {
+    let t = &toks[i];
+    let is_acq = (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+        && i > 0
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+    if !is_acq {
+        return None;
+    }
+    // Receiver name: the identifier before the dot (`self.inner.lock()`
+    // → `inner`); fall back for parenthesized expressions.
+    let id = match toks.get(i.wrapping_sub(2)) {
+        Some(r) if r.kind == Kind::Ident => r.text.clone(),
+        _ => "<expr>".to_string(),
+    };
+    Some(id)
+}
+
+/// Flags `.lock().unwrap()` / `.lock().expect(..)` unless a `poison`
+/// comment sits on or directly above the line.
+fn poison_check(ctx: &Ctx, toks: &[Tok], i: usize, id: &str, out: &mut Vec<Diagnostic>) {
+    // i is the `lock` ident; i+1 '(' , i+2 ')'.
+    let Some(dot) = toks.get(i + 3) else { return };
+    if !dot.is_punct('.') {
+        return;
+    }
+    let Some(m) = toks.get(i + 4) else { return };
+    let bad = (m.is_ident("unwrap")
+        && toks.get(i + 5).is_some_and(|n| n.is_punct('('))
+        && toks.get(i + 6).is_some_and(|n| n.is_punct(')')))
+        || (m.is_ident("expect") && toks.get(i + 5).is_some_and(|n| n.is_punct('(')));
+    if bad && !ctx.comment_above_contains(m.line, "poison") {
+        out.push(Diagnostic::new(
+            RULE_LOCK,
+            ctx.path,
+            m.line,
+            format!(
+                "`{id}.{}()` propagates mutex poisoning into this thread; recover \
+                 with `unwrap_or_else(|e| e.into_inner())` or document the \
+                 propagation with a `// poison:` comment",
+                m.text
+            ),
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Rule passes over the token stream.
+//!
+//! Every rule is a function `run(&Ctx) -> Vec<Diagnostic>` over one file.
+//! Rules are heuristic token scans, not type checkers: they over-approximate
+//! (a tracked name shadowed by a non-map local would still be flagged) and
+//! the `// lint:allow(<rule>): <why>` escape hatch exists precisely so that
+//! a justified exception becomes *documented* instead of silent.
+
+pub mod determinism;
+pub mod error_hygiene;
+pub mod lock_discipline;
+pub mod unsafe_audit;
+
+use crate::lexer::{Comment, Lexed, Tok};
+
+/// Everything a rule pass sees for one file.
+pub struct Ctx<'a> {
+    /// Repo-relative path, forward slashes.
+    pub path: &'a str,
+    pub toks: &'a [Tok],
+    pub comments: &'a [Comment],
+    /// Token-index ranges (start..end, exclusive) of `#[cfg(test)]` /
+    /// `#[test]` items. Test code is exempt from every rule but R1.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(path: &'a str, lexed: &'a Lexed) -> Ctx<'a> {
+        Ctx {
+            path,
+            toks: &lexed.tokens,
+            comments: &lexed.comments,
+            test_spans: test_spans(&lexed.tokens),
+        }
+    }
+
+    /// True if token index `i` falls inside test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The comment covering `line`, if any.
+    pub fn comment_at(&self, line: u32) -> Option<&Comment> {
+        self.comments
+            .iter()
+            .find(|c| c.start_line <= line && line <= c.end_line)
+    }
+
+    /// True if a comment containing `needle` sits on `line` or on the
+    /// contiguous run of comment lines ending directly above it.
+    pub fn comment_above_contains(&self, line: u32, needle: &str) -> bool {
+        if self
+            .comment_at(line)
+            .is_some_and(|c| c.text.contains(needle))
+        {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            match self.comment_at(l) {
+                Some(c) if c.text.contains(needle) => return true,
+                Some(c) => l = c.start_line.saturating_sub(1),
+                None => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Finds the token spans of items guarded by a test attribute:
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`. An attribute
+/// mentioning `not` (e.g. `#[cfg(not(test))]`) guards *production* code
+/// and is ignored. The span is the brace block of the next item.
+fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match matching(toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let attr = &toks[i + 1..close];
+            let is_test =
+                attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+            if is_test {
+                // The guarded item runs to its first brace block.
+                let mut j = close + 1;
+                while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('{') {
+                    if let Some(end) = matching(toks, j, '{', '}') {
+                        spans.push((i, end + 1));
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index of the `close` punct matching the `open` punct at `start`.
+pub fn matching(toks: &[Tok], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Rust keywords that can appear where a binding name is expected; never
+/// tracked as names.
+pub fn is_binding_noise(word: &str) -> bool {
+    matches!(word, "mut" | "ref" | "box" | "Some" | "Ok" | "Err" | "None")
+}

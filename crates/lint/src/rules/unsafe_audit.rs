@@ -1,0 +1,43 @@
+//! R1 `unsafe-audit`: every `unsafe` is audited, everywhere else it is
+//! forbidden.
+//!
+//! The workspace's entire unsafe surface is the `WorkerPool` job-pointer
+//! transmute (`util/src/pool.rs`) and the POSIX signal hookup
+//! (`server/src/server.rs`). Those two files are the allowlist; inside
+//! them, every `unsafe` block/impl/fn must carry a `// SAFETY:` comment
+//! immediately above it stating the argument. Anywhere else, `unsafe` is a
+//! violation outright — the compiler backs this with
+//! `#![forbid(unsafe_code)]` on every other crate, and the lint keeps the
+//! allowlisted crates honest about *scoped* `#[allow]`s.
+
+use super::Ctx;
+use crate::diag::Diagnostic;
+use crate::RULE_UNSAFE;
+
+/// Files in which `unsafe` may appear at all (matched by path suffix).
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/util/src/pool.rs", "crates/server/src/server.rs"];
+
+pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
+    let allowed = UNSAFE_ALLOWLIST.iter().any(|s| ctx.path.ends_with(s));
+    let mut out = Vec::new();
+    for t in ctx.toks.iter().filter(|t| t.is_ident("unsafe")) {
+        if !allowed {
+            out.push(Diagnostic::new(
+                RULE_UNSAFE,
+                ctx.path,
+                t.line,
+                "`unsafe` is forbidden outside the audited allowlist \
+                 (util/src/pool.rs, server/src/server.rs)",
+            ));
+        } else if !ctx.comment_above_contains(t.line, "SAFETY:") {
+            out.push(Diagnostic::new(
+                RULE_UNSAFE,
+                ctx.path,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment immediately above \
+                 stating the soundness argument",
+            ));
+        }
+    }
+    out
+}

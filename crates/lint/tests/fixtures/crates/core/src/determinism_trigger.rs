@@ -1,0 +1,24 @@
+//! R2 triggers: hash iteration escaping to output, and a clock read in
+//! search-scope code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn export(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}
+
+pub fn sorted_export(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out: Vec<String> = counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    out.sort();
+    out
+}
+
+pub fn elapsed_secs() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+//! R1 trigger: `unsafe` outside the audited allowlist.
+
+pub fn peek(v: &[u32]) -> u32 {
+    // SAFETY: a comment does not help here — the file is not allowlisted.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,18 @@
+//! R4 triggers: panics in a request-handling path. The `new` function at
+//! the bottom is exempt (init-time).
+
+pub fn handle(req: &str) -> String {
+    if req.is_empty() {
+        panic!("empty request");
+    }
+    let n: u32 = req.parse().unwrap();
+    match n {
+        0 => unreachable!(),
+        _ => format!("{n}"),
+    }
+}
+
+pub fn new() -> String {
+    let fail_fast: Option<String> = None;
+    fail_fast.expect("init may panic")
+}

@@ -1,0 +1,23 @@
+//! Suppression fixture: every would-be violation carries a justified
+//! `lint:allow`, so this file must lint clean.
+
+use std::sync::Mutex;
+
+pub struct Counter {
+    inner: Mutex<u64>,
+}
+
+impl Counter {
+    pub fn bump(&self) -> u64 {
+        // lint:allow(lock-discipline): fixture exercising suppression —
+        // poison recovery is deliberately omitted here.
+        let mut g = self.inner.lock().unwrap();
+        *g += 1;
+        *g
+    }
+
+    pub fn must(&self, v: Option<u64>) -> u64 {
+        // lint:allow(error-hygiene): fixture demonstrating a justified unwrap.
+        v.unwrap()
+    }
+}

@@ -1,0 +1,11 @@
+//! R1 trigger: this path suffix *is* allowlisted, so bare `unsafe` is
+//! legal — but only with a `// SAFETY:` comment immediately above.
+
+pub fn unaudited(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn audited(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

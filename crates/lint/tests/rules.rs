@@ -1,0 +1,186 @@
+//! Fixture-driven tests: each rule fires on its trigger fixture, the
+//! suppression fixture passes, and — the gate that matters — the real
+//! workspace lints clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tane_lint::{
+    lint_source, run_workspace, RULE_DETERMINISM, RULE_HYGIENE, RULE_LOCK, RULE_UNSAFE,
+};
+
+/// Reads a fixture by its repo-style relative path. The same string is
+/// fed to `lint_source` as the file's path, which is what scopes rules.
+fn fixture(rel: &str) -> (String, String) {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    let src = std::fs::read_to_string(&disk)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", disk.display()));
+    (rel.to_string(), src)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn unsafe_forbidden_outside_allowlist() {
+    let (path, src) = fixture("crates/core/src/unsafe_trigger.rs");
+    let diags = lint_source(&path, &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RULE_UNSAFE);
+    assert!(
+        diags[0].message.contains("forbidden"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn unsafe_in_allowlist_requires_safety_comment() {
+    let (path, src) = fixture("crates/util/src/pool.rs");
+    let diags = lint_source(&path, &src);
+    // `unaudited` fires; `audited` (with `// SAFETY:`) does not.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RULE_UNSAFE);
+    assert!(diags[0].message.contains("SAFETY"), "{}", diags[0].message);
+}
+
+#[test]
+fn determinism_flags_hash_iteration_and_clock_reads() {
+    let (path, src) = fixture("crates/core/src/determinism_trigger.rs");
+    let diags = lint_source(&path, &src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == RULE_DETERMINISM));
+    assert!(
+        diags.iter().any(|d| d.message.contains("iteration")),
+        "hash iteration in `export` should fire: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("::now")),
+        "Instant::now should fire: {diags:?}"
+    );
+    // `sorted_export` canonicalizes and must NOT fire: exactly one
+    // iteration diagnostic total.
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("iteration"))
+            .count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_flags_nesting_and_poison() {
+    let (path, src) = fixture("crates/server/src/lock_trigger.rs");
+    let diags = lint_source(&path, &src);
+    assert!(diags.iter().all(|d| d.rule == RULE_LOCK), "{diags:?}");
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("while holding"))
+            .count(),
+        1,
+        "one undeclared nesting: {diags:?}"
+    );
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("poison"))
+            .count(),
+        2,
+        "two bare `.lock().unwrap()`s: {diags:?}"
+    );
+}
+
+#[test]
+fn error_hygiene_flags_panics_in_handlers_but_not_init() {
+    let (path, src) = fixture("crates/server/src/hygiene_trigger.rs");
+    let diags = lint_source(&path, &src);
+    assert!(diags.iter().all(|d| d.rule == RULE_HYGIENE), "{diags:?}");
+    // panic!, unreachable!, and .unwrap() in `handle`; nothing from `new`.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(
+        diags.iter().all(|d| d.line < 14),
+        "init fn must be exempt: {diags:?}"
+    );
+}
+
+#[test]
+fn lint_allow_suppresses_with_reason() {
+    let (path, src) = fixture("crates/server/src/suppressed.rs");
+    let diags = lint_source(&path, &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unknown_rule_in_allow_is_itself_a_violation() {
+    let src = "// lint:allow(bogus-rule): oops\nfn f() {}\n";
+    let diags = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "lint-allow");
+    assert!(diags[0].message.contains("bogus-rule"));
+}
+
+#[test]
+fn doc_mentions_of_the_syntax_are_not_directives() {
+    let src = "//! Suppress with `lint:allow(<rule>)` comments.\nfn f() {}\n";
+    let diags = lint_source("crates/core/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// The gate: the actual workspace must be violation-free.
+#[test]
+fn workspace_lints_clean() {
+    let report = run_workspace(&repo_root()).expect("workspace walk");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{}",
+        report.render_human()
+    );
+    assert!(report.files_scanned > 50, "walker found too few files");
+}
+
+#[test]
+fn cli_exit_codes_and_json() {
+    let bin = env!("CARGO_BIN_EXE_tane-lint");
+    let root = repo_root();
+
+    let clean = Command::new(bin)
+        .current_dir(&root)
+        .output()
+        .expect("run tane-lint");
+    assert!(clean.status.success(), "workspace run must exit 0");
+
+    let trigger = Command::new(bin)
+        .current_dir(&root)
+        .arg("crates/lint/tests/fixtures/crates/server/src/lock_trigger.rs")
+        .output()
+        .expect("run tane-lint on fixture");
+    assert_eq!(trigger.status.code(), Some(1), "violations must exit 1");
+    let text = String::from_utf8_lossy(&trigger.stdout);
+    assert!(text.contains("lock-discipline"), "{text}");
+
+    let json = Command::new(bin)
+        .current_dir(&root)
+        .args([
+            "--json",
+            "crates/lint/tests/fixtures/crates/core/src/unsafe_trigger.rs",
+        ])
+        .output()
+        .expect("run tane-lint --json");
+    assert_eq!(json.status.code(), Some(1));
+    let parsed =
+        tane_util::Json::parse(&String::from_utf8_lossy(&json.stdout)).expect("JSON output parses");
+    assert_eq!(parsed.get("count").and_then(|c| c.as_f64()), Some(1.0));
+
+    let bad_flag = Command::new(bin)
+        .current_dir(&root)
+        .arg("--nope")
+        .output()
+        .expect("run tane-lint with bad flag");
+    assert_eq!(bad_flag.status.code(), Some(2), "usage errors exit 2");
+}

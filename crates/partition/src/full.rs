@@ -40,6 +40,8 @@ impl Partition {
         for (row, &c) in codes.iter().enumerate() {
             groups.entry(c).or_default().push(row as u32);
         }
+        // lint:allow(determinism): from_classes canonicalizes — it sorts
+        // every class and orders classes by first row, erasing hash order.
         Partition::from_classes(codes.len(), groups.into_values().collect())
     }
 
@@ -62,6 +64,8 @@ impl Partition {
             let key: Vec<u32> = x.iter().map(|a| relation.column_codes(a)[row]).collect();
             groups.entry(key).or_default().push(row as u32);
         }
+        // lint:allow(determinism): from_classes canonicalizes — it sorts
+        // every class and orders classes by first row, erasing hash order.
         Partition::from_classes(n, groups.into_values().collect())
     }
 
@@ -164,6 +168,8 @@ impl Partition {
             for &row in c {
                 buckets.entry(class_of[row as usize]).or_default().push(row);
             }
+            // lint:allow(determinism): drain order is erased by the
+            // canonicalizing from_classes below.
             out.extend(buckets.drain().map(|(_, v)| v));
         }
         Partition::from_classes(self.n_rows, out)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Partition engine for TANE.
 //!
 //! Section 2 of the paper reformulates functional-dependency checking in

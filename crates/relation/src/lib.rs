@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Relational substrate for the TANE suite.
 //!
 //! TANE and the baseline algorithms do not care about concrete values — only

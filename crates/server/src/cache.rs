@@ -72,20 +72,23 @@ impl Flight {
     }
 
     fn fill(&self, result: JobResult) {
-        *self.slot.lock().expect("flight poisoned") = Some(result);
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
         self.done.notify_all();
     }
 
     /// Blocks until the flight lands or `timeout` elapses (`None`).
     pub fn wait(&self, timeout: Duration) -> Option<JobResult> {
-        let mut slot = self.slot.lock().expect("flight poisoned");
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         let deadline = std::time::Instant::now() + timeout;
         loop {
             if let Some(result) = slot.as_ref() {
                 return Some(result.clone());
             }
             let left = deadline.checked_duration_since(std::time::Instant::now())?;
-            let (guard, wait) = self.done.wait_timeout(slot, left).expect("flight poisoned");
+            let (guard, wait) = self
+                .done
+                .wait_timeout(slot, left)
+                .unwrap_or_else(|e| e.into_inner());
             slot = guard;
             if wait.timed_out() && slot.is_none() {
                 return None;
@@ -200,7 +203,7 @@ impl ResultCache {
 
     /// Resolves `key` to a hit, a wait, or a claim (see [`Lookup`]).
     pub fn lookup_or_claim(&self, key: CacheKey) -> Lookup {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.map.get(&key) {
             Some(Entry::Ready { result, .. }) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -223,7 +226,7 @@ impl ResultCache {
     /// cheapest-to-recompute entries if over capacity), failures are
     /// delivered to the waiters and the key is released for retry.
     pub fn publish(&self, key: CacheKey, result: JobResult) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let flight = match inner.map.get(&key) {
             Some(Entry::InFlight(f)) => Some(Arc::clone(f)),
             _ => None,
@@ -270,7 +273,7 @@ impl ResultCache {
     /// A snapshot of every cache counter (see [`CacheStats`]).
     pub fn stats(&self) -> CacheStats {
         let (entries, evictions, evicted_compute_secs) = {
-            let inner = self.inner.lock().expect("cache poisoned");
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             (inner.ready, inner.evictions, inner.evicted_compute_secs)
         };
         CacheStats {

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! `tane-server`: a long-running FD discovery service on `std::net` +
 //! `std::thread`.
 //!

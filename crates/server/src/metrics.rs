@@ -110,7 +110,7 @@ impl Metrics {
             .fetch_add(stats.worker_busy.as_nanos() as u64, Ordering::Relaxed);
         self.fetch_stall_nanos
             .fetch_add(stats.fetch_stall.as_nanos() as u64, Ordering::Relaxed);
-        let mut levels = self.level_times.lock().expect("metrics poisoned");
+        let mut levels = self.level_times.lock().unwrap_or_else(|e| e.into_inner());
         if levels.len() < stats.level_times.len() {
             levels.resize(stats.level_times.len(), LevelAgg::default());
         }
@@ -139,7 +139,7 @@ impl Metrics {
     pub fn render(&self, queue: (usize, usize), cache: CacheStats) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         let levels: Vec<Json> = {
-            let level_times = self.level_times.lock().expect("metrics poisoned");
+            let level_times = self.level_times.lock().unwrap_or_else(|e| e.into_inner());
             level_times
                 .iter()
                 .enumerate()

@@ -46,7 +46,7 @@ impl<T> JobQueue<T> {
 
     /// Enqueues a job, or refuses immediately.
     pub fn push(&self, job: T) -> Result<(), (T, PushError)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err((job, PushError::Closed));
         }
@@ -62,7 +62,7 @@ impl<T> JobQueue<T> {
     /// Blocks until a job is available (`Some`) or the queue is closed and
     /// drained (`None`).
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -70,13 +70,17 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue poisoned");
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Pending jobs right now.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").jobs.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
     }
 
     /// Maximum pending jobs.
@@ -87,7 +91,7 @@ impl<T> JobQueue<T> {
     /// Closes the queue: wakes all consumers and returns the jobs nobody
     /// will run. Workers still finish the job they already popped.
     pub fn close(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.closed = true;
         let drained = inner.jobs.drain(..).collect();
         drop(inner);

@@ -42,14 +42,19 @@ impl DatasetRegistry {
     /// Resolves `name`: uploads and already-generated built-ins first, then
     /// the built-in generators.
     pub fn get(&self, name: &str) -> Option<Arc<Relation>> {
-        if let Some(r) = self.inner.read().expect("registry poisoned").get(name) {
+        if let Some(r) = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
             return Some(Arc::clone(r));
         }
         // Built-in: generate outside any lock (seconds for the big ones),
         // then race to insert — first writer wins so every caller shares
         // one Arc.
         let generated = Arc::new(tane_datasets::by_name(name)?);
-        let mut map = self.inner.write().expect("registry poisoned");
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
         let entry = map.entry(name.to_string()).or_insert(generated);
         Some(Arc::clone(entry))
     }
@@ -71,7 +76,7 @@ impl DatasetRegistry {
         let removed = self
             .inner
             .write()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(name)
             .is_some();
         if removed {
@@ -86,7 +91,7 @@ impl DatasetRegistry {
         let arc = Arc::new(relation);
         self.inner
             .write()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_string(), Arc::clone(&arc));
         arc
     }
@@ -95,7 +100,7 @@ impl DatasetRegistry {
     /// plus not-yet-generated built-ins (shape unknown until generated).
     /// Sorted by name.
     pub fn list(&self) -> Vec<(String, Option<(usize, usize)>)> {
-        let map = self.inner.read().expect("registry poisoned");
+        let map = self.inner.read().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<(String, Option<(usize, usize)>)> = map
             .iter()
             .map(|(name, r)| (name.clone(), Some((r.num_rows(), r.num_attrs()))))

@@ -75,6 +75,7 @@ const STREAM_EVENT_DEPTH: usize = 8;
 
 /// Installs process signal handlers that request a graceful shutdown.
 /// Idempotent; a no-op off Unix. Called by `tane serve`, not by tests.
+#[allow(unsafe_code)] // audited: POSIX signal(2) registration below
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     {
@@ -89,6 +90,11 @@ pub fn install_signal_handlers() {
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is the POSIX signal(2) the platform libc
+        // already links; passing a valid signal number and the address of
+        // an `extern "C" fn(i32)` matches its contract. The handler body
+        // is a single atomic store — async-signal-safe, touching no
+        // allocator, lock, or libc state.
         unsafe {
             signal(SIGTERM, handler);
             signal(SIGINT, handler);
@@ -582,6 +588,17 @@ enum StreamSource {
     },
 }
 
+/// [`StreamSource`] after follower resolution: what `pump_stream` can
+/// actually pump. `Follow` is gone at the type level, so the pump has no
+/// "can't happen" arm to panic in.
+enum ResolvedSource {
+    Replay(Arc<CachedResult>),
+    Live {
+        rx: Receiver<String>,
+        flight: Arc<crate::cache::Flight>,
+    },
+}
+
 /// A routed failure, shaped per API version at the edge: `/v1` gets the
 /// `{"error":{"code","message"}}` envelope, legacy paths get the flat
 /// `{"error": message}` body with exactly the historical message strings.
@@ -1069,7 +1086,7 @@ fn stream_discover(
     // instead of a 200 head followed by an in-band error.
     let source = match plan.source {
         StreamSource::Follow(flight) => match flight.wait(shared.config.job_timeout) {
-            Some(Ok(result)) => StreamSource::Replay(result),
+            Some(Ok(result)) => ResolvedSource::Replay(result),
             Some(Err(msg)) => {
                 return flight_error(msg)
                     .into_response(true)
@@ -1083,7 +1100,8 @@ fn stream_discover(
                     .is_ok()
             }
         },
-        source => source,
+        StreamSource::Replay(result) => ResolvedSource::Replay(result),
+        StreamSource::Live { rx, flight } => ResolvedSource::Live { rx, flight },
     };
 
     shared.metrics.streams_total.fetch_add(1, Ordering::Relaxed);
@@ -1111,14 +1129,14 @@ fn stream_discover(
 fn pump_stream<W: Write>(
     shared: &Shared,
     dataset: &str,
-    source: StreamSource,
+    source: ResolvedSource,
     mut body: ChunkedBody<'_, W>,
     received: Instant,
     tally: &mut StreamTally,
 ) -> (u64, bool) {
     let deadline = received + shared.config.job_timeout;
     match source {
-        StreamSource::Replay(result) => {
+        ResolvedSource::Replay(result) => {
             for line in &result.levels {
                 if write_level(&mut body, line, received, tally).is_err() {
                     return (body.payload_bytes(), false);
@@ -1126,7 +1144,7 @@ fn pump_stream<W: Write>(
             }
             finish_with_trailer(body, dataset, &result)
         }
-        StreamSource::Live { rx, flight } => {
+        ResolvedSource::Live { rx, flight } => {
             loop {
                 let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                     return abort_stream(body, ApiError::job_timeout());
@@ -1156,9 +1174,6 @@ fn pump_stream<W: Write>(
                 Some(Err(msg)) => abort_stream(body, flight_error(msg)),
                 None => abort_stream(body, ApiError::job_timeout()),
             }
-        }
-        StreamSource::Follow(_) => {
-            unreachable!("followers are resolved before the response head")
         }
     }
 }

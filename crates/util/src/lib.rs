@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Shared utilities for the TANE suite.
 //!
 //! This crate provides the low-level building blocks that every other crate

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 /// finished the epoch, so the pointee outlives every dereference.
 struct JobPtr(*const (dyn Fn(usize) + Sync));
 
+#[allow(unsafe_code)]
 // SAFETY: the pointer is only dereferenced by pool workers while the
 // `run` call that published it is still blocked waiting for them, and the
 // pointee is `Sync`, so sharing the pointer across threads is sound.
@@ -127,6 +128,7 @@ impl WorkerPool {
     ///
     /// If any invocation panics, the (first) panic is re-raised here after
     /// every worker has finished; the pool stays usable.
+    #[allow(unsafe_code)] // audited: the lifetime-erasing transmute below
     pub fn run(&self, body: &(dyn Fn(usize) + Sync)) {
         if self.handles.is_empty() {
             let t = Instant::now();
@@ -245,6 +247,7 @@ impl Drop for WorkerPool {
     }
 }
 
+#[allow(unsafe_code)] // audited: dereferences the pointer `run` published
 fn worker_loop(shared: &Shared, id: usize) {
     let mut last_epoch = 0u64;
     let mut state = shared.state.lock().expect("pool state");

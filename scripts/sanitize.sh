@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Dynamic UB/race checking for the workspace's two unsafe sites (the
+# worker-pool job-pointer transmute and the signal hookup) and the
+# server's lock usage. Both checkers need a nightly toolchain, which the
+# offline build image may not carry — every stage degrades to a loud
+# skip rather than a failure, so this script is safe to run anywhere.
+#
+#   Miri           : interprets the util test suite, catching UB in the
+#                    pool's pointer lifecycle.
+#   ThreadSanitizer: rebuilds util+server tests with -Zsanitizer=thread,
+#                    catching data races the type system can't see.
+#
+# Tier-1 does not depend on this script; it is a deeper, slower gate for
+# toolchains that can run it. The static analogue (`cargo run -p
+# tane-lint`) runs everywhere, always.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+have_nightly() {
+    rustup toolchain list 2>/dev/null | grep -q nightly
+}
+
+if ! command -v rustup >/dev/null 2>&1 || ! have_nightly; then
+    echo "sanitize: no nightly toolchain available — skipping Miri and TSan"
+    echo "sanitize: SKIPPED (static checks still enforced by tane-lint)"
+    exit 0
+fi
+
+echo "== Miri: tane-util (worker pool unsafe sites) =="
+if rustup component list --toolchain nightly 2>/dev/null | grep -q "miri.*(installed)"; then
+    if ! cargo +nightly miri test -p tane-util; then
+        echo "sanitize: Miri FAILED"
+        status=1
+    fi
+else
+    echo "sanitize: Miri component not installed — skipping"
+fi
+
+echo "== ThreadSanitizer: tane-util + tane-server =="
+if rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src.*(installed)"; then
+    if ! RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
+        --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -p tane-util -p tane-server; then
+        echo "sanitize: ThreadSanitizer FAILED"
+        status=1
+    fi
+else
+    echo "sanitize: rust-src component not installed — skipping TSan"
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "sanitize: OK"
+fi
+exit "$status"

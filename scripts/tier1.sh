@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+# Workspace invariants (unsafe-audit, determinism, lock-discipline,
+# error-hygiene): zero violations, enforced by the in-tree analyzer.
+cargo run -q -p tane-lint --release
 
 cargo build --release
 cargo test -q

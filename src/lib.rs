@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tane-repro
 //!
 //! Umbrella crate for the TANE reproduction suite. Re-exports the public API

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("discover") => discover(&args[1..]),
+        Some("patch") => patch(&args[1..]),
         Some("dataset") => dataset(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("serve") => serve(&args[1..]),
@@ -49,6 +50,7 @@ tane — discovery of functional and approximate dependencies (TANE, ICDE 1998)
 
 USAGE:
     tane discover <FILE.csv> [OPTIONS]    discover minimal dependencies
+    tane patch <FILE.csv> [OPTIONS]       apply a row delta, re-verify incrementally
     tane dataset <NAME> [OPTIONS]         generate a synthetic benchmark dataset
     tane profile <FILE.csv> [OPTIONS]     print a per-column profile
     tane serve [OPTIONS]                  run the HTTP discovery service
@@ -70,6 +72,19 @@ DISCOVER OPTIONS:
     --threads <N>        worker threads for the parallel search runtime
                          (default: available cores; 1 = the paper's serial
                          algorithm — results are identical either way)
+
+PATCH OPTIONS:
+    --append <FILE.csv>  rows to append (same schema as the base file; a
+                         header row is skipped unless --no-header)
+    --delete <I,J,...>   0-based row indices of the base file to delete
+    --epsilon <E>        g3 error threshold in [0,1]; 0 = exact FDs (default)
+    --threads <N>        worker threads (results identical at any count)
+    --stats              print incremental-engine statistics after the FDs
+    --no-header / --delimiter / --nulls   as for discover
+    Discovers on the base file first (warming the engine's partition
+    trackers), applies the delta, then re-verifies incrementally: merged
+    partitions come from the trackers instead of new partition products.
+    Prints the post-patch dependencies.
 
 DATASET OPTIONS (NAME: lymphography | hepatitis | wbc | adult | chess):
     --copies <N>         concatenate N disjoint copies (the paper's ×n datasets)
@@ -325,6 +340,142 @@ fn discover(args: &[String]) -> Result<(), String> {
             }
         }
         other => return Err(format!("unknown algorithm `{other}`")),
+    }
+    Ok(())
+}
+
+/// `tane patch` — the incremental path, end to end and offline: discover
+/// on the base file (warming the engine's partition trackers), apply the
+/// row delta, re-verify incrementally, print the post-patch dependencies.
+fn patch(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(
+        args,
+        &[
+            "append",
+            "delete",
+            "epsilon",
+            "threads",
+            "delimiter",
+            "nulls",
+        ],
+    )?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or("patch needs a base CSV file")?;
+    let base = load(path, &opts)?;
+    let nulls = csv_options(&opts)?.nulls;
+
+    let epsilon: f64 = match opts.value("epsilon") {
+        Some(e) => e.parse().map_err(|_| format!("bad epsilon `{e}`"))?,
+        None => 0.0,
+    };
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(format!("epsilon must be in [0,1], got {epsilon}"));
+    }
+    let threads: usize = match opts.value("threads") {
+        Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    if threads == 0 {
+        return Err("need at least one thread".into());
+    }
+
+    let mut delta = tane_relation::RowPatch::default();
+    if let Some(list) = opts.value("delete") {
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            let i: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad row index `{part}`"))?;
+            delta.deletes.push(i);
+        }
+    }
+    if let Some(file) = opts.value("append") {
+        let rows = load(file, &opts)?;
+        if rows.num_attrs() != base.num_attrs() {
+            return Err(format!(
+                "{file} has {} attributes, base has {}",
+                rows.num_attrs(),
+                base.num_attrs()
+            ));
+        }
+        for t in 0..rows.num_rows() {
+            let row: Option<Vec<_>> = (0..rows.num_attrs())
+                .map(|a| rows.value(t, a).cloned())
+                .collect();
+            delta
+                .appends
+                .push(row.ok_or_else(|| format!("{file} carries no cell values"))?);
+        }
+    }
+    if delta.is_empty() {
+        return Err("nothing to do: give --append and/or --delete".into());
+    }
+
+    let engine = tane_delta::DatasetEngine::new(
+        std::sync::Arc::new(base),
+        nulls,
+        tane_delta::EngineLimits::default(),
+    )
+    .map_err(|e| format!("base file: {e}"))?;
+    let config = TaneConfig {
+        threads,
+        ..TaneConfig::default()
+    };
+    let quiet = |_: LevelEvent| {};
+    // Warm run on the base rows: this is the "previous" discovery whose
+    // partitions the engine keeps.
+    let cold = if epsilon > 0.0 {
+        let approx = ApproxTaneConfig {
+            base: config.clone(),
+            ..ApproxTaneConfig::new(epsilon)
+        };
+        engine.discover_approx_with(&approx, quiet)
+    } else {
+        engine.discover_exact_with(&config, quiet)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let outcome = engine.patch(&delta).map_err(|e| e.to_string())?;
+    let merged = engine.merged();
+    let names = merged.schema().names().to_vec();
+    let result = if epsilon > 0.0 {
+        let approx = ApproxTaneConfig {
+            base: config,
+            ..ApproxTaneConfig::new(epsilon)
+        };
+        engine.discover_approx_with(&approx, quiet)
+    } else {
+        engine.discover_exact_with(&config, quiet)
+    }
+    .map_err(|e| e.to_string())?;
+
+    for fd in &result.fds {
+        println!("{}", fd.display_with(&names));
+    }
+    eprintln!(
+        "# {} minimal dependencies after the patch ({} rows, generation {})",
+        result.fds.len(),
+        outcome.rows,
+        outcome.generation
+    );
+    if opts.flag("stats") {
+        let s = &result.stats;
+        eprintln!(
+            "# appended/deleted: {}/{}",
+            outcome.appended, outcome.deleted
+        );
+        eprintln!(
+            "# partitions supplied by the engine: {}",
+            s.partitions_supplied
+        );
+        eprintln!(
+            "# partition products: {} (base run did {})",
+            s.products, cold.stats.products
+        );
+        eprintln!("# validity tests: {}", s.validity_tests);
+        eprintln!("# time: {:.3}s", s.elapsed.as_secs_f64());
     }
     Ok(())
 }

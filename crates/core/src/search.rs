@@ -98,7 +98,7 @@ pub fn discover_fds_with(
     config: &TaneConfig,
     mut on_level: impl FnMut(LevelEvent),
 ) -> Result<TaneResult, TaneError> {
-    run(relation, config, Mode::Exact, &mut on_level)
+    run(relation, config, Mode::Exact, &mut on_level, None)
 }
 
 /// [`discover_approx_fds`] with a per-level observer; see
@@ -117,7 +117,64 @@ pub fn discover_approx_fds_with(
             aggressive: config.aggressive_rhs_plus,
         },
         &mut on_level,
+        None,
     )
+}
+
+/// [`discover_fds_with`] with an external partition supplier: the
+/// incremental **re-verify** entry point used by the `tane-delta` engine.
+///
+/// The search runs exactly as usual, except that every next-level candidate
+/// is first offered to `hooks.supply`; a supplied partition skips that
+/// candidate's product (counted in [`TaneStats::partitions_supplied`]
+/// instead of [`TaneStats::products`]). Because a supplied partition must
+/// equal the producted one as a set of classes, and every consumer of a
+/// partition (`error_rows`, `is_superkey`, `g3`, refinement checks) is
+/// independent of class order, the discovered dependencies, keys, and
+/// [`LevelEvent`] stream are byte-identical to a from-scratch run on the
+/// same relation — only the product counters differ.
+pub fn reverify_fds_with(
+    relation: &Relation,
+    config: &TaneConfig,
+    hooks: &mut ReverifyHooks<'_>,
+    mut on_level: impl FnMut(LevelEvent),
+) -> Result<TaneResult, TaneError> {
+    run(relation, config, Mode::Exact, &mut on_level, Some(hooks))
+}
+
+/// [`discover_approx_fds_with`] with an external partition supplier; see
+/// [`reverify_fds_with`] for the supply contract.
+pub fn reverify_approx_fds_with(
+    relation: &Relation,
+    config: &ApproxTaneConfig,
+    hooks: &mut ReverifyHooks<'_>,
+    mut on_level: impl FnMut(LevelEvent),
+) -> Result<TaneResult, TaneError> {
+    run(
+        relation,
+        &config.base,
+        Mode::Approx {
+            epsilon: config.epsilon,
+            use_bounds: config.use_g3_bounds,
+            aggressive: config.aggressive_rhs_plus,
+        },
+        &mut on_level,
+        Some(hooks),
+    )
+}
+
+/// External partition supply for the incremental re-verify pass.
+///
+/// `supply` is called once per [`NextLevelCandidate`], in the deterministic
+/// candidate order of GENERATE-NEXT-LEVEL, on the serial driver thread —
+/// so a supplier doubles as a visit log of exactly which lattice nodes the
+/// search materializes. Returning `Some(π̂)` hands the search a
+/// ready-made stripped partition for `candidate.set` (it must equal
+/// `π̂_{parent_a} · π̂_{parent_b}` as a set of classes, over the same row
+/// count); returning `None` lets the search compute the product itself.
+pub struct ReverifyHooks<'a> {
+    /// The partition supplier; see the struct docs for the contract.
+    pub supply: &'a mut dyn FnMut(&NextLevelCandidate) -> Option<StrippedPartition>,
 }
 
 #[derive(Clone, Copy)]
@@ -445,6 +502,7 @@ fn run(
     config: &TaneConfig,
     mode: Mode,
     on_level: &mut dyn FnMut(LevelEvent),
+    mut hooks: Option<&mut ReverifyHooks<'_>>,
 ) -> Result<TaneResult, TaneError> {
     let sw = Stopwatch::start();
     let n_attrs = relation.num_attrs();
@@ -563,13 +621,41 @@ fn run(
 
         let candidates = generate_next_level(&current);
         let mut next = Level::new();
-        // The next level's partitions: parents stream out of the store in
+        // Incremental re-verify: offer every candidate, in order, to the
+        // supplier first. A supplied partition already equals the Lemma 3
+        // product (as a set of classes), so its product is skipped.
+        let mut supplied: Vec<Option<StrippedPartition>> = match hooks.as_deref_mut() {
+            Some(h) => candidates.iter().map(|c| (h.supply)(c)).collect(),
+            None => (0..candidates.len()).map(|_| None).collect(),
+        };
+        let missing: Vec<_> = candidates
+            .iter()
+            .zip(&supplied)
+            .filter(|(_, s)| s.is_none())
+            .map(|(&c, _)| c)
+            .collect();
+        // The remaining partitions: parents stream out of the store in
         // candidate order and multiply per Lemma 3 — on the pool when the
         // level's estimated element volume warrants it, with disk fetches
         // pipelined against the products.
-        let produced = runtime.products(&mut store, &candidates)?;
+        let produced = runtime.products(&mut store, &missing)?;
         stats.products += produced.len();
-        for (set, pi) in produced {
+        stats.partitions_supplied += candidates.len() - missing.len();
+        // Entries join `next` in exact candidate order whether their
+        // partition was supplied or producted — entry order within a level
+        // feeds the found-so-far minimality checks, so it must not depend
+        // on which route a partition took.
+        let mut produced = produced.into_iter();
+        for (candidate, slot) in candidates.iter().zip(supplied.iter_mut()) {
+            let (set, pi) = match slot.take() {
+                Some(pi) => {
+                    debug_assert_eq!(pi.n_rows(), n_rows, "supplied partition row count");
+                    (candidate.set, pi)
+                }
+                None => produced
+                    .next()
+                    .expect("one product per unsupplied candidate"),
+            };
             next.push(LevelEntry {
                 set,
                 cplus: r_all,

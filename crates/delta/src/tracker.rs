@@ -1,0 +1,280 @@
+//! Incremental partition trackers: label vectors maintained per lattice
+//! node across row deltas.
+//!
+//! A [`NodeTracker`] for an attribute set `X` holds one **label** per
+//! current row such that two rows agree on every attribute of `X` iff
+//! their labels are equal — the equivalence-class structure of `π_X`
+//! without any ordering or class materialization. Labels are *stable*:
+//! a row's label never changes while the row lives, and a (parent-label,
+//! parent-label) pair always maps to the same label via the memoized
+//! `pair_map`. Stability is what makes the two delta operations cheap and
+//! deterministic:
+//!
+//! * **delete** — compact the label vector by the store's survivor map;
+//!   surviving rows keep their labels (`O(rows)`).
+//! * **append** — classify each new row from its parents' labels with one
+//!   hash lookup (`O(delta)`), allocating a fresh label on a never-seen
+//!   pair. Parents are updated first (the engine walks trackers in
+//!   lattice order), so their labels are already current.
+//!
+//! [`NodeTracker::to_stripped`] then emits a [`StrippedPartition`] whose
+//! *set of classes* equals the Lemma 3 product of the parents — classes
+//! appear in first-occurrence order rather than the product's order, but
+//! every consumer in `tane-core` (error counts, superkey tests, `g3`,
+//! refinement checks, further products) is class-order-insensitive, which
+//! is the basis of the byte-identical re-verify guarantee (DESIGN §11).
+
+use tane_partition::StrippedPartition;
+use tane_relation::DeltaView;
+use tane_util::{AttrSet, FxHashMap};
+
+/// Incremental partition state for one lattice node (see module docs).
+#[derive(Debug, Clone)]
+pub struct NodeTracker {
+    set: AttrSet,
+    parent_a: AttrSet,
+    parent_b: AttrSet,
+    /// One label per current row; equal labels ⇔ rows agree on `set`.
+    labels: Vec<u32>,
+    /// `(label_a << 32) | label_b` of the parents → this node's label.
+    /// Never shrinks; entries for dead pairs are harmless.
+    pair_map: FxHashMap<u64, u32>,
+    next_label: u32,
+}
+
+impl NodeTracker {
+    /// Builds a fresh tracker for `set` by composing its parents' current
+    /// label vectors (which must be same-generation and equal-length).
+    /// Returns `None` on label overflow (more than `u32::MAX` distinct
+    /// pairs ever seen — such a node is not worth tracking).
+    pub fn compose(
+        set: AttrSet,
+        parent_a: AttrSet,
+        parent_b: AttrSet,
+        pa: &[u32],
+        pb: &[u32],
+    ) -> Option<NodeTracker> {
+        debug_assert_eq!(pa.len(), pb.len());
+        let mut t = NodeTracker {
+            set,
+            parent_a,
+            parent_b,
+            labels: Vec::with_capacity(pa.len()),
+            pair_map: FxHashMap::default(),
+            next_label: 0,
+        };
+        for (&la, &lb) in pa.iter().zip(pb) {
+            let l = t.classify(la, lb)?;
+            t.labels.push(l);
+        }
+        Some(t)
+    }
+
+    /// The tracked attribute set.
+    pub fn set(&self) -> AttrSet {
+        self.set
+    }
+
+    /// The join parents whose labels feed [`update`](NodeTracker::update).
+    pub fn parents(&self) -> (AttrSet, AttrSet) {
+        (self.parent_a, self.parent_b)
+    }
+
+    /// The current label vector (one entry per row).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Rows currently tracked.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Approximate heap footprint, for the engine's tracking budget.
+    pub fn size_bytes(&self) -> usize {
+        self.labels.len() * 4 + self.pair_map.len() * 16
+    }
+
+    /// Applies the composed delta since the last sync: drops deleted rows
+    /// by `view`'s survivor map and classifies appended rows from the
+    /// parents' **already-updated** labels `pa`/`pb` (current generation,
+    /// one per current row). Returns `false` on label overflow, in which
+    /// case the tracker must be discarded.
+    pub fn update(&mut self, view: &DeltaView, pa: &[u32], pb: &[u32]) -> bool {
+        debug_assert_eq!(self.labels.len(), view.checkpoint_rows);
+        debug_assert_eq!(pa.len(), pb.len());
+        debug_assert!(view.survivors.len() <= pa.len());
+        let mut next = Vec::with_capacity(pa.len());
+        for &orig in &view.survivors {
+            next.push(self.labels[orig as usize]);
+        }
+        for i in view.survivors.len()..pa.len() {
+            match self.classify(pa[i], pb[i]) {
+                Some(l) => next.push(l),
+                None => return false,
+            }
+        }
+        self.labels = next;
+        true
+    }
+
+    /// The stable label for a parent-label pair, allocating on first sight.
+    fn classify(&mut self, la: u32, lb: u32) -> Option<u32> {
+        let key = (u64::from(la) << 32) | u64::from(lb);
+        if let Some(&l) = self.pair_map.get(&key) {
+            return Some(l);
+        }
+        let l = self.next_label;
+        self.next_label = self.next_label.checked_add(1)?;
+        self.pair_map.insert(key, l);
+        Some(l)
+    }
+
+    /// Emits the node's stripped partition: classes of size ≥ 2, in
+    /// first-occurrence order, rows ascending within each class. Equal as
+    /// a set of classes to the Lemma 3 product of the parents' partitions.
+    pub fn to_stripped(&self) -> StrippedPartition {
+        let n = self.labels.len();
+        // Dense class ids in first-occurrence order, plus per-class counts.
+        let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut ids: Vec<u32> = Vec::with_capacity(n);
+        for &l in &self.labels {
+            let id = *dense.entry(l).or_insert_with(|| {
+                counts.push(0);
+                (counts.len() - 1) as u32
+            });
+            counts[id as usize] += 1;
+            ids.push(id);
+        }
+        // Lay out only the classes of size ≥ 2 (stripping, Section 2).
+        let kept: usize = counts
+            .iter()
+            .map(|&c| if c >= 2 { c as usize } else { 0 })
+            .sum();
+        let mut begins = Vec::new();
+        let mut cursor = vec![u32::MAX; counts.len()];
+        let mut pos = 0u32;
+        for (id, &c) in counts.iter().enumerate() {
+            if c >= 2 {
+                begins.push(pos);
+                cursor[id] = pos;
+                pos += c;
+            }
+        }
+        begins.push(pos);
+        let mut elements = vec![0u32; kept];
+        for (row, &id) in ids.iter().enumerate() {
+            let slot = &mut cursor[id as usize];
+            if *slot != u32::MAX {
+                elements[*slot as usize] = row as u32;
+                *slot += 1;
+            }
+        }
+        StrippedPartition::from_parts(n, elements, begins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical form for comparing partitions as sets of classes.
+    fn class_sets(p: &StrippedPartition) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = p.classes().map(|c| c.to_vec()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn compose_matches_column_product() {
+        // Two "columns" as label vectors; the tracker over both must give
+        // the intersection partition.
+        let a = [0u32, 0, 1, 1, 0, 2];
+        let b = [5u32, 5, 5, 9, 9, 9];
+        let t = NodeTracker::compose(
+            AttrSet::from_indices([0, 1]),
+            AttrSet::singleton(0),
+            AttrSet::singleton(1),
+            &a,
+            &b,
+        )
+        .unwrap();
+        // Classes: {0,1} (0/5); rows 2,3,4,5 are singletons.
+        assert_eq!(class_sets(&t.to_stripped()), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn update_is_delete_then_append() {
+        let a = [0u32, 0, 1, 1];
+        let b = [7u32, 7, 7, 7];
+        let mut t = NodeTracker::compose(
+            AttrSet::from_indices([0, 1]),
+            AttrSet::singleton(0),
+            AttrSet::singleton(1),
+            &a,
+            &b,
+        )
+        .unwrap();
+        // Delete row 1; append two rows agreeing with old rows 0 and 2.
+        let view = DeltaView {
+            survivors: vec![0, 2, 3],
+            checkpoint_rows: 4,
+        };
+        let a2 = [0u32, 1, 1, 0, 1];
+        let b2 = [7u32, 7, 7, 7, 7];
+        assert!(t.update(&view, &a2, &b2));
+        assert_eq!(t.n_rows(), 5);
+        // Rows {0,3} share (0,7); rows {1,2,4} share (1,7).
+        assert_eq!(
+            class_sets(&t.to_stripped()),
+            vec![vec![0, 3], vec![1, 2, 4]]
+        );
+    }
+
+    #[test]
+    fn labels_are_stable_across_delete_and_reappend() {
+        let a = [3u32, 4, 3];
+        let b = [1u32, 1, 1];
+        let mut t = NodeTracker::compose(
+            AttrSet::from_indices([0, 1]),
+            AttrSet::singleton(0),
+            AttrSet::singleton(1),
+            &a,
+            &b,
+        )
+        .unwrap();
+        let label_pair_3_1 = t.labels()[0];
+        // Delete every (3,1) row, then append one again.
+        let view = DeltaView {
+            survivors: vec![1],
+            checkpoint_rows: 3,
+        };
+        assert!(t.update(&view, &[4, 3], &[1, 1]));
+        assert_eq!(
+            t.labels()[1],
+            label_pair_3_1,
+            "a re-appended pair maps to its old label via pair_map"
+        );
+    }
+
+    #[test]
+    fn stripped_rows_ascend_within_classes() {
+        let a = [0u32, 1, 0, 1, 0];
+        let b = [0u32; 5];
+        let t = NodeTracker::compose(
+            AttrSet::from_indices([0, 1]),
+            AttrSet::singleton(0),
+            AttrSet::singleton(1),
+            &a,
+            &b,
+        )
+        .unwrap();
+        let p = t.to_stripped();
+        assert_eq!(p.n_rows(), 5);
+        for c in p.classes() {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(class_sets(&p), vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+}

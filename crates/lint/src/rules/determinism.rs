@@ -25,11 +25,14 @@ use crate::diag::Diagnostic;
 use crate::lexer::Kind;
 use crate::RULE_DETERMINISM;
 
-/// Directories whose sources carry the determinism contract.
+/// Directories whose sources carry the determinism contract. The delta
+/// crate is in scope because incremental discovery promises byte-identical
+/// results to from-scratch runs — tracker iteration order must never leak.
 pub const HASH_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/partition/src",
     "crates/relation/src",
+    "crates/delta/src",
 ];
 
 /// Clock reads are additionally policed in `util` (everything that feeds
@@ -39,6 +42,7 @@ pub const CLOCK_SCOPE: &[&str] = &[
     "crates/partition/src",
     "crates/relation/src",
     "crates/util/src",
+    "crates/delta/src",
 ];
 
 /// The modules whose whole purpose is reading the clock: the `Timer`

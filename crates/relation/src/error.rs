@@ -37,6 +37,16 @@ pub enum RelationError {
         /// Human-readable description.
         message: String,
     },
+    /// A row patch referenced a row index past the current rows.
+    RowOutOfRange {
+        /// The offending 0-based row index.
+        index: usize,
+        /// Current row count.
+        rows: usize,
+    },
+    /// The operation needs the relation's value dictionaries, but this
+    /// relation was built without them ([`crate::Relation::from_codes`]).
+    ValuesUnavailable,
     /// Underlying I/O error.
     Io(io::Error),
 }
@@ -68,6 +78,18 @@ impl fmt::Display for RelationError {
             }
             RelationError::Csv { line, message } => {
                 write!(f, "CSV error at line {line}: {message}")
+            }
+            RelationError::RowOutOfRange { index, rows } => {
+                write!(
+                    f,
+                    "row index {index} is out of range (relation has {rows} rows)"
+                )
+            }
+            RelationError::ValuesUnavailable => {
+                write!(
+                    f,
+                    "relation carries no value dictionaries (built from raw codes)"
+                )
             }
             RelationError::Io(e) => write!(f, "I/O error: {e}"),
         }

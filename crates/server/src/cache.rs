@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use tane_util::{FxHashMap, Json};
+use tane_util::{FxHashMap, FxHashSet, Json};
 
 /// The normalized cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,6 +119,15 @@ struct Inner {
     /// Total `compute_secs` thrown away by those evictions — the price a
     /// cold re-query of every evicted entry would pay.
     evicted_compute_secs: f64,
+    /// Dataset hashes declared stale by a patch or re-upload: eagerly
+    /// evicted Ready entries plus suppressed late publishes (see
+    /// [`ResultCache::evict_dataset`]).
+    evicted_stale: u64,
+    /// Dataset content hashes that no longer name a live generation. A
+    /// publish for one of these delivers to its waiters but never (re)enters
+    /// the cache, so an in-flight job on an old generation completes
+    /// coherently without resurrecting stale results.
+    stale: FxHashSet<u64>,
 }
 
 impl Inner {
@@ -161,6 +170,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Sum of `compute_secs` over all evicted entries.
     pub evicted_compute_secs: f64,
+    /// Results dropped because their dataset generation went stale: eager
+    /// evictions on patch/re-upload plus late publishes that were
+    /// suppressed.
+    pub evicted_stale: u64,
 }
 
 /// What a lookup decided.
@@ -193,6 +206,8 @@ impl ResultCache {
                 seq: 0,
                 evictions: 0,
                 evicted_compute_secs: 0.0,
+                evicted_stale: 0,
+                stale: FxHashSet::default(),
             }),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
@@ -232,6 +247,15 @@ impl ResultCache {
             _ => None,
         };
         match &result {
+            Ok(_) if inner.stale.contains(&key.dataset_hash) => {
+                // The dataset moved on while this job ran: hand the result
+                // to everyone already waiting (it is correct for the
+                // generation they asked about) but keep it out of the cache.
+                if flight.is_some() {
+                    inner.map.remove(&key);
+                }
+                inner.evicted_stale += 1;
+            }
             Ok(cached) => {
                 inner.seq += 1;
                 let seq = inner.seq;
@@ -270,11 +294,50 @@ impl ResultCache {
         self.publish(key, Err(reason.to_string()));
     }
 
+    /// Generation-bump invalidation: eagerly evicts every Ready entry of
+    /// `dataset_hash` and marks the hash stale, so a job that started
+    /// before the bump still answers its waiters but never re-enters the
+    /// cache. In-flight entries are left alone (their flights must land).
+    /// Returns the number of Ready entries evicted.
+    pub fn evict_dataset(&self, dataset_hash: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let victims: Vec<CacheKey> = inner
+            .map
+            .iter()
+            .filter_map(|(k, e)| {
+                (k.dataset_hash == dataset_hash && matches!(e, Entry::Ready { .. })).then_some(*k)
+            })
+            .collect();
+        for k in &victims {
+            inner.map.remove(k);
+            inner.ready -= 1;
+        }
+        inner.evicted_stale += victims.len() as u64;
+        inner.stale.insert(dataset_hash);
+        victims.len()
+    }
+
+    /// Declares `dataset_hash` current again — a fresh upload or the merged
+    /// generation after a patch. Results for it may cache normally (also
+    /// when old content reappears verbatim under a re-upload).
+    pub fn mark_fresh(&self, dataset_hash: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stale
+            .remove(&dataset_hash);
+    }
+
     /// A snapshot of every cache counter (see [`CacheStats`]).
     pub fn stats(&self) -> CacheStats {
-        let (entries, evictions, evicted_compute_secs) = {
+        let (entries, evictions, evicted_compute_secs, evicted_stale) = {
             let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            (inner.ready, inner.evictions, inner.evicted_compute_secs)
+            (
+                inner.ready,
+                inner.evictions,
+                inner.evicted_compute_secs,
+                inner.evicted_stale,
+            )
         };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -283,6 +346,7 @@ impl ResultCache {
             entries,
             evictions,
             evicted_compute_secs,
+            evicted_stale,
         }
     }
 }
@@ -444,6 +508,57 @@ mod tests {
         }
         assert_eq!(c.stats().entries, 1);
         assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn evict_dataset_drops_ready_entries_eagerly() {
+        let c = ResultCache::new(8);
+        // Two queries on dataset 1, one on dataset 2.
+        for k in [
+            key(1),
+            CacheKey {
+                dataset_hash: 1,
+                epsilon_bits: Some(0.1f64.to_bits()),
+                max_lhs: None,
+            },
+            key(2),
+        ] {
+            let Lookup::Claimed(_) = c.lookup_or_claim(k) else {
+                panic!("claim")
+            };
+            c.publish(k, Ok(result("r")));
+        }
+        assert_eq!(c.evict_dataset(1), 2, "both dataset-1 entries evicted");
+        let s = c.stats();
+        assert_eq!(s.entries, 1, "dataset 2 untouched");
+        assert_eq!(s.evicted_stale, 2);
+        assert_eq!(s.evictions, 0, "capacity evictions are a separate counter");
+        assert!(matches!(c.lookup_or_claim(key(1)), Lookup::Claimed(_)));
+        assert!(matches!(c.lookup_or_claim(key(2)), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn late_publish_on_stale_generation_answers_waiters_but_never_caches() {
+        let c = ResultCache::new(8);
+        let Lookup::Claimed(flight) = c.lookup_or_claim(key(5)) else {
+            panic!("claim")
+        };
+        // The dataset is patched while the job runs.
+        assert_eq!(c.evict_dataset(5), 0, "nothing Ready yet");
+        c.publish(key(5), Ok(result("old-gen")));
+        // The waiter still gets the coherent old-generation answer…
+        assert_eq!(
+            flight.wait(Duration::from_secs(1)).unwrap().unwrap().fds,
+            ["old-gen"]
+        );
+        // …but the cache holds nothing for the stale hash.
+        assert!(matches!(c.lookup_or_claim(key(5)), Lookup::Claimed(_)));
+        assert_eq!(c.stats().evicted_stale, 1);
+        // Re-marking the hash fresh (same content re-uploaded) re-enables
+        // caching.
+        c.mark_fresh(5);
+        c.publish(key(5), Ok(result("fresh")));
+        assert!(matches!(c.lookup_or_claim(key(5)), Lookup::Hit(_)));
     }
 
     #[test]

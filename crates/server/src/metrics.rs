@@ -214,6 +214,7 @@ impl Metrics {
                         "evicted_compute_secs",
                         Json::Num(cache.evicted_compute_secs),
                     ),
+                    ("evicted_stale", n(cache.evicted_stale)),
                 ]),
             ),
             (
@@ -297,6 +298,7 @@ mod tests {
             entries: 3,
             evictions: 2,
             evicted_compute_secs: 0.25,
+            evicted_stale: 4,
         };
         let doc = m.render((2, 64), cache);
         assert_eq!(doc.get("requests_total").unwrap().as_usize(), Some(3));
@@ -330,6 +332,14 @@ mod tests {
                 - 0.25)
                 .abs()
                 < 1e-12
+        );
+        assert_eq!(
+            doc.get("cache")
+                .unwrap()
+                .get("evicted_stale")
+                .unwrap()
+                .as_usize(),
+            Some(4)
         );
         let conns = doc.get("connections").unwrap();
         assert_eq!(conns.get("accepted").unwrap().as_usize(), Some(2));
@@ -380,6 +390,7 @@ mod tests {
                 entries: 0,
                 evictions: 0,
                 evicted_compute_secs: 0.0,
+                evicted_stale: 0,
             },
         );
         let stream = doc.get("stream").unwrap();

@@ -4,9 +4,16 @@
 //! generated lazily on first request and then kept; uploads arrive as CSV
 //! bodies on `POST /datasets/{name}`. Lookups hand out `Arc<Relation>` so
 //! concurrent jobs share one copy of the data.
+//!
+//! Uploads are **mutable**: each one is wrapped in a
+//! [`tane_delta::DatasetEngine`], so `PATCH /v1/datasets/{name}/rows` can
+//! append and delete rows and discovery transparently sees the merged
+//! view (and reuses the engine's partition trackers). Built-ins stay
+//! static — they are the reproducible benchmark corpus.
 
 use std::sync::{Arc, RwLock};
-use tane_relation::Relation;
+use tane_delta::{DatasetEngine, EngineLimits};
+use tane_relation::{NullSemantics, Relation};
 use tane_util::FxHashMap;
 
 /// What [`DatasetRegistry::remove`] decided.
@@ -20,9 +27,26 @@ pub enum RemoveOutcome {
     NotFound,
 }
 
-/// Thread-safe name → relation map.
+enum Stored {
+    /// A generated built-in (or a value-less relation inserted directly in
+    /// tests): immutable.
+    Static(Arc<Relation>),
+    /// An upload with its incremental engine: patchable.
+    Engine(Arc<DatasetEngine>),
+}
+
+impl Stored {
+    fn relation(&self) -> Arc<Relation> {
+        match self {
+            Stored::Static(r) => Arc::clone(r),
+            Stored::Engine(e) => e.merged(),
+        }
+    }
+}
+
+/// Thread-safe name → dataset map.
 pub struct DatasetRegistry {
-    inner: RwLock<FxHashMap<String, Arc<Relation>>>,
+    inner: RwLock<FxHashMap<String, Stored>>,
 }
 
 impl Default for DatasetRegistry {
@@ -39,29 +63,45 @@ impl DatasetRegistry {
         }
     }
 
-    /// Resolves `name`: uploads and already-generated built-ins first, then
-    /// the built-in generators.
+    /// Resolves `name` to the current relation: uploads see their merged
+    /// (post-patch) view, built-ins generate on first use. Already-loaded
+    /// entries first, then the built-in generators.
     pub fn get(&self, name: &str) -> Option<Arc<Relation>> {
-        if let Some(r) = self
+        if let Some(stored) = self
             .inner
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(name)
         {
-            return Some(Arc::clone(r));
+            return Some(stored.relation());
         }
         // Built-in: generate outside any lock (seconds for the big ones),
         // then race to insert — first writer wins so every caller shares
         // one Arc.
         let generated = Arc::new(tane_datasets::by_name(name)?);
         let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        let entry = map.entry(name.to_string()).or_insert(generated);
-        Some(Arc::clone(entry))
+        let entry = map
+            .entry(name.to_string())
+            .or_insert(Stored::Static(generated));
+        Some(entry.relation())
+    }
+
+    /// The incremental engine behind `name`, if it is a patchable upload.
+    pub fn engine(&self, name: &str) -> Option<Arc<DatasetEngine>> {
+        match self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            Some(Stored::Engine(e)) => Some(Arc::clone(e)),
+            _ => None,
+        }
     }
 
     /// Whether `name` is one of the built-in benchmark datasets. Built-ins
     /// can be uploaded *over* (the upload wins for lookups) but never
-    /// unregistered — the service's corpus stays intact.
+    /// unregistered or patched — the service's corpus stays intact.
     pub fn is_builtin(name: &str) -> bool {
         tane_datasets::DATASET_NAMES.contains(&name)
     }
@@ -86,24 +126,38 @@ impl DatasetRegistry {
         }
     }
 
-    /// Registers (or replaces) an uploaded relation.
+    /// Registers (or replaces — a fresh generation lineage) an uploaded
+    /// relation, wrapping it in an incremental engine when it carries value
+    /// dictionaries (every CSV upload does; raw-code relations fall back
+    /// to a static, unpatchable entry).
     pub fn insert(&self, name: &str, relation: Relation) -> Arc<Relation> {
         let arc = Arc::new(relation);
+        let stored = match DatasetEngine::new(
+            Arc::clone(&arc),
+            NullSemantics::NullsEqual,
+            EngineLimits::default(),
+        ) {
+            Ok(engine) => Stored::Engine(Arc::new(engine)),
+            Err(_) => Stored::Static(Arc::clone(&arc)),
+        };
         self.inner
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(name.to_string(), Arc::clone(&arc));
+            .insert(name.to_string(), stored);
         arc
     }
 
-    /// Every dataset available right now: loaded ones with their shapes,
-    /// plus not-yet-generated built-ins (shape unknown until generated).
-    /// Sorted by name.
+    /// Every dataset available right now: loaded ones with their current
+    /// shapes, plus not-yet-generated built-ins (shape unknown until
+    /// generated). Sorted by name.
     pub fn list(&self) -> Vec<(String, Option<(usize, usize)>)> {
         let map = self.inner.read().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<(String, Option<(usize, usize)>)> = map
             .iter()
-            .map(|(name, r)| (name.clone(), Some((r.num_rows(), r.num_attrs()))))
+            .map(|(name, stored)| {
+                let r = stored.relation();
+                (name.clone(), Some((r.num_rows(), r.num_attrs())))
+            })
             .collect();
         for &name in tane_datasets::DATASET_NAMES {
             if !map.contains_key(name) {
@@ -118,7 +172,15 @@ impl DatasetRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tane_relation::Schema;
+    use tane_relation::{RowPatch, Schema, Value};
+
+    fn csv_like(name_rows: &[[&str; 2]]) -> Relation {
+        let mut b = Relation::builder(Schema::new(["A", "B"]).unwrap());
+        for row in name_rows {
+            b.push_row(row.map(Value::from)).unwrap();
+        }
+        b.build()
+    }
 
     #[test]
     fn builtins_resolve_and_are_shared() {
@@ -128,6 +190,10 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "one generation, shared Arc");
         assert_eq!(a.num_rows(), 148);
         assert!(reg.get("no-such-dataset").is_none());
+        assert!(
+            reg.engine("lymphography").is_none(),
+            "built-ins have no engine"
+        );
     }
 
     #[test]
@@ -180,5 +246,53 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn value_backed_uploads_are_patchable_and_lookups_track_the_merge() {
+        let reg = DatasetRegistry::new();
+        reg.insert("mut", csv_like(&[["x", "1"], ["y", "2"]]));
+        let engine = reg.engine("mut").expect("CSV-style uploads get engines");
+        let before = reg.get("mut").unwrap();
+        assert_eq!(before.num_rows(), 2);
+        engine
+            .patch(&RowPatch {
+                deletes: vec![0],
+                appends: vec![
+                    vec![Value::from("z"), Value::from("3")],
+                    vec![Value::from("w"), Value::from("4")],
+                ],
+            })
+            .unwrap();
+        let after = reg.get("mut").unwrap();
+        assert_eq!(after.num_rows(), 3, "lookup sees the merged view");
+        assert_eq!(before.num_rows(), 2, "old snapshots stay immutable");
+        assert_ne!(before.content_hash(), after.content_hash());
+        // Shapes in the listing follow the current generation.
+        assert!(reg
+            .list()
+            .iter()
+            .any(|(n, shape)| n == "mut" && *shape == Some((3, 2))));
+    }
+
+    #[test]
+    fn code_only_uploads_fall_back_to_static_entries() {
+        let reg = DatasetRegistry::new();
+        let r = Relation::from_codes(Schema::new(["A"]).unwrap(), vec![vec![0, 0, 1]]).unwrap();
+        reg.insert("raw", r);
+        assert!(reg.get("raw").is_some());
+        assert!(reg.engine("raw").is_none(), "no values, no engine");
+    }
+
+    #[test]
+    fn reupload_starts_a_fresh_generation_lineage() {
+        let reg = DatasetRegistry::new();
+        reg.insert("gen", csv_like(&[["a", "1"]]));
+        let e1 = reg.engine("gen").unwrap();
+        reg.insert("gen", csv_like(&[["b", "2"], ["c", "3"]]));
+        let e2 = reg.engine("gen").unwrap();
+        assert!(!Arc::ptr_eq(&e1, &e2), "replacement replaces the engine");
+        assert_eq!(e2.generation(), 0, "fresh lineage starts at generation 0");
+        assert_eq!(reg.get("gen").unwrap().num_rows(), 2);
     }
 }

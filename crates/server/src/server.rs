@@ -60,8 +60,9 @@ use tane_core::{
     discover_approx_fds_with, discover_fds_with, ApproxTaneConfig, LevelEvent, Storage, TaneConfig,
     TaneResult,
 };
+use tane_delta::{DatasetEngine, PatchError};
 use tane_relation::csv::{read_csv_from, CsvOptions};
-use tane_relation::Relation;
+use tane_relation::{Relation, RowPatch, Value};
 use tane_util::Json;
 
 /// Set by the SIGTERM/SIGINT handler; polled by every accept loop.
@@ -160,6 +161,12 @@ struct Job {
     /// receivers turn sends into no-ops rather than errors that stop the
     /// search.
     events: Option<SyncSender<String>>,
+    /// The dataset's incremental engine, for patchable uploads. The worker
+    /// runs the merge-and-reverify path when `relation` is still the
+    /// engine's current generation (checked under the engine lock); after
+    /// a mid-queue patch it falls back to a plain search on the snapshot,
+    /// so the result stays coherent with the generation the request saw.
+    engine: Option<Arc<DatasetEngine>>,
 }
 
 /// State shared by every thread of one server.
@@ -350,7 +357,7 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
     let names = job.relation.schema().names();
     let mut levels: Vec<String> = Vec::new();
     let mut sink = job.events;
-    let on_level = |ev: LevelEvent| {
+    let mut on_level = |ev: LevelEvent| {
         let line = render_level_event(&ev, names);
         if let Some(tx) = &sink {
             if tx.send(line.clone()).is_err() {
@@ -364,9 +371,15 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
             base,
             ..ApproxTaneConfig::new(job.epsilon)
         };
-        discover_approx_fds_with(&job.relation, &config, on_level)
+        job.engine
+            .as_ref()
+            .and_then(|e| e.discover_approx_for(&job.relation, &config, &mut on_level))
+            .unwrap_or_else(|| discover_approx_fds_with(&job.relation, &config, &mut on_level))
     } else {
-        discover_fds_with(&job.relation, &base, on_level)
+        job.engine
+            .as_ref()
+            .and_then(|e| e.discover_exact_for(&job.relation, &base, &mut on_level))
+            .unwrap_or_else(|| discover_fds_with(&job.relation, &base, &mut on_level))
     };
     match outcome {
         Ok(result) => {
@@ -423,6 +436,10 @@ fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -
         ("validity_tests", Json::Num(s.validity_tests as f64)),
         ("keys_found", Json::Num(s.keys_found as f64)),
         ("products", Json::Num(s.products as f64)),
+        (
+            "partitions_supplied",
+            Json::Num(s.partitions_supplied as f64),
+        ),
         (
             "g3_exact_computations",
             Json::Num(s.g3_exact_computations as f64),
@@ -732,12 +749,49 @@ fn dispatch(
                 &Json::obj([("status", Json::Str("shutting down".into()))]),
             ))
         }
-        ("GET" | "POST", _) => Err(ApiError::new(404, "unknown-endpoint", "no such endpoint")),
-        _ => Err(ApiError::new(
-            405,
-            "method-not-allowed",
-            "method not allowed",
-        )),
+        ("PATCH", p) if versioned => match p
+            .strip_prefix("/datasets/")
+            .and_then(|rest| rest.strip_suffix("/rows"))
+        {
+            Some(name) if valid_name(name) => {
+                patch_rows(shared, name, &request.body).map(Action::Respond)
+            }
+            _ => Err(ApiError::new(404, "unknown-endpoint", "no such endpoint")),
+        },
+        ("GET" | "POST" | "PATCH", _) => {
+            Err(ApiError::new(404, "unknown-endpoint", "no such endpoint"))
+        }
+        // Unknown verbs get the RFC-mandated Allow header so clients learn
+        // what the resource actually supports.
+        _ => respond(
+            ApiError::new(405, "method-not-allowed", "method not allowed")
+                .into_response(versioned)
+                .with_header("allow", allowed_methods(path, versioned)),
+        ),
+    }
+}
+
+/// What `Allow` should advertise for a 405 on `path`. Conservative: names
+/// the verbs the dispatch table actually routes for that resource.
+fn allowed_methods(path: &str, versioned: bool) -> &'static str {
+    match path {
+        "/health" | "/metrics" | "/datasets" => "GET",
+        "/discover" | "/shutdown" => "POST",
+        p if versioned
+            && p.strip_prefix("/datasets/")
+                .and_then(|rest| rest.strip_suffix("/rows"))
+                .is_some_and(valid_name) =>
+        {
+            "PATCH"
+        }
+        p if p.strip_prefix("/datasets/").is_some_and(valid_name) => {
+            if versioned {
+                "GET, POST, DELETE"
+            } else {
+                "POST"
+            }
+        }
+        _ => "GET, POST, PATCH, DELETE",
     }
 }
 
@@ -837,6 +891,98 @@ fn upload_dataset(shared: &Shared, name: &str, body: &[u8]) -> Result<Response, 
             ),
         ]),
     ))
+}
+
+/// `PATCH /v1/datasets/{name}/rows`: apply a row delta to an uploaded
+/// dataset's incremental engine, then evict the stale generation's cached
+/// results so later discoveries re-verify against the merged view.
+fn patch_rows(shared: &Shared, name: &str, body: &[u8]) -> Result<Response, ApiError> {
+    if DatasetRegistry::is_builtin(name) {
+        return Err(ApiError::new(
+            403,
+            "builtin-dataset",
+            format!("dataset `{name}` is built-in and cannot be patched"),
+        ));
+    }
+    let engine = shared
+        .registry
+        .engine(name)
+        .ok_or_else(|| unknown_dataset(name))?;
+    let patch = parse_patch(body).map_err(|msg| ApiError::new(400, "invalid-body", msg))?;
+    match engine.patch(&patch) {
+        Ok(outcome) => {
+            if outcome.new_hash != outcome.old_hash {
+                let evicted = shared.cache.evict_dataset(outcome.old_hash);
+                shared.cache.mark_fresh(outcome.new_hash);
+                let _ = evicted;
+            }
+            Ok(Response::json(
+                200,
+                &Json::obj([
+                    ("dataset", Json::Str(name.to_string())),
+                    ("generation", Json::Num(outcome.generation as f64)),
+                    ("rows", Json::Num(outcome.rows as f64)),
+                    ("appended", Json::Num(outcome.appended as f64)),
+                    ("deleted", Json::Num(outcome.deleted as f64)),
+                    (
+                        "content_hash",
+                        Json::Str(format!("{:016x}", outcome.new_hash)),
+                    ),
+                ]),
+            ))
+        }
+        Err(PatchError::TooLarge { rows, cap }) => Err(ApiError::new(
+            413,
+            "patch-too-large",
+            format!("patch touches {rows} rows, cap is {cap}"),
+        )),
+        Err(PatchError::Relation(e)) => Err(ApiError::new(400, "invalid-patch", e.to_string())),
+    }
+}
+
+/// Parses a PATCH body: `{"append": [["v", ...], ...], "delete": [i, ...]}`,
+/// either key optional but at least one required.
+fn parse_patch(body: &[u8]) -> Result<RowPatch, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let json = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let Json::Obj(members) = &json else {
+        return Err("body must be a JSON object".into());
+    };
+    let mut patch = RowPatch::default();
+    for (key, value) in members {
+        match key.as_str() {
+            "append" => {
+                let rows = value
+                    .as_array()
+                    .ok_or("`append` must be an array of rows")?;
+                for row in rows {
+                    let cells = row.as_array().ok_or("each appended row must be an array")?;
+                    let mut parsed = Vec::with_capacity(cells.len());
+                    for cell in cells {
+                        let s = cell.as_str().ok_or("appended cells must be strings")?;
+                        parsed.push(Value::parse(s));
+                    }
+                    patch.appends.push(parsed);
+                }
+            }
+            "delete" => {
+                let indices = value
+                    .as_array()
+                    .ok_or("`delete` must be an array of row indices")?;
+                for idx in indices {
+                    let i = idx
+                        .as_usize()
+                        .ok_or("`delete` entries must be non-negative integers")?;
+                    patch.deletes.push(i);
+                }
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    if patch.appends.is_empty() && patch.deletes.is_empty() {
+        return Err("patch must append or delete at least one row".to_string());
+    }
+    Ok(patch)
 }
 
 /// The `/discover` body, validated.
@@ -1004,6 +1150,7 @@ fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Actio
             };
             let job = Job {
                 key,
+                engine: shared.registry.engine(&spec.dataset),
                 relation,
                 epsilon: spec.epsilon,
                 max_lhs: spec.max_lhs,

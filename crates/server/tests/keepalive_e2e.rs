@@ -23,6 +23,8 @@ struct Reply {
     connection: String,
     /// The `deprecation:` response header value, set on legacy paths.
     deprecation: Option<String>,
+    /// The `allow:` response header value, set on 405 responses.
+    allow: Option<String>,
     body: Json,
 }
 
@@ -59,6 +61,7 @@ impl Conn {
         let mut content_length = 0usize;
         let mut connection = String::new();
         let mut deprecation = None;
+        let mut allow = None;
         loop {
             line.clear();
             self.reader.read_line(&mut line).expect("header line");
@@ -71,6 +74,7 @@ impl Conn {
                     "content-length" => content_length = value.trim().parse().unwrap(),
                     "connection" => connection = value.trim().to_string(),
                     "deprecation" => deprecation = Some(value.trim().to_string()),
+                    "allow" => allow = Some(value.trim().to_string()),
                     _ => {}
                 }
             }
@@ -83,6 +87,7 @@ impl Conn {
             status,
             connection,
             deprecation,
+            allow,
             body,
         }
     }
@@ -351,6 +356,65 @@ fn framing_errors_are_answered_then_the_connection_closes() {
     let health = probe.recv();
     assert_eq!(health.status, 200);
     assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+
+    server.shutdown();
+    server.wait();
+}
+
+/// PATCH shares the persistent-connection framing with every other verb:
+/// a row patch, a 404, and a 405 (with its Allow header) all ride one
+/// keep-alive socket without desyncing the stream.
+#[test]
+fn patch_requests_frame_cleanly_on_a_persistent_connection() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut conn = Conn::open(server.local_addr());
+
+    conn.send("POST", "/v1/datasets/tiny", CSV, false);
+    assert_eq!(conn.recv().status, 200);
+
+    // A real row patch, framed like any other request.
+    conn.send(
+        "PATCH",
+        "/v1/datasets/tiny/rows",
+        br#"{"append":[["5","z","30"]],"delete":[0]}"#,
+        false,
+    );
+    let patched = conn.recv();
+    assert_eq!(patched.status, 200, "{:?}", patched.body);
+    assert_eq!(patched.connection, "keep-alive");
+    assert_eq!(patched.body.get("generation").unwrap().as_usize(), Some(1));
+    assert_eq!(patched.body.get("rows").unwrap().as_usize(), Some(4));
+
+    // PATCH on a path that isn't .../rows is an unknown endpoint.
+    conn.send("PATCH", "/v1/datasets/tiny", b"{}", false);
+    let wrong_path = conn.recv();
+    assert_eq!(wrong_path.status, 404);
+    assert_eq!(wrong_path.connection, "keep-alive");
+
+    // An unroutable verb gets 405 plus the Allow header, and the
+    // connection survives for the next request.
+    conn.send("PUT", "/v1/discover", b"{}", false);
+    let put = conn.recv();
+    assert_eq!(put.status, 405, "{:?}", put.body);
+    assert_eq!(put.allow.as_deref(), Some("POST"));
+    assert_eq!(put.connection, "keep-alive");
+
+    conn.send("DELETE", "/health", b"", false);
+    let del = conn.recv();
+    assert_eq!(del.status, 405);
+    assert_eq!(del.allow.as_deref(), Some("GET"));
+
+    conn.send("PUT", "/v1/datasets/tiny/rows", b"", false);
+    let put_rows = conn.recv();
+    assert_eq!(put_rows.status, 405);
+    assert_eq!(put_rows.allow.as_deref(), Some("PATCH"));
+
+    // Framing held throughout: the socket still answers normally.
+    conn.send("GET", "/health", b"", true);
+    let health = conn.recv();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+    assert!(conn.at_eof());
 
     server.shutdown();
     server.wait();

@@ -16,7 +16,7 @@ const USAGE: &str = "\
 repro — regenerate the TANE paper's tables and figures on synthetic stand-ins
 
 USAGE:
-    repro <EXPERIMENT> [--fast] [--json FILE]
+    repro <EXPERIMENT> [--fast] [--json FILE] [--assert-scaling]
 
 EXPERIMENTS:
     table1      TANE vs TANE/MEM vs FDEP on the eight datasets
@@ -29,8 +29,11 @@ EXPERIMENTS:
     all         everything above except scaling
 
 OPTIONS:
-    --fast      trimmed dataset sizes (seconds instead of minutes)
-    --json F    also write the structured results to F
+    --fast            trimmed dataset sizes (seconds instead of minutes)
+    --json F          also write the structured results to F
+    --assert-scaling  (scaling only) fail unless 4-thread wall time beats
+                      2-thread on the memory backend; skipped loudly on
+                      machines with fewer than 4 cores
 ";
 
 fn main() -> ExitCode {
@@ -63,7 +66,15 @@ fn main() -> ExitCode {
         "figure3" => report.figure3 = figure3::run(scale),
         "figure4" => report.figure4 = figure4::run(scale),
         "ablations" => report.ablations = ablations::run(scale),
-        "scaling" => report.scaling = scaling::run(scale),
+        "scaling" => {
+            report.scaling = scaling::run(scale);
+            if args.iter().any(|a| a == "--assert-scaling") {
+                if let Err(msg) = scaling::assert_scaling(&report.scaling) {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         "all" => {
             report.table1 = table1::run(scale);
             report.table2 = table2::run(scale);

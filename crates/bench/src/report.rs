@@ -205,14 +205,30 @@ pub struct ScalingRow {
     pub storage: String,
     /// Worker threads configured for the search.
     pub threads: usize,
+    /// CPU cores available on the machine that ran the row — the honest
+    /// context for the wall-clock column (threads beyond `cores` cannot
+    /// speed anything up).
+    pub cores: usize,
     /// Dependencies found (thread-invariant).
     pub n: usize,
     /// Wall-clock seconds.
     pub secs: f64,
     /// Partition products computed (thread-invariant).
     pub products: usize,
-    /// Summed worker busy time across the pool.
+    /// Summed worker busy time across the pool. The serial runtime records
+    /// its compute sections here too (`serial: true` marks those rows), so
+    /// utilization is comparable against the 1-thread baseline.
     pub worker_busy_secs: f64,
+    /// Successful work steals across the pool (scheduling instrumentation;
+    /// 0 on serial rows).
+    pub worker_steals: u64,
+    /// Times workers parked on the dispatch condvar instead of spinning.
+    pub park_count: u64,
+    /// Time workers spent probing other deques for work before parking.
+    pub spin_secs: f64,
+    /// `true` when `threads == 1`: the paper-faithful serial runtime, no
+    /// pool dispatch (busy time is the inline compute sections).
+    pub serial: bool,
     /// Time the product stage spent waiting on partition fetches.
     pub fetch_stall_secs: f64,
     /// Bytes read back from spilled partitions.
@@ -226,10 +242,15 @@ impl ScalingRow {
         Json::obj([
             ("storage", Json::Str(self.storage.clone())),
             ("threads", Json::Num(self.threads as f64)),
+            ("cores", Json::Num(self.cores as f64)),
             ("n", Json::Num(self.n as f64)),
             ("secs", Json::Num(self.secs)),
             ("products", Json::Num(self.products as f64)),
             ("worker_busy_secs", Json::Num(self.worker_busy_secs)),
+            ("worker_steals", Json::Num(self.worker_steals as f64)),
+            ("park_count", Json::Num(self.park_count as f64)),
+            ("spin_secs", Json::Num(self.spin_secs)),
+            ("serial", Json::Bool(self.serial)),
             ("fetch_stall_secs", Json::Num(self.fetch_stall_secs)),
             ("disk_bytes_read", Json::Num(self.disk_bytes_read as f64)),
             (
@@ -328,10 +349,15 @@ mod tests {
             scaling: vec![ScalingRow {
                 storage: "disk".into(),
                 threads: 2,
+                cores: 8,
                 n: 48,
                 secs: 0.75,
                 products: 1925,
                 worker_busy_secs: 1.2,
+                worker_steals: 7,
+                park_count: 3,
+                spin_secs: 0.01,
+                serial: false,
                 fetch_stall_secs: 0.1,
                 disk_bytes_read: 4096,
                 disk_bytes_written: 8192,
@@ -364,6 +390,9 @@ mod tests {
         let scaling = parsed.get("scaling").unwrap().as_array().unwrap();
         assert_eq!(scaling[0].get("storage").unwrap().as_str(), Some("disk"));
         assert_eq!(scaling[0].get("threads").unwrap().as_usize(), Some(2));
+        assert_eq!(scaling[0].get("worker_steals").unwrap().as_usize(), Some(7));
+        assert_eq!(scaling[0].get("park_count").unwrap().as_usize(), Some(3));
+        assert_eq!(scaling[0].get("serial").unwrap().as_bool(), Some(false));
         assert_eq!(
             scaling[0].get("disk_bytes_written").unwrap().as_usize(),
             Some(8192)

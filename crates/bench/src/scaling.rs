@@ -2,9 +2,11 @@
 //! 4, and 8 pool workers, on both storage backends. Two claims are under
 //! test: the dependency count and product count must be identical down
 //! every column (the runtime is deterministic by construction — see
-//! DESIGN.md), and the instrumentation (worker busy time, fetch stall)
-//! must explain where the wall-clock goes. On a single-core machine the
-//! rows legitimately show no speedup; the numbers are recorded as measured.
+//! DESIGN.md §9), and the instrumentation (worker busy time, steals,
+//! parks, spin, fetch stall) must explain where the wall-clock goes. On a
+//! single-core machine the rows legitimately show no speedup; the `cores`
+//! field records the machine so the numbers read as measured, and
+//! [`assert_scaling`] gates CI only where 4 workers can actually run.
 
 use crate::report::ScalingRow;
 use crate::runners::format_row;
@@ -87,19 +89,24 @@ fn workload(scale: Scale) -> Relation {
 /// Runs and prints the thread-scaling grid; returns the structured rows.
 pub fn run(scale: Scale) -> Vec<ScalingRow> {
     let relation = workload(scale);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "Thread scaling: {} rows x {} attributes, max LHS 3, workers {:?}",
+        "Thread scaling: {} rows x {} attributes, max LHS 3, workers {:?}, {} core(s)",
         relation.num_rows(),
         relation.num_attrs(),
-        THREADS
+        THREADS,
+        cores
     );
-    let widths = [8usize, 7, 6, 9, 9, 9, 12, 12];
+    let widths = [8usize, 7, 6, 9, 9, 7, 6, 8, 9, 12, 12];
     println!(
         "{}",
         format_row(
             &widths,
-            &["Storage", "Threads", "N", "Time(s)", "Busy(s)", "Stall(s)", "Read(B)", "Write(B)"]
-                .map(String::from)
+            &[
+                "Storage", "Threads", "N", "Time(s)", "Busy(s)", "Steals", "Parks", "Spin(s)",
+                "Stall(s)", "Read(B)", "Write(B)"
+            ]
+            .map(String::from)
         )
     );
 
@@ -132,10 +139,15 @@ pub fn run(scale: Scale) -> Vec<ScalingRow> {
             let row = ScalingRow {
                 storage: label.to_string(),
                 threads,
+                cores,
                 n: result.fds.len(),
                 secs,
                 products: result.stats.products,
                 worker_busy_secs: result.stats.worker_busy.as_secs_f64(),
+                worker_steals: result.stats.worker_steals,
+                park_count: result.stats.worker_parks,
+                spin_secs: result.stats.worker_spin.as_secs_f64(),
+                serial: threads == 1,
                 fetch_stall_secs: result.stats.fetch_stall.as_secs_f64(),
                 disk_bytes_read: result.stats.disk_bytes_read,
                 disk_bytes_written: result.stats.disk_bytes_written,
@@ -158,6 +170,9 @@ pub fn run(scale: Scale) -> Vec<ScalingRow> {
                         row.n.to_string(),
                         format!("{:.3}", row.secs),
                         format!("{:.3}", row.worker_busy_secs),
+                        row.worker_steals.to_string(),
+                        row.park_count.to_string(),
+                        format!("{:.3}", row.spin_secs),
                         format!("{:.3}", row.fetch_stall_secs),
                         row.disk_bytes_read.to_string(),
                         row.disk_bytes_written.to_string(),
@@ -169,4 +184,36 @@ pub fn run(scale: Scale) -> Vec<ScalingRow> {
     }
     println!();
     rows
+}
+
+/// `--assert-scaling`: the regression gate for the work-stealing runtime.
+/// Fails (returns an error message) if the 4-thread wall time is not
+/// strictly below the 2-thread wall time on the memory backend. The check
+/// only means something when the machine can actually run 4 workers at
+/// once, so on smaller machines it skips — loudly, so CI logs show the
+/// gate did not bite.
+pub fn assert_scaling(rows: &[ScalingRow]) -> Result<(), String> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!(
+            "assert-scaling: SKIPPED — only {cores} core(s) available; \
+             the 4-vs-2-thread wall-time comparison needs at least 4"
+        );
+        return Ok(());
+    }
+    let wall = |threads: usize| {
+        rows.iter()
+            .find(|r| r.storage == "memory" && r.threads == threads)
+            .map(|r| r.secs)
+            .ok_or_else(|| format!("assert-scaling: no memory row at {threads} threads"))
+    };
+    let (t2, t4) = (wall(2)?, wall(4)?);
+    if t4 >= t2 {
+        return Err(format!(
+            "assert-scaling: FAILED — memory backend wall time at 4 threads \
+             ({t4:.3}s) is not below 2 threads ({t2:.3}s); the pool is not scaling"
+        ));
+    }
+    eprintln!("assert-scaling: ok — memory 4-thread {t4:.3}s < 2-thread {t2:.3}s");
+    Ok(())
 }

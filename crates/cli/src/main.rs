@@ -292,8 +292,13 @@ fn discover(args: &[String]) -> Result<(), String> {
                     s.parallel_workers, s.parallel_grains
                 );
                 eprintln!(
-                    "# worker busy / fetch stall: {:.3}s/{:.3}s",
+                    "# worker steals/parks: {}/{}",
+                    s.worker_steals, s.worker_parks
+                );
+                eprintln!(
+                    "# worker busy / spin / fetch stall: {:.3}s/{:.3}s/{:.3}s",
                     s.worker_busy.as_secs_f64(),
+                    s.worker_spin.as_secs_f64(),
                     s.fetch_stall.as_secs_f64()
                 );
                 eprintln!("# time: {:.3}s", s.elapsed.as_secs_f64());

@@ -53,8 +53,9 @@ pub struct LevelEvent {
     /// order within the level.
     pub new_minimal_fds: Vec<Fd>,
     /// Time spent on this level's validity tests and pruning (the event
-    /// fires *before* the next level's partitions are generated, so this
-    /// is not the same quantity as [`TaneStats::level_times`], which also
+    /// fires *without waiting for* the next level's partitions — on the
+    /// parallel runtime it overlaps their computation — so this is not
+    /// the same quantity as [`TaneStats::level_times`], which also
     /// charges each level for producing its successor).
     pub level_time: Duration,
     /// Partition bytes resident in the store when the level finished.
@@ -104,17 +105,32 @@ pub struct TaneStats {
     /// Workers in the search's persistent pool (the configured `threads`;
     /// `1` means the serial, paper-faithful runtime).
     pub parallel_workers: usize,
-    /// Work grains claimed from the pool's shared cursor across the run —
-    /// products, singleton constructions, and batched `g3` tests all count.
-    /// `0` when every batch stayed under the parallel work threshold.
+    /// Work grains executed by the pool across the run — products,
+    /// singleton constructions, and batched `g3` tests all count. `0` when
+    /// every batch stayed under the parallel work threshold.
     pub parallel_grains: u64,
+    /// Successful steals: work batches a worker took from another worker's
+    /// deque after draining its own. Scheduling instrumentation only —
+    /// steal order can never change a result (see DESIGN §9).
+    pub worker_steals: u64,
+    /// Times pool workers parked on the dispatch condvar instead of
+    /// spinning while no work was available.
+    pub worker_parks: u64,
+    /// Time workers spent probing other deques for work (bounded: after
+    /// one full failed scan a worker parks). High spin relative to busy
+    /// means grains are too small for the level shape.
+    pub worker_spin: Duration,
     /// Total time pool workers spent executing dispatched work, summed
-    /// across workers (can exceed `elapsed` when several run at once).
+    /// across workers (can exceed `elapsed` when several run at once). The
+    /// serial (`threads == 1`) and under-the-gate inline paths record
+    /// their compute sections here too, so utilization is comparable
+    /// against any worker count.
     pub worker_busy: Duration,
     /// Time the product stage spent waiting on partition fetches: with the
-    /// pipelined disk backend, the workers' blocked-on-channel time; on the
-    /// serial path, the whole up-front fetch phase. Pipelining engages when
-    /// this drops below the serial baseline for the same search.
+    /// pipelined disk backend, the blocked-on-channel time of *every*
+    /// worker (attributed per worker in the pool's counters); on the
+    /// serial path, the whole up-front fetch phase. Pipelining engages
+    /// when this drops below the serial baseline for the same search.
     pub fetch_stall: Duration,
     /// Wall-clock time spent per lattice level (validity tests, pruning,
     /// and the products generating the next level), index 0 = level 1.

@@ -53,7 +53,6 @@ use crate::lattice::{
     first_level_sets, generate_next_level, Level, LevelEntry, NextLevelCandidate,
 };
 use crate::result::{LevelEvent, TaneError, TaneResult, TaneStats};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 use tane_partition::{
@@ -61,7 +60,7 @@ use tane_partition::{
     MemoryStore, PartitionStore, ProductScratch, StrippedPartition,
 };
 use tane_relation::Relation;
-use tane_util::{canonical_fds, AttrSet, Fd, Slots, Stopwatch, WorkerPool};
+use tane_util::{adaptive_grain, canonical_fds, AttrSet, Fd, Slots, Stopwatch, WorkerPool};
 
 /// Discovers all minimal non-trivial functional dependencies of `relation`
 /// (the paper's central task, Section 1).
@@ -282,11 +281,6 @@ impl Store {
 /// not item count, so that is what the gate must estimate.
 const PARALLEL_MIN_ELEMENTS: usize = 1 << 15;
 
-/// Indices claimed from the shared cursor per grab. Small, because item
-/// costs within a level vary by orders of magnitude (‖π̂‖ differs wildly
-/// between sets); large grains would re-create static-chunk imbalance.
-const PARALLEL_GRAIN: usize = 4;
-
 /// The per-search parallel runtime: one persistent [`WorkerPool`] plus
 /// per-worker scratch tables, all allocated once per run and reused across
 /// every lattice level (no per-level thread spawns or O(|r|) allocations).
@@ -326,22 +320,34 @@ impl ParallelRuntime {
         self.pool.threads() > 1 && est_elements >= PARALLEL_MIN_ELEMENTS
     }
 
-    /// The level's products, in candidate order. Parents are fetched from
-    /// the store on this thread, in candidate order — identical to the
-    /// serial path, so disk-cache evolution and read counters never depend
-    /// on the worker count. For the disk backend the fetches are pipelined
-    /// with the products instead (see [`pipelined_products`]).
-    fn products(
+    /// The level's products, in candidate order, with the caller's serial
+    /// `driver` tail overlapped against the compute whenever the pool is
+    /// engaged (memory backend): workers chew through the products while
+    /// the driver thread runs `driver()` — the observer event and the
+    /// approximate-mode superkey-closure scan of the *previous* level —
+    /// and only then joins in as worker 0. The driver closure must not
+    /// read any product output; it runs concurrently with them.
+    ///
+    /// Parents are fetched from the store on this thread, in candidate
+    /// order — identical to the serial path, so disk-cache evolution and
+    /// read counters never depend on the worker count. For the disk
+    /// backend the fetches are pipelined with the products instead (see
+    /// [`pipelined_products`]; `driver` runs first there, so streaming
+    /// observers never wait behind the pipeline).
+    fn products_overlapped(
         &mut self,
         store: &mut Store,
         candidates: &[NextLevelCandidate],
+        driver: impl FnOnce(),
     ) -> Result<Vec<(AttrSet, StrippedPartition)>, TaneError> {
         if candidates.is_empty() {
+            driver();
             return Ok(Vec::new());
         }
         // Disk parents mean real I/O per fetch: overlap it with compute
         // whenever there is a second worker to compute on.
         if self.pool.threads() > 1 && matches!(store, Store::Disk(_)) {
+            driver();
             return self.pipelined_products(store, candidates);
         }
         let fetch_sw = Stopwatch::start();
@@ -358,20 +364,31 @@ impl ParallelRuntime {
             .sum();
         if self.engage(est) {
             let scratches = &self.product_scratches;
-            Ok(self.pool.run_indexed(fetched.len(), PARALLEL_GRAIN, {
-                let fetched = &fetched;
-                move |worker, i| {
-                    let (set, pa, pb) = &fetched[i];
-                    let mut scratch = scratches[worker].lock().expect("product scratch");
-                    (*set, product_with_scratch(pa, pb, &mut scratch))
-                }
-            }))
+            let grain = adaptive_grain(fetched.len(), est, self.pool.threads());
+            Ok(self.pool.run_indexed_overlapped(
+                fetched.len(),
+                grain,
+                {
+                    let fetched = &fetched;
+                    move |worker, i| {
+                        let (set, pa, pb) = &fetched[i];
+                        let mut scratch = scratches[worker].lock().expect("product scratch");
+                        (*set, product_with_scratch(pa, pb, &mut scratch))
+                    }
+                },
+                driver,
+            ))
         } else {
+            driver();
+            let busy_sw = Stopwatch::start();
             let mut scratch = self.product_scratches[0].lock().expect("product scratch");
-            Ok(fetched
+            let out = fetched
                 .iter()
                 .map(|(set, pa, pb)| (*set, product_with_scratch(pa, pb, &mut scratch)))
-                .collect())
+                .collect();
+            drop(scratch);
+            self.pool.add_busy(busy_sw.elapsed());
+            Ok(out)
         }
     }
 
@@ -400,7 +417,6 @@ impl ParallelRuntime {
         let rx = Mutex::new(rx);
         let store = Mutex::new(store);
         let fetch_err: Mutex<Option<TaneError>> = Mutex::new(None);
-        let stall_nanos = AtomicU64::new(0);
         let slots: Slots<(AttrSet, StrippedPartition)> = Slots::new(candidates.len());
         let pool = &self.pool;
         let scratches = &self.product_scratches;
@@ -442,17 +458,20 @@ impl ParallelRuntime {
             loop {
                 let wait_sw = Stopwatch::start();
                 let item = rx.lock().expect("receiver").recv();
-                stall_nanos.fetch_add(wait_sw.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                // Blocked-recv time is a fetch stall wherever it happens:
+                // it is attributed to the worker that blocked, so the
+                // pipeline's residual stall is visible per worker, not
+                // just on the fetcher.
+                pool.add_stall(worker, wait_sw.elapsed());
                 match item {
                     Ok((i, set, pa, pb)) => {
-                        pool.add_grains(1);
+                        pool.add_claims(worker, 1);
                         slots.put(i, (set, product_with_scratch(&pa, &pb, &mut scratch)));
                     }
                     Err(mpsc::RecvError) => break,
                 }
             }
         });
-        self.fetch_stall += Duration::from_nanos(stall_nanos.into_inner());
         if let Some(e) = fetch_err.into_inner().expect("fetch error slot") {
             return Err(e);
         }
@@ -464,14 +483,19 @@ impl ParallelRuntime {
         let n_attrs = relation.num_attrs();
         // Counting sort over a column touches all |r| rows, so the work
         // estimate is |R|·|r| (singleton partitions have ‖π̂‖ ≤ |r|).
-        if self.engage(n_attrs.saturating_mul(relation.num_rows())) {
-            self.pool.run_indexed(n_attrs, 1, |_, a| {
+        let est = n_attrs.saturating_mul(relation.num_rows());
+        if self.engage(est) {
+            let grain = adaptive_grain(n_attrs, est, self.pool.threads());
+            self.pool.run_indexed(n_attrs, grain, |_, a| {
                 StrippedPartition::from_column(relation.column_codes(a))
             })
         } else {
-            (0..n_attrs)
+            let busy_sw = Stopwatch::start();
+            let out = (0..n_attrs)
                 .map(|a| StrippedPartition::from_column(relation.column_codes(a)))
-                .collect()
+                .collect();
+            self.pool.add_busy(busy_sw.elapsed());
+            out
         }
     }
 
@@ -482,17 +506,22 @@ impl ParallelRuntime {
             .map(|(sub, set)| sub.num_elements() + set.num_elements())
             .sum();
         if self.engage(est) {
-            self.pool.run_indexed(pending.len(), 1, |worker, i| {
+            let grain = adaptive_grain(pending.len(), est, self.pool.threads());
+            self.pool.run_indexed(pending.len(), grain, |worker, i| {
                 let (pi_sub, pi_set) = &pending[i];
                 let mut scratch = self.g3_scratches[worker].lock().expect("g3 scratch");
                 g3_removed_rows_with_scratch(pi_sub, pi_set, &mut scratch)
             })
         } else {
+            let busy_sw = Stopwatch::start();
             let mut scratch = self.g3_scratches[0].lock().expect("g3 scratch");
-            pending
+            let out = pending
                 .iter()
                 .map(|(pi_sub, pi_set)| g3_removed_rows_with_scratch(pi_sub, pi_set, &mut scratch))
-                .collect()
+                .collect();
+            drop(scratch);
+            self.pool.add_busy(busy_sw.elapsed());
+            out
         }
     }
 }
@@ -585,36 +614,32 @@ fn run(
 
         prune(config, &mut current, &mut stats, &mut disc, &mut found_keys);
 
-        // Approximate mode only: recover the dependencies whose test nodes
-        // key pruning cut away (see the module docs).
-        if let Mode::Approx { epsilon, .. } = mode {
-            if config.key_pruning {
-                superkey_closure_tests(
-                    config,
-                    &current,
-                    &found_keys,
-                    epsilon,
-                    n_rows,
-                    &mut stats,
-                    &mut disc,
-                );
-            }
-        }
-
-        // The level's dependency set is final here — deeper levels only ever
-        // have larger LHSs, so nothing below can shadow a dependency found at
-        // this level. Fire the observer *before* generating the next level's
-        // partitions: on wide relations that generation dominates the level's
-        // wall-clock, and streaming consumers should not wait behind it.
-        on_level(LevelEvent {
-            level: ell,
-            new_minimal_fds: canonical_fds(disc.fds[fds_before..].to_vec()),
-            level_time: level_sw.elapsed(),
-            partitions_bytes: store.resident_bytes(),
-        });
+        // What remains of the level is serial driver work — the
+        // approximate-mode superkey-closure recovery and the observer
+        // event — and it no longer gates the next level's products: in the
+        // overlapped flow below, `level_tail` runs on the driver thread
+        // *while* the pool multiplies the next level's partitions. That is
+        // legal because the tail reads only level-ℓ metadata (never a
+        // product output), and the products read only the frozen pruned
+        // level (never `disc`, `stats`, or the observer's state); see
+        // DESIGN §9 for the full argument.
 
         // LHS size cap: dependencies tested at level ℓ+1 have LHS size ℓ.
         if config.max_lhs.is_some_and(|m| ell > m) {
+            level_tail(
+                config,
+                mode,
+                &current,
+                &found_keys,
+                n_rows,
+                &mut stats,
+                &mut disc,
+                on_level,
+                ell,
+                fds_before,
+                &level_sw,
+                store.resident_bytes(),
+            );
             stats.level_times.push(level_sw.elapsed());
             break;
         }
@@ -622,8 +647,11 @@ fn run(
         let candidates = generate_next_level(&current);
         let mut next = Level::new();
         // Incremental re-verify: offer every candidate, in order, to the
-        // supplier first. A supplied partition already equals the Lemma 3
-        // product (as a set of classes), so its product is skipped.
+        // supplier first — still on the driver thread, still in the
+        // deterministic candidate order of GENERATE-NEXT-LEVEL, *before*
+        // any product is dispatched. A supplied partition already equals
+        // the Lemma 3 product (as a set of classes), so its product is
+        // skipped.
         let mut supplied: Vec<Option<StrippedPartition>> = match hooks.as_deref_mut() {
             Some(h) => candidates.iter().map(|c| (h.supply)(c)).collect(),
             None => (0..candidates.len()).map(|_| None).collect(),
@@ -637,8 +665,28 @@ fn run(
         // The remaining partitions: parents stream out of the store in
         // candidate order and multiply per Lemma 3 — on the pool when the
         // level's estimated element volume warrants it, with disk fetches
-        // pipelined against the products.
-        let produced = runtime.products(&mut store, &missing)?;
+        // pipelined against the products, and the level's serial tail
+        // overlapped against the compute. `partitions_bytes` is captured
+        // before dispatch: the store is untouched until the products are
+        // gathered, so the observer sees the same value as the serial
+        // ordering.
+        let partitions_bytes = store.resident_bytes();
+        let produced = runtime.products_overlapped(&mut store, &missing, || {
+            level_tail(
+                config,
+                mode,
+                &current,
+                &found_keys,
+                n_rows,
+                &mut stats,
+                &mut disc,
+                on_level,
+                ell,
+                fds_before,
+                &level_sw,
+                partitions_bytes,
+            )
+        })?;
         stats.products += produced.len();
         stats.partitions_supplied += candidates.len() - missing.len();
         // Entries join `next` in exact candidate order whether their
@@ -686,9 +734,15 @@ fn run(
     stats.disk_bytes_read = bytes_read;
     stats.disk_bytes_written = bytes_written;
     stats.parallel_workers = runtime.pool.threads();
-    stats.parallel_grains = runtime.pool.grains_executed();
+    let totals = runtime.pool.totals();
+    stats.parallel_grains = totals.claims;
+    stats.worker_steals = totals.steals;
+    stats.worker_parks = totals.parks;
+    stats.worker_spin = totals.spin;
     stats.worker_busy = runtime.pool.busy_time();
-    stats.fetch_stall = runtime.fetch_stall;
+    // Serial fetch phases accumulate on the runtime; the pipelined backend
+    // attributes blocked-recv time per worker into the pool's counters.
+    stats.fetch_stall = runtime.fetch_stall + totals.stall;
     stats.elapsed = sw.elapsed();
     found_keys.sort_unstable();
     Ok(TaneResult {
@@ -696,6 +750,48 @@ fn run(
         keys: found_keys,
         stats,
     })
+}
+
+/// The serial tail of a lattice level: everything that must happen after
+/// PRUNE but does not touch the next level's partitions. In the overlapped
+/// flow this runs on the driver thread while the pool computes the next
+/// level's products (see [`ParallelRuntime::products_overlapped`]); the
+/// level's dependency set is final the moment PRUNE returns, so the
+/// observer event here carries exactly the dependencies a serial run would
+/// report, in the same order.
+#[allow(clippy::too_many_arguments)]
+fn level_tail(
+    config: &TaneConfig,
+    mode: Mode,
+    current: &Level,
+    found_keys: &[AttrSet],
+    n_rows: usize,
+    stats: &mut TaneStats,
+    disc: &mut Discovery,
+    on_level: &mut dyn FnMut(LevelEvent),
+    ell: usize,
+    fds_before: usize,
+    level_sw: &Stopwatch,
+    partitions_bytes: usize,
+) {
+    // Approximate mode only: recover the dependencies whose test nodes
+    // key pruning cut away (see the module docs).
+    if let Mode::Approx { epsilon, .. } = mode {
+        if config.key_pruning {
+            superkey_closure_tests(config, current, found_keys, epsilon, n_rows, stats, disc);
+        }
+    }
+
+    // The level's dependency set is final here — deeper levels only ever
+    // have larger LHSs, so nothing below can shadow a dependency found at
+    // this level. Streaming consumers receive the event while the next
+    // level's partitions are still being producted.
+    on_level(LevelEvent {
+        level: ell,
+        new_minimal_fds: canonical_fds(disc.fds[fds_before..].to_vec()),
+        level_time: level_sw.elapsed(),
+        partitions_bytes,
+    });
 }
 
 /// COMPUTE-DEPENDENCIES(L_ℓ) — paper, Section 5.

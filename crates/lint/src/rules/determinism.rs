@@ -28,11 +28,16 @@ use crate::RULE_DETERMINISM;
 /// Directories whose sources carry the determinism contract. The delta
 /// crate is in scope because incremental discovery promises byte-identical
 /// results to from-scratch runs — tracker iteration order must never leak.
+/// The pool is in scope because the work-stealing scheduler promises that
+/// steal order can only change *which worker* fills an output slot, never
+/// which slot — any order-dependent collection feeding its outputs would
+/// void that argument (DESIGN §9).
 pub const HASH_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/partition/src",
     "crates/relation/src",
     "crates/delta/src",
+    "crates/util/src/pool.rs",
 ];
 
 /// Clock reads are additionally policed in `util` (everything that feeds
@@ -46,8 +51,10 @@ pub const CLOCK_SCOPE: &[&str] = &[
 ];
 
 /// The modules whose whole purpose is reading the clock: the `Timer`
-/// abstraction and the worker pool's busy-time accounting. Both only ever
-/// *report* durations (TaneStats), never branch on them.
+/// abstraction and the worker pool's busy/spin/stall-time accounting. Both
+/// only ever *report* durations (TaneStats), never branch on them — in
+/// particular the pool's steal loop is bounded by probe counts and queue
+/// emptiness, not elapsed time.
 pub const CLOCK_ALLOWLIST: &[&str] = &["crates/util/src/timing.rs", "crates/util/src/pool.rs"];
 
 const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];

@@ -64,6 +64,9 @@ pub struct Metrics {
     disk_bytes_read: AtomicU64,
     disk_bytes_written: AtomicU64,
     parallel_grains: AtomicU64,
+    worker_steals: AtomicU64,
+    worker_parks: AtomicU64,
+    worker_spin_nanos: AtomicU64,
     worker_busy_nanos: AtomicU64,
     fetch_stall_nanos: AtomicU64,
 }
@@ -93,6 +96,9 @@ impl Metrics {
             disk_bytes_read: AtomicU64::new(0),
             disk_bytes_written: AtomicU64::new(0),
             parallel_grains: AtomicU64::new(0),
+            worker_steals: AtomicU64::new(0),
+            worker_parks: AtomicU64::new(0),
+            worker_spin_nanos: AtomicU64::new(0),
             worker_busy_nanos: AtomicU64::new(0),
             fetch_stall_nanos: AtomicU64::new(0),
         }
@@ -106,6 +112,12 @@ impl Metrics {
             .fetch_add(stats.disk_bytes_written, Ordering::Relaxed);
         self.parallel_grains
             .fetch_add(stats.parallel_grains, Ordering::Relaxed);
+        self.worker_steals
+            .fetch_add(stats.worker_steals, Ordering::Relaxed);
+        self.worker_parks
+            .fetch_add(stats.worker_parks, Ordering::Relaxed);
+        self.worker_spin_nanos
+            .fetch_add(stats.worker_spin.as_nanos() as u64, Ordering::Relaxed);
         self.worker_busy_nanos
             .fetch_add(stats.worker_busy.as_nanos() as u64, Ordering::Relaxed);
         self.fetch_stall_nanos
@@ -234,6 +246,15 @@ impl Metrics {
                         n(self.parallel_grains.load(Ordering::Relaxed)),
                     ),
                     (
+                        "worker_steals",
+                        n(self.worker_steals.load(Ordering::Relaxed)),
+                    ),
+                    ("worker_parks", n(self.worker_parks.load(Ordering::Relaxed))),
+                    (
+                        "worker_spin_secs",
+                        Json::Num(self.worker_spin_nanos.load(Ordering::Relaxed) as f64 / 1e9),
+                    ),
+                    (
                         "worker_busy_secs",
                         Json::Num(self.worker_busy_nanos.load(Ordering::Relaxed) as f64 / 1e9),
                     ),
@@ -281,6 +302,9 @@ mod tests {
         stats.level_times = vec![Duration::from_millis(10), Duration::from_millis(5)];
         stats.disk_bytes_written = 1024;
         stats.parallel_grains = 12;
+        stats.worker_steals = 3;
+        stats.worker_parks = 5;
+        stats.worker_spin = Duration::from_millis(2);
         stats.worker_busy = Duration::from_millis(40);
         m.record_search(&stats);
         stats.level_times = vec![Duration::from_millis(10)];
@@ -355,6 +379,10 @@ mod tests {
             Some(2048)
         );
         assert_eq!(search.get("parallel_grains").unwrap().as_usize(), Some(24));
+        assert_eq!(search.get("worker_steals").unwrap().as_usize(), Some(6));
+        assert_eq!(search.get("worker_parks").unwrap().as_usize(), Some(10));
+        let spin = search.get("worker_spin_secs").unwrap().as_f64().unwrap();
+        assert!((spin - 0.004).abs() < 1e-9, "{spin}");
         let busy = search.get("worker_busy_secs").unwrap().as_f64().unwrap();
         assert!((busy - 0.080).abs() < 1e-9, "{busy}");
         assert_eq!(search.get("fetch_stall_secs").unwrap().as_f64(), Some(0.0));

@@ -454,6 +454,9 @@ fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -
         ("disk_bytes_written", Json::Num(s.disk_bytes_written as f64)),
         ("parallel_workers", Json::Num(s.parallel_workers as f64)),
         ("parallel_grains", Json::Num(s.parallel_grains as f64)),
+        ("worker_steals", Json::Num(s.worker_steals as f64)),
+        ("worker_parks", Json::Num(s.worker_parks as f64)),
+        ("worker_spin_secs", Json::Num(s.worker_spin.as_secs_f64())),
         ("worker_busy_secs", Json::Num(s.worker_busy.as_secs_f64())),
         ("fetch_stall_secs", Json::Num(s.fetch_stall.as_secs_f64())),
         (

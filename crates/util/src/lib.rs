@@ -20,9 +20,10 @@
 //!   unavailable in the offline build).
 //! * [`rng`] — a SplitMix64 PRNG for the synthetic dataset generators
 //!   (`rand` is likewise unavailable offline).
-//! * [`pool`] — a persistent worker pool with dynamic (grain-claiming) work
-//!   distribution and order-preserving output slots; the parallel search
-//!   runtime is built on it (std threads + atomics + condvars only).
+//! * [`pool`] — a persistent worker pool with per-worker work-stealing
+//!   deques, condvar parking, and order-preserving output slots; the
+//!   parallel search runtime is built on it (std threads + atomics +
+//!   condvars only).
 
 pub mod attrset;
 pub mod fd;
@@ -36,6 +37,6 @@ pub use attrset::{AttrSet, AttrSetIter, MAX_ATTRS};
 pub use fd::{canonical_fds, Fd};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
-pub use pool::{Slots, WorkerPool};
+pub use pool::{adaptive_grain, PoolCounters, Slots, WorkerPool};
 pub use rng::SplitMix64;
 pub use timing::Stopwatch;

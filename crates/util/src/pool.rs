@@ -1,22 +1,44 @@
-//! A persistent worker pool with dynamic work claiming.
+//! A persistent worker pool with work-stealing deques.
 //!
 //! TANE's per-level work — partition products, exact `g3` computations,
 //! singleton partition construction — is embarrassingly parallel, but the
 //! cost of individual items varies by orders of magnitude (a product costs
 //! O(‖π̂'‖ + ‖π̂''‖), and stripped-partition sizes within one level differ
 //! wildly). A pool of threads created *once per search* and re-dispatched
-//! every level, with workers claiming small grains of indices from a shared
-//! atomic cursor, gives load balance without per-level thread spawns.
+//! every level gives load balance without per-level thread spawns.
 //!
-//! Determinism: parallel execution must not change any search result. Work
-//! items write into an index-addressed [`Slots`] vector, so the gathered
-//! output is in input order regardless of which worker computed what — the
-//! serial and parallel paths are byte-identical downstream.
+//! ## Scheduling
 //!
-//! The pool is std-only: `std::thread`, atomics, and condvars.
+//! Earlier revisions had every worker claim grains from one shared atomic
+//! cursor, which stops scaling past a couple of workers: the cursor's cache
+//! line ping-pongs on every claim, and workers that run out of indices spin
+//! in the claim loop. Dispatch now *pre-splits* the grains of a batch into
+//! **per-worker bounded deques** (contiguous blocks, so each worker walks
+//! ascending indices). A worker pops from the front of its own deque; when
+//! that runs dry it **steals** the back half of a victim's deque — victims
+//! probed first at random (a [`SplitMix64`] stream seeded only by the
+//! worker id, so the probe order is deterministic, never entropy-driven)
+//! and then in one full round-robin scan. Only if the full scan finds every
+//! deque empty does the worker give up the epoch — a *bounded* number of
+//! failed probes, after which it parks on the pool's condvar until the next
+//! dispatch instead of spinning. Steals, claims, parks, and the time spent
+//! hunting for work are counted per worker (see [`PoolCounters`]).
+//!
+//! ## Determinism
+//!
+//! Parallel execution must not change any search result. Work items write
+//! into an index-addressed [`Slots`] vector, so the gathered output is in
+//! input order regardless of which worker computed what — steal order (and
+//! the probe RNG) can only change *who* computes a slot, never *what* the
+//! slot holds or the order it is consumed in. The serial and parallel paths
+//! are byte-identical downstream.
+//!
+//! The pool is std-only: `std::thread`, atomics, mutexes, and condvars.
 
+use crate::rng::SplitMix64;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,22 +69,74 @@ struct State {
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
+/// Per-worker scheduling instrumentation cells (see [`PoolCounters`]).
+#[derive(Default)]
+struct CounterCells {
+    claims: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    spin_nanos: AtomicU64,
+    stall_nanos: AtomicU64,
+}
+
 struct Shared {
     state: Mutex<State>,
-    /// Signals workers: new epoch or shutdown.
+    /// Signals workers: new epoch or shutdown. Idle workers *park* here
+    /// between epochs (counted in [`PoolCounters::parks`]) — they never
+    /// spin across a dispatch boundary.
     work_cv: Condvar,
     /// Signals the owner: a worker finished the epoch.
     done_cv: Condvar,
     /// Total nanoseconds workers (the caller included) spent executing job
     /// bodies, across the pool's lifetime.
     busy_nanos: AtomicU64,
-    /// Work grains claimed across the pool's lifetime (see
-    /// [`WorkerPool::run_indexed`] and [`WorkerPool::add_grains`]).
-    grains: AtomicU64,
+    /// Per-worker steal/claim/park/spin/stall counters, index = worker id.
+    counters: Vec<CounterCells>,
     /// True once any worker body has panicked (sticky; lets cooperating
     /// producers stop feeding a pipeline whose consumers died).
     panicked: AtomicBool,
 }
+
+/// A snapshot of one worker's (or, summed, the pool's) scheduling
+/// instrumentation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Work grains executed: deque pops plus externally counted grains
+    /// (see [`WorkerPool::add_claims`]).
+    pub claims: u64,
+    /// Successful steals — batches taken from another worker's deque.
+    pub steals: u64,
+    /// Times the worker parked on the pool condvar waiting for a dispatch.
+    pub parks: u64,
+    /// Time spent probing for work (failed and successful steal sweeps).
+    /// Bounded by construction: a worker gives up an epoch after one full
+    /// failed scan of every deque instead of spinning.
+    pub spin: Duration,
+    /// Time spent blocked on an external feed (e.g. the disk-fetch
+    /// pipeline's channel), attributed to the worker that blocked — see
+    /// [`WorkerPool::add_stall`].
+    pub stall: Duration,
+}
+
+impl PoolCounters {
+    fn accumulate(&mut self, cells: &CounterCells) {
+        self.claims += cells.claims.load(Ordering::Relaxed);
+        self.steals += cells.steals.load(Ordering::Relaxed);
+        self.parks += cells.parks.load(Ordering::Relaxed);
+        self.spin += Duration::from_nanos(cells.spin_nanos.load(Ordering::Relaxed));
+        self.stall += Duration::from_nanos(cells.stall_nanos.load(Ordering::Relaxed));
+    }
+}
+
+/// Seed base of the steal-probe RNG: mixed with the worker id only, so the
+/// probe sequence is a pure function of the worker — deterministic across
+/// runs, machines, and epochs (no clocks, no OS entropy).
+const STEAL_SEED: u64 = 0x7a9e_5eed_0c0d_e001;
+
+/// Random victim probes per sweep before the deterministic full scan. Two
+/// random probes spread contention; the full scan guarantees a worker only
+/// gives up after observing every deque empty.
+const RANDOM_PROBES: usize = 2;
 
 /// A fixed pool of `threads − 1` worker threads plus the calling thread.
 ///
@@ -97,7 +171,7 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             busy_nanos: AtomicU64::new(0),
-            grains: AtomicU64::new(0),
+            counters: (0..threads).map(|_| CounterCells::default()).collect(),
             panicked: AtomicBool::new(false),
         });
         let handles = (1..threads)
@@ -128,16 +202,40 @@ impl WorkerPool {
     ///
     /// If any invocation panics, the (first) panic is re-raised here after
     /// every worker has finished; the pool stays usable.
-    #[allow(unsafe_code)] // audited: the lifetime-erasing transmute below
     pub fn run(&self, body: &(dyn Fn(usize) + Sync)) {
+        self.run_overlapped(body, || {});
+    }
+
+    /// [`run`](WorkerPool::run), except the caller first executes `driver`
+    /// *while the spawned workers are already processing the job*, and only
+    /// then joins in as worker 0. This is the level-overlap primitive: the
+    /// search dispatches the next level's partition products here and runs
+    /// the current level's serial driver tail (observer event, superkey
+    /// closure) concurrently on the calling thread.
+    ///
+    /// With `threads == 1` the call degenerates to `driver(); body(0)` —
+    /// the serial order, which the overlap must be equivalent to.
+    ///
+    /// # Panics
+    ///
+    /// Panics from `driver` or any `body` invocation are re-raised after
+    /// the epoch fully drains (`driver`'s first); the pool stays usable.
+    #[allow(unsafe_code)] // audited: the lifetime-erasing transmute below
+    pub fn run_overlapped(&self, body: &(dyn Fn(usize) + Sync), driver: impl FnOnce()) {
         if self.handles.is_empty() {
-            let t = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| body(0)));
-            self.shared
-                .busy_nanos
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            if let Err(payload) = outcome {
-                self.shared.panicked.store(true, Ordering::Relaxed);
+            let drove = catch_unwind(AssertUnwindSafe(driver));
+            if drove.is_ok() {
+                let t = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(0)));
+                self.shared
+                    .busy_nanos
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if let Err(payload) = outcome {
+                    self.shared.panicked.store(true, Ordering::Relaxed);
+                    resume_unwind(payload);
+                }
+            }
+            if let Err(payload) = drove {
                 resume_unwind(payload);
             }
             return;
@@ -153,14 +251,23 @@ impl WorkerPool {
             state.remaining = self.handles.len();
             self.shared.work_cv.notify_all();
         }
-        // The caller is worker 0; its panic (if any) is deferred until the
-        // other workers drain, so `body`'s captures stay borrowed-valid for
-        // the whole epoch.
-        let t = Instant::now();
-        let caller = catch_unwind(AssertUnwindSafe(|| body(0)));
-        self.shared
-            .busy_nanos
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // The workers are computing already; the caller overlaps the serial
+        // driver work, then participates as worker 0. Panics (from either)
+        // are deferred until the other workers drain, so `body`'s captures
+        // stay borrowed-valid for the whole epoch.
+        let drove = catch_unwind(AssertUnwindSafe(driver));
+        let caller = if drove.is_ok() {
+            let t = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(0)));
+            self.shared
+                .busy_nanos
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcome
+        } else {
+            // Driver died: skip worker-0 participation, but the epoch must
+            // still drain before the panic may unwind past the borrow.
+            Ok(())
+        };
         if caller.is_err() {
             self.shared.panicked.store(true, Ordering::Relaxed);
         }
@@ -172,6 +279,9 @@ impl WorkerPool {
             state.job = None;
             state.panic.take()
         };
+        if let Err(payload) = drove {
+            resume_unwind(payload);
+        }
         if let Err(payload) = caller {
             resume_unwind(payload);
         }
@@ -180,9 +290,13 @@ impl WorkerPool {
         }
     }
 
-    /// Computes `f(worker_id, i)` for every `i in 0..n`, claiming indices
-    /// from a shared cursor `grain` at a time, and returns the results in
-    /// index order — byte-identical to a serial `(0..n).map(|i| f(0, i))`.
+    /// Computes `f(worker_id, i)` for every `i in 0..n`, `grain` indices
+    /// per work item, and returns the results in index order —
+    /// byte-identical to a serial `(0..n).map(|i| f(0, i))`.
+    ///
+    /// Scheduling: the grains are pre-split into per-worker deques
+    /// (contiguous blocks); workers pop their own deque front and steal the
+    /// back half of a victim's when it runs dry (see the module docs).
     ///
     /// # Panics
     ///
@@ -193,31 +307,150 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize, usize) -> T + Sync,
     {
+        self.run_indexed_overlapped(n, grain, f, || {})
+    }
+
+    /// [`run_indexed`](WorkerPool::run_indexed) with a serial `driver`
+    /// closure that the caller executes *before* joining the computation —
+    /// see [`run_overlapped`](WorkerPool::run_overlapped). The driver must
+    /// not depend on any `f` output (it runs concurrently with them).
+    pub fn run_indexed_overlapped<T, F, D>(&self, n: usize, grain: usize, f: F, driver: D) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+        D: FnOnce(),
+    {
         assert!(grain >= 1, "grain must be at least 1");
         let slots = Slots::new(n);
-        let cursor = AtomicUsize::new(0);
-        self.run(&|worker| loop {
-            let start = cursor.fetch_add(grain, Ordering::Relaxed);
-            if start >= n {
-                break;
-            }
-            self.add_grains(1);
-            for i in start..(start + grain).min(n) {
-                slots.put(i, f(worker, i));
-            }
-        });
+        if n == 0 {
+            driver();
+            return slots.into_vec();
+        }
+        let threads = self.threads;
+        let n_grains = n.div_ceil(grain);
+        // Contiguous grain blocks per worker: worker w owns grains
+        // [w·G/T, (w+1)·G/T). Deques are bounded by construction — the
+        // ranges in flight across all deques never exceed the dispatch's
+        // G = ⌈n/grain⌉ (steals move ranges, they never duplicate them).
+        let queues: Vec<Mutex<VecDeque<(usize, usize)>>> = (0..threads)
+            .map(|w| {
+                let lo = w * n_grains / threads;
+                let hi = (w + 1) * n_grains / threads;
+                let mut q = VecDeque::with_capacity(hi - lo);
+                for g in lo..hi {
+                    q.push_back((g * grain, ((g + 1) * grain).min(n)));
+                }
+                Mutex::new(q)
+            })
+            .collect();
+        let shared = &self.shared;
+        self.run_overlapped(
+            &|worker| {
+                let cells = &shared.counters[worker];
+                let mut rng = SplitMix64::new(STEAL_SEED.wrapping_add(worker as u64));
+                loop {
+                    let range = queues[worker].lock().expect("work deque").pop_front();
+                    if let Some((start, end)) = range {
+                        cells.claims.fetch_add(1, Ordering::Relaxed);
+                        for i in start..end {
+                            slots.put(i, f(worker, i));
+                        }
+                        continue;
+                    }
+                    // Own deque dry: a bounded hunt for work — a couple of
+                    // random probes, then one full scan. Give up (and later
+                    // park on the pool condvar) only after the scan saw
+                    // every deque empty.
+                    let hunt = Instant::now();
+                    let mut stolen: Option<Vec<(usize, usize)>> = None;
+                    let probes = (0..RANDOM_PROBES)
+                        .map(|_| (rng.next_u64() % threads as u64) as usize)
+                        .chain((0..threads).map(|k| (worker + 1 + k) % threads));
+                    for victim in probes {
+                        if victim == worker {
+                            continue;
+                        }
+                        let mut vq = queues[victim].lock().expect("work deque");
+                        let len = vq.len();
+                        if len > 0 {
+                            // Take the back half (rounded up), preserving
+                            // range order; the victim keeps its front.
+                            let take = len - len / 2;
+                            stolen = Some(vq.drain(len - take..).collect());
+                            break;
+                        }
+                    }
+                    cells
+                        .spin_nanos
+                        .fetch_add(hunt.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match stolen {
+                        Some(batch) => {
+                            cells.steals.fetch_add(1, Ordering::Relaxed);
+                            // Never hold two deque locks at once: the
+                            // victim's guard dropped at the end of the scan.
+                            queues[worker].lock().expect("work deque").extend(batch);
+                        }
+                        None => return,
+                    }
+                }
+            },
+            driver,
+        );
         slots.into_vec()
     }
 
-    /// Counts `n` externally executed work grains (for job shapes that
-    /// distribute work themselves, e.g. a channel-fed pipeline).
-    pub fn add_grains(&self, n: u64) {
-        self.shared.grains.fetch_add(n, Ordering::Relaxed);
+    /// Counts `n` externally executed work grains against `worker` (for
+    /// job shapes that distribute work themselves, e.g. a channel-fed
+    /// pipeline).
+    pub fn add_claims(&self, worker: usize, n: u64) {
+        self.shared.counters[worker]
+            .claims
+            .fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Work grains claimed over the pool's lifetime.
+    /// Attributes `stall` time spent blocked on an external feed (channel
+    /// recv, fetch wait) to `worker` — every worker's stalls are recorded,
+    /// not just the fetcher's.
+    pub fn add_stall(&self, worker: usize, stall: Duration) {
+        self.shared.counters[worker]
+            .stall_nanos
+            .fetch_add(stall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Counts serial compute time executed outside a dispatch (the
+    /// `threads == 1` search path and under-the-gate inline batches), so
+    /// busy time stays comparable across worker counts.
+    pub fn add_busy(&self, busy: Duration) {
+        self.shared
+            .busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Work grains claimed over the pool's lifetime (all workers).
     pub fn grains_executed(&self) -> u64 {
-        self.shared.grains.load(Ordering::Relaxed)
+        self.totals().claims
+    }
+
+    /// Summed scheduling counters across all workers.
+    pub fn totals(&self) -> PoolCounters {
+        let mut t = PoolCounters::default();
+        for cells in &self.shared.counters {
+            t.accumulate(cells);
+        }
+        t
+    }
+
+    /// Per-worker scheduling counters, index = worker id.
+    pub fn worker_counters(&self) -> Vec<PoolCounters> {
+        self.shared
+            .counters
+            .iter()
+            .map(|cells| {
+                let mut t = PoolCounters::default();
+                t.accumulate(cells);
+                t
+            })
+            .collect()
     }
 
     /// Total time workers spent executing job bodies over the pool's
@@ -233,6 +466,34 @@ impl WorkerPool {
         self.shared.panicked.load(Ordering::Relaxed)
     }
 }
+
+/// The grain size for a batch of `n_items` work items with an estimated
+/// total cost of `est_cost` units (for partition work: Σ‖π̂‖ elements),
+/// split across `threads` workers.
+///
+/// Two pressures trade off: grains must be *large* enough that deque
+/// traffic is amortized (≈ [`GRAIN_TARGET_COST`] units each), and *small*
+/// enough that every worker sees several of them (item costs within a TANE
+/// level differ by orders of magnitude, so fewer than a handful of grains
+/// per worker re-creates static-chunk imbalance). Deterministic: a pure
+/// function of the batch shape, never of timing.
+pub fn adaptive_grain(n_items: usize, est_cost: usize, threads: usize) -> usize {
+    if n_items == 0 {
+        return 1;
+    }
+    let avg = (est_cost / n_items).max(1);
+    let by_cost = (GRAIN_TARGET_COST / avg).max(1);
+    let by_balance = (n_items / (threads.max(1) * GRAINS_PER_WORKER)).max(1);
+    by_cost.min(by_balance)
+}
+
+/// Estimated work units (stripped-partition elements) to aim for per
+/// grain; one grain then costs enough to dwarf a deque pop.
+pub const GRAIN_TARGET_COST: usize = 1 << 14;
+
+/// Minimum grains per worker the adaptive split aims for, so stealing has
+/// something to balance with.
+const GRAINS_PER_WORKER: usize = 4;
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
@@ -279,6 +540,9 @@ fn worker_loop(shared: &Shared, id: usize) {
                 shared.done_cv.notify_all();
             }
         } else {
+            // No work: park until the next dispatch (or shutdown). This is
+            // a real condvar wait, not a spin — the park counter proves it.
+            shared.counters[id].parks.fetch_add(1, Ordering::Relaxed);
             state = shared.work_cv.wait(state).expect("pool state");
         }
     }
@@ -368,6 +632,122 @@ mod tests {
     }
 
     #[test]
+    fn flood_of_tiny_grains_is_lossless_under_stealing() {
+        // 10k single-index grains through 8 workers, with costs skewed so
+        // some deque blocks take far longer than others — forcing steals.
+        // Every grain must execute exactly once and the gathered output
+        // must be byte-identical to the serial map.
+        const N: usize = 10_000;
+        let pool = WorkerPool::new(8);
+        let executions = AtomicUsize::new(0);
+        let out = pool.run_indexed(N, 1, |_worker, i| {
+            executions.fetch_add(1, Ordering::Relaxed);
+            if i < N / 8 {
+                // The first deque block is heavy by design: its owner lags,
+                // so light workers must steal from it (or from each other)
+                // on any schedule and core count.
+                std::hint::black_box((0..2_000u64).sum::<u64>());
+            }
+            i.wrapping_mul(0x9e37_79b9) ^ i
+        });
+        assert_eq!(
+            out,
+            (0..N)
+                .map(|i| i.wrapping_mul(0x9e37_79b9) ^ i)
+                .collect::<Vec<_>>(),
+            "stealing changed the gathered output"
+        );
+        assert_eq!(
+            executions.load(Ordering::Relaxed),
+            N,
+            "grains were lost or duplicated"
+        );
+        let totals = pool.totals();
+        assert_eq!(totals.claims, N as u64, "one claim per single-index grain");
+        assert!(
+            totals.steals > 0,
+            "8 workers × 10k skewed grains must steal at least once"
+        );
+    }
+
+    #[test]
+    fn idle_workers_park_instead_of_spinning() {
+        let pool = WorkerPool::new(4);
+        // After a dispatch drains, every spawned worker must return to the
+        // condvar (parks grow), not spin on empty deques. Poll briefly: the
+        // workers park as soon as the scheduler runs them again.
+        let _ = pool.run_indexed(64, 1, |_w, i| i);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.totals().parks == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let after_first = pool.totals().parks;
+        assert!(
+            after_first > 0,
+            "spawned workers never parked after the epoch drained"
+        );
+        // Another dispatch on the parked pool: claims stay exact — nothing
+        // lost across a park/wake cycle.
+        let out = pool.run_indexed(64, 1, |_w, i| i);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert!(pool.totals().parks >= after_first);
+        assert_eq!(pool.totals().claims, 128);
+    }
+
+    #[test]
+    fn overlapped_driver_runs_alongside_the_job() {
+        let pool = WorkerPool::new(4);
+        let driver_ran = AtomicUsize::new(0);
+        let out = pool.run_indexed_overlapped(
+            200,
+            2,
+            |_w, i| i + 7,
+            || {
+                driver_ran.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, (0..200).map(|i| i + 7).collect::<Vec<_>>());
+        assert_eq!(driver_ran.load(Ordering::Relaxed), 1);
+        // threads == 1 degenerates to the serial order: driver, then body.
+        let serial = WorkerPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let out = serial.run_indexed_overlapped(
+            3,
+            1,
+            |_w, i| {
+                order.lock().unwrap().push(format!("item{i}"));
+                i
+            },
+            || order.lock().unwrap().push("driver".into()),
+        );
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["driver", "item0", "item1", "item2"]
+        );
+    }
+
+    #[test]
+    fn overlapped_driver_panic_propagates_after_drain() {
+        let pool = WorkerPool::new(4);
+        let executed = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_overlapped(
+                &|_worker| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                },
+                || panic!("driver exploded"),
+            );
+        }));
+        let err = outcome.expect_err("driver panic must reach the caller");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("driver exploded"), "unexpected payload: {msg}");
+        // The spawned workers all ran their bodies; the pool still works.
+        assert_eq!(executed.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.run_indexed(5, 1, |_w, i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn worker_panic_propagates_and_pool_survives() {
         let pool = WorkerPool::new(4);
         let attempts = AtomicUsize::new(0);
@@ -415,6 +795,38 @@ mod tests {
         }))
         .is_err());
         assert!(pool.panicked());
+    }
+
+    #[test]
+    fn external_claim_stall_and_busy_attribution() {
+        let pool = WorkerPool::new(2);
+        pool.add_claims(1, 5);
+        pool.add_stall(0, Duration::from_millis(3));
+        pool.add_stall(1, Duration::from_millis(4));
+        pool.add_busy(Duration::from_millis(9));
+        let per_worker = pool.worker_counters();
+        assert_eq!(per_worker.len(), 2);
+        assert_eq!(per_worker[1].claims, 5);
+        assert_eq!(per_worker[0].stall, Duration::from_millis(3));
+        assert_eq!(per_worker[1].stall, Duration::from_millis(4));
+        assert_eq!(pool.totals().stall, Duration::from_millis(7));
+        assert_eq!(pool.grains_executed(), 5);
+        assert!(pool.busy_time() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn adaptive_grain_tracks_cost_and_balance() {
+        // Heavy items: one item already exceeds the target cost → grain 1.
+        assert_eq!(adaptive_grain(100, 100 * GRAIN_TARGET_COST, 8), 1);
+        // Featherweight items: grain grows, but stays small enough that
+        // every worker sees several grains.
+        let g = adaptive_grain(10_000, 10_000, 8);
+        assert!(g > 1, "tiny items must coalesce");
+        assert!(10_000 / g >= 8 * 4, "at least 4 grains per worker");
+        // Degenerate shapes stay valid.
+        assert_eq!(adaptive_grain(0, 0, 8), 1);
+        assert_eq!(adaptive_grain(5, 0, 8), 1);
+        assert!(adaptive_grain(3, 1 << 30, 1) >= 1);
     }
 
     #[test]

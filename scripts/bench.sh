@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Thread-scaling benchmark of the parallel search runtime: the same
 # generated workload at 1/2/4/8 pool workers on the memory and disk
-# backends. Writes structured results to BENCH_pr4.json at the repo
+# backends. Writes structured results to BENCH_pr7.json at the repo
 # root (the text table goes to stdout). Pass --fast for the trimmed
-# dataset; any extra arguments are forwarded to `repro scaling`.
+# dataset and --assert-scaling to fail unless 4 threads beat 2 on the
+# memory backend (skipped loudly on machines with fewer than 4 cores);
+# any extra arguments are forwarded to `repro scaling`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p tane-bench
-./target/release/repro scaling --json BENCH_pr4.json "$@"
+./target/release/repro scaling --json BENCH_pr7.json "$@"

@@ -19,6 +19,12 @@ cargo run -q -p tane-lint --release
 
 cargo build --release
 cargo test -q
+# Work-stealing pool scaling gate: a cheap small-dataset scaling run that
+# fails if 4 threads do not beat 2 on the memory backend. The check skips
+# (loudly) on machines with fewer than 4 cores, where the comparison is
+# meaningless; determinism down the thread column is asserted either way.
+cargo build --release -p tane-bench
+./target/release/repro scaling --fast --assert-scaling > /dev/null
 cargo build -p tane-server
 cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e
 # Parallel-runtime determinism: threads in {1,2,8} must be byte-identical

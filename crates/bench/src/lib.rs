@@ -13,6 +13,7 @@
 //! | Figure 4 | [`figure4::run`] | time vs rows on wbc×n for all three algorithms |
 //! | —        | [`ablations::run`] | (beyond paper) pruning/optimization ablations |
 //! | —        | [`scaling::run`] | (beyond paper) thread scaling of the parallel runtime |
+//! | —        | [`topk::run`] | (beyond paper) bounded-heap ranked search vs the unbounded walk |
 //!
 //! Runners print aligned text tables to stdout and return structured
 //! [`report`] values that `--json` serializes for EXPERIMENTS.md updates.
@@ -26,6 +27,7 @@ pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod topk;
 
 /// Scale knob: `Fast` trims the most expensive cells (wbc×512, adult,
 /// quadratic FDEP runs) so the whole suite finishes in well under a minute;

@@ -9,7 +9,7 @@
 
 use std::process::ExitCode;
 use tane_bench::{
-    ablations, figure3, figure4, report::Report, scaling, table1, table2, table3, Scale,
+    ablations, figure3, figure4, report::Report, scaling, table1, table2, table3, topk, Scale,
 };
 
 const USAGE: &str = "\
@@ -26,7 +26,8 @@ EXPERIMENTS:
     figure4     scale-up in the number of rows (wbc x n)
     ablations   effect of each pruning rule / optimization (beyond paper)
     scaling     thread scaling of the parallel search runtime (beyond paper)
-    all         everything above except scaling
+    topk        bounded-heap ranked search vs the unbounded walk (beyond paper)
+    all         everything above except scaling and topk
 
 OPTIONS:
     --fast            trimmed dataset sizes (seconds instead of minutes)
@@ -66,6 +67,7 @@ fn main() -> ExitCode {
         "figure3" => report.figure3 = figure3::run(scale),
         "figure4" => report.figure4 = figure4::run(scale),
         "ablations" => report.ablations = ablations::run(scale),
+        "topk" => report.topk = topk::run(scale),
         "scaling" => {
             report.scaling = scaling::run(scale);
             if args.iter().any(|a| a == "--assert-scaling") {

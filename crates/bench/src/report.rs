@@ -261,6 +261,60 @@ impl ScalingRow {
     }
 }
 
+/// One top-k ranked-search measurement: the ranked walk on one dataset at
+/// one heap bound. `k = None` is the unbounded baseline — the same walk
+/// with a heap that never fills, so the bound and the early exit cannot
+/// fire and the pruning columns read zero.
+#[derive(Debug)]
+pub struct TopKRow {
+    /// Dataset label.
+    pub dataset: String,
+    /// Row count.
+    pub rows: usize,
+    /// Attribute count.
+    pub attrs: usize,
+    /// Heap bound, `None` for the unbounded baseline.
+    pub k: Option<usize>,
+    /// Entries actually held at the end (≤ k, ≤ the pool size).
+    pub heap_len: usize,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Validity tests decided.
+    pub validity_tests: usize,
+    /// Exact `g3` computations paid for (tests the bound could not skip).
+    pub g3_exact: usize,
+    /// Candidates skipped because their `g3` lower bound could not beat
+    /// the k-th best.
+    pub bound_pruned: u64,
+    /// Candidates skipped because a recorded generalization already scored
+    /// no worse.
+    pub dominated: u64,
+    /// Level after which the walk stopped early, if it did.
+    pub early_exit_level: Option<usize>,
+}
+
+impl TopKRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("rows", Json::Num(self.rows as f64)),
+            ("attrs", Json::Num(self.attrs as f64)),
+            ("k", self.k.map_or(Json::Null, |k| Json::Num(k as f64))),
+            ("heap_len", Json::Num(self.heap_len as f64)),
+            ("secs", Json::Num(self.secs)),
+            ("validity_tests", Json::Num(self.validity_tests as f64)),
+            ("g3_exact", Json::Num(self.g3_exact as f64)),
+            ("bound_pruned", Json::Num(self.bound_pruned as f64)),
+            ("dominated", Json::Num(self.dominated as f64)),
+            (
+                "early_exit_level",
+                self.early_exit_level
+                    .map_or(Json::Null, |l| Json::Num(l as f64)),
+            ),
+        ])
+    }
+}
+
 /// Everything the harness produced in one invocation.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -278,6 +332,8 @@ pub struct Report {
     pub ablations: Vec<AblationRow>,
     /// Thread-scaling rows, if run.
     pub scaling: Vec<ScalingRow>,
+    /// Top-k ranked-search rows, if run.
+    pub topk: Vec<TopKRow>,
 }
 
 impl Report {
@@ -321,6 +377,10 @@ impl Report {
             (
                 "scaling",
                 Json::Arr(self.scaling.iter().map(ScalingRow::to_json).collect()),
+            ),
+            (
+                "topk",
+                Json::Arr(self.topk.iter().map(TopKRow::to_json).collect()),
             ),
         ])
     }
@@ -369,6 +429,19 @@ mod tests {
                 tane_mem: Some(0.5),
                 fdep: None,
             }],
+            topk: vec![TopKRow {
+                dataset: "wbc".into(),
+                rows: 699,
+                attrs: 11,
+                k: Some(5),
+                heap_len: 5,
+                secs: 0.2,
+                validity_tests: 1200,
+                g3_exact: 40,
+                bound_pruned: 900,
+                dominated: 30,
+                early_exit_level: Some(7),
+            }],
             ..Report::default()
         };
         let text = report.to_json().render_pretty();
@@ -397,5 +470,9 @@ mod tests {
             scaling[0].get("disk_bytes_written").unwrap().as_usize(),
             Some(8192)
         );
+        let topk = parsed.get("topk").unwrap().as_array().unwrap();
+        assert_eq!(topk[0].get("k").unwrap().as_usize(), Some(5));
+        assert_eq!(topk[0].get("bound_pruned").unwrap().as_usize(), Some(900));
+        assert_eq!(topk[0].get("early_exit_level").unwrap().as_usize(), Some(7));
     }
 }

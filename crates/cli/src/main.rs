@@ -13,7 +13,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use tane_core::{
-    discover_approx_fds_with, discover_fds_with, ApproxTaneConfig, LevelEvent, TaneConfig,
+    discover_approx_fds_with, discover_fds_with, discover_topk_fds_with, ApproxTaneConfig,
+    LevelEvent, TaneConfig, TopKConfig, TopKEvent,
 };
 use tane_relation::csv::{read_csv, write_csv, CsvOptions};
 use tane_relation::{NullSemantics, Relation};
@@ -59,6 +60,11 @@ USAGE:
 
 DISCOVER OPTIONS:
     --epsilon <E>        g3 error threshold in [0,1]; 0 = exact FDs (default)
+    --top-k <K>          ranked mode (tane only): print the K best
+                         non-redundant dependencies by g3 error, best first,
+                         each line `FD<TAB>g3`; prunes and exits the lattice
+                         walk early once no candidate can enter the top K.
+                         Mutually exclusive with --epsilon
     --max-lhs <N>        only consider left-hand sides of at most N attributes
     --algorithm <A>      tane (default) | fdep | naive
     --disk <MB>          spill partitions to disk, keeping an MB-sized cache
@@ -184,6 +190,7 @@ fn discover(args: &[String]) -> Result<(), String> {
         args,
         &[
             "epsilon",
+            "top-k",
             "max-lhs",
             "algorithm",
             "disk",
@@ -201,6 +208,13 @@ fn discover(args: &[String]) -> Result<(), String> {
     };
     if !(0.0..=1.0).contains(&epsilon) {
         return Err(format!("epsilon must be in [0,1], got {epsilon}"));
+    }
+    let top_k: Option<usize> = match opts.value("top-k") {
+        Some(k) => Some(k.parse().map_err(|_| format!("bad top-k `{k}`"))?),
+        None => None,
+    };
+    if top_k.is_some() && opts.value("epsilon").is_some() {
+        return Err("--top-k and --epsilon are mutually exclusive".into());
     }
     let max_lhs: Option<usize> = match opts.value("max-lhs") {
         Some(m) => Some(m.parse().map_err(|_| format!("bad max-lhs `{m}`"))?),
@@ -237,17 +251,22 @@ fn discover(args: &[String]) -> Result<(), String> {
                 ..TaneConfig::default()
             };
             let streaming = opts.flag("stream");
+            let ranked_mode = top_k.is_some();
             // With --stream, dependencies print per level as the search
             // finishes each one — a level's minimal FDs are final before
             // the next level is even generated, so early lines are safe to
             // act on. Level markers go to stderr so stdout stays a plain
-            // FD list either way.
+            // FD list either way. Ranked mode holds stdout for the final
+            // heap (the ranking is only final at the end) and streams heap
+            // improvements as stderr markers instead.
             let on_level = |ev: LevelEvent| {
                 if !streaming {
                     return;
                 }
-                for fd in &ev.new_minimal_fds {
-                    println!("{}", fd.display_with(&names));
+                if !ranked_mode {
+                    for fd in &ev.new_minimal_fds {
+                        println!("{}", fd.display_with(&names));
+                    }
                 }
                 eprintln!(
                     "# level {}: {} new, {:.3}s",
@@ -256,7 +275,18 @@ fn discover(args: &[String]) -> Result<(), String> {
                     ev.level_time.as_secs_f64()
                 );
             };
-            let result = if epsilon > 0.0 {
+            let result = if let Some(k) = top_k {
+                let config = TopKConfig { base, k };
+                discover_topk_fds_with(&relation, &config, on_level, |ev: TopKEvent| {
+                    if streaming {
+                        eprintln!(
+                            "# level {}: top-k heap improved ({} entries)",
+                            ev.level,
+                            ev.heap.len()
+                        );
+                    }
+                })
+            } else if epsilon > 0.0 {
                 let config = ApproxTaneConfig {
                     base,
                     ..ApproxTaneConfig::new(epsilon)
@@ -266,12 +296,19 @@ fn discover(args: &[String]) -> Result<(), String> {
                 discover_fds_with(&relation, &base, on_level)
             }
             .map_err(|e| e.to_string())?;
-            if !streaming {
-                for fd in &result.fds {
-                    println!("{}", fd.display_with(&names));
+            if let Some(heap) = &result.ranked {
+                for entry in heap {
+                    println!("{}\t{:.6}", entry.fd.display_with(&names), entry.g3());
                 }
+                eprintln!("# {} ranked dependencies (best first)", heap.len());
+            } else {
+                if !streaming {
+                    for fd in &result.fds {
+                        println!("{}", fd.display_with(&names));
+                    }
+                }
+                eprintln!("# {} minimal dependencies", result.fds.len());
             }
-            eprintln!("# {} minimal dependencies", result.fds.len());
             if opts.flag("stats") {
                 let s = &result.stats;
                 eprintln!("# levels: {}", s.levels);
@@ -282,6 +319,17 @@ fn discover(args: &[String]) -> Result<(), String> {
                 eprintln!("# partition products: {}", s.products);
                 eprintln!("# exact g3 computations: {}", s.g3_exact_computations);
                 eprintln!("# tests decided by g3 bounds: {}", s.g3_decided_by_bounds);
+                if ranked_mode {
+                    eprintln!(
+                        "# top-k bound-pruned/dominated: {}/{}",
+                        s.topk_bound_pruned, s.topk_dominated
+                    );
+                    eprintln!("# top-k heap insertions: {}", s.topk_improvements);
+                    match s.topk_early_exit_level {
+                        Some(l) => eprintln!("# top-k early exit after level {l}"),
+                        None => eprintln!("# top-k walked the full lattice"),
+                    }
+                }
                 eprintln!("# disk reads/writes: {}/{}", s.disk_reads, s.disk_writes);
                 eprintln!(
                     "# disk bytes read/written: {}/{}",
@@ -308,6 +356,9 @@ fn discover(args: &[String]) -> Result<(), String> {
             if epsilon > 0.0 {
                 return Err("FDEP only discovers exact dependencies".into());
             }
+            if top_k.is_some() {
+                return Err("--top-k requires --algorithm tane".into());
+            }
             if opts.flag("stream") {
                 return Err("--stream requires --algorithm tane".into());
             }
@@ -329,6 +380,9 @@ fn discover(args: &[String]) -> Result<(), String> {
         "naive" => {
             if epsilon > 0.0 {
                 return Err("the naive baseline only discovers exact dependencies".into());
+            }
+            if top_k.is_some() {
+                return Err("--top-k requires --algorithm tane".into());
             }
             if opts.flag("stream") {
                 return Err("--stream requires --algorithm tane".into());

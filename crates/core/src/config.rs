@@ -149,6 +149,29 @@ impl ApproxTaneConfig {
     }
 }
 
+/// Configuration for ranked (top-k) dependency discovery: an anytime
+/// search for the `k` best non-redundant dependencies by `g3` error
+/// (see `crate::rank` and DESIGN §12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKConfig {
+    /// The shared search configuration.
+    pub base: TaneConfig,
+    /// How many ranked dependencies to keep. `0` is allowed (the search
+    /// exits after one level with an empty result); a `k` larger than the
+    /// candidate pool simply returns the whole pool, ranked.
+    pub k: usize,
+}
+
+impl TopKConfig {
+    /// Ranked discovery of the `k` best dependencies with default settings.
+    pub fn new(k: usize) -> TopKConfig {
+        TopKConfig {
+            base: TaneConfig::default(),
+            k,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,18 +52,21 @@ pub mod assoc;
 pub mod config;
 pub mod cover;
 pub mod lattice;
+pub mod rank;
 pub mod result;
 pub mod search;
 pub mod violations;
 
 pub use assoc::{mine_assoc_rules, AssocConfig, AssocRule};
-pub use config::{ApproxTaneConfig, Storage, TaneConfig};
+pub use config::{ApproxTaneConfig, Storage, TaneConfig, TopKConfig};
 pub use cover::{attribute_closure, candidate_keys, implies, is_superkey, remove_redundant};
 pub use lattice::NextLevelCandidate;
+pub use rank::{RankedFd, TopKEvent};
 pub use result::{LevelEvent, TaneError, TaneResult, TaneStats};
 pub use search::{
     discover_approx_fds, discover_approx_fds_with, discover_fds, discover_fds_with,
-    reverify_approx_fds_with, reverify_fds_with, ReverifyHooks,
+    discover_topk_fds, discover_topk_fds_with, reverify_approx_fds_with, reverify_fds_with,
+    ReverifyHooks,
 };
 pub use tane_util::Fd;
 pub use violations::{fd_error, violating_rows};

@@ -132,6 +132,19 @@ pub struct TaneStats {
     /// serial path, the whole up-front fetch phase. Pipelining engages
     /// when this drops below the serial baseline for the same search.
     pub fetch_stall: Duration,
+    /// Ranked mode only: candidates skipped *before* their exact `g3` was
+    /// computed, because the cheap lower bound `e(X\{A}) − e(X)` could not
+    /// beat the current k-th best (DESIGN §12). Always 0 outside top-k.
+    pub topk_bound_pruned: u64,
+    /// Ranked mode only: candidates discarded as redundant — a recorded
+    /// generalization `V ⊂ X` scores at least as well for the same rhs.
+    pub topk_dominated: u64,
+    /// Ranked mode only: heap insertions (the stream's improvement count).
+    pub topk_improvements: u64,
+    /// Ranked mode only: the lattice level after which the bound argument
+    /// proved no remaining level could enter the heap, when the walk
+    /// stopped early for that reason.
+    pub topk_early_exit_level: Option<usize>,
     /// Wall-clock time spent per lattice level (validity tests, pruning,
     /// and the products generating the next level), index 0 = level 1.
     /// Always the same length as `sets_per_level`.
@@ -147,8 +160,14 @@ pub struct TaneResult {
     pub fds: Vec<Fd>,
     /// The candidate keys (minimal superkeys) encountered by key pruning,
     /// ascending. Populated only when `key_pruning` is enabled (the
-    /// default); with it disabled keys are simply never detected.
+    /// default); with it disabled keys are simply never detected. In
+    /// ranked mode an early exit truncates the walk, so this holds the
+    /// keys found *up to* the exit level.
     pub keys: Vec<tane_util::AttrSet>,
+    /// Ranked mode only: the final top-k heap, best first (ascending
+    /// `(g3, |lhs|, rhs, lhs)`). `None` outside top-k; in ranked mode
+    /// [`fds`](Self::fds) holds the same dependencies in canonical order.
+    pub ranked: Option<Vec<crate::rank::RankedFd>>,
     /// Search statistics.
     pub stats: TaneStats,
 }
@@ -195,6 +214,7 @@ mod tests {
                 Fd::new(AttrSet::singleton(0), 2),
             ],
             keys: vec![AttrSet::singleton(0)],
+            ranked: None,
             stats: TaneStats::default(),
         };
         assert_eq!(result.count(), 2);

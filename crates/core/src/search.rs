@@ -48,10 +48,11 @@
 //! the found-so-far minimality check as well; property tests against the
 //! brute-force oracle pin both fixes down.
 
-use crate::config::{ApproxTaneConfig, Storage, TaneConfig};
+use crate::config::{ApproxTaneConfig, Storage, TaneConfig, TopKConfig};
 use crate::lattice::{
     first_level_sets, generate_next_level, Level, LevelEntry, NextLevelCandidate,
 };
+use crate::rank::{RankState, TopKEvent};
 use crate::result::{LevelEvent, TaneError, TaneResult, TaneStats};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
@@ -97,7 +98,14 @@ pub fn discover_fds_with(
     config: &TaneConfig,
     mut on_level: impl FnMut(LevelEvent),
 ) -> Result<TaneResult, TaneError> {
-    run(relation, config, Mode::Exact, &mut on_level, None)
+    run(
+        relation,
+        config,
+        Mode::Exact,
+        &mut on_level,
+        &mut |_| {},
+        None,
+    )
 }
 
 /// [`discover_approx_fds`] with a per-level observer; see
@@ -116,6 +124,47 @@ pub fn discover_approx_fds_with(
             aggressive: config.aggressive_rhs_plus,
         },
         &mut on_level,
+        &mut |_| {},
+        None,
+    )
+}
+
+/// Discovers the `k` best non-redundant dependencies of `relation`, ranked
+/// by `g3` error with the canonical tie-break (see [`crate::rank`]).
+///
+/// The ranked pool contains every `X → A` that strictly improves on all
+/// its generalizations — exactly the union, over all thresholds `ε`, of the
+/// minimal covers [`discover_approx_fds`] reports. The search prunes
+/// candidates whose cheap `g3` lower bound cannot beat the current k-th
+/// best and stops the lattice walk as soon as no remaining level can enter
+/// the heap, so it is an *anytime, early-exit* search: on inputs with many
+/// shallow exact dependencies it touches a fraction of the lattice a full
+/// run would (DESIGN §12). `TaneResult::ranked` holds the heap, best
+/// first; `TaneResult::fds` holds the same dependencies in canonical order.
+pub fn discover_topk_fds(
+    relation: &Relation,
+    config: &TopKConfig,
+) -> Result<TaneResult, TaneError> {
+    discover_topk_fds_with(relation, config, |_| {}, |_| {})
+}
+
+/// [`discover_topk_fds`] with observers: `on_level` fires per lattice level
+/// (see [`discover_fds_with`]; in ranked mode `new_minimal_fds` carries the
+/// *exact* minimal dependencies first proven at the level), and `on_topk`
+/// fires after every level on which the heap changed, carrying the current
+/// best-k snapshot — the stream's anytime result.
+pub fn discover_topk_fds_with(
+    relation: &Relation,
+    config: &TopKConfig,
+    mut on_level: impl FnMut(LevelEvent),
+    mut on_topk: impl FnMut(TopKEvent),
+) -> Result<TaneResult, TaneError> {
+    run(
+        relation,
+        &config.base,
+        Mode::TopK { k: config.k },
+        &mut on_level,
+        &mut on_topk,
         None,
     )
 }
@@ -138,7 +187,14 @@ pub fn reverify_fds_with(
     hooks: &mut ReverifyHooks<'_>,
     mut on_level: impl FnMut(LevelEvent),
 ) -> Result<TaneResult, TaneError> {
-    run(relation, config, Mode::Exact, &mut on_level, Some(hooks))
+    run(
+        relation,
+        config,
+        Mode::Exact,
+        &mut on_level,
+        &mut |_| {},
+        Some(hooks),
+    )
 }
 
 /// [`discover_approx_fds_with`] with an external partition supplier; see
@@ -158,6 +214,7 @@ pub fn reverify_approx_fds_with(
             aggressive: config.aggressive_rhs_plus,
         },
         &mut on_level,
+        &mut |_| {},
         Some(hooks),
     )
 }
@@ -183,6 +240,14 @@ enum Mode {
         epsilon: f64,
         use_bounds: bool,
         aggressive: bool,
+    },
+    /// Ranked anytime search for the `k` best non-redundant dependencies
+    /// by `g3`; runs the exact-mode lattice walk (the `C⁺` machinery is
+    /// sound for the ranked pool — every pruned test has an equal-or-better
+    /// generalization, see DESIGN §12) plus the ranking state of
+    /// [`crate::rank`].
+    TopK {
+        k: usize,
     },
 }
 
@@ -531,6 +596,7 @@ fn run(
     config: &TaneConfig,
     mode: Mode,
     on_level: &mut dyn FnMut(LevelEvent),
+    on_topk: &mut dyn FnMut(TopKEvent),
     mut hooks: Option<&mut ReverifyHooks<'_>>,
 ) -> Result<TaneResult, TaneError> {
     let sw = Stopwatch::start();
@@ -540,12 +606,18 @@ fn run(
     let mut stats = TaneStats::default();
     let mut disc = Discovery::new(n_attrs);
     let mut found_keys: Vec<AttrSet> = Vec::new();
+    // Ranked mode: the heap + dominance pool, mutated on this thread only.
+    let mut rank = match mode {
+        Mode::TopK { k } => Some(RankState::new(k, n_attrs, n_rows)),
+        _ => None,
+    };
 
     if n_attrs == 0 {
         stats.elapsed = sw.elapsed();
         return Ok(TaneResult {
             fds: disc.fds,
             keys: found_keys,
+            ranked: rank.map(RankState::into_ranked),
             stats,
         });
     }
@@ -604,6 +676,7 @@ fn run(
             &runtime,
             &mut stats,
             &mut disc,
+            rank.as_mut(),
         )?;
 
         // Partitions of level ℓ−1 are no longer needed: validity tests for
@@ -612,7 +685,14 @@ fn run(
             store.remove(e.set);
         }
 
-        prune(config, &mut current, &mut stats, &mut disc, &mut found_keys);
+        prune(
+            config,
+            &mut current,
+            &mut stats,
+            &mut disc,
+            &mut found_keys,
+            rank.as_mut(),
+        );
 
         // What remains of the level is serial driver work — the
         // approximate-mode superkey-closure recovery and the observer
@@ -623,9 +703,12 @@ fn run(
         // product output), and the products read only the frozen pruned
         // level (never `disc`, `stats`, or the observer's state); see
         // DESIGN §9 for the full argument.
-
-        // LHS size cap: dependencies tested at level ℓ+1 have LHS size ℓ.
-        if config.max_lhs.is_some_and(|m| ell > m) {
+        //
+        // Ranked mode instead runs the tail *now*: its superkey-closure
+        // scores feed the early-exit decision, which must be taken before
+        // the next level's products are paid for — early exit is the whole
+        // point of the ranked workload (DESIGN §12).
+        if rank.is_some() {
             level_tail(
                 config,
                 mode,
@@ -635,11 +718,45 @@ fn run(
                 &mut stats,
                 &mut disc,
                 on_level,
+                on_topk,
+                rank.as_mut(),
                 ell,
                 fds_before,
                 &level_sw,
                 store.resident_bytes(),
             );
+        }
+
+        // LHS size cap: dependencies tested at level ℓ+1 have LHS size ℓ.
+        if config.max_lhs.is_some_and(|m| ell > m) {
+            if rank.is_none() {
+                level_tail(
+                    config,
+                    mode,
+                    &current,
+                    &found_keys,
+                    n_rows,
+                    &mut stats,
+                    &mut disc,
+                    on_level,
+                    on_topk,
+                    None,
+                    ell,
+                    fds_before,
+                    &level_sw,
+                    store.resident_bytes(),
+                );
+            }
+            stats.level_times.push(level_sw.elapsed());
+            break;
+        }
+
+        // Ranked early exit: every candidate at a deeper level has an LHS
+        // of ≥ ℓ attributes and so loses even a score tie against the
+        // current k-th best (see RankState::early_exit); no remaining
+        // level can enter the heap, so the walk stops here.
+        if rank.as_ref().is_some_and(|r| r.early_exit(ell)) {
+            stats.topk_early_exit_level = Some(ell);
             stats.level_times.push(level_sw.elapsed());
             break;
         }
@@ -671,22 +788,29 @@ fn run(
         // gathered, so the observer sees the same value as the serial
         // ordering.
         let partitions_bytes = store.resident_bytes();
-        let produced = runtime.products_overlapped(&mut store, &missing, || {
-            level_tail(
-                config,
-                mode,
-                &current,
-                &found_keys,
-                n_rows,
-                &mut stats,
-                &mut disc,
-                on_level,
-                ell,
-                fds_before,
-                &level_sw,
-                partitions_bytes,
-            )
-        })?;
+        let produced = if rank.is_some() {
+            // Ranked mode already ran the tail above.
+            runtime.products_overlapped(&mut store, &missing, || {})?
+        } else {
+            runtime.products_overlapped(&mut store, &missing, || {
+                level_tail(
+                    config,
+                    mode,
+                    &current,
+                    &found_keys,
+                    n_rows,
+                    &mut stats,
+                    &mut disc,
+                    on_level,
+                    on_topk,
+                    None,
+                    ell,
+                    fds_before,
+                    &level_sw,
+                    partitions_bytes,
+                )
+            })?
+        };
         stats.products += produced.len();
         stats.partitions_supplied += candidates.len() - missing.len();
         // Entries join `next` in exact candidate order whether their
@@ -745,9 +869,22 @@ fn run(
     stats.fetch_stall = runtime.fetch_stall + totals.stall;
     stats.elapsed = sw.elapsed();
     found_keys.sort_unstable();
+    if let Some(r) = rank {
+        stats.topk_bound_pruned = r.bound_pruned;
+        stats.topk_dominated = r.dominated;
+        stats.topk_improvements = r.improvements;
+        let ranked = r.into_ranked();
+        return Ok(TaneResult {
+            fds: canonical_fds(ranked.iter().map(|e| e.fd).collect()),
+            keys: found_keys,
+            ranked: Some(ranked),
+            stats,
+        });
+    }
     Ok(TaneResult {
         fds: canonical_fds(disc.fds),
         keys: found_keys,
+        ranked: None,
         stats,
     })
 }
@@ -769,6 +906,8 @@ fn level_tail(
     stats: &mut TaneStats,
     disc: &mut Discovery,
     on_level: &mut dyn FnMut(LevelEvent),
+    on_topk: &mut dyn FnMut(TopKEvent),
+    mut rank: Option<&mut RankState>,
     ell: usize,
     fds_before: usize,
     level_sw: &Stopwatch,
@@ -779,6 +918,14 @@ fn level_tail(
     if let Mode::Approx { epsilon, .. } = mode {
         if config.key_pruning {
             superkey_closure_tests(config, current, found_keys, epsilon, n_rows, stats, disc);
+        }
+    }
+    // Ranked mode: the same recovery, scored — for a live `W` and rhs `A`
+    // with `W ∪ {A}` above a pruned key, `g3(W → A) = e(W)` exactly.
+    if let Mode::TopK { .. } = mode {
+        let rank = rank.as_deref_mut().expect("ranked mode carries rank state");
+        if config.key_pruning {
+            topk_superkey_closure(config, current, found_keys, stats, rank);
         }
     }
 
@@ -792,6 +939,14 @@ fn level_tail(
         level_time: level_sw.elapsed(),
         partitions_bytes,
     });
+
+    // Ranked mode: one heap snapshot per level on which the heap changed,
+    // after the level line — the stream's anytime result.
+    if let Some(rank) = rank {
+        if let Some(heap) = rank.take_snapshot() {
+            on_topk(TopKEvent { level: ell, heap });
+        }
+    }
 }
 
 /// COMPUTE-DEPENDENCIES(L_ℓ) — paper, Section 5.
@@ -806,6 +961,7 @@ fn compute_dependencies(
     runtime: &ParallelRuntime,
     stats: &mut TaneStats,
     disc: &mut Discovery,
+    mut rank: Option<&mut RankState>,
 ) -> Result<(), TaneError> {
     let n_attrs = relation.num_attrs();
     let n_rows = relation.num_rows();
@@ -839,7 +995,7 @@ fn compute_dependencies(
     // original serial order, recording dependencies and refining C⁺ —
     // so the output is byte-identical to the serial interleaving.
     let decisions = match mode {
-        Mode::Exact => None,
+        Mode::Exact | Mode::TopK { .. } => None,
         Mode::Approx {
             epsilon,
             use_bounds,
@@ -848,7 +1004,21 @@ fn compute_dependencies(
             current, prev, store, runtime, stats, epsilon, use_bounds, n_rows,
         )?),
     };
+    // Ranked mode: its own decide pass — Lemma 2 first, then the heap
+    // bound, batching the surviving exact `g3` scores onto the pool.
+    let topk_decisions = match mode {
+        Mode::TopK { .. } => Some(decide_topk_tests(
+            current,
+            prev,
+            store,
+            runtime,
+            stats,
+            rank.as_deref_mut().expect("ranked mode carries rank state"),
+        )?),
+        _ => None,
+    };
     let mut next_decision = decisions.iter().flatten();
+    let mut next_topk = topk_decisions.iter().flatten();
     for i in 0..current.entries().len() {
         let entry = &current.entries()[i];
         let set = entry.set;
@@ -873,6 +1043,31 @@ fn compute_dependencies(
                         // (see ApproxTaneConfig::aggressive_rhs_plus).
                         TestDecision::ValidApproximately => (true, aggressive),
                         TestDecision::Invalid => (false, false),
+                    }
+                }
+                Mode::TopK { .. } => {
+                    let rank = rank.as_deref_mut().expect("ranked mode carries rank state");
+                    match *next_topk.next().expect("one decision per test") {
+                        // Exactly valid: a minimal exact FD (a ∈ C⁺(X)
+                        // guarantees minimality) — a pool entrant with
+                        // score 0, and the usual C⁺ updates apply.
+                        TopKDecision::ValidExactly => {
+                            rank.offer(Fd::new(set.without(a), a), 0);
+                            (true, true)
+                        }
+                        // Scored candidate: a ranked pool entrant iff no
+                        // recorded generalization is at least as good. The
+                        // dependency does not *hold*, so C⁺ is untouched.
+                        TopKDecision::Scored { g3_rows } => {
+                            let fd = Fd::new(set.without(a), a);
+                            if rank.is_dominated(fd.lhs, a, g3_rows) {
+                                rank.dominated += 1;
+                            } else {
+                                rank.offer(fd, g3_rows);
+                            }
+                            (false, false)
+                        }
+                        TopKDecision::Skipped => (false, false),
                     }
                 }
             };
@@ -981,6 +1176,110 @@ fn decide_approx_tests(
     Ok(decisions)
 }
 
+/// The outcome of one ranked-mode validity test, decided ahead of the
+/// serial apply pass.
+#[derive(Clone, Copy)]
+enum TopKDecision {
+    /// `g3 = 0` by the Lemma 2 comparison: a minimal exact dependency.
+    ValidExactly,
+    /// A ranked candidate whose exact `g3` score is known (from the batch
+    /// computation, or for free when the node is a superkey and the two
+    /// bounds coincide).
+    Scored {
+        /// Exact `g3 · |r|` of the test's dependency.
+        g3_rows: usize,
+    },
+    /// Skipped before its exact `g3` was paid for: the cheap lower bound
+    /// could not beat the current k-th best, or a recorded generalization
+    /// already dominates even the lower bound.
+    Skipped,
+}
+
+/// Ranked-mode decide pass: resolves every validity test of the level in
+/// the serial candidate order — Lemma 2 equality first, then the heap
+/// bound against the k-th best *as of the start of the level* (the heap is
+/// only mutated by the serial apply pass, so the threshold each test sees
+/// is independent of the worker count), leaving only candidates that could
+/// enter the heap, whose exact O(‖π̂‖) `g3` scores are batched onto the
+/// worker pool. Pruning against the level-start threshold is sound — the
+/// threshold only ever tightens — and the apply pass re-checks each final
+/// score against the live threshold before inserting.
+fn decide_topk_tests(
+    current: &Level,
+    prev: &Level,
+    store: &mut Store,
+    runtime: &ParallelRuntime,
+    stats: &mut TaneStats,
+    rank: &mut RankState,
+) -> Result<Vec<TopKDecision>, TaneError> {
+    let mut decisions: Vec<TopKDecision> = Vec::new();
+    // Index into `pending` per undecided test, parallel to `decisions`.
+    let mut pending_at: Vec<Option<usize>> = Vec::new();
+    let mut pending: Vec<(Arc<StrippedPartition>, Arc<StrippedPartition>)> = Vec::new();
+    for entry in current.entries() {
+        let set = entry.set;
+        let x_error = entry.error_rows;
+        for a in set.intersect(entry.cplus).iter() {
+            let sub = set.without(a);
+            let sub_entry = prev
+                .get(sub)
+                .expect("non-empty C+ implies every parent is present in the previous level");
+            stats.validity_tests += 1;
+            if sub_entry.error_rows == x_error {
+                decisions.push(TopKDecision::ValidExactly);
+                pending_at.push(None);
+                continue;
+            }
+            // Superkey node: e(X) = 0, the `g3` bounds coincide, and the
+            // score e(X\{A}) is exact without touching the partitions.
+            if x_error == 0 {
+                decisions.push(TopKDecision::Scored {
+                    g3_rows: sub_entry.error_rows,
+                });
+                pending_at.push(None);
+                continue;
+            }
+            let fd = Fd::new(sub, a);
+            // Quick lower bound in rows: g3 ≥ e(X\{A}) − e(X) (paper §5's
+            // bound, here steering the ranked pruning instead of an ε
+            // threshold). Sound to prune on: the true score is at least
+            // the bound, and rank_key is monotone in the score.
+            let lower = sub_entry.error_rows - x_error;
+            if rank.cannot_enter(&fd, lower) {
+                rank.note_bound_pruned();
+                decisions.push(TopKDecision::Skipped);
+                pending_at.push(None);
+                continue;
+            }
+            // Dominated even at the lower bound: the true score can only
+            // be worse, so the candidate is redundant for sure.
+            if rank.is_dominated(sub, a, lower) {
+                rank.dominated += 1;
+                decisions.push(TopKDecision::Skipped);
+                pending_at.push(None);
+                continue;
+            }
+            let pi_sub = store.get(sub)?;
+            let pi_set = store.get(set)?;
+            decisions.push(TopKDecision::Scored { g3_rows: 0 }); // patched below
+            pending_at.push(Some(pending.len()));
+            pending.push((pi_sub, pi_set));
+        }
+    }
+    if !pending.is_empty() {
+        stats.g3_exact_computations += pending.len();
+        let removed = runtime.g3_batch(&pending);
+        for (slot, at) in decisions.iter_mut().zip(&pending_at) {
+            if let Some(k) = *at {
+                *slot = TopKDecision::Scored {
+                    g3_rows: removed[k],
+                };
+            }
+        }
+    }
+    Ok(decisions)
+}
+
 /// PRUNE(L_ℓ) — paper, Section 5: delete sets with empty `C⁺`, and delete
 /// keys after emitting the minimal dependencies that their supersets would
 /// have produced.
@@ -990,6 +1289,7 @@ fn prune(
     stats: &mut TaneStats,
     disc: &mut Discovery,
     found_keys: &mut Vec<AttrSet>,
+    mut rank: Option<&mut RankState>,
 ) {
     for i in 0..current.entries().len() {
         let entry = &current.entries()[i];
@@ -1022,6 +1322,13 @@ fn prune(
                     // order.
                     if !disc.has_valid_subset(set, a) {
                         disc.record(Fd::new(set, a));
+                        // Ranked mode: an exactly valid minimal dependency
+                        // is always a pool entrant (score 0, and no proper
+                        // subset can do better than 0 without shadowing
+                        // its minimality).
+                        if let Some(r) = rank.as_deref_mut() {
+                            r.offer(Fd::new(set, a), 0);
+                        }
                     }
                 }
             }
@@ -1073,6 +1380,47 @@ fn superkey_closure_tests(
     // consistent snapshot.
     for fd in recovered {
         disc.record(fd);
+    }
+}
+
+/// Ranked-mode counterpart of [`superkey_closure_tests`]: the same test
+/// nodes that key pruning cut away, offered to the heap with their exact
+/// scores — for a live `W` and rhs `A ∉ W` with `W ∪ {A}` above a pruned
+/// key, `π_{W∪{A}}` is a superkey partition and `g3(W → A) = e(W)`, so the
+/// score is free. Runs before the level's early-exit check so a recovered
+/// entrant can keep the walk alive (DESIGN §12).
+fn topk_superkey_closure(
+    config: &TaneConfig,
+    current: &Level,
+    found_keys: &[AttrSet],
+    stats: &mut TaneStats,
+    rank: &mut RankState,
+) {
+    if found_keys.is_empty() {
+        return;
+    }
+    for entry in current.entries().iter().filter(|e| !e.deleted) {
+        let w = entry.set;
+        if config.max_lhs.is_some_and(|m| w.len() > m) {
+            continue;
+        }
+        for a in entry.cplus.difference(w).iter() {
+            let y = w.with(a);
+            if !found_keys.iter().any(|&k| k.is_subset_of(y)) {
+                continue; // Y will be (or was) generated; the normal path covers it.
+            }
+            stats.validity_tests += 1;
+            let fd = Fd::new(w, a);
+            if rank.cannot_enter(&fd, entry.error_rows) {
+                rank.note_bound_pruned();
+                continue;
+            }
+            if rank.is_dominated(w, a, entry.error_rows) {
+                rank.dominated += 1;
+                continue;
+            }
+            rank.offer(fd, entry.error_rows);
+        }
     }
 }
 

@@ -31,7 +31,10 @@ use crate::RULE_DETERMINISM;
 /// The pool is in scope because the work-stealing scheduler promises that
 /// steal order can only change *which worker* fills an output slot, never
 /// which slot — any order-dependent collection feeding its outputs would
-/// void that argument (DESIGN §9).
+/// void that argument (DESIGN §9). `crates/core/src` includes the ranking
+/// module `rank.rs`, whose heap order *is* the answer a top-k query
+/// returns (DESIGN §12) — the `rules` suite pins that file to this scope
+/// so a future module move cannot silently drop it.
 pub const HASH_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/partition/src",

@@ -1,0 +1,13 @@
+//! R2 trigger inside the ranking module's path: the ranked heap's order
+//! *is* the answer (DESIGN §12), so hash-order iteration feeding it must
+//! fire exactly as anywhere else in `crates/core/src`.
+
+use std::collections::HashMap;
+
+pub fn heap_order(scores: &HashMap<String, u64>) -> Vec<String> {
+    let mut heap = Vec::new();
+    for (fd, g3) in scores.iter() {
+        heap.push(format!("{fd}:{g3}"));
+    }
+    heap
+}

@@ -74,6 +74,19 @@ fn determinism_flags_hash_iteration_and_clock_reads() {
 }
 
 #[test]
+fn determinism_scope_covers_the_ranking_module() {
+    // The top-k heap is a result surface — its order is the answer a
+    // ranked query returns (DESIGN §12) — so `crates/core/src/rank.rs`
+    // must sit inside the R2 scope and unsorted hash iteration there
+    // must fire like anywhere else in the search core.
+    let (path, src) = fixture("crates/core/src/rank_trigger.rs");
+    let diags = lint_source(&path, &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RULE_DETERMINISM);
+    assert!(diags[0].message.contains("iteration"), "{diags:?}");
+}
+
+#[test]
 fn lock_discipline_flags_nesting_and_poison() {
     let (path, src) = fixture("crates/server/src/lock_trigger.rs");
     let diags = lint_source(&path, &src);

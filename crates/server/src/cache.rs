@@ -32,6 +32,10 @@ pub struct CacheKey {
     pub epsilon_bits: Option<u64>,
     /// The LHS size cap, if any.
     pub max_lhs: Option<usize>,
+    /// Heap size for ranked (top-k) queries, `None` for exact/approximate.
+    /// Part of the key: a top-5 heap is not a prefix proof for top-10, and
+    /// replayed `topk` stream lines must match the recorded `k` exactly.
+    pub top_k: Option<usize>,
 }
 
 /// A finished discovery, shaped for the HTTP response (schema already
@@ -52,6 +56,10 @@ pub struct CachedResult {
     /// cache hits and single-flight followers replay these, so a replayed
     /// stream is byte-identical to the live one.
     pub levels: Vec<String>,
+    /// Ranked (top-k) queries only: the final heap, best first, already
+    /// JSON (`[{"fd","g3","g3_rows"},...]`). `None` for exact/approximate
+    /// results, whose response and trailer bytes must not change.
+    pub ranked: Option<Json>,
 }
 
 /// How a job run ended, as seen by everyone waiting on its flight.
@@ -360,6 +368,7 @@ mod tests {
             dataset_hash: h,
             epsilon_bits: None,
             max_lhs: None,
+            top_k: None,
         }
     }
 
@@ -374,6 +383,7 @@ mod tests {
             stats: Json::Null,
             compute_secs,
             levels: vec![],
+            ranked: None,
         })
     }
 
@@ -520,6 +530,7 @@ mod tests {
                 dataset_hash: 1,
                 epsilon_bits: Some(0.1f64.to_bits()),
                 max_lhs: None,
+                top_k: None,
             },
             key(2),
         ] {
@@ -567,16 +578,19 @@ mod tests {
             dataset_hash: 9,
             epsilon_bits: Some(0.1f64.to_bits()),
             max_lhs: None,
+            top_k: None,
         };
         let exact = CacheKey {
             dataset_hash: 9,
             epsilon_bits: None,
             max_lhs: None,
+            top_k: None,
         };
         let limited = CacheKey {
             dataset_hash: 9,
             epsilon_bits: None,
             max_lhs: Some(2),
+            top_k: None,
         };
         let c = ResultCache::new(8);
         for k in [approx, exact, limited] {

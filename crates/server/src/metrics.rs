@@ -69,6 +69,9 @@ pub struct Metrics {
     worker_spin_nanos: AtomicU64,
     worker_busy_nanos: AtomicU64,
     fetch_stall_nanos: AtomicU64,
+    topk_searches: AtomicU64,
+    topk_bound_pruned: AtomicU64,
+    topk_improvements: AtomicU64,
 }
 
 impl Metrics {
@@ -101,6 +104,9 @@ impl Metrics {
             worker_spin_nanos: AtomicU64::new(0),
             worker_busy_nanos: AtomicU64::new(0),
             fetch_stall_nanos: AtomicU64::new(0),
+            topk_searches: AtomicU64::new(0),
+            topk_bound_pruned: AtomicU64::new(0),
+            topk_improvements: AtomicU64::new(0),
         }
     }
 
@@ -130,6 +136,17 @@ impl Metrics {
             agg.runs += 1;
             agg.nanos += t.as_nanos() as u64;
         }
+    }
+
+    /// Folds one finished *ranked* search into the top-k aggregates (the
+    /// shared counters go through [`record_search`](Self::record_search) as
+    /// for any other search).
+    pub fn record_topk(&self, stats: &TaneStats) {
+        self.topk_searches.fetch_add(1, Ordering::Relaxed);
+        self.topk_bound_pruned
+            .fetch_add(stats.topk_bound_pruned, Ordering::Relaxed);
+        self.topk_improvements
+            .fetch_add(stats.topk_improvements, Ordering::Relaxed);
     }
 
     /// Records the end of one connection that served `served` requests.
@@ -261,6 +278,20 @@ impl Metrics {
                     (
                         "fetch_stall_secs",
                         Json::Num(self.fetch_stall_nanos.load(Ordering::Relaxed) as f64 / 1e9),
+                    ),
+                    (
+                        "topk",
+                        Json::obj([
+                            ("searches", n(self.topk_searches.load(Ordering::Relaxed))),
+                            (
+                                "bound_pruned",
+                                n(self.topk_bound_pruned.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "improvements",
+                                n(self.topk_improvements.load(Ordering::Relaxed)),
+                            ),
+                        ]),
                     ),
                 ]),
             ),

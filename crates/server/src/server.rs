@@ -24,8 +24,9 @@
 //! ## API versions
 //!
 //! Every endpoint lives under `/v1/...`; the original unversioned paths
-//! remain byte-for-byte compatible aliases that additionally carry a
-//! `Deprecation: true` header. Routing normalizes the path once
+//! remain byte-for-byte compatible aliases that additionally carry
+//! `Deprecation: true` and `Sunset` headers ([`LEGACY_SUNSET`]; removal
+//! policy in README). Routing normalizes the path once
 //! ([`split_version`]) and dispatches both trees through one table; only
 //! error *shapes* differ — `/v1` answers errors with the
 //! `{"error":{"code","message"}}` envelope, legacy paths keep the flat
@@ -37,7 +38,11 @@
 //!
 //! `POST /v1/discover` with `"stream": true` answers with an NDJSON body
 //! in chunked transfer encoding: one object per completed lattice level as
-//! the search reaches it, then a `summary` trailer. The worker publishes
+//! the search reaches it, then a `summary` trailer. Ranked requests
+//! (`"top_k": K`) interleave `{"event":"topk",...}` heap snapshots after
+//! the level lines they improved on; the level lines themselves stay
+//! untagged and byte-identical to the exact/approximate stream (grammar in
+//! README). The worker publishes
 //! levels through a **bounded** channel ([`STREAM_EVENT_DEPTH`]) — a slow
 //! client stalls the search rather than buffering it, and a vanished
 //! client fails the send, which simply stops the feed while the search
@@ -57,8 +62,8 @@ use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
 use crate::registry::{DatasetRegistry, RemoveOutcome};
 use tane_core::{
-    discover_approx_fds_with, discover_fds_with, ApproxTaneConfig, LevelEvent, Storage, TaneConfig,
-    TaneResult,
+    discover_approx_fds_with, discover_fds_with, discover_topk_fds_with, ApproxTaneConfig,
+    LevelEvent, RankedFd, Storage, TaneConfig, TaneResult, TopKConfig, TopKEvent,
 };
 use tane_delta::{DatasetEngine, PatchError};
 use tane_relation::csv::{read_csv_from, CsvOptions};
@@ -152,7 +157,7 @@ impl Default for ServerConfig {
 struct Job {
     key: CacheKey,
     relation: Arc<Relation>,
-    epsilon: f64,
+    mode: DiscoverMode,
     max_lhs: Option<usize>,
     storage: Storage,
     threads: usize,
@@ -342,11 +347,13 @@ fn worker_loop(shared: &Shared) {
 
 /// Runs one discovery job and shapes the outcome for the cache.
 ///
-/// The level observer does double duty: every level line is recorded for
-/// the cache (so later streams replay byte-identical output), and — when
-/// the claiming request is streaming — also sent through the bounded
-/// events channel. A failed send means the streaming client went away;
-/// the search keeps running so the result still lands in the cache.
+/// The stream observers do double duty: every emitted line — legacy level
+/// lines and, in ranked mode, the interleaved `{"event":"topk",...}`
+/// objects — is recorded for the cache (so later streams replay
+/// byte-identical output), and — when the claiming request is streaming —
+/// also sent through the bounded events channel. A failed send means the
+/// streaming client went away; the search keeps running so the result
+/// still lands in the cache.
 fn run_job(shared: &Shared, job: Job) -> JobResult {
     let base = TaneConfig {
         storage: job.storage,
@@ -355,36 +362,59 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
         ..TaneConfig::default()
     };
     let names = job.relation.schema().names();
-    let mut levels: Vec<String> = Vec::new();
-    let mut sink = job.events;
-    let mut on_level = |ev: LevelEvent| {
-        let line = render_level_event(&ev, names);
-        if let Some(tx) = &sink {
+    // Two observers feed one recorded line sequence, so the interior
+    // mutability lives here: both closures borrow the record and the sink
+    // for the duration of one call, never concurrently (the search invokes
+    // its observers serially, on the one search thread).
+    let levels = std::cell::RefCell::new(Vec::<String>::new());
+    let sink = std::cell::RefCell::new(job.events);
+    let emit = |line: String| {
+        let mut sink = sink.borrow_mut();
+        if let Some(tx) = sink.as_ref() {
             if tx.send(line.clone()).is_err() {
-                sink = None;
+                *sink = None;
             }
         }
-        levels.push(line);
+        levels.borrow_mut().push(line);
     };
-    let outcome = if job.epsilon > 0.0 {
-        let config = ApproxTaneConfig {
-            base,
-            ..ApproxTaneConfig::new(job.epsilon)
-        };
-        job.engine
-            .as_ref()
-            .and_then(|e| e.discover_approx_for(&job.relation, &config, &mut on_level))
-            .unwrap_or_else(|| discover_approx_fds_with(&job.relation, &config, &mut on_level))
-    } else {
-        job.engine
+    let mut on_level = |ev: LevelEvent| emit(render_level_event(&ev, names));
+    let outcome = match job.mode {
+        DiscoverMode::Approx(epsilon) => {
+            let config = ApproxTaneConfig {
+                base,
+                ..ApproxTaneConfig::new(epsilon)
+            };
+            job.engine
+                .as_ref()
+                .and_then(|e| e.discover_approx_for(&job.relation, &config, &mut on_level))
+                .unwrap_or_else(|| discover_approx_fds_with(&job.relation, &config, &mut on_level))
+        }
+        DiscoverMode::Exact => job
+            .engine
             .as_ref()
             .and_then(|e| e.discover_exact_for(&job.relation, &base, &mut on_level))
-            .unwrap_or_else(|| discover_fds_with(&job.relation, &base, &mut on_level))
+            .unwrap_or_else(|| discover_fds_with(&job.relation, &base, &mut on_level)),
+        // Ranked search runs on the request's snapshot directly — the
+        // incremental engine has no ranked re-verify path, and the result
+        // is cached under the snapshot's content hash either way.
+        DiscoverMode::TopK(k) => {
+            let config = TopKConfig { base, k };
+            discover_topk_fds_with(&job.relation, &config, &mut on_level, |ev: TopKEvent| {
+                emit(render_topk_event(&ev, names))
+            })
+        }
     };
     match outcome {
         Ok(result) => {
             shared.metrics.record_search(&result.stats);
-            Ok(Arc::new(shape_result(&job.relation, &result, levels)))
+            if matches!(job.mode, DiscoverMode::TopK(_)) {
+                shared.metrics.record_topk(&result.stats);
+            }
+            Ok(Arc::new(shape_result(
+                &job.relation,
+                &result,
+                levels.into_inner(),
+            )))
         }
         Err(e) => Err(e.to_string()),
     }
@@ -406,20 +436,47 @@ fn render_level_event(ev: &LevelEvent, names: &[String]) -> String {
     .render()
 }
 
+/// One ranked heap entry as response JSON: the rendered dependency plus
+/// its score, in rows and as the `g3` fraction.
+fn ranked_entry(entry: &RankedFd, names: &[String]) -> Json {
+    Json::obj([
+        ("fd", Json::Str(entry.fd.display_with(names))),
+        ("g3", Json::Num(entry.g3())),
+        ("g3_rows", Json::Num(entry.g3_rows as f64)),
+    ])
+}
+
+/// One ranked NDJSON stream object, emitted after the level line of every
+/// level on which the heap improved. Tagged with the `"event"`
+/// discriminator so stream consumers can dispatch without sniffing keys —
+/// legacy level lines stay untagged and byte-identical (see the stream
+/// grammar in README).
+fn render_topk_event(ev: &TopKEvent, names: &[String]) -> String {
+    Json::obj([
+        ("event", Json::Str("topk".to_string())),
+        ("level", Json::Num(ev.level as f64)),
+        (
+            "heap",
+            Json::Arr(ev.heap.iter().map(|e| ranked_entry(e, names)).collect()),
+        ),
+    ])
+    .render()
+}
+
 /// The final NDJSON stream object. Deliberately *without* a `cached`
 /// field: a replayed stream must be byte-identical to the live one.
 fn render_trailer(dataset: &str, result: &CachedResult) -> String {
-    Json::obj([(
-        "summary",
-        Json::obj([
-            ("dataset", Json::Str(dataset.to_string())),
-            ("count", Json::Num(result.fds.len() as f64)),
-            ("keys", Json::str_array(result.keys.iter().cloned())),
-            ("stats", result.stats.clone()),
-            ("compute_secs", Json::Num(result.compute_secs)),
-        ]),
-    )])
-    .render()
+    let mut members = vec![
+        ("dataset", Json::Str(dataset.to_string())),
+        ("count", Json::Num(result.fds.len() as f64)),
+        ("keys", Json::str_array(result.keys.iter().cloned())),
+    ];
+    if let Some(ranked) = &result.ranked {
+        members.push(("ranked", ranked.clone()));
+    }
+    members.push(("stats", result.stats.clone()));
+    members.push(("compute_secs", Json::Num(result.compute_secs)));
+    Json::obj([("summary", Json::obj(members))]).render()
 }
 
 /// Renders a `TaneResult` into the cached, response-ready form. The `fds`
@@ -429,7 +486,7 @@ fn render_trailer(dataset: &str, result: &CachedResult) -> String {
 fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -> CachedResult {
     let names = relation.schema().names();
     let s = &result.stats;
-    let stats = Json::obj([
+    let mut stat_members = vec![
         ("levels", Json::Num(s.levels as f64)),
         ("sets_total", Json::Num(s.sets_total as f64)),
         ("sets_max_level", Json::Num(s.sets_max_level as f64)),
@@ -469,7 +526,23 @@ fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -
             ),
         ),
         ("elapsed_secs", Json::Num(s.elapsed.as_secs_f64())),
-    ]);
+    ];
+    // Ranked runs only: the pruning counters and the final heap. Gated on
+    // the mode so exact/approximate responses — /v1 and legacy alike —
+    // keep their historical bytes.
+    if result.ranked.is_some() {
+        stat_members.push(("topk_bound_pruned", Json::Num(s.topk_bound_pruned as f64)));
+        stat_members.push(("topk_dominated", Json::Num(s.topk_dominated as f64)));
+        stat_members.push(("topk_improvements", Json::Num(s.topk_improvements as f64)));
+        stat_members.push((
+            "topk_early_exit_level",
+            match s.topk_early_exit_level {
+                Some(l) => Json::Num(l as f64),
+                None => Json::Null,
+            },
+        ));
+    }
+    let stats = Json::obj(stat_members);
     CachedResult {
         fds: result.fds.iter().map(|fd| fd.display_with(names)).collect(),
         keys: result
@@ -480,6 +553,10 @@ fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -
         stats,
         compute_secs: s.elapsed.as_secs_f64(),
         levels,
+        ranked: result
+            .ranked
+            .as_ref()
+            .map(|heap| Json::Arr(heap.iter().map(|e| ranked_entry(e, names)).collect())),
     }
 }
 
@@ -685,6 +762,12 @@ fn split_version(path: &str) -> (&str, bool) {
     }
 }
 
+/// When the legacy unversioned routes stop being served (RFC 8594
+/// `Sunset`). The removal policy lives in README: announced alongside
+/// `Deprecation: true`, honored for at least two minor releases, then the
+/// unversioned tree answers 404.
+const LEGACY_SUNSET: &str = "Sun, 01 Aug 2027 00:00:00 GMT";
+
 fn route(shared: &Shared, request: &Request) -> Action {
     let (path, versioned) = split_version(&request.path);
     let action = dispatch(shared, request, path, versioned)
@@ -693,9 +776,14 @@ fn route(shared: &Shared, request: &Request) -> Action {
         return action;
     }
     match action {
-        // Every legacy-path response advertises the migration; bodies stay
-        // byte-identical, clients notice at their leisure.
-        Action::Respond(response) => Action::Respond(response.with_header("deprecation", "true")),
+        // Every legacy-path response advertises the migration and its
+        // deadline; bodies stay byte-identical, clients notice at their
+        // leisure.
+        Action::Respond(response) => Action::Respond(
+            response
+                .with_header("deprecation", "true")
+                .with_header("sunset", LEGACY_SUNSET),
+        ),
         // Unreachable today (`stream` is rejected on legacy /discover),
         // kept total rather than panicking on a future slip.
         stream => stream,
@@ -988,60 +1076,131 @@ fn parse_patch(body: &[u8]) -> Result<RowPatch, String> {
     Ok(patch)
 }
 
-/// The `/discover` body, validated.
+/// The `/discover` body as a typed request — the single point where raw
+/// JSON is validated. Everything downstream (routing, the cache key, the
+/// worker's job) consumes this struct; adding a request field means adding
+/// it to [`DISCOVER_FIELDS`] and a typed accessor here, nowhere else.
 #[derive(Debug)]
-struct DiscoverSpec {
+struct DiscoverRequest {
     dataset: String,
-    epsilon: f64,
+    mode: DiscoverMode,
     max_lhs: Option<usize>,
     storage: Storage,
     threads: usize,
     stream: bool,
 }
 
+/// Which search the request asked for. `epsilon` and `top_k` are mutually
+/// exclusive in the body: ranked search orders candidates by `g3` instead
+/// of thresholding them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DiscoverMode {
+    Exact,
+    Approx(f64),
+    TopK(usize),
+}
+
+/// A rejected body, carrying the `/v1` error slug. Legacy responses render
+/// only the message, so the historical flat-error bytes are unchanged.
+#[derive(Debug)]
+struct BodyError {
+    code: &'static str,
+    message: String,
+}
+
+impl BodyError {
+    fn invalid(message: impl Into<String>) -> BodyError {
+        BodyError {
+            code: "invalid-body",
+            message: message.into(),
+        }
+    }
+
+    /// Fields the contract does not know get their own slug so clients can
+    /// machine-match typos against the documented field list.
+    fn unknown_field(name: &str) -> BodyError {
+        BodyError {
+            code: "unknown_field",
+            message: format!("unknown field `{name}`"),
+        }
+    }
+}
+
+/// Every field the `/discover` contract knows, with whether it exists on
+/// the legacy unversioned route. Legacy request handling is frozen:
+/// `stream` and `top_k` are `/v1`-only, so on `/discover` they stay
+/// unknown fields and the legacy behavior is byte-for-byte what it was.
+const DISCOVER_FIELDS: &[(&str, bool)] = &[
+    ("dataset", true),
+    ("epsilon", true),
+    ("max_lhs", true),
+    ("storage", true),
+    ("cache_mb", true),
+    ("threads", true),
+    ("stream", false),
+    ("top_k", false),
+];
+
 /// Search worker threads when a request does not say: all available cores.
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// `allow_stream` is true only for `/v1/discover`: on the legacy path
-/// `stream` stays an unknown field, so legacy request handling is
-/// byte-for-byte what it always was.
-fn parse_discover(body: &[u8], allow_stream: bool) -> Result<DiscoverSpec, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+fn parse_discover(body: &[u8], versioned: bool) -> Result<DiscoverRequest, BodyError> {
+    let text = std::str::from_utf8(body).map_err(|_| BodyError::invalid("body is not UTF-8"))?;
+    let doc = Json::parse(text).map_err(|e| BodyError::invalid(format!("bad JSON: {e}")))?;
     let Json::Obj(members) = &doc else {
-        return Err("body must be a JSON object".into());
+        return Err(BodyError::invalid("body must be a JSON object"));
     };
     for (key, _) in members {
-        let known = matches!(
-            key.as_str(),
-            "dataset" | "epsilon" | "max_lhs" | "storage" | "cache_mb" | "threads"
-        ) || (allow_stream && key == "stream");
+        let known = DISCOVER_FIELDS
+            .iter()
+            .any(|&(name, on_legacy)| name == key && (versioned || on_legacy));
         if !known {
-            return Err(format!("unknown field `{key}`"));
+            return Err(BodyError::unknown_field(key));
         }
     }
     let dataset = doc
         .get("dataset")
         .and_then(Json::as_str)
-        .ok_or("missing required field `dataset`")?
+        .ok_or_else(|| BodyError::invalid("missing required field `dataset`"))?
         .to_string();
     let epsilon = match doc.get("epsilon") {
-        None => 0.0,
+        None => None,
         Some(v) => {
-            let e = v.as_f64().ok_or("`epsilon` must be a number")?;
+            let e = v
+                .as_f64()
+                .ok_or_else(|| BodyError::invalid("`epsilon` must be a number"))?;
             if !(0.0..=1.0).contains(&e) {
-                return Err(format!("`epsilon` must be in [0,1], got {e}"));
+                return Err(BodyError::invalid(format!(
+                    "`epsilon` must be in [0,1], got {e}"
+                )));
             }
-            e
+            Some(e)
         }
+    };
+    let top_k = match doc.get("top_k") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or_else(|| BodyError::invalid("`top_k` must be a non-negative integer"))?,
+        ),
+    };
+    let mode = match (epsilon, top_k) {
+        (Some(_), Some(_)) => {
+            return Err(BodyError::invalid(
+                "`epsilon` and `top_k` are mutually exclusive",
+            ))
+        }
+        (Some(e), None) if e > 0.0 => DiscoverMode::Approx(e),
+        (_, Some(k)) => DiscoverMode::TopK(k),
+        _ => DiscoverMode::Exact,
     };
     let max_lhs = match doc.get("max_lhs") {
         None => None,
         Some(v) => Some(
             v.as_usize()
-                .ok_or("`max_lhs` must be a non-negative integer")?,
+                .ok_or_else(|| BodyError::invalid("`max_lhs` must be a non-negative integer"))?,
         ),
     };
     let storage = match doc.get("storage").map(|v| v.as_str()) {
@@ -1049,19 +1208,25 @@ fn parse_discover(body: &[u8], allow_stream: bool) -> Result<DiscoverSpec, Strin
         Some(Some("disk")) => {
             let mb = match doc.get("cache_mb") {
                 None => 64,
-                Some(v) => v
-                    .as_usize()
-                    .ok_or("`cache_mb` must be a non-negative integer")?,
+                Some(v) => v.as_usize().ok_or_else(|| {
+                    BodyError::invalid("`cache_mb` must be a non-negative integer")
+                })?,
             };
             Storage::Disk {
                 cache_bytes: mb << 20,
             }
         }
-        Some(Some(other)) => return Err(format!("unknown storage `{other}` (memory | disk)")),
-        Some(None) => return Err("`storage` must be a string".into()),
+        Some(Some(other)) => {
+            return Err(BodyError::invalid(format!(
+                "unknown storage `{other}` (memory | disk)"
+            )))
+        }
+        Some(None) => return Err(BodyError::invalid("`storage` must be a string")),
     };
     if doc.get("cache_mb").is_some() && storage == Storage::Memory {
-        return Err("`cache_mb` only applies to `storage: \"disk\"`".into());
+        return Err(BodyError::invalid(
+            "`cache_mb` only applies to `storage: \"disk\"`",
+        ));
     }
     // Default to every available core: the search runtime is deterministic
     // in the worker count, so parallelism is free to switch on. Explicit
@@ -1069,20 +1234,24 @@ fn parse_discover(body: &[u8], allow_stream: bool) -> Result<DiscoverSpec, Strin
     let threads = match doc.get("threads") {
         None => default_threads(),
         Some(v) => {
-            let t = v.as_usize().ok_or("`threads` must be a positive integer")?;
+            let t = v
+                .as_usize()
+                .ok_or_else(|| BodyError::invalid("`threads` must be a positive integer"))?;
             if t == 0 {
-                return Err("`threads` must be at least 1".into());
+                return Err(BodyError::invalid("`threads` must be at least 1"));
             }
             t
         }
     };
     let stream = match doc.get("stream") {
         None => false,
-        Some(v) => v.as_bool().ok_or("`stream` must be a boolean")?,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| BodyError::invalid("`stream` must be a boolean"))?,
     };
-    Ok(DiscoverSpec {
+    Ok(DiscoverRequest {
         dataset,
-        epsilon,
+        mode,
         max_lhs,
         storage,
         threads,
@@ -1103,7 +1272,7 @@ fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Actio
         }
     }
     let spec = parse_discover(&request.body, versioned)
-        .map_err(|msg| ApiError::new(400, "invalid-body", msg))?;
+        .map_err(|e| ApiError::new(400, e.code, e.message))?;
     if shared.shutting_down() {
         return Err(ApiError::new(503, "shutting-down", "server shutting down"));
     }
@@ -1115,8 +1284,15 @@ fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Actio
     // of the same search, and vice versa.
     let key = CacheKey {
         dataset_hash: relation.content_hash(),
-        epsilon_bits: (spec.epsilon > 0.0).then(|| spec.epsilon.to_bits()),
+        epsilon_bits: match spec.mode {
+            DiscoverMode::Approx(e) => Some(e.to_bits()),
+            _ => None,
+        },
         max_lhs: spec.max_lhs,
+        top_k: match spec.mode {
+            DiscoverMode::TopK(k) => Some(k),
+            _ => None,
+        },
     };
 
     match shared.cache.lookup_or_claim(key) {
@@ -1155,7 +1331,7 @@ fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Actio
                 key,
                 engine: shared.registry.engine(&spec.dataset),
                 relation,
-                epsilon: spec.epsilon,
+                mode: spec.mode,
                 max_lhs: spec.max_lhs,
                 storage: spec.storage,
                 threads: spec.threads,
@@ -1199,18 +1375,19 @@ fn wait_and_respond(
 }
 
 fn respond_discover(dataset: &str, result: &CachedResult, cached: bool) -> Response {
-    Response::json(
-        200,
-        &Json::obj([
-            ("dataset", Json::Str(dataset.to_string())),
-            ("count", Json::Num(result.fds.len() as f64)),
-            ("fds", Json::str_array(result.fds.iter().cloned())),
-            ("keys", Json::str_array(result.keys.iter().cloned())),
-            ("stats", result.stats.clone()),
-            ("cached", Json::Bool(cached)),
-            ("compute_secs", Json::Num(result.compute_secs)),
-        ]),
-    )
+    let mut members = vec![
+        ("dataset", Json::Str(dataset.to_string())),
+        ("count", Json::Num(result.fds.len() as f64)),
+        ("fds", Json::str_array(result.fds.iter().cloned())),
+        ("keys", Json::str_array(result.keys.iter().cloned())),
+    ];
+    if let Some(ranked) = &result.ranked {
+        members.push(("ranked", ranked.clone()));
+    }
+    members.push(("stats", result.stats.clone()));
+    members.push(("cached", Json::Bool(cached)));
+    members.push(("compute_secs", Json::Num(result.compute_secs)));
+    Response::json(200, &Json::obj(members))
 }
 
 /// Per-stream tallies, folded into [`Metrics`] however the stream ends.
@@ -1382,10 +1559,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn discover_spec_parsing() {
+    fn discover_request_parsing() {
         let s = parse_discover(br#"{"dataset":"wbc"}"#, false).unwrap();
         assert_eq!(s.dataset, "wbc");
-        assert_eq!(s.epsilon, 0.0);
+        assert_eq!(s.mode, DiscoverMode::Exact);
         assert_eq!(s.storage, Storage::Memory);
         assert_eq!(s.threads, default_threads(), "default is all cores");
         assert!(!s.stream);
@@ -1399,7 +1576,7 @@ mod tests {
             false,
         )
         .unwrap();
-        assert_eq!(s.epsilon, 0.05);
+        assert_eq!(s.mode, DiscoverMode::Approx(0.05));
         assert_eq!(s.max_lhs, Some(3));
         assert_eq!(
             s.storage,
@@ -1409,28 +1586,47 @@ mod tests {
         );
         assert_eq!(s.threads, 2);
 
+        // Explicit epsilon 0 is the exact mode, as it always was.
+        let s = parse_discover(br#"{"dataset":"wbc","epsilon":0.0}"#, false).unwrap();
+        assert_eq!(s.mode, DiscoverMode::Exact);
+
         assert!(parse_discover(b"not json", false).is_err());
         assert!(parse_discover(br#"{"epsilon":0.1}"#, false)
             .unwrap_err()
+            .message
             .contains("dataset"));
         assert!(parse_discover(br#"{"dataset":"x","epsilon":1.5}"#, false)
             .unwrap_err()
+            .message
             .contains("[0,1]"));
         assert!(parse_discover(br#"{"dataset":"x","storage":"tape"}"#, false).is_err());
         assert!(parse_discover(br#"{"dataset":"x","threads":0}"#, false).is_err());
         assert!(parse_discover(br#"{"dataset":"x","cache_mb":4}"#, false).is_err());
-        assert!(parse_discover(br#"{"dataset":"x","typo_field":1}"#, false)
-            .unwrap_err()
-            .contains("typo_field"));
     }
 
     #[test]
-    fn stream_flag_is_versioned_only() {
-        // Legacy /discover: `stream` stays an unknown field.
-        assert!(parse_discover(br#"{"dataset":"x","stream":true}"#, false)
-            .unwrap_err()
-            .contains("stream"));
-        // /v1/discover accepts it.
+    fn unknown_fields_get_their_own_slug() {
+        let err = parse_discover(br#"{"dataset":"x","typo_field":1}"#, false).unwrap_err();
+        assert_eq!(err.code, "unknown_field");
+        assert_eq!(err.message, "unknown field `typo_field`");
+        // Other rejections keep the generic slug.
+        let err = parse_discover(b"not json", false).unwrap_err();
+        assert_eq!(err.code, "invalid-body");
+    }
+
+    #[test]
+    fn stream_and_top_k_are_versioned_only() {
+        // Legacy /discover: `stream` and `top_k` stay unknown fields, with
+        // the exact historical message bytes.
+        for body in [
+            &br#"{"dataset":"x","stream":true}"#[..],
+            &br#"{"dataset":"x","top_k":5}"#[..],
+        ] {
+            let err = parse_discover(body, false).unwrap_err();
+            assert_eq!(err.code, "unknown_field");
+            assert!(err.message.starts_with("unknown field `"));
+        }
+        // /v1/discover accepts both.
         assert!(
             parse_discover(br#"{"dataset":"x","stream":true}"#, true)
                 .unwrap()
@@ -1443,7 +1639,30 @@ mod tests {
         );
         assert!(parse_discover(br#"{"dataset":"x","stream":1}"#, true)
             .unwrap_err()
+            .message
             .contains("boolean"));
+    }
+
+    #[test]
+    fn top_k_parses_into_ranked_mode() {
+        let s = parse_discover(br#"{"dataset":"x","top_k":10}"#, true).unwrap();
+        assert_eq!(s.mode, DiscoverMode::TopK(10));
+        // k = 0 is legal: an immediately-empty ranked search.
+        let s = parse_discover(br#"{"dataset":"x","top_k":0}"#, true).unwrap();
+        assert_eq!(s.mode, DiscoverMode::TopK(0));
+        // epsilon 0 still counts as choosing the threshold contract.
+        let err = parse_discover(br#"{"dataset":"x","top_k":3,"epsilon":0.0}"#, true).unwrap_err();
+        assert!(err.message.contains("mutually exclusive"));
+        let err = parse_discover(br#"{"dataset":"x","top_k":3,"epsilon":0.1}"#, true).unwrap_err();
+        assert!(err.message.contains("mutually exclusive"));
+        assert!(parse_discover(br#"{"dataset":"x","top_k":-2}"#, true)
+            .unwrap_err()
+            .message
+            .contains("non-negative"));
+        assert!(parse_discover(br#"{"dataset":"x","top_k":"ten"}"#, true)
+            .unwrap_err()
+            .message
+            .contains("non-negative"));
     }
 
     #[test]

@@ -25,8 +25,14 @@ cargo test -q
 # meaningless; determinism down the thread column is asserted either way.
 cargo build --release -p tane-bench
 ./target/release/repro scaling --fast --assert-scaling > /dev/null
+# Ranked search gates: a cheap bounded-vs-unbounded run that asserts the
+# bounded heap is a prefix of the unbounded ranking and never adds work,
+# and the brute-force pruning-soundness oracle (heap == definitional-g3
+# pool prefix, thread-invariant, early exit answer-preserving).
+./target/release/repro topk --fast > /dev/null
+cargo test -q -p tane-core --test topk_oracle
 cargo build -p tane-server
-cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e
+cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e --test ranked_streaming_e2e
 # Parallel-runtime determinism: threads in {1,2,8} must be byte-identical
 # on both storage backends, exact and approximate mode.
 cargo test -q -p tane-core --test parallel_determinism

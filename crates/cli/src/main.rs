@@ -108,6 +108,9 @@ SERVE OPTIONS:
     --conn-requests <N>  keep-alive requests served per connection before
                          the server closes it (default 1000)
     --idle-timeout <SECS> disconnect idle keep-alive connections (default 10)
+    --disk-quota-mb <MB> per-dataset cap on spilled partition bytes for
+                         disk-backed searches; exceeding it answers 507
+                         (default 4096)
 
 LINT:
     Checks the workspace's own invariants: unsafe-audit, determinism,
@@ -334,6 +337,10 @@ fn discover(args: &[String]) -> Result<(), String> {
                 eprintln!(
                     "# disk bytes read/written: {}/{}",
                     s.disk_bytes_read, s.disk_bytes_written
+                );
+                eprintln!(
+                    "# store evictions/pins/oversized: {}/{}/{}",
+                    s.store_evictions, s.store_pins, s.oversized_resident
                 );
                 eprintln!(
                     "# parallel workers/grains: {}/{}",
@@ -629,6 +636,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             "max-conns",
             "conn-requests",
             "idle-timeout",
+            "disk-quota-mb",
         ],
     )?;
     if let Some(extra) = opts.positional.first() {
@@ -677,6 +685,13 @@ fn serve(args: &[String]) -> Result<(), String> {
             return Err("idle timeout must be at least 1 second".into());
         }
         config.idle_timeout = std::time::Duration::from_secs(secs);
+    }
+    if let Some(q) = opts.value("disk-quota-mb") {
+        let mb: u64 = q.parse().map_err(|_| format!("bad disk quota `{q}`"))?;
+        if mb == 0 {
+            return Err("disk quota must be at least 1 MB".into());
+        }
+        config.disk_quota_bytes = mb << 20;
     }
 
     tane_server::install_signal_handlers();

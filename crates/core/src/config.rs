@@ -1,5 +1,8 @@
 //! Configuration for the TANE search.
 
+use std::sync::Arc;
+use tane_partition::DiskQuota;
+
 /// Where level partitions are kept between lattice levels.
 ///
 /// The paper evaluates both variants (Section 7): the scalable **TANE**
@@ -23,10 +26,16 @@ pub enum Storage {
 /// switches exist for the ablation experiments: disabling them yields the
 /// "less effective pruning criteria" variants the paper compares against in
 /// Section 6 — the search stays correct, it just visits more of the lattice.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TaneConfig {
     /// Partition storage backend.
     pub storage: Storage,
+    /// Disk storage only: a shared quota charged for every spilled
+    /// partition byte. The server attaches one per dataset so concurrent
+    /// searches share a single disk cap; `None` (the default) means
+    /// unlimited. Configs compare equal when they share the same quota
+    /// *object* (or both have none).
+    pub disk_quota: Option<Arc<DiskQuota>>,
     /// Maximum LHS size `|X|` to consider (`None` = unrestricted). Table 3
     /// of the paper uses `|X| = 4` for some comparisons.
     pub max_lhs: Option<usize>,
@@ -44,18 +53,46 @@ pub struct TaneConfig {
     /// independent, so this parallelizes the dominant cost on row-heavy
     /// inputs without changing any result — an extension beyond the paper.
     pub threads: usize,
+    /// Disk storage with `threads > 1` only: route parent fetches through
+    /// the legacy worker-0 fetch funnel (one worker streams parent pairs
+    /// through a bounded channel) instead of letting every worker read the
+    /// shared segment store directly. The funnel is strictly slower — it
+    /// serializes all segment reads behind one thread — and exists as the
+    /// measured baseline for `repro disk-scaling`; results are identical
+    /// either way. Default `false`: direct concurrent fetches.
+    pub fetch_funnel: bool,
 }
 
 impl Default for TaneConfig {
     fn default() -> Self {
         TaneConfig {
             storage: Storage::Memory,
+            disk_quota: None,
             max_lhs: None,
             rhs_plus_pruning: true,
             key_pruning: true,
             empty_cplus_pruning: true,
             threads: 1,
+            fetch_funnel: false,
         }
+    }
+}
+
+impl PartialEq for TaneConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let quota_eq = match (&self.disk_quota, &other.disk_quota) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.storage == other.storage
+            && quota_eq
+            && self.max_lhs == other.max_lhs
+            && self.rhs_plus_pruning == other.rhs_plus_pruning
+            && self.key_pruning == other.key_pruning
+            && self.empty_cplus_pruning == other.empty_cplus_pruning
+            && self.threads == other.threads
+            && self.fetch_funnel == other.fetch_funnel
     }
 }
 
@@ -79,6 +116,20 @@ impl TaneConfig {
     pub fn with_threads(mut self, threads: usize) -> TaneConfig {
         assert!(threads >= 1, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Charge every spilled partition byte against `quota` (see
+    /// [`disk_quota`](Self::disk_quota)). No effect on memory storage.
+    pub fn with_disk_quota(mut self, quota: Arc<DiskQuota>) -> TaneConfig {
+        self.disk_quota = Some(quota);
+        self
+    }
+
+    /// Route disk-mode parent fetches through the legacy worker-0 funnel
+    /// (see [`fetch_funnel`](Self::fetch_funnel)); benchmarking baseline.
+    pub fn with_fetch_funnel(mut self) -> TaneConfig {
+        self.fetch_funnel = true;
         self
     }
 
@@ -198,6 +249,18 @@ mod tests {
         let c = TaneConfig::default().without_pruning();
         assert!(!c.rhs_plus_pruning && !c.key_pruning);
         assert!(c.empty_cplus_pruning);
+    }
+
+    #[test]
+    fn quota_and_funnel_configs() {
+        let q = Arc::new(DiskQuota::new(1024));
+        let a = TaneConfig::disk(1 << 20).with_disk_quota(q.clone());
+        let b = TaneConfig::disk(1 << 20).with_disk_quota(q);
+        assert_eq!(a, b, "same quota object compares equal");
+        let c = TaneConfig::disk(1 << 20).with_disk_quota(Arc::new(DiskQuota::new(1024)));
+        assert_ne!(a, c, "distinct quota objects are distinct configs");
+        assert!(!TaneConfig::default().fetch_funnel);
+        assert!(TaneConfig::default().with_fetch_funnel().fetch_funnel);
     }
 
     #[test]

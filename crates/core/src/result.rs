@@ -102,6 +102,17 @@ pub struct TaneStats {
     pub disk_bytes_written: u64,
     /// Peak bytes of partitions resident in memory (approximate).
     pub peak_resident_bytes: usize,
+    /// Partitions evicted from the disk store's resident cache
+    /// (disk storage only).
+    pub store_evictions: u64,
+    /// Partitions pinned resident by a read phase — each pin is one cold
+    /// fetch that the snapshot machinery kept stable for the rest of its
+    /// level (disk storage only; see DESIGN §13).
+    pub store_pins: u64,
+    /// Eviction sweeps that ended with the resident set still over the
+    /// cache budget because everything left was pinned or active — e.g. a
+    /// single partition larger than the whole budget (disk storage only).
+    pub oversized_resident: u64,
     /// Workers in the search's persistent pool (the configured `threads`;
     /// `1` means the serial, paper-faithful runtime).
     pub parallel_workers: usize,

@@ -57,8 +57,8 @@ use crate::result::{LevelEvent, TaneError, TaneResult, TaneStats};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 use tane_partition::{
-    g3_removed_rows_with_scratch, product_with_scratch, DiskStore, G3Bounds, G3Scratch,
-    MemoryStore, PartitionStore, ProductScratch, StrippedPartition,
+    g3_removed_rows_with_scratch, product_with_scratch, G3Bounds, G3Scratch, MemoryStore,
+    PartitionStore, ProductScratch, ReadPhase, SegmentStore, StrippedPartition,
 };
 use tane_relation::Relation;
 use tane_util::{adaptive_grain, canonical_fds, AttrSet, Fd, Slots, Stopwatch, WorkerPool};
@@ -281,16 +281,24 @@ impl Discovery {
 }
 
 /// Partition storage, dispatched statically per backend.
+///
+/// Reads (`get`, `elements_hint`) take `&self` and are safe from any worker
+/// thread; every mutation stays `&mut self` and therefore on the serial
+/// driver — the aliasing rules are what let the segment store run its
+/// snapshot machinery without a global lock (DESIGN §13).
 enum Store {
     Memory(MemoryStore),
-    Disk(Box<DiskStore>),
+    Disk(Box<SegmentStore>),
 }
 
 impl Store {
-    fn from_config(storage: &Storage) -> Result<Store, TaneError> {
-        Ok(match storage {
+    fn from_config(config: &TaneConfig) -> Result<Store, TaneError> {
+        Ok(match &config.storage {
             Storage::Memory => Store::Memory(MemoryStore::new()),
-            Storage::Disk { cache_bytes } => Store::Disk(Box::new(DiskStore::new(*cache_bytes)?)),
+            Storage::Disk { cache_bytes } => Store::Disk(Box::new(match &config.disk_quota {
+                Some(quota) => SegmentStore::with_quota(*cache_bytes, quota.clone())?,
+                None => SegmentStore::new(*cache_bytes)?,
+            })),
         })
     }
 
@@ -302,7 +310,7 @@ impl Store {
         Ok(())
     }
 
-    fn get(&mut self, key: AttrSet) -> Result<std::sync::Arc<StrippedPartition>, TaneError> {
+    fn get(&self, key: AttrSet) -> Result<std::sync::Arc<StrippedPartition>, TaneError> {
         Ok(match self {
             Store::Memory(s) => s.get(key)?,
             Store::Disk(s) => s.get(key)?,
@@ -313,6 +321,44 @@ impl Store {
         match self {
             Store::Memory(s) => s.remove(key),
             Store::Disk(s) => s.remove(key),
+        }
+    }
+
+    /// Declares the current batch of puts — one lattice level — complete.
+    /// The segment store seals the level's segment file (records become
+    /// immutable and `pread`-able by any worker) and releases the level's
+    /// cache pins, making grandparent levels evictable level-at-a-time.
+    fn seal_level(&mut self) -> Result<(), TaneError> {
+        match self {
+            Store::Memory(_) => Ok(()),
+            Store::Disk(s) => Ok(s.seal_level()?),
+        }
+    }
+
+    /// `‖π̂‖` of the stored partition, from index metadata alone (no I/O);
+    /// 0 if absent. Drives the parallel-dispatch gate.
+    fn elements_hint(&self, key: AttrSet) -> usize {
+        match self {
+            Store::Memory(s) => s.elements_hint(key).unwrap_or(0),
+            Store::Disk(s) => s.elements_hint(key).unwrap_or(0),
+        }
+    }
+
+    /// Opens a snapshot pin on the disk store (memory storage needs none):
+    /// partitions fetched until the matching [`end_read_phase`] stay
+    /// resident, and segments removed meanwhile stay on disk.
+    ///
+    /// [`end_read_phase`]: Store::end_read_phase
+    fn begin_read_phase(&self) -> Option<ReadPhase> {
+        match self {
+            Store::Memory(_) => None,
+            Store::Disk(s) => Some(s.begin_read_phase()),
+        }
+    }
+
+    fn end_read_phase(&self, phase: Option<ReadPhase>) {
+        if let (Store::Disk(s), Some(p)) = (self, phase) {
+            s.end_read_phase(p);
         }
     }
 
@@ -334,6 +380,14 @@ impl Store {
         match self {
             Store::Memory(_) => (0, 0),
             Store::Disk(s) => (s.disk_bytes_read(), s.disk_bytes_written()),
+        }
+    }
+
+    /// (evictions, snapshot pins, oversized-resident sweeps).
+    fn cache_counters(&self) -> (u64, u64, u64) {
+        match self {
+            Store::Memory(_) => (0, 0, 0),
+            Store::Disk(s) => (s.evictions(), s.snapshot_pins(), s.oversized_resident()),
         }
     }
 }
@@ -362,10 +416,14 @@ struct ParallelRuntime {
     /// Accumulated time the product stage waited on partition fetches
     /// (see [`TaneStats::fetch_stall`]).
     fetch_stall: Duration,
+    /// Route disk-mode parent fetches through the legacy worker-0 funnel
+    /// instead of direct concurrent reads (benchmark baseline; see
+    /// [`TaneConfig::fetch_funnel`]).
+    fetch_funnel: bool,
 }
 
 impl ParallelRuntime {
-    fn new(threads: usize, n_rows: usize) -> ParallelRuntime {
+    fn new(threads: usize, n_rows: usize, fetch_funnel: bool) -> ParallelRuntime {
         let pool = WorkerPool::new(threads);
         ParallelRuntime {
             product_scratches: (0..threads)
@@ -376,6 +434,7 @@ impl ParallelRuntime {
                 .collect(),
             pool,
             fetch_stall: Duration::ZERO,
+            fetch_funnel,
         }
     }
 
@@ -387,18 +446,21 @@ impl ParallelRuntime {
 
     /// The level's products, in candidate order, with the caller's serial
     /// `driver` tail overlapped against the compute whenever the pool is
-    /// engaged (memory backend): workers chew through the products while
-    /// the driver thread runs `driver()` — the observer event and the
-    /// approximate-mode superkey-closure scan of the *previous* level —
-    /// and only then joins in as worker 0. The driver closure must not
-    /// read any product output; it runs concurrently with them.
+    /// engaged: workers chew through the products while the driver thread
+    /// runs `driver()` — the observer event and the approximate-mode
+    /// superkey-closure scan of the *previous* level — and only then joins
+    /// in as worker 0. The driver closure must not read any product
+    /// output; it runs concurrently with them.
     ///
-    /// Parents are fetched from the store on this thread, in candidate
-    /// order — identical to the serial path, so disk-cache evolution and
-    /// read counters never depend on the worker count. For the disk
-    /// backend the fetches are pipelined with the products instead (see
-    /// [`pipelined_products`]; `driver` runs first there, so streaming
-    /// observers never wait behind the pipeline).
+    /// Workers fetch their own parents straight from the shared store
+    /// (`get` is `&self`): disk reads from different workers proceed
+    /// concurrently as positioned reads of sealed segments, coalesced by
+    /// the store's single-flight cache. The whole batch runs inside one
+    /// *read phase*, so every distinct parent costs exactly one disk read
+    /// no matter how many workers ask or in what order — the disk-read
+    /// counters stay byte-identical across worker counts, which is what
+    /// keeps the §9 determinism argument intact now that fetch *timing* is
+    /// no longer serialized (DESIGN §13).
     fn products_overlapped(
         &mut self,
         store: &mut Store,
@@ -409,42 +471,71 @@ impl ParallelRuntime {
             driver();
             return Ok(Vec::new());
         }
-        // Disk parents mean real I/O per fetch: overlap it with compute
-        // whenever there is a second worker to compute on.
-        if self.pool.threads() > 1 && matches!(store, Store::Disk(_)) {
+        // Work estimate from index metadata alone — no partition is
+        // touched before the phase opens, so the gate decision is I/O-free
+        // and identical at every thread count.
+        let est: usize = candidates
+            .iter()
+            .map(|c| store.elements_hint(c.parent_a) + store.elements_hint(c.parent_b))
+            .sum();
+        let phase = store.begin_read_phase();
+        let result = self.products_inner(store, candidates, est, driver);
+        store.end_read_phase(phase);
+        result
+    }
+
+    fn products_inner(
+        &mut self,
+        store: &Store,
+        candidates: &[NextLevelCandidate],
+        est: usize,
+        driver: impl FnOnce(),
+    ) -> Result<Vec<(AttrSet, StrippedPartition)>, TaneError> {
+        // Benchmark baseline: the legacy worker-0 fetch funnel, which
+        // serializes every segment read behind one thread.
+        if self.fetch_funnel && self.pool.threads() > 1 && matches!(store, Store::Disk(_)) {
             driver();
             return self.pipelined_products(store, candidates);
         }
-        let fetch_sw = Stopwatch::start();
-        let mut fetched = Vec::with_capacity(candidates.len());
-        for cand in candidates {
-            let pa = store.get(cand.parent_a)?;
-            let pb = store.get(cand.parent_b)?;
-            fetched.push((cand.set, pa, pb));
-        }
-        self.fetch_stall += fetch_sw.elapsed();
-        let est: usize = fetched
-            .iter()
-            .map(|(_, pa, pb)| pa.num_elements() + pb.num_elements())
-            .sum();
         if self.engage(est) {
+            let pool = &self.pool;
             let scratches = &self.product_scratches;
-            let grain = adaptive_grain(fetched.len(), est, self.pool.threads());
-            Ok(self.pool.run_indexed_overlapped(
-                fetched.len(),
+            let grain = adaptive_grain(candidates.len(), est, self.pool.threads());
+            let slots = self.pool.run_indexed_overlapped(
+                candidates.len(),
                 grain,
-                {
-                    let fetched = &fetched;
-                    move |worker, i| {
-                        let (set, pa, pb) = &fetched[i];
+                move |worker, i| {
+                    let cand = &candidates[i];
+                    let fetch_sw = Stopwatch::start();
+                    let pair = store
+                        .get(cand.parent_a)
+                        .and_then(|pa| store.get(cand.parent_b).map(|pb| (pa, pb)));
+                    pool.add_stall(worker, fetch_sw.elapsed());
+                    pair.map(|(pa, pb)| {
                         let mut scratch = scratches[worker].lock().expect("product scratch");
-                        (*set, product_with_scratch(pa, pb, &mut scratch))
-                    }
+                        (cand.set, product_with_scratch(&pa, &pb, &mut scratch))
+                    })
                 },
                 driver,
-            ))
+            );
+            // Slots are gathered in candidate order, so on failure the
+            // error reported is the first failing *candidate*, independent
+            // of which worker hit an error first.
+            let mut out = Vec::with_capacity(slots.len());
+            for slot in slots {
+                out.push(slot?);
+            }
+            Ok(out)
         } else {
             driver();
+            let fetch_sw = Stopwatch::start();
+            let mut fetched = Vec::with_capacity(candidates.len());
+            for cand in candidates {
+                let pa = store.get(cand.parent_a)?;
+                let pb = store.get(cand.parent_b)?;
+                fetched.push((cand.set, pa, pb));
+            }
+            self.fetch_stall += fetch_sw.elapsed();
             let busy_sw = Stopwatch::start();
             let mut scratch = self.product_scratches[0].lock().expect("product scratch");
             let out = fetched
@@ -457,17 +548,16 @@ impl ParallelRuntime {
         }
     }
 
-    /// Disk-backend products with fetch/compute overlap: worker 0 owns the
-    /// store and streams parent pairs — in candidate order, so disk-cache
-    /// evolution matches the serial path — through a bounded channel;
-    /// every other worker (and worker 0 itself, once the last fetch is
-    /// sent) computes products into index-addressed slots. Segment reads
-    /// overlap products instead of completing serially before the first
-    /// product starts; the workers' blocked-on-channel time is the
-    /// pipeline's residual fetch stall.
+    /// The legacy disk-backend pipeline, kept behind
+    /// [`TaneConfig::fetch_funnel`] as the measured baseline for
+    /// `repro disk-scaling`: worker 0 streams parent pairs — in candidate
+    /// order — through a bounded channel; every other worker (and worker 0
+    /// itself, once the last fetch is sent) computes products into
+    /// index-addressed slots. All segment reads serialize behind worker 0,
+    /// which is exactly the bottleneck the shared-read store removes.
     fn pipelined_products(
         &mut self,
-        store: &mut Store,
+        store: &Store,
         candidates: &[NextLevelCandidate],
     ) -> Result<Vec<(AttrSet, StrippedPartition)>, TaneError> {
         type Item = (
@@ -480,7 +570,6 @@ impl ParallelRuntime {
         let (tx, rx) = mpsc::sync_channel::<Item>(depth);
         let tx = Mutex::new(Some(tx));
         let rx = Mutex::new(rx);
-        let store = Mutex::new(store);
         let fetch_err: Mutex<Option<TaneError>> = Mutex::new(None);
         let slots: Slots<(AttrSet, StrippedPartition)> = Slots::new(candidates.len());
         let pool = &self.pool;
@@ -488,7 +577,6 @@ impl ParallelRuntime {
         pool.run(&|worker| {
             if worker == 0 {
                 let tx = tx.lock().expect("sender").take().expect("fetcher sender");
-                let mut store = store.lock().expect("store");
                 'fetch: for (i, cand) in candidates.iter().enumerate() {
                     let pair = store
                         .get(cand.parent_a)
@@ -622,10 +710,10 @@ fn run(
         });
     }
 
-    let mut store = Store::from_config(&config.storage)?;
+    let mut store = Store::from_config(config)?;
     // The whole parallel runtime — pool threads and per-worker scratch
     // tables — is allocated here, once, and reused by every level.
-    let mut runtime = ParallelRuntime::new(config.threads, n_rows);
+    let mut runtime = ParallelRuntime::new(config.threads, n_rows, config.fetch_funnel);
 
     // L_0 = {∅} with C⁺(∅) = R. Its partition is the one-class π_∅,
     // needed by approximate validity tests at level 1.
@@ -655,6 +743,9 @@ fn run(
         });
         store.put(set, pi)?;
     }
+    // Levels 0 and 1 are fully written: seal them so their records are
+    // immutable on disk and readable by any worker from here on.
+    store.seal_level()?;
 
     let mut ell = 1usize;
     while !current.is_empty() {
@@ -672,7 +763,7 @@ fn run(
             mode,
             &mut current,
             &prev_level,
-            &mut store,
+            &store,
             &runtime,
             &mut stats,
             &mut disc,
@@ -838,6 +929,10 @@ fn run(
             store.put(set, pi)?;
         }
         stats.peak_resident_bytes = stats.peak_resident_bytes.max(store.resident_bytes());
+        // Level ℓ+1 is fully written: seal its segment (records become
+        // immutable for concurrent reads) and release level ℓ's cache
+        // pins — level-at-a-time eviction of the grandparent level.
+        store.seal_level()?;
 
         // Partitions of deleted level-ℓ entries never participate in
         // products (deleted sets do not join); free them now.
@@ -857,6 +952,10 @@ fn run(
     stats.disk_writes = writes;
     stats.disk_bytes_read = bytes_read;
     stats.disk_bytes_written = bytes_written;
+    let (evictions, pins, oversized) = store.cache_counters();
+    stats.store_evictions = evictions;
+    stats.store_pins = pins;
+    stats.oversized_resident = oversized;
     stats.parallel_workers = runtime.pool.threads();
     let totals = runtime.pool.totals();
     stats.parallel_grains = totals.claims;
@@ -957,7 +1056,7 @@ fn compute_dependencies(
     mode: Mode,
     current: &mut Level,
     prev: &Level,
-    store: &mut Store,
+    store: &Store,
     runtime: &ParallelRuntime,
     stats: &mut TaneStats,
     disc: &mut Discovery,
@@ -1110,7 +1209,7 @@ enum TestDecision {
 fn decide_approx_tests(
     current: &Level,
     prev: &Level,
-    store: &mut Store,
+    store: &Store,
     runtime: &ParallelRuntime,
     stats: &mut TaneStats,
     epsilon: f64,
@@ -1207,7 +1306,7 @@ enum TopKDecision {
 fn decide_topk_tests(
     current: &Level,
     prev: &Level,
-    store: &mut Store,
+    store: &Store,
     runtime: &ParallelRuntime,
     stats: &mut TaneStats,
     rank: &mut RankState,

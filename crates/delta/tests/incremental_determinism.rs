@@ -112,6 +112,19 @@ fn observable(levels: &[LevelEvent], result: &TaneResult, schema: &Schema) -> St
 }
 
 fn assert_incremental_matches_cold(threads: usize, epsilon: Option<f64>) {
+    assert_incremental_matches_cold_on(threads, epsilon, TaneConfig::default());
+}
+
+/// The disk-backed variant: a cache budget small enough that the segment
+/// store actually spills and reads back, so merge-and-reverify exercises
+/// the shared-read snapshot machinery (DESIGN §13) across generation
+/// bumps.
+fn assert_incremental_matches_cold_on_disk(threads: usize, epsilon: Option<f64>) {
+    assert_incremental_matches_cold_on(threads, epsilon, TaneConfig::disk(8 << 10));
+}
+
+fn assert_incremental_matches_cold_on(threads: usize, epsilon: Option<f64>, base: TaneConfig) {
+    let disk = base.storage != tane_core::Storage::Memory;
     let engine = churned_engine();
     let merged = engine.merged();
     let sch = merged.schema().clone();
@@ -120,7 +133,7 @@ fn assert_incremental_matches_cold(threads: usize, epsilon: Option<f64>) {
     let mut cold_levels = Vec::new();
     let (inc, cold) = match epsilon {
         None => {
-            let cfg = TaneConfig::default().with_threads(threads);
+            let cfg = base.with_threads(threads);
             let inc = engine
                 .discover_exact_with(&cfg, |ev| inc_levels.push(ev))
                 .unwrap();
@@ -129,7 +142,7 @@ fn assert_incremental_matches_cold(threads: usize, epsilon: Option<f64>) {
         }
         Some(eps) => {
             let mut cfg = ApproxTaneConfig::new(eps);
-            cfg.base = cfg.base.with_threads(threads);
+            cfg.base = base.with_threads(threads);
             let inc = engine
                 .discover_approx_with(&cfg, |ev| inc_levels.push(ev))
                 .unwrap();
@@ -159,6 +172,15 @@ fn assert_incremental_matches_cold(threads: usize, epsilon: Option<f64>) {
         cold.stats.products,
         "every node is either supplied or producted"
     );
+    if disk {
+        assert!(
+            cold.stats.disk_writes > 0 && cold.stats.disk_reads > 0,
+            "the tiny cache budget must force real spills and read-backs \
+             ({} writes, {} reads)",
+            cold.stats.disk_writes,
+            cold.stats.disk_reads
+        );
+    }
 }
 
 #[test]
@@ -179,6 +201,21 @@ fn approx_single_threaded() {
 #[test]
 fn approx_eight_threads() {
     assert_incremental_matches_cold(8, Some(0.05));
+}
+
+#[test]
+fn exact_disk_single_threaded() {
+    assert_incremental_matches_cold_on_disk(1, None);
+}
+
+#[test]
+fn exact_disk_eight_threads() {
+    assert_incremental_matches_cold_on_disk(8, None);
+}
+
+#[test]
+fn approx_disk_eight_threads() {
+    assert_incremental_matches_cold_on_disk(8, Some(0.05));
 }
 
 /// The merged view is the ground truth: discovery through the engine on a

@@ -1,7 +1,9 @@
 //! R3 `lock-discipline`: no undeclared lock nesting, no unhandled poison.
 //!
-//! The server is the only crate holding multiple mutexes (cache, queue,
-//! registry, metrics, per-flight slots). Two invariants keep it
+//! Two crates hold multiple locks: the server (cache, queue, registry,
+//! metrics, per-flight slots) and the partition crate's concurrent
+//! segment store (clock queue, cache shards, single-flight slots, handle
+//! cache, snapshot tracker — DESIGN §13). Two invariants keep them
 //! deadlock-free and panic-tolerant:
 //!
 //! 1. **Nesting must be declared.** Acquiring a lock while a guard from
@@ -26,16 +28,27 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Kind, Tok};
 use crate::RULE_LOCK;
 
-pub const SCOPE: &str = "crates/server/src";
+pub const SCOPES: &[&str] = &["crates/server/src", "crates/partition/src"];
 
-/// Declared legal nestings: (outer, inner) lock names. Empty today — the
-/// server holds at most one lock at a time by design (`publish` drops the
-/// cache guard before filling the flight). Growing this table is the
-/// explicit, reviewed act the rule exists to force.
-pub const LOCK_ORDER: &[(&str, &str)] = &[];
+/// Declared legal nestings: (outer, inner) lock names. The server still
+/// holds at most one lock at a time by design (`publish` drops the cache
+/// guard before filling the flight). The segment store declares exactly
+/// two nestings, forming the total order `clock < shard < done`:
+///
+/// * `("clock", "shard")` — eviction walks the clock queue and dips into
+///   the owning shard per popped key; `seal_level` enqueues a level under
+///   the same order.
+/// * `("shard", "done")` — publishing a loaded partition installs the
+///   cache entry and completes the single-flight slot in one critical
+///   section, so no reader can observe the `Loading` marker after its
+///   waiters were woken.
+///
+/// Growing this table is the explicit, reviewed act the rule exists to
+/// force.
+pub const LOCK_ORDER: &[(&str, &str)] = &[("clock", "shard"), ("shard", "done")];
 
 pub fn in_scope(path: &str) -> bool {
-    path.contains(SCOPE)
+    SCOPES.iter().any(|s| path.contains(s))
 }
 
 #[derive(Debug)]

@@ -1,0 +1,40 @@
+//! R3 triggers against the segment store's lock names: the declared
+//! nestings (`clock` → `shard`, `shard` → `done`) must pass, an
+//! undeclared inversion (`shard` → `clock`) must fire, and a bare
+//! `.lock().unwrap()` must fire as poison propagation.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    clock: Mutex<Vec<u64>>,
+    shard: Mutex<u32>,
+    done: Mutex<bool>,
+}
+
+impl Store {
+    /// Declared order `clock` → `shard` (the eviction sweep): no nesting
+    /// diagnostic may fire here.
+    pub fn evict(&self) -> u32 {
+        let clock = self.clock.lock().unwrap_or_else(|e| e.into_inner());
+        let shard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = clock.len();
+        *shard
+    }
+
+    /// Declared order `shard` → `done` (publish): the nesting passes, but
+    /// the bare unwrap on `done` is one poison diagnostic.
+    pub fn publish(&self) -> u32 {
+        let shard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
+        let done = self.done.lock().unwrap();
+        let _ = *done;
+        *shard
+    }
+
+    /// Inverted order: acquiring `clock` while holding `shard` is NOT in
+    /// LOCK_ORDER and must produce a "while holding" diagnostic.
+    pub fn inverted(&self) -> u64 {
+        let shard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
+        let clock = self.clock.lock().unwrap_or_else(|e| e.into_inner());
+        u64::from(*shard) + clock.len() as u64
+    }
+}

@@ -110,6 +110,39 @@ fn lock_discipline_flags_nesting_and_poison() {
 }
 
 #[test]
+fn lock_discipline_covers_the_segment_store() {
+    // The partition crate's concurrent segment store is the second
+    // multi-lock surface (DESIGN §13). Its two declared nestings
+    // (`clock` → `shard`, `shard` → `done`) must pass; an inverted
+    // acquisition and a bare `.lock().unwrap()` must fire.
+    let (path, src) = fixture("crates/partition/src/store_lock_trigger.rs");
+    let diags = lint_source(&path, &src);
+    assert!(diags.iter().all(|d| d.rule == RULE_LOCK), "{diags:?}");
+    let nesting: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message.contains("while holding"))
+        .collect();
+    assert_eq!(
+        nesting.len(),
+        1,
+        "only the inverted `shard` → `clock` nesting fires: {diags:?}"
+    );
+    assert!(
+        nesting[0].message.contains("`clock` while holding `shard`"),
+        "{}",
+        nesting[0].message
+    );
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("poison"))
+            .count(),
+        1,
+        "one bare `.lock().unwrap()` on `done`: {diags:?}"
+    );
+}
+
+#[test]
 fn error_hygiene_flags_panics_in_handlers_but_not_init() {
     let (path, src) = fixture("crates/server/src/hygiene_trigger.rs");
     let diags = lint_source(&path, &src);

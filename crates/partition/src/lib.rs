@@ -45,5 +45,8 @@ pub use full::Partition;
 pub use g3::{g3_error, g3_removed_rows, g3_removed_rows_with_scratch, G3Bounds, G3Scratch};
 pub use measures::{g1_error, g1_violating_pairs, g2_error, g2_violating_rows, MeasureScratch};
 pub use product::{product, product_with_scratch, ProductScratch};
-pub use store::{DiskStore, MemoryStore, PartitionStore, StoreError};
+pub use store::{
+    failpoint, DiskQuota, DiskStore, MemoryStore, PartitionStore, ReadPhase, SegmentStore,
+    StoreError,
+};
 pub use stripped::StrippedPartition;

@@ -406,6 +406,7 @@ fn status_text(status: u16) -> &'static str {
         501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
+        507 => "Insufficient Storage",
         _ => "Status",
     }
 }

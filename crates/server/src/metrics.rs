@@ -63,6 +63,9 @@ pub struct Metrics {
     level_times: Mutex<Vec<LevelAgg>>,
     disk_bytes_read: AtomicU64,
     disk_bytes_written: AtomicU64,
+    store_evictions: AtomicU64,
+    store_pins: AtomicU64,
+    store_oversized_resident: AtomicU64,
     parallel_grains: AtomicU64,
     worker_steals: AtomicU64,
     worker_parks: AtomicU64,
@@ -98,6 +101,9 @@ impl Metrics {
             level_times: Mutex::new(Vec::new()),
             disk_bytes_read: AtomicU64::new(0),
             disk_bytes_written: AtomicU64::new(0),
+            store_evictions: AtomicU64::new(0),
+            store_pins: AtomicU64::new(0),
+            store_oversized_resident: AtomicU64::new(0),
             parallel_grains: AtomicU64::new(0),
             worker_steals: AtomicU64::new(0),
             worker_parks: AtomicU64::new(0),
@@ -116,6 +122,12 @@ impl Metrics {
             .fetch_add(stats.disk_bytes_read, Ordering::Relaxed);
         self.disk_bytes_written
             .fetch_add(stats.disk_bytes_written, Ordering::Relaxed);
+        self.store_evictions
+            .fetch_add(stats.store_evictions, Ordering::Relaxed);
+        self.store_pins
+            .fetch_add(stats.store_pins, Ordering::Relaxed);
+        self.store_oversized_resident
+            .fetch_add(stats.oversized_resident, Ordering::Relaxed);
         self.parallel_grains
             .fetch_add(stats.parallel_grains, Ordering::Relaxed);
         self.worker_steals
@@ -259,6 +271,17 @@ impl Metrics {
                         n(self.disk_bytes_written.load(Ordering::Relaxed)),
                     ),
                     (
+                        "store",
+                        Json::obj([
+                            ("evictions", n(self.store_evictions.load(Ordering::Relaxed))),
+                            ("pins", n(self.store_pins.load(Ordering::Relaxed))),
+                            (
+                                "oversized_resident",
+                                n(self.store_oversized_resident.load(Ordering::Relaxed)),
+                            ),
+                        ]),
+                    ),
+                    (
                         "parallel_grains",
                         n(self.parallel_grains.load(Ordering::Relaxed)),
                     ),
@@ -332,6 +355,9 @@ mod tests {
         let mut stats = TaneStats::default();
         stats.level_times = vec![Duration::from_millis(10), Duration::from_millis(5)];
         stats.disk_bytes_written = 1024;
+        stats.store_evictions = 7;
+        stats.store_pins = 9;
+        stats.oversized_resident = 1;
         stats.parallel_grains = 12;
         stats.worker_steals = 3;
         stats.worker_parks = 5;
@@ -410,6 +436,10 @@ mod tests {
             Some(2048)
         );
         assert_eq!(search.get("parallel_grains").unwrap().as_usize(), Some(24));
+        let store = search.get("store").unwrap();
+        assert_eq!(store.get("evictions").unwrap().as_usize(), Some(14));
+        assert_eq!(store.get("pins").unwrap().as_usize(), Some(18));
+        assert_eq!(store.get("oversized_resident").unwrap().as_usize(), Some(2));
         assert_eq!(search.get("worker_steals").unwrap().as_usize(), Some(6));
         assert_eq!(search.get("worker_parks").unwrap().as_usize(), Some(10));
         let spin = search.get("worker_spin_secs").unwrap().as_f64().unwrap();

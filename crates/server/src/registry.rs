@@ -13,8 +13,14 @@
 
 use std::sync::{Arc, RwLock};
 use tane_delta::{DatasetEngine, EngineLimits};
+use tane_partition::DiskQuota;
 use tane_relation::{NullSemantics, Relation};
 use tane_util::FxHashMap;
+
+/// Default per-dataset disk quota when the server is not told otherwise:
+/// generous enough that only a runaway search (or a deliberately tiny
+/// override in tests) ever hits it.
+pub const DEFAULT_DISK_QUOTA_BYTES: u64 = 4 << 30;
 
 /// What [`DatasetRegistry::remove`] decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +53,11 @@ impl Stored {
 /// Thread-safe name → dataset map.
 pub struct DatasetRegistry {
     inner: RwLock<FxHashMap<String, Stored>>,
+    /// One [`DiskQuota`] per dataset name, created lazily on the first
+    /// disk-backed search and shared by every concurrent search of that
+    /// dataset — the per-dataset spill cap DESIGN §13 describes.
+    quotas: RwLock<FxHashMap<String, Arc<DiskQuota>>>,
+    quota_limit: u64,
 }
 
 impl Default for DatasetRegistry {
@@ -56,11 +67,40 @@ impl Default for DatasetRegistry {
 }
 
 impl DatasetRegistry {
-    /// An empty registry (built-ins materialize on first use).
+    /// An empty registry (built-ins materialize on first use) with the
+    /// default per-dataset disk quota.
     pub fn new() -> DatasetRegistry {
+        DatasetRegistry::with_disk_quota(DEFAULT_DISK_QUOTA_BYTES)
+    }
+
+    /// An empty registry whose disk-backed searches are each capped at
+    /// `quota_limit` spilled bytes per dataset.
+    pub fn with_disk_quota(quota_limit: u64) -> DatasetRegistry {
         DatasetRegistry {
             inner: RwLock::new(FxHashMap::default()),
+            quotas: RwLock::new(FxHashMap::default()),
+            quota_limit,
         }
+    }
+
+    /// The shared disk quota for `name`. Every disk-backed search of the
+    /// same dataset charges the same quota object, so their combined spill
+    /// is what the cap bounds; distinct datasets never contend.
+    pub fn disk_quota(&self, name: &str) -> Arc<DiskQuota> {
+        if let Some(q) = self
+            .quotas
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return Arc::clone(q);
+        }
+        let mut quotas = self.quotas.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            quotas
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(DiskQuota::new(self.quota_limit))),
+        )
     }
 
     /// Resolves `name` to the current relation: uploads see their merged
@@ -113,13 +153,17 @@ impl DatasetRegistry {
         if Self::is_builtin(name) {
             return RemoveOutcome::Builtin;
         }
-        let removed = self
-            .inner
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(name)
-            .is_some();
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let removed = inner.remove(name).is_some();
+        drop(inner);
         if removed {
+            // A future re-upload starts a fresh lineage, so it gets a fresh
+            // quota too. In-flight searches keep their Arc; their charges
+            // release as their stores drop.
+            self.quotas
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(name);
             RemoveOutcome::Removed
         } else {
             RemoveOutcome::NotFound
@@ -273,6 +317,23 @@ mod tests {
             .list()
             .iter()
             .any(|(n, shape)| n == "mut" && *shape == Some((3, 2))));
+    }
+
+    #[test]
+    fn disk_quotas_are_shared_per_dataset_and_reset_on_removal() {
+        let reg = DatasetRegistry::with_disk_quota(1 << 20);
+        let a = reg.disk_quota("chess");
+        let b = reg.disk_quota("chess");
+        assert!(Arc::ptr_eq(&a, &b), "one quota per dataset");
+        assert_eq!(a.limit(), 1 << 20);
+        let other = reg.disk_quota("adult");
+        assert!(!Arc::ptr_eq(&a, &other), "datasets never share a quota");
+        // Removal retires the quota with the lineage.
+        reg.insert("mine", csv_like(&[["x", "1"]]));
+        let before = reg.disk_quota("mine");
+        assert_eq!(reg.remove("mine"), RemoveOutcome::Removed);
+        reg.insert("mine", csv_like(&[["y", "2"]]));
+        assert!(!Arc::ptr_eq(&before, &reg.disk_quota("mine")));
     }
 
     #[test]

@@ -134,6 +134,11 @@ pub struct ServerConfig {
     /// How long a keep-alive connection may sit idle *between* requests
     /// before the server disconnects it.
     pub idle_timeout: Duration,
+    /// Bytes of spilled partitions one dataset's disk-backed searches may
+    /// hold on disk at once, across all of its concurrent searches
+    /// (per-dataset, not global). Exceeding it fails the search with
+    /// HTTP 507 `disk-quota-exceeded`.
+    pub disk_quota_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +153,7 @@ impl Default for ServerConfig {
             max_connections: 1024,
             max_requests_per_conn: 1000,
             idle_timeout: Duration::from_secs(10),
+            disk_quota_bytes: crate::registry::DEFAULT_DISK_QUOTA_BYTES,
         }
     }
 }
@@ -161,6 +167,9 @@ struct Job {
     max_lhs: Option<usize>,
     storage: Storage,
     threads: usize,
+    /// The dataset's shared disk quota, attached for disk-backed searches
+    /// so concurrent spills of the same dataset share one cap.
+    quota: Option<Arc<tane_partition::DiskQuota>>,
     /// A streaming handler's level-event channel, when the claiming
     /// request asked to stream. Bounded ([`STREAM_EVENT_DEPTH`]); dropped
     /// receivers turn sends into no-ops rather than errors that stop the
@@ -234,7 +243,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            registry: DatasetRegistry::new(),
+            registry: DatasetRegistry::with_disk_quota(config.disk_quota_bytes),
             cache: ResultCache::new(config.cache_capacity),
             queue: JobQueue::new(config.queue_capacity),
             metrics: Metrics::new(config.workers),
@@ -357,6 +366,7 @@ fn worker_loop(shared: &Shared) {
 fn run_job(shared: &Shared, job: Job) -> JobResult {
     let base = TaneConfig {
         storage: job.storage,
+        disk_quota: job.quota,
         max_lhs: job.max_lhs,
         threads: job.threads,
         ..TaneConfig::default()
@@ -509,6 +519,9 @@ fn shape_result(relation: &Relation, result: &TaneResult, levels: Vec<String>) -
         ("disk_writes", Json::Num(s.disk_writes as f64)),
         ("disk_bytes_read", Json::Num(s.disk_bytes_read as f64)),
         ("disk_bytes_written", Json::Num(s.disk_bytes_written as f64)),
+        ("store_evictions", Json::Num(s.store_evictions as f64)),
+        ("store_pins", Json::Num(s.store_pins as f64)),
+        ("oversized_resident", Json::Num(s.oversized_resident as f64)),
         ("parallel_workers", Json::Num(s.parallel_workers as f64)),
         ("parallel_grains", Json::Num(s.parallel_grains as f64)),
         ("worker_steals", Json::Num(s.worker_steals as f64)),
@@ -747,6 +760,15 @@ fn flight_error(msg: String) -> ApiError {
         ApiError::new(503, "shutting-down", msg)
     } else if msg.contains("queue full") {
         ApiError::new(503, "queue-full", msg)
+    } else if msg.contains("disk quota exceeded") {
+        // `StoreError::QuotaExceeded` through `TaneError::Store`: the
+        // dataset's spill cap, not a server fault — RFC 4918's 507.
+        ApiError::new(507, "disk-quota-exceeded", msg)
+    } else if msg.contains("corrupt partition record") {
+        // `StoreError::Corrupt`: a damaged or truncated segment record.
+        // Surfaced as a plain 500 with its own slug; the server keeps
+        // serving (the store never panics on corruption).
+        ApiError::new(500, "store-corrupt", msg)
     } else {
         ApiError::new(500, "search-failed", msg)
     }
@@ -1327,6 +1349,10 @@ fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Actio
             } else {
                 (None, None)
             };
+            let quota = match spec.storage {
+                Storage::Disk { .. } => Some(shared.registry.disk_quota(&spec.dataset)),
+                Storage::Memory => None,
+            };
             let job = Job {
                 key,
                 engine: shared.registry.engine(&spec.dataset),
@@ -1335,6 +1361,7 @@ fn discover(shared: &Shared, request: &Request, versioned: bool) -> Result<Actio
                 max_lhs: spec.max_lhs,
                 storage: spec.storage,
                 threads: spec.threads,
+                quota,
                 events,
             };
             if let Err((job, e)) = shared.queue.push(job) {

@@ -1,0 +1,140 @@
+//! Storage-fault end-to-end tests: a corrupt segment read and a blown
+//! per-dataset disk quota must each come back as a structured `/v1` error
+//! envelope — never a panic — and the server must keep serving afterwards.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tane_server::{Server, ServerConfig};
+use tane_util::Json;
+
+/// The injected-fault machinery is process-global, so the tests in this
+/// binary take turns: a quota test must never observe another test's armed
+/// corruption countdown.
+static FAULT_SERIAL: Mutex<()> = Mutex::new(());
+
+fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {raw:.60}"));
+    let body_text = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let parsed = Json::parse(body_text).unwrap_or_else(|e| panic!("bad body ({e:?}): {body_text}"));
+    (status, parsed)
+}
+
+/// The `/v1` error envelope's `(code, message)`.
+fn envelope(body: &Json) -> (String, String) {
+    let err = body.get("error").expect("error envelope");
+    (
+        err.get("code")
+            .and_then(Json::as_str)
+            .expect("code")
+            .to_string(),
+        err.get("message")
+            .and_then(Json::as_str)
+            .expect("message")
+            .to_string(),
+    )
+}
+
+/// A disk-mode discover body with a zero-byte cache, so parent fetches are
+/// guaranteed to hit the segment files (where the fault is armed).
+fn disk_body() -> &'static [u8] {
+    br#"{"dataset":"lymphography","storage":"disk","cache_mb":0,"max_lhs":2}"#
+}
+
+#[test]
+fn corrupt_segment_read_is_a_500_envelope_and_the_server_survives() {
+    let _serial = FAULT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Every disk read fails while the fault is armed (the level retry
+    // budget is irrelevant: there is none — the first corrupt record
+    // fails the search).
+    tane_partition::failpoint::arm_corrupt_reads(u64::MAX);
+    let (status, body) = call(addr, "POST", "/v1/discover", disk_body());
+    tane_partition::failpoint::disarm();
+    assert_eq!(status, 500, "{body:?}");
+    let (code, message) = envelope(&body);
+    assert_eq!(code, "store-corrupt", "{body:?}");
+    assert!(
+        message.contains("corrupt partition record"),
+        "envelope carries the store's diagnosis: {message}"
+    );
+
+    // The worker survived the failed job: the same request now succeeds,
+    // and the answer matches an in-memory run of the same search.
+    let (status, healthy) = call(addr, "POST", "/v1/discover", disk_body());
+    assert_eq!(status, 200, "{healthy:?}");
+    let disk_fds = healthy.get("fds").unwrap().render();
+    let (status, memory) = call(
+        addr,
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"lymphography","max_lhs":2}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        memory.get("fds").unwrap().render(),
+        disk_fds,
+        "post-fault disk search answers byte-identically"
+    );
+    let (status, _) = call(addr, "GET", "/v1/health", b"");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn blown_disk_quota_is_a_507_envelope_scoped_to_the_dataset() {
+    let _serial = FAULT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // A quota no real search fits in: the very first spilled partition
+    // blows it.
+    let config = ServerConfig {
+        disk_quota_bytes: 64,
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = call(addr, "POST", "/v1/discover", disk_body());
+    assert_eq!(status, 507, "{body:?}");
+    let (code, message) = envelope(&body);
+    assert_eq!(code, "disk-quota-exceeded", "{body:?}");
+    assert!(
+        message.contains("disk quota exceeded"),
+        "envelope names the quota: {message}"
+    );
+
+    // The quota caps *disk* spill only — the same search in memory (and
+    // with it the dataset) stays fully usable.
+    let (status, memory) = call(
+        addr,
+        "POST",
+        "/v1/discover",
+        br#"{"dataset":"lymphography","max_lhs":2}"#,
+    );
+    assert_eq!(status, 200, "{memory:?}");
+    assert!(memory.get("fds").unwrap().as_array().is_some());
+
+    server.shutdown();
+    server.wait();
+}

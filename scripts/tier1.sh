@@ -25,6 +25,15 @@ cargo test -q
 # meaningless; determinism down the thread column is asserted either way.
 cargo build --release -p tane-bench
 ./target/release/repro scaling --fast --assert-scaling > /dev/null
+# Segment-store fetch paths: funnel vs direct at 1..8 workers must be
+# identical in N, products, and every disk I/O column (asserted inside the
+# runner on any machine); with >= 4 cores, direct 8-thread wall time must
+# beat the worker-0 funnel.
+./target/release/repro disk-scaling --fast --assert-scaling > /dev/null
+# Concurrent shared-read store contract: byte-identical partitions under
+# an 8-thread flood, with single-flight + phase pinning keeping the
+# disk-read counters exact.
+cargo test -q -p tane-partition --test concurrent_store
 # Ranked search gates: a cheap bounded-vs-unbounded run that asserts the
 # bounded heap is a prefix of the unbounded ranking and never adds work,
 # and the brute-force pruning-soundness oracle (heap == definitional-g3
@@ -32,8 +41,8 @@ cargo build --release -p tane-bench
 ./target/release/repro topk --fast > /dev/null
 cargo test -q -p tane-core --test topk_oracle
 cargo build -p tane-server
-cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e --test ranked_streaming_e2e
-# Parallel-runtime determinism: threads in {1,2,8} must be byte-identical
+cargo test -q -p tane-server --test keepalive_e2e --test service_e2e --test streaming_e2e --test ranked_streaming_e2e --test store_fault_e2e
+# Parallel-runtime determinism: threads in {1,2,4,8} must be byte-identical
 # on both storage backends, exact and approximate mode.
 cargo test -q -p tane-core --test parallel_determinism
 # Incremental determinism: delta-engine runs (merge-and-reverify) must be

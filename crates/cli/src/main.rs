@@ -55,7 +55,7 @@ USAGE:
     tane dataset <NAME> [OPTIONS]         generate a synthetic benchmark dataset
     tane profile <FILE.csv> [OPTIONS]     print a per-column profile
     tane serve [OPTIONS]                  run the HTTP discovery service
-    tane lint [--json] [PATHS...]         run the workspace static analyzer
+    tane lint [OPTIONS] [PATHS...]        run the workspace static analyzer
     tane help                             show this help
 
 DISCOVER OPTIONS:
@@ -114,8 +114,13 @@ SERVE OPTIONS:
 
 LINT:
     Checks the workspace's own invariants: unsafe-audit, determinism,
-    lock-discipline, error-hygiene. Exits non-zero on violations.
-    Suppress a finding with `// lint:allow(<rule>): <reason>`.
+    lock-discipline, lock-graph, atomics-audit, error-hygiene. Exits
+    non-zero on violations.
+    --baseline <FILE>        ratchet mode: only violations not in FILE fail
+    --write-baseline <FILE>  record current violations as the baseline
+    --symbols <FILE>         dump the workspace symbol graph as JSON
+    Suppress a finding with `// lint:allow(<rule>): <reason>`; declare a
+    lock nesting with `// lint:lock-order(outer -> inner): <reason>`.
 ";
 
 struct Opts {
@@ -591,26 +596,87 @@ fn dataset(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `tane lint [--json] [PATHS...]` — the workspace static analyzer.
+/// `tane lint [--json] [--baseline FILE | --write-baseline FILE]
+/// [--symbols FILE] [PATHS...]` — the workspace static analyzer.
 fn lint(args: &[String]) -> Result<(), String> {
     let mut json = false;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut symbols: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--baseline" | "--write-baseline" | "--symbols" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("`{a}` needs a file argument"))?
+                    .clone();
+                match a.as_str() {
+                    "--baseline" => baseline = Some(v),
+                    "--write-baseline" => write_baseline = Some(v),
+                    _ => symbols = Some(v),
+                }
+            }
             _ if a.starts_with('-') => return Err(format!("unknown lint flag `{a}`")),
             _ => paths.push(a.clone()),
         }
     }
+    if baseline.is_some() && write_baseline.is_some() {
+        return Err("`--baseline` and `--write-baseline` are mutually exclusive".to_string());
+    }
     let cwd = std::env::current_dir().map_err(|e| format!("working directory: {e}"))?;
     let root = tane_lint::find_root(&cwd)
         .ok_or_else(|| format!("no workspace Cargo.toml found above {}", cwd.display()))?;
-    let report = if paths.is_empty() {
-        tane_lint::run_workspace(&root)
+    let analysis = if paths.is_empty() {
+        tane_lint::analyze_workspace(&root)
     } else {
-        tane_lint::run_explicit(&root, &paths)
+        tane_lint::analyze_explicit(&root, &paths)
     }
     .map_err(|e| format!("lint walk: {e}"))?;
+    let report = &analysis.report;
+    if let Some(p) = symbols {
+        std::fs::write(&p, analysis.graph.render_json())
+            .map_err(|e| format!("cannot write symbol graph to {p}: {e}"))?;
+    }
+    if let Some(p) = write_baseline {
+        std::fs::write(&p, tane_lint::baseline::render(report))
+            .map_err(|e| format!("cannot write baseline to {p}: {e}"))?;
+        eprintln!("baselined {} violation(s) to {p}", report.diagnostics.len());
+        return Ok(());
+    }
+    if let Some(p) = baseline {
+        // An unreadable or corrupt baseline is an operational error
+        // (exit 2), never an empty set — silently treating it as empty
+        // would pass every baselined violation as "new" or, worse, the
+        // reverse. Matches the standalone `tane-lint` binary.
+        let parsed = std::fs::read_to_string(&p)
+            .map_err(|e| format!("cannot read baseline {p}: {e}"))
+            .and_then(|text| tane_lint::baseline::parse(&text));
+        let set = match parsed {
+            Ok(set) => set,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let ratchet = tane_lint::baseline::apply(report, &set);
+        let is_new = |d: &tane_lint::diag::Diagnostic| ratchet.new.contains(d);
+        if json {
+            println!("{}", report.render_json_ratchet(&is_new));
+        } else {
+            print!("{}", report.render_human_ratchet(&is_new));
+        }
+        return if ratchet.new.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} new lint violation(s) over the baseline",
+                ratchet.new.len()
+            ))
+        };
+    }
     if json {
         println!("{}", report.render_json());
     } else {

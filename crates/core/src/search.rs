@@ -610,6 +610,10 @@ impl ParallelRuntime {
             let mut scratch = scratches[worker].lock().expect("product scratch");
             loop {
                 let wait_sw = Stopwatch::start();
+                // lint:lock-order(scratches -> rx): each worker holds its
+                // own scratch for the whole drain loop and briefly takes
+                // the shared receiver; nothing ever grabs a scratch while
+                // holding the receiver.
                 let item = rx.lock().expect("receiver").recv();
                 // Blocked-recv time is a fetch stall wherever it happens:
                 // it is attributed to the worker that blocked, so the

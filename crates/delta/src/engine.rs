@@ -130,7 +130,10 @@ struct Inner {
 /// Mutable, incrementally re-verifiable dataset (see module docs).
 pub struct DatasetEngine {
     limits: EngineLimits,
-    inner: Mutex<Inner>,
+    /// Named `state`, not `inner`: lock identity in the derived lock-order
+    /// graph (tane-lint R3/R6) is by field name, and the registry's map
+    /// lock is already called `inner` — distinct locks, distinct names.
+    state: Mutex<Inner>,
 }
 
 impl DatasetEngine {
@@ -150,7 +153,7 @@ impl DatasetEngine {
         let store = DeltaStore::from_relation(&base, nulls)?;
         Ok(DatasetEngine {
             limits,
-            inner: Mutex::new(Inner {
+            state: Mutex::new(Inner {
                 store,
                 merged: base,
                 trackers: FxHashMap::default(),
@@ -331,7 +334,7 @@ impl DatasetEngine {
     /// valid after any panic (patches validate-then-apply, trackers are
     /// rebuilt wholesale), so the poison flag carries no information.
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner
+        self.state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }

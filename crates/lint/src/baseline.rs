@@ -1,0 +1,132 @@
+//! Ratchet baselines: adopt the linter on a codebase with existing debt
+//! without letting the debt grow.
+//!
+//! A baseline file records the exact `(rule, file, line, message)` tuples
+//! of known violations. Under `--baseline <file>`, violations present in
+//! the baseline stay **visible** (they are debt, not noise) but do not
+//! fail the run; any violation *not* in the baseline is new and fails.
+//! Fixed violations simply stop matching — rewrite the baseline
+//! (`--write-baseline`) to shrink it. Matching is exact: editing a file
+//! so a baselined violation moves lines makes it "new", which is the
+//! ratchet working as intended — touched code meets the current bar.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Diagnostic, Report};
+
+const HEADER: &str = "# tane-lint baseline v1";
+
+/// Serializes a report as a baseline file (sorted, tab-separated).
+pub fn render(report: &Report) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            d.rule, d.file, d.line, d.message
+        ));
+    }
+    out
+}
+
+/// Parses a baseline file into its tuple set. Lines that do not parse
+/// (wrong field count) are reported as errors so a corrupted baseline
+/// cannot silently accept everything.
+pub fn parse(text: &str) -> Result<BTreeSet<(String, String, u32, String)>, String> {
+    let mut set = BTreeSet::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (Some(rule), Some(file), Some(lineno), Some(message)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected 4 tab-separated fields",
+                n + 1
+            ));
+        };
+        let lineno: u32 = lineno
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad line number `{lineno}`", n + 1))?;
+        set.insert((
+            rule.to_string(),
+            file.to_string(),
+            lineno,
+            message.to_string(),
+        ));
+    }
+    Ok(set)
+}
+
+/// The ratchet split of a report against a baseline.
+pub struct Ratchet {
+    /// Violations not in the baseline: these fail the run.
+    pub new: Vec<Diagnostic>,
+    /// Count of violations matched by the baseline (shown, non-failing).
+    pub baselined: usize,
+}
+
+pub fn apply(report: &Report, baseline: &BTreeSet<(String, String, u32, String)>) -> Ratchet {
+    let mut new = Vec::new();
+    let mut baselined = 0;
+    for d in &report.diagnostics {
+        let key = (
+            d.rule.to_string(),
+            d.file.clone(),
+            d.line,
+            d.message.clone(),
+        );
+        if baseline.contains(&key) {
+            baselined += 1;
+        } else {
+            new.push(d.clone());
+        }
+    }
+    Ratchet { new, baselined }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        let mut r = Report {
+            diagnostics: vec![
+                Diagnostic::new(crate::RULE_LOCK, "a.rs", 3, "old debt"),
+                Diagnostic::new(crate::RULE_ATOMICS, "b.rs", 9, "fresh"),
+            ],
+            files_scanned: 2,
+        };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn round_trip_and_ratchet() {
+        let r = report();
+        let text = render(&r);
+        let set = parse(&text).unwrap();
+        assert_eq!(set.len(), 2);
+        let ratchet = apply(&r, &set);
+        assert_eq!(ratchet.new.len(), 0);
+        assert_eq!(ratchet.baselined, 2);
+
+        // Drop one entry: it becomes "new" and must fail.
+        let partial: BTreeSet<_> = set
+            .into_iter()
+            .filter(|(rule, _, _, _)| rule == crate::RULE_LOCK)
+            .collect();
+        let ratchet = apply(&r, &partial);
+        assert_eq!(ratchet.baselined, 1);
+        assert_eq!(ratchet.new.len(), 1);
+        assert_eq!(ratchet.new[0].file, "b.rs");
+    }
+
+    #[test]
+    fn corrupted_baseline_is_an_error() {
+        assert!(parse("not a baseline line").is_err());
+        assert!(parse("# tane-lint baseline v1\nrule\tfile\tnot-a-number\tmsg").is_err());
+    }
+}

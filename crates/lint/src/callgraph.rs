@@ -1,0 +1,519 @@
+//! Call-site extraction, approximate resolution, and the workspace
+//! fixpoint summaries (transitive locks, Relaxed-load taint, hash-order
+//! taint, sink construction).
+//!
+//! ## Resolution policy (and its soundness caveats)
+//!
+//! A token-level analyzer cannot do type inference, so resolution is by
+//! *qualification*, most precise first:
+//!
+//! * `self.helper()` — methods of the enclosing `impl` type, by name.
+//! * `Type::helper()` — methods of `Type` (capitalized path qualifier).
+//! * `module::helper()` / bare `helper(...)` — free functions by name,
+//!   only when the name is workspace-unique.
+//! * `expr.method()` — any other receiver: resolved only when the method
+//!   name is defined exactly once across all workspace impls *and* is not
+//!   a ubiquitous std name (`get`, `len`, `insert`, ... — the deny list),
+//!   since `guard.map.get()` resolving to `SegmentStore::get` would
+//!   manufacture lock edges out of thin air.
+//!
+//! Everything else is **explicitly unresolved** — recorded, counted in the
+//! symbol dump, and treated as acquiring nothing and tainting nothing.
+//! That makes the analysis *under*-approximate at indirect calls (closure
+//! parameters, trait objects, ambiguous names): a real edge through such a
+//! call is missed, never invented. The derived lock graph therefore only
+//! contains edges with a concrete witness chain, which is what lets the
+//! workspace gate demand zero false deadlock cycles. The one deliberate
+//! over-approximation is temporal: a callee's transitive lock set is
+//! attributed to the whole call (as if every lock were held at entry),
+//! which is exactly the guard-held-across-call semantics R3 wants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Kind, Tok};
+use crate::symbols::SymbolGraph;
+
+/// How a call site resolved.
+#[derive(Debug, Clone)]
+pub enum Resolution {
+    /// Workspace definitions this call may reach (all same-named
+    /// candidates for the matched qualification).
+    Resolved(Vec<usize>),
+    /// Several workspace candidates, no qualification to pick one: treated
+    /// as unresolved; the count is kept for the symbol dump.
+    Ambiguous(usize),
+    /// No workspace definition (std, closure parameter, constructor, ...).
+    External,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee name.
+    pub tok: usize,
+    pub line: u32,
+    pub name: String,
+    pub resolution: Resolution,
+}
+
+/// Method names too generic to resolve by workspace-wide uniqueness: a
+/// `.get()` on a `HashMap` must not resolve to `SegmentStore::get` just
+/// because the latter is the only *workspace* `get`.
+const STD_METHOD_DENY: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "back",
+    "binary_search",
+    "chain",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "concat",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "drop",
+    "elapsed",
+    "entry",
+    "enumerate",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flat_map",
+    "flush",
+    "fmt",
+    "fold",
+    "for_each",
+    "front",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "new",
+    "next",
+    "notify_all",
+    "notify_one",
+    "or_else",
+    "or_insert",
+    "parse",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "position",
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "seek",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "split",
+    "split_off",
+    "spawn",
+    "step_by",
+    "store",
+    "sum",
+    "swap",
+    "swap_remove",
+    "take",
+    "take_while",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "try_lock",
+    "try_recv",
+    "try_send",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "wait",
+    "wait_timeout",
+    "windows",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Keywords that look like `name (` but are not calls.
+const CALL_NOISE: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "fn", "impl", "where", "move",
+    "let", "else", "dyn", "ref", "mut", "pub", "use", "box", "unsafe",
+];
+
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(s, e)| i >= s && i < e)
+}
+
+/// Extracts and resolves every call site in every non-test function body,
+/// filling `FnSym::calls`.
+pub fn resolve(g: &mut SymbolGraph) {
+    // (self_type, name) → fn ids, for method/self/Type:: resolution.
+    let mut methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut method_names: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut free_fns: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for id in 0..g.fns.len() {
+        let item = g.item(id);
+        match &item.self_type {
+            Some(t) => {
+                methods
+                    .entry((t.clone(), item.name.clone()))
+                    .or_default()
+                    .push(id);
+                method_names.entry(item.name.clone()).or_default().push(id);
+            }
+            None => free_fns.entry(item.name.clone()).or_default().push(id),
+        }
+    }
+
+    for file in 0..g.files.len() {
+        let toks: &[Tok] = &g.files[file].lexed.tokens;
+        let mut sites: Vec<(usize, CallSite)> = Vec::new(); // (fn id, site)
+        for i in 0..toks.len() {
+            if toks[i].kind != Kind::Ident || CALL_NOISE.contains(&toks[i].text.as_str()) {
+                continue;
+            }
+            // `name (` or turbofish `name ::< ... > (`.
+            let open = if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                Some(i + 1)
+            } else if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+            {
+                crate::rules::matching(toks, i + 3, '<', '>')
+                    .filter(|c| toks.get(c + 1).is_some_and(|t| t.is_punct('(')))
+                    .map(|c| c + 1)
+            } else {
+                None
+            };
+            if open.is_none() {
+                continue;
+            }
+            // `fn name(` is a definition, `name!(` a macro (no `(` right
+            // after the `!` pattern can reach here), `|name|` a param.
+            if i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct('|')) {
+                continue;
+            }
+            if in_spans(&g.files[file].test_spans, i) {
+                continue;
+            }
+            let Some(caller) = g.enclosing(file, i) else {
+                continue;
+            };
+            let name = toks[i].text.clone();
+            let resolution =
+                resolve_one(g, file, toks, i, &name, &methods, &method_names, &free_fns);
+            sites.push((
+                caller,
+                CallSite {
+                    tok: i,
+                    line: toks[i].line,
+                    name,
+                    resolution,
+                },
+            ));
+        }
+        for (caller, site) in sites {
+            g.fns[caller].calls.push(site);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_one(
+    g: &SymbolGraph,
+    file: usize,
+    toks: &[Tok],
+    i: usize,
+    name: &str,
+    methods: &BTreeMap<(String, String), Vec<usize>>,
+    method_names: &BTreeMap<String, Vec<usize>>,
+    free_fns: &BTreeMap<String, Vec<usize>>,
+) -> Resolution {
+    let prev = i.checked_sub(1).map(|p| &toks[p]);
+    // Method call: `receiver . name (`.
+    if prev.is_some_and(|p| p.is_punct('.')) {
+        let recv = i.checked_sub(2).map(|p| &toks[p]);
+        let recv_is_self = recv.is_some_and(|r| r.is_ident("self"))
+            && !i
+                .checked_sub(3)
+                .map(|p| &toks[p])
+                .is_some_and(|t| t.is_punct('.'));
+        if recv_is_self {
+            // Resolve against the enclosing impl type.
+            let caller = g.enclosing(file, i);
+            let self_type = caller.and_then(|c| g.item(c).self_type.clone());
+            if let Some(t) = self_type {
+                if let Some(ids) = methods.get(&(t, name.to_string())) {
+                    return Resolution::Resolved(ids.clone());
+                }
+            }
+            return Resolution::External;
+        }
+        // Arbitrary receiver: unique workspace method name, deny-listed
+        // std names never resolve.
+        if STD_METHOD_DENY.contains(&name) {
+            return Resolution::External;
+        }
+        return match method_names.get(name) {
+            Some(ids) if ids.len() == 1 => Resolution::Resolved(ids.clone()),
+            Some(ids) => Resolution::Ambiguous(ids.len()),
+            None => Resolution::External,
+        };
+    }
+    // Path call: `Qual :: name (`.
+    if prev.is_some_and(|p| p.is_punct(':'))
+        && i.checked_sub(2)
+            .map(|p| &toks[p])
+            .is_some_and(|t| t.is_punct(':'))
+    {
+        if let Some(q) = i
+            .checked_sub(3)
+            .map(|p| &toks[p])
+            .filter(|t| t.kind == Kind::Ident)
+        {
+            if q.text.chars().next().is_some_and(char::is_uppercase) || q.is_ident("Self") {
+                // `Type::name` — methods of that type. `Self::` uses the
+                // enclosing impl type.
+                let ty = if q.is_ident("Self") {
+                    g.enclosing(file, i)
+                        .and_then(|c| g.item(c).self_type.clone())
+                } else {
+                    Some(q.text.clone())
+                };
+                if let Some(ty) = ty {
+                    if let Some(ids) = methods.get(&(ty, name.to_string())) {
+                        return Resolution::Resolved(ids.clone());
+                    }
+                }
+                return Resolution::External;
+            }
+            // `module::name` — free fns, unique-name.
+            return match free_fns.get(name) {
+                Some(ids) if ids.len() == 1 => Resolution::Resolved(ids.clone()),
+                Some(ids) => Resolution::Ambiguous(ids.len()),
+                None => Resolution::External,
+            };
+        }
+        return Resolution::External;
+    }
+    // Bare call: free fns, unique-name. Capitalized bare names are tuple
+    // -struct/enum constructors (`Some`, `JobPtr`), never fns here.
+    if name.chars().next().is_some_and(char::is_uppercase) {
+        return Resolution::External;
+    }
+    match free_fns.get(name) {
+        Some(ids) if ids.len() == 1 => Resolution::Resolved(ids.clone()),
+        Some(ids) => Resolution::Ambiguous(ids.len()),
+        None => Resolution::External,
+    }
+}
+
+/// Sink types whose construction makes a function a determinism-audited
+/// result surface (DESIGN §9/§12): hash order and `Relaxed` loads must not
+/// flow into them.
+pub const SINK_TYPES: &[&str] = &["LevelEvent", "TaneResult", "TaneStats", "RankState"];
+
+/// Fills per-fn direct summaries: direct lock acquisitions, `Relaxed`
+/// loads, and sink constructions. (Hash sources are filled by the
+/// determinism rule, which owns suppression/canonicalization logic.)
+pub fn direct_summaries(g: &mut SymbolGraph) {
+    for file in 0..g.files.len() {
+        let toks: &[Tok] = &g.files[file].lexed.tokens;
+        let mut found: Vec<(usize, u32, SummaryKind)> = Vec::new();
+        for i in 0..toks.len() {
+            if in_spans(&g.files[file].test_spans, i) {
+                continue;
+            }
+            let Some(f) = g.enclosing(file, i) else {
+                continue;
+            };
+            if let Some(id) = crate::rules::lock_discipline::acquisition(toks, i) {
+                found.push((f, toks[i].line, SummaryKind::Lock(id)));
+            }
+            // `.load(Ordering::Relaxed)`
+            if toks[i].is_ident("load")
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("Ordering"))
+                && toks.get(i + 5).is_some_and(|t| t.is_ident("Relaxed"))
+            {
+                found.push((f, toks[i].line, SummaryKind::Relaxed));
+            }
+            // `SinkType {` — struct-literal construction.
+            if toks[i].kind == Kind::Ident
+                && SINK_TYPES.contains(&toks[i].text.as_str())
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('{'))
+            {
+                found.push((f, toks[i].line, SummaryKind::Sink(toks[i].text.clone())));
+            }
+        }
+        for (f, line, kind) in found {
+            match kind {
+                SummaryKind::Lock(id) => {
+                    if !g.fns[f].direct_locks.contains(&id) {
+                        g.fns[f].direct_locks.push(id);
+                    }
+                }
+                SummaryKind::Relaxed => g.fns[f].relaxed_loads.push(line),
+                SummaryKind::Sink(s) => g.fns[f].sinks.push((s, line)),
+            }
+        }
+    }
+}
+
+enum SummaryKind {
+    Lock(String),
+    Relaxed,
+    Sink(String),
+}
+
+/// Computes `all_locks` for every fn: direct locks plus every resolved
+/// callee's, to fixpoint.
+pub fn lock_fixpoint(g: &mut SymbolGraph) {
+    let mut all: Vec<BTreeSet<String>> = g
+        .fns
+        .iter()
+        .map(|f| f.direct_locks.iter().cloned().collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..g.fns.len() {
+            let mut add: Vec<String> = Vec::new();
+            for c in &g.fns[id].calls {
+                if let Resolution::Resolved(callees) = &c.resolution {
+                    for &callee in callees {
+                        for l in &all[callee] {
+                            if !all[id].contains(l) {
+                                add.push(l.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                changed = true;
+                all[id].extend(add);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (id, set) in all.into_iter().enumerate() {
+        g.fns[id].all_locks = set.into_iter().collect();
+    }
+}
+
+/// For each fn, whether it is transitively *called by* a sink-constructing
+/// fn — i.e. values it returns can flow into a determinism-audited result.
+/// `edge_ok` filters individual call edges (the hash-taint pass drops
+/// edges whose call site canonicalizes the returned order).
+///
+/// Returns, per fn, `Some(path)` where `path` is the call chain from a
+/// sink fn down to it (sink first), or `None` when unreachable.
+pub fn reachable_from_sinks(
+    g: &SymbolGraph,
+    edge_ok: impl Fn(usize, &CallSite) -> bool,
+) -> Vec<Option<Vec<usize>>> {
+    let mut parent: Vec<Option<(usize, bool)>> = vec![None; g.fns.len()]; // (parent fn, is_root)
+    let mut queue: Vec<usize> = Vec::new();
+    // Deterministic seed order: fn ids ascend with (file, position).
+    for (id, f) in g.fns.iter().enumerate() {
+        if !f.sinks.is_empty() {
+            parent[id] = Some((id, true));
+            queue.push(id);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let f = queue[head];
+        head += 1;
+        for c in &g.fns[f].calls {
+            if !edge_ok(f, c) {
+                continue;
+            }
+            if let Resolution::Resolved(callees) = &c.resolution {
+                for &callee in callees {
+                    if parent[callee].is_none() {
+                        parent[callee] = Some((f, false));
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+    }
+    (0..g.fns.len())
+        .map(|id| {
+            parent[id]?;
+            let mut path = vec![id];
+            let mut cur = id;
+            while let Some((p, is_root)) = parent[cur] {
+                if is_root {
+                    break;
+                }
+                path.push(p);
+                cur = p;
+            }
+            path.reverse(); // sink-most first
+            Some(path)
+        })
+        .collect()
+}
+
+/// Renders a call chain (`sink ← ... ← leaf`) for diagnostics.
+pub fn chain_label(g: &SymbolGraph, path: &[usize]) -> String {
+    path.iter()
+        .map(|&id| g.label(id))
+        .collect::<Vec<_>>()
+        .join(" ← ")
+}

@@ -74,13 +74,72 @@ impl Report {
         out
     }
 
+    /// Human rendering under `--baseline`: baselined violations stay
+    /// visible (marked) but only new ones count against the run.
+    pub fn render_human_ratchet(&self, is_new: &dyn Fn(&Diagnostic) -> bool) -> String {
+        let mut out = String::new();
+        let mut new = 0usize;
+        for d in &self.diagnostics {
+            out.push_str(&d.render_human());
+            if is_new(d) {
+                new += 1;
+            } else {
+                out.push_str(" [baselined]");
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "tane-lint: {} violation(s) ({new} new, {} baselined) in {} file(s) scanned\n",
+            self.diagnostics.len(),
+            self.diagnostics.len() - new,
+            self.files_scanned
+        ));
+        out
+    }
+
     pub fn render_json(&self) -> String {
         Json::obj([
+            ("schema", Json::Num(2.0)),
             (
                 "violations",
                 Json::Arr(self.diagnostics.iter().map(|d| d.render_json()).collect()),
             ),
             ("count", Json::Num(self.diagnostics.len() as f64)),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+        ])
+        .render()
+    }
+
+    /// JSON rendering under `--baseline`: schema 2 plus a `baselined`
+    /// marker per violation and the ratchet tallies.
+    pub fn render_json_ratchet(&self, is_new: &dyn Fn(&Diagnostic) -> bool) -> String {
+        let mut new = 0usize;
+        let violations: Vec<Json> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let fresh = is_new(d);
+                if fresh {
+                    new += 1;
+                }
+                match d.render_json() {
+                    Json::Obj(mut fields) => {
+                        fields.push(("baselined".to_string(), Json::Bool(!fresh)));
+                        Json::Obj(fields)
+                    }
+                    other => other,
+                }
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Num(2.0)),
+            ("violations", Json::Arr(violations)),
+            ("count", Json::Num(self.diagnostics.len() as f64)),
+            ("new_count", Json::Num(new as f64)),
+            (
+                "baselined_count",
+                Json::Num((self.diagnostics.len() - new) as f64),
+            ),
             ("files_scanned", Json::Num(self.files_scanned as f64)),
         ])
         .render()

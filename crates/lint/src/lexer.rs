@@ -225,12 +225,20 @@ fn lex_ident(src: &str, b: &[u8], mut i: usize, line: u32, tokens: &mut Vec<Tok>
 }
 
 /// Skips a `"..."` string starting at the opening quote; returns the index
-/// just past the closing quote. Tracks newlines (multi-line strings).
+/// just past the closing quote. Tracks newlines (multi-line strings),
+/// including the one a line-continuation `\` swallows — the escaped
+/// newline still advances the source line even though it is not in the
+/// string's value.
 fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1; // opening quote
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -257,6 +265,11 @@ fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
             *line += 1;
         }
         i += 1;
+        // A non-ASCII scalar ('é', '—') is several UTF-8 bytes; consume
+        // its continuation bytes so the closing quote lines up.
+        while i < b.len() && (b[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
     }
     if i < b.len() && b[i] == b'\'' {
         i += 1;
@@ -380,8 +393,86 @@ mod tests {
     }
 
     #[test]
+    fn byte_strings_are_single_literals() {
+        // b"..." with escapes, br#"..."# with inner quotes, and b'x' must
+        // each lex as one opaque literal; their contents are never idents.
+        for src in [
+            r#"let a = b"unsafe \" byte";"#,
+            r##"let a = br#"unsafe " raw byte"#;"##,
+            "let a = b'u'; let z = b'\\'';",
+        ] {
+            let lx = lex(src);
+            assert!(
+                !lx.tokens.iter().any(|t| t.is_ident("unsafe")),
+                "{src}: {:?}",
+                lx.tokens
+            );
+            assert!(
+                lx.tokens.iter().any(|t| t.kind == Kind::Literal),
+                "{src}: literal expected"
+            );
+        }
+    }
+
+    #[test]
+    fn char_literal_after_generic_close_is_not_a_lifetime() {
+        // `>'a'` — a char comparison right after a generic close — must
+        // stay a char literal, while `<'a>` stays a lifetime.
+        let toks = lex("fn f<'a>(c: char) -> bool { c>'a' }").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            1,
+            "{toks:?}"
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Literal).count(),
+            1,
+            "'a' must lex as a char literal: {toks:?}"
+        );
+        // The char literal must not swallow the closing brace.
+        assert!(toks.last().unwrap().is_punct('}'), "{toks:?}");
+    }
+
+    #[test]
+    fn lifetime_after_generic_close_is_not_a_char() {
+        // `Vec<X<'a>>` then a following lifetime bound: `>'a` with no
+        // closing quote anywhere near.
+        let toks = lex("fn g<'a>(x: Box<dyn Iterator<Item = &'a str> +'a>) {}").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            3,
+            "{toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Literal).count(), 0);
+    }
+
+    #[test]
+    fn non_ascii_char_literals_close_correctly() {
+        // 'é' is two UTF-8 bytes; the literal must consume through its
+        // closing quote so following code still lexes.
+        let src = "let e = 'é'; let after = '—'; unsafe {}";
+        let toks = lex(src).tokens;
+        assert!(
+            toks.iter().any(|t| t.is_ident("unsafe")),
+            "code after non-ASCII chars must still lex: {toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Literal).count(), 2);
+    }
+
+    #[test]
     fn line_numbers_track_multiline_constructs() {
         let src = "let a = \"x\ny\";\nunsafe {}";
+        let toks = lex(src).tokens;
+        let uns = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(uns.line, 3);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_a_line() {
+        // A line-continuation `\` at end of line swallows the newline from
+        // the string's *value* but not from the *source* — every token
+        // after it must keep the physical line number.
+        let src = "let a = \"one \\\n two\";\nunsafe {}";
         let toks = lex(src).tokens;
         let uns = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
         assert_eq!(uns.line, 3);

@@ -6,67 +6,209 @@
 //! byte-identical across thread counts, hash seeds, and wall-clock), the
 //! audited-`unsafe` discipline around the worker pool's lifetime-erasing
 //! transmute, and the server's lock and panic hygiene. This crate checks
-//! them *statically*, on every tier-1 run: a hand-rolled Rust lexer strips
-//! comments/strings/raw strings, and four rule passes scan the token
-//! stream with file/line diagnostics:
+//! them *statically*, on every tier-1 run.
+//!
+//! v2 is a two-phase workspace analyzer. Phase one builds a **symbol
+//! graph** over the hand-rolled lexer: a per-file item tree (modules,
+//! fns, impls, nested closures) plus an approximate call graph with
+//! explicit unresolved/ambiguous handling (`parser`, `symbols`,
+//! `callgraph`). Phase two runs the rules — per-file token passes where
+//! file scope suffices, workspace passes over the graph where the
+//! invariant is interprocedural:
 //!
 //! | rule | scope | invariant |
 //! |---|---|---|
 //! | `unsafe-audit` | whole workspace | `unsafe` only in allowlisted files, each site `// SAFETY:`-commented |
-//! | `determinism` | core, partition, relation (+util clocks) | no hash-order or clock leakage into results |
-//! | `lock-discipline` | server | no undeclared lock nesting, no unhandled poison |
+//! | `determinism` | workspace (clocks: core/partition/relation/util/delta) | no hash-order taint reaching result sinks, no clock reads outside timing modules |
+//! | `lock-discipline` | workspace (poison: server, partition) | every guard-held-while-acquiring edge — including through calls — declared via `lint:lock-order`, no unhandled poison |
+//! | `lock-graph` | whole workspace | no cycles in the derived lock graph, no stale declarations |
+//! | `atomics-audit` | util, core, partition | every `Ordering::*` justified with `// ORDERING:`, no Relaxed loads on result paths |
 //! | `error-hygiene` | server | request paths return errors, never panic |
 //!
 //! Suppression: `// lint:allow(<rule>[, <rule>...]): <why>` on the line
 //! above (or the same line as) a violation. The reason is part of the
 //! syntax by convention — an allow is a documented exception, not an
 //! off-switch. Unknown rule names in an allow are themselves violations,
-//! so a typo cannot silently mask nothing.
+//! so a typo cannot silently mask nothing. Suppressed hash-iteration
+//! sources are dropped *before* taint propagation: a documented allow
+//! covers the whole downstream chain.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use diag::{Diagnostic, Report};
 use rules::Ctx;
+use symbols::SymbolGraph;
 
 pub const RULE_UNSAFE: &str = "unsafe-audit";
 pub const RULE_DETERMINISM: &str = "determinism";
 pub const RULE_LOCK: &str = "lock-discipline";
+pub const RULE_LOCK_GRAPH: &str = "lock-graph";
+pub const RULE_ATOMICS: &str = "atomics-audit";
 pub const RULE_HYGIENE: &str = "error-hygiene";
 /// Meta-rule for malformed/unknown suppressions.
 pub const RULE_ALLOW: &str = "lint-allow";
 
-pub const ALL_RULES: &[&str] = &[RULE_UNSAFE, RULE_DETERMINISM, RULE_LOCK, RULE_HYGIENE];
+pub const ALL_RULES: &[&str] = &[
+    RULE_UNSAFE,
+    RULE_DETERMINISM,
+    RULE_LOCK,
+    RULE_LOCK_GRAPH,
+    RULE_ATOMICS,
+    RULE_HYGIENE,
+];
 
-/// Lints one file's source. `path` is the repo-relative path (forward
-/// slashes) — it selects which rules apply, so callers with out-of-tree
-/// content (fixtures) choose scoping by choosing the path.
-pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let ctx = Ctx::new(path, &lexed);
-    let mut diags = rules::unsafe_audit::run(&ctx);
-    if rules::determinism::in_scope(path) {
-        diags.extend(rules::determinism::run(&ctx));
+/// A full analysis: the diagnostics plus the symbol graph they were
+/// derived from (for `--symbols` dumps and tests).
+pub struct Analysis {
+    pub report: Report,
+    pub graph: SymbolGraph,
+}
+
+/// Analyzes a set of `(path, source)` pairs as one workspace. `path` is
+/// the repo-relative path (forward slashes) — it selects which rules
+/// apply, so callers with out-of-tree content (fixtures) choose scoping
+/// by choosing the path.
+pub fn analyze_sources(sources: Vec<(String, String)>) -> Analysis {
+    let mut input = Vec::new();
+    for (path, src) in sources {
+        let lexed = lexer::lex(&src);
+        let spans = rules::test_spans(&lexed.tokens);
+        input.push((path, lexed, spans));
     }
-    if rules::lock_discipline::in_scope(path) {
-        diags.extend(rules::lock_discipline::run(&ctx));
+    let mut g = SymbolGraph::build(input);
+    callgraph::resolve(&mut g);
+    callgraph::direct_summaries(&mut g);
+    callgraph::lock_fixpoint(&mut g);
+
+    // Suppressions first: hash-taint sources must be filtered before they
+    // propagate, so the maps are computed up front.
+    let mut suppressed: BTreeMap<String, BTreeSet<(String, u32)>> = BTreeMap::new();
+    let mut allow_diags: Vec<Diagnostic> = Vec::new();
+    for fs in &g.files {
+        let (pairs, mut ds) = suppressions(&fs.path, &fs.lexed);
+        suppressed.entry(fs.path.clone()).or_default().extend(pairs);
+        allow_diags.append(&mut ds);
     }
-    if rules::error_hygiene::in_scope(path) {
-        diags.extend(rules::error_hygiene::run(&ctx));
+    let is_suppressed = |rule: &str, file: &str, line: u32| {
+        suppressed
+            .get(file)
+            .is_some_and(|s| s.contains(&(rule.to_string(), line)))
+    };
+
+    // Per-file passes (immutable borrow of the graph); hash sources are
+    // collected here and folded into the graph afterwards.
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut edges: Vec<rules::lock_discipline::DerivedEdge> = Vec::new();
+    let mut decls: Vec<rules::lock_discipline::LockDecl> = Vec::new();
+    let mut pending_sources: Vec<(usize, rules::determinism::HashSource)> = Vec::new();
+    for file in 0..g.files.len() {
+        let fsy = &g.files[file];
+        let ctx = Ctx {
+            path: &fsy.path,
+            toks: &fsy.lexed.tokens,
+            comments: &fsy.lexed.comments,
+            test_spans: fsy.test_spans.clone(),
+        };
+        diags.extend(rules::unsafe_audit::run(&ctx));
+        if rules::determinism::clock_in_scope(&fsy.path) {
+            diags.extend(rules::determinism::clock_run(&ctx));
+        }
+        if rules::error_hygiene::in_scope(&fsy.path) {
+            diags.extend(rules::error_hygiene::run(&ctx));
+        }
+        if rules::atomics::in_scope(&fsy.path) {
+            diags.extend(rules::atomics::ordering_comments(&ctx, &g, file));
+        }
+        let (mut es, mut poison) = rules::lock_discipline::scan(&ctx, &g, file);
+        edges.append(&mut es);
+        diags.append(&mut poison);
+        let (mut ds, mut malformed) =
+            rules::lock_discipline::declarations(&fsy.path, &fsy.lexed.comments);
+        decls.append(&mut ds);
+        diags.append(&mut malformed);
+        for s in rules::determinism::sources(&ctx) {
+            if is_suppressed(RULE_DETERMINISM, &fsy.path, s.line) {
+                continue;
+            }
+            if let Some(f) = g.enclosing(file, s.tok) {
+                pending_sources.push((f, s));
+            }
+        }
     }
-    let (suppressed, mut allow_diags) = suppressions(path, &lexed);
-    diags.retain(|d| {
-        !suppressed
-            .iter()
-            .any(|(rule, line)| rule == d.rule && *line == d.line)
+    for (f, s) in pending_sources {
+        g.fns[f].hash_sources.push((s.line, s.name, s.how));
+    }
+
+    // Workspace passes over the graph.
+    diags.extend(rules::lock_graph::run(&edges, &decls));
+
+    // Hash-order taint: sources reach sinks through resolved return edges
+    // unless the call site canonicalizes the returned data.
+    let reach_hash = callgraph::reachable_from_sinks(&g, |caller, c| {
+        let toks = &g.files[g.fns[caller].file].lexed.tokens;
+        !rules::determinism::canonicalized_downstream(toks, c.tok)
     });
+    for (id, f) in g.fns.iter().enumerate() {
+        if f.hash_sources.is_empty() {
+            continue;
+        }
+        let Some(path) = &reach_hash[id] else {
+            continue;
+        };
+        let sink = g.fns[path[0]]
+            .sinks
+            .first()
+            .map(|(s, _)| s.clone())
+            .unwrap_or_else(|| "result".to_string());
+        let chain = callgraph::chain_label(&g, path);
+        for (line, name, how) in &f.hash_sources {
+            diags.push(Diagnostic::new(
+                RULE_DETERMINISM,
+                &g.files[f.file].path,
+                *line,
+                format!(
+                    "iteration (`{how}`) over hash-keyed `{name}` leaks arbitrary \
+                     order into `{sink}` (call path: {chain}); sort the output / \
+                     use a BTreeMap, or justify with \
+                     `// lint:allow(determinism): <why>`"
+                ),
+            ));
+        }
+    }
+
+    // Relaxed-load taint: canonicalization does not help a stale counter,
+    // so every resolved return edge propagates.
+    let reach_all = callgraph::reachable_from_sinks(&g, |_, _| true);
+    diags.extend(rules::atomics::relaxed_taint(&g, &reach_all));
+
+    diags.retain(|d| !is_suppressed(d.rule, &d.file, d.line));
     diags.append(&mut allow_diags);
-    diags
+
+    let mut report = Report {
+        diagnostics: diags,
+        files_scanned: g.files.len(),
+    };
+    report.finish();
+    Analysis { report, graph: g }
+}
+
+/// Lints one file's source in isolation (no cross-file edges — fixture
+/// and unit-test entry point).
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_sources(vec![(path.to_string(), src.to_string())])
+        .report
+        .diagnostics
 }
 
 /// Parses `lint:allow(...)` comments. A suppression covers every line of
@@ -128,12 +270,6 @@ fn suppressions(path: &str, lexed: &lexer::Lexed) -> (Vec<(String, u32)>, Vec<Di
     (pairs, diags)
 }
 
-/// Lints one on-disk file, using `rel` for scoping and reporting.
-pub fn lint_file(root: &Path, rel: &str) -> io::Result<Vec<Diagnostic>> {
-    let src = fs::read_to_string(root.join(rel))?;
-    Ok(lint_source(rel, &src))
-}
-
 /// All workspace `.rs` files to lint, repo-root-relative, sorted. Skips
 /// build output and the linter's own violation fixtures.
 pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
@@ -171,14 +307,20 @@ fn rel_path(root: &Path, path: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// Lints the whole workspace under `root`.
-pub fn run_workspace(root: &Path) -> io::Result<Report> {
-    run_paths(root, &workspace_files(root)?)
+/// Analyzes the whole workspace under `root`, returning the report and
+/// the symbol graph.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    analyze_paths(root, &workspace_files(root)?)
 }
 
-/// Lints an explicit path list (files or directories, root-relative or
-/// absolute).
-pub fn run_explicit(root: &Path, paths: &[String]) -> io::Result<Report> {
+/// Lints the whole workspace under `root`.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    Ok(analyze_workspace(root)?.report)
+}
+
+/// Analyzes an explicit path list (files or directories, root-relative or
+/// absolute) as one workspace.
+pub fn analyze_explicit(root: &Path, paths: &[String]) -> io::Result<Analysis> {
     let mut files = Vec::new();
     for p in paths {
         let full = if Path::new(p).is_absolute() {
@@ -194,17 +336,20 @@ pub fn run_explicit(root: &Path, paths: &[String]) -> io::Result<Report> {
     }
     files.sort();
     files.dedup();
-    run_paths(root, &files)
+    analyze_paths(root, &files)
 }
 
-fn run_paths(root: &Path, files: &[String]) -> io::Result<Report> {
-    let mut report = Report::default();
+/// Lints an explicit path list.
+pub fn run_explicit(root: &Path, paths: &[String]) -> io::Result<Report> {
+    Ok(analyze_explicit(root, paths)?.report)
+}
+
+fn analyze_paths(root: &Path, files: &[String]) -> io::Result<Analysis> {
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
-        report.diagnostics.extend(lint_file(root, rel)?);
-        report.files_scanned += 1;
+        sources.push((rel.clone(), fs::read_to_string(root.join(rel))?));
     }
-    report.finish();
-    Ok(report)
+    Ok(analyze_sources(sources))
 }
 
 /// Walks upward from `start` to the workspace root (the directory whose

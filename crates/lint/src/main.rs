@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-//! `tane-lint` binary: `cargo run -p tane-lint -- [--json] [PATHS...]`.
+//! `tane-lint` binary: `cargo run -p tane-lint -- [FLAGS] [PATHS...]`.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -7,10 +7,40 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut symbols: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value_flag =
+            |slot: &mut Option<String>, args: &mut dyn Iterator<Item = String>| match args.next() {
+                Some(v) => {
+                    *slot = Some(v);
+                    true
+                }
+                None => {
+                    eprintln!("tane-lint: `{arg}` needs a file argument\n{USAGE}");
+                    false
+                }
+            };
         match arg.as_str() {
             "--json" => json = true,
+            "--baseline" => {
+                if !value_flag(&mut baseline_path, &mut args) {
+                    return ExitCode::from(2);
+                }
+            }
+            "--write-baseline" => {
+                if !value_flag(&mut write_baseline, &mut args) {
+                    return ExitCode::from(2);
+                }
+            }
+            "--symbols" => {
+                if !value_flag(&mut symbols, &mut args) {
+                    return ExitCode::from(2);
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -22,15 +52,32 @@ fn main() -> ExitCode {
             _ => paths.push(arg),
         }
     }
-    run(json, &paths)
+    if baseline_path.is_some() && write_baseline.is_some() {
+        eprintln!("tane-lint: `--baseline` and `--write-baseline` are mutually exclusive\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    run(json, baseline_path, write_baseline, symbols, &paths)
 }
 
-const USAGE: &str = "usage: tane-lint [--json] [PATHS...]\n\
+const USAGE: &str = "usage: tane-lint [--json] [--baseline FILE | --write-baseline FILE] \
+    [--symbols FILE] [PATHS...]\n\
     Lints the whole workspace when no PATHS are given. Rules:\n\
-    unsafe-audit, determinism, lock-discipline, error-hygiene.\n\
-    Suppress with `// lint:allow(<rule>): <reason>`.";
+    unsafe-audit, determinism, lock-discipline, lock-graph, atomics-audit,\n\
+    error-hygiene.\n\
+    Suppress with `// lint:allow(<rule>): <reason>`; declare lock nestings\n\
+    with `// lint:lock-order(outer -> inner): <reason>`.\n\
+    --baseline FILE        ratchet mode: baselined violations stay visible\n\
+                           but only new ones fail the run\n\
+    --write-baseline FILE  record current violations as the baseline\n\
+    --symbols FILE         dump the workspace symbol graph as JSON";
 
-fn run(json: bool, paths: &[String]) -> ExitCode {
+fn run(
+    json: bool,
+    baseline_path: Option<String>,
+    write_baseline: Option<String>,
+    symbols: Option<String>,
+    paths: &[String],
+) -> ExitCode {
     let cwd = match std::env::current_dir() {
         Ok(d) => d,
         Err(e) => {
@@ -45,18 +92,64 @@ fn run(json: bool, paths: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     };
-    let report = if paths.is_empty() {
-        tane_lint::run_workspace(&root)
+    let analysis = if paths.is_empty() {
+        tane_lint::analyze_workspace(&root)
     } else {
-        tane_lint::run_explicit(&root, paths)
+        tane_lint::analyze_explicit(&root, paths)
     };
-    let report = match report {
-        Ok(r) => r,
+    let analysis = match analysis {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("tane-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let report = &analysis.report;
+    if let Some(p) = symbols {
+        if let Err(e) = std::fs::write(&p, analysis.graph.render_json()) {
+            eprintln!("tane-lint: cannot write symbol graph to {p}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(p) = write_baseline {
+        if let Err(e) = std::fs::write(&p, tane_lint::baseline::render(report)) {
+            eprintln!("tane-lint: cannot write baseline to {p}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "tane-lint: baselined {} violation(s) to {p}",
+            report.diagnostics.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(p) = baseline_path {
+        let text = match std::fs::read_to_string(&p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tane-lint: cannot read baseline {p}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let set = match tane_lint::baseline::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tane-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let ratchet = tane_lint::baseline::apply(report, &set);
+        let is_new = |d: &tane_lint::diag::Diagnostic| ratchet.new.contains(d);
+        if json {
+            println!("{}", report.render_json_ratchet(&is_new));
+        } else {
+            print!("{}", report.render_human_ratchet(&is_new));
+        }
+        return if ratchet.new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     if json {
         println!("{}", report.render_json());
     } else {

@@ -1,0 +1,340 @@
+//! A structural layer over the token stream: the per-file item tree.
+//!
+//! The workspace analyses (call graph, lock-order derivation, taint) need
+//! to know *which function* a token belongs to, what type a `self` call
+//! resolves against, and where closures nest. This parser recovers exactly
+//! that — modules, `impl` blocks (inherent and trait), traits, functions
+//! with their body token ranges, and nested closures — from the lexer's
+//! token stream. It is resolutely approximate: it never fails, it skips
+//! what it does not understand, and like the lexer it leaves being the
+//! arbiter of syntax to the compiler.
+
+use crate::lexer::{Kind, Tok};
+use crate::rules::matching;
+
+/// One function (or method) found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// The `impl` self-type (`SegmentStore` for both `impl SegmentStore`
+    /// and `impl PartitionStore for SegmentStore`) or the trait name for
+    /// trait-default bodies; `None` for free functions.
+    pub self_type: Option<String>,
+    /// Enclosing `mod` path within the file (`["tests"]`, usually empty).
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body *between* the braces (exclusive of both).
+    /// `None` for bodiless trait-method signatures.
+    pub body: Option<(usize, usize)>,
+    /// True if the parameter list starts with a `self` receiver.
+    pub is_method: bool,
+    /// Closure literals (`|args| ...`) nested in the body. Closures are
+    /// analyzed *inline* — a closure's locks and taints belong to its
+    /// enclosing function, which is sound for the workspace rules because
+    /// every closure here either runs before its creator returns (scoped
+    /// pool jobs, iterator adapters) or is the function body itself.
+    pub closures: usize,
+}
+
+/// The item tree of one file: its functions, in source order.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    pub fns: Vec<FnItem>,
+}
+
+impl ItemTree {
+    /// Index (into `fns`) of the innermost function whose body contains
+    /// token `i`. Nested fns win over their enclosing fn because they are
+    /// parsed too and have tighter body ranges.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (k, f) in self.fns.iter().enumerate() {
+            if let Some((s, e)) = f.body {
+                if i >= s && i < e {
+                    let tighter = match best {
+                        None => true,
+                        Some(b) => {
+                            let (bs, be) = self.fns[b].body.unwrap();
+                            (e - s) < (be - bs)
+                        }
+                    };
+                    if tighter {
+                        best = Some(k);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Keywords that can precede `fn`/`impl`/`mod` without changing the item.
+fn is_item_noise(w: &str) -> bool {
+    matches!(
+        w,
+        "pub" | "crate" | "const" | "unsafe" | "async" | "extern" | "default"
+    )
+}
+
+/// Parses the item tree of one lexed file.
+pub fn parse(toks: &[Tok]) -> ItemTree {
+    let mut tree = ItemTree::default();
+    let mut scope = ScopeStack::default();
+    parse_range(toks, 0, toks.len(), &mut scope, &mut tree);
+    tree
+}
+
+#[derive(Debug, Default)]
+struct ScopeStack {
+    mods: Vec<String>,
+    /// Innermost impl/trait self-type, if any.
+    self_type: Option<String>,
+}
+
+fn parse_range(toks: &[Tok], start: usize, end: usize, scope: &mut ScopeStack, out: &mut ItemTree) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" => {
+                // `mod name { ... }` — recurse with the module pushed;
+                // `mod name;` — skip.
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == Kind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                match toks.get(i + 2) {
+                    Some(b) if b.is_punct('{') => {
+                        let close = matching(toks, i + 2, '{', '}').unwrap_or(end);
+                        scope.mods.push(name.text.clone());
+                        parse_range(toks, i + 3, close.min(end), scope, out);
+                        scope.mods.pop();
+                        i = close + 1;
+                    }
+                    _ => i += 2,
+                }
+            }
+            "impl" | "trait" => {
+                let kw_is_impl = t.text == "impl";
+                // Find the block open; the self-type is the last plain
+                // path segment before `{` (after `for`, if present).
+                let mut j = i + 1;
+                let mut depth_angle = 0i32;
+                let mut ty: Option<String> = None;
+                let mut after_for = false;
+                let mut ty_after_for: Option<String> = None;
+                while j < end && !toks[j].is_punct('{') {
+                    let tj = &toks[j];
+                    if tj.is_punct('<') {
+                        depth_angle += 1;
+                    } else if tj.is_punct('>') {
+                        depth_angle -= 1;
+                    } else if tj.is_ident("for") && depth_angle == 0 {
+                        after_for = true;
+                    } else if tj.is_ident("where") && depth_angle == 0 {
+                        break;
+                    } else if tj.kind == Kind::Ident && depth_angle == 0 && !is_item_noise(&tj.text)
+                    {
+                        if after_for {
+                            ty_after_for.get_or_insert(tj.text.clone());
+                            // Later segments of a path (`a::b::Type`)
+                            // override earlier ones.
+                            if toks.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct(':')) {
+                                ty_after_for = Some(tj.text.clone());
+                            }
+                        } else {
+                            if ty.is_none()
+                                || toks.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct(':'))
+                            {
+                                ty = Some(tj.text.clone());
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                // Skip to the block even past a where clause.
+                while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j >= end || !toks[j].is_punct('{') {
+                    i = j + 1;
+                    continue;
+                }
+                let close = matching(toks, j, '{', '}').unwrap_or(end);
+                let self_type = if kw_is_impl {
+                    ty_after_for.or(ty)
+                } else {
+                    ty // the trait's own name, for default-method bodies
+                };
+                let saved = scope.self_type.clone();
+                scope.self_type = self_type;
+                parse_range(toks, j + 1, close.min(end), scope, out);
+                scope.self_type = saved;
+                i = close + 1;
+            }
+            "fn" => {
+                // `fn name(...)` — `fn` followed by `(` is a fn-pointer
+                // type, not an item.
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == Kind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                // Find the parameter list and peek for a `self` receiver.
+                let mut j = i + 2;
+                while j < end && !toks[j].is_punct('(') {
+                    j += 1; // generics <...>
+                }
+                let is_method = {
+                    let mut k = j + 1;
+                    let mut method = false;
+                    while k < end && k < j + 6 {
+                        if toks[k].is_ident("self") {
+                            method = true;
+                            break;
+                        }
+                        if (toks[k].kind == Kind::Ident && !toks[k].is_ident("mut"))
+                            || toks[k].is_punct(')')
+                        {
+                            break;
+                        }
+                        k += 1; // `&`, `'a`, `mut`
+                    }
+                    method
+                };
+                // Find the body `{` or the signature-terminating `;`.
+                // Return types and where clauses contain no braces.
+                while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                let (body, next) = if j < end && toks[j].is_punct('{') {
+                    let close = matching(toks, j, '{', '}').unwrap_or(end);
+                    (Some((j + 1, close.min(end))), close + 1)
+                } else {
+                    (None, j + 1)
+                };
+                out.fns.push(FnItem {
+                    name: name.text.clone(),
+                    self_type: scope.self_type.clone(),
+                    module: scope.mods.clone(),
+                    line: t.line,
+                    body,
+                    is_method,
+                    closures: body.map_or(0, |(s, e)| count_closures(toks, s, e)),
+                });
+                if let Some((s, e)) = body {
+                    // Nested fns inside the body become items of their own.
+                    parse_range(toks, s, e, scope, out);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Counts closure literals in a token range: a `|` that opens a parameter
+/// list, i.e. one not preceded by an expression-ending token (which would
+/// make it a binary/bit-or) — the classic `|args|` heuristic.
+fn count_closures(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut n = 0;
+    let mut i = start;
+    while i < end {
+        if toks[i].is_punct('|') {
+            let prev_ends_expr = i > 0
+                && matches!(&toks[i - 1], p if p.kind == Kind::Ident
+                    || p.kind == Kind::Literal
+                    || p.is_punct(')')
+                    || p.is_punct(']'));
+            if !prev_ends_expr {
+                // `||` (no params) counts once.
+                n += 1;
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('|')) {
+                    i += 2;
+                    continue;
+                }
+                // Skip to the closing `|` of the parameter list.
+                let mut j = i + 1;
+                while j < end && !toks[j].is_punct('|') {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn items_and_impls_are_recovered() {
+        let src = r#"
+            pub fn free(x: u32) -> u32 { x }
+            impl Store {
+                pub fn get(&self) -> u32 { self.helper() }
+                fn helper(&self) -> u32 { 1 }
+            }
+            impl Backend for Store {
+                fn put(&mut self, v: u32) {}
+            }
+            trait Backend {
+                fn put(&mut self, v: u32);
+                fn flush(&mut self) { }
+            }
+            mod inner {
+                fn nested() {}
+            }
+        "#;
+        let lx = lex(src);
+        let tree = parse(&lx.tokens);
+        let names: Vec<(String, Option<String>, bool)> = tree
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_type.clone(), f.is_method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, false),
+                ("get".into(), Some("Store".into()), true),
+                ("helper".into(), Some("Store".into()), true),
+                ("put".into(), Some("Store".into()), true),
+                ("put".into(), Some("Backend".into()), true),
+                ("flush".into(), Some("Backend".into()), true),
+                ("nested".into(), None, false),
+            ]
+        );
+        assert_eq!(tree.fns[6].module, vec!["inner".to_string()]);
+        assert!(tree.fns[3].body.is_some(), "impl method has a body");
+        assert!(tree.fns[4].body.is_none(), "trait signature has none");
+    }
+
+    #[test]
+    fn closures_are_counted_and_fn_pointer_types_ignored() {
+        let src = "fn f(g: fn(u32) -> u32) { let h = |x: u32| x + 1; v.iter().map(|y| y).count(); let p = a | b; }";
+        let lx = lex(src);
+        let tree = parse(&lx.tokens);
+        assert_eq!(tree.fns.len(), 1, "{:?}", tree.fns);
+        assert_eq!(tree.fns[0].closures, 2);
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { marker(); } }";
+        let lx = lex(src);
+        let tree = parse(&lx.tokens);
+        let marker = lx.tokens.iter().position(|t| t.is_ident("marker")).unwrap();
+        let f = tree.enclosing_fn(marker).unwrap();
+        assert_eq!(tree.fns[f].name, "inner");
+    }
+}

@@ -1,0 +1,108 @@
+//! R5 `atomics-audit`: every explicit memory ordering is an argument, and
+//! the argument must be written down.
+//!
+//! The workspace leans on atomics in exactly the places where a data race
+//! would be silent: the pool's counter accumulation, the segment store's
+//! cache accounting and disk counters. Two checks:
+//!
+//! 1. **Justification.** Every `Ordering::Relaxed`/`Acquire`/`Release`/
+//!    `AcqRel`/`SeqCst` site in the scoped crates must carry an
+//!    `// ORDERING:` comment — on the site's line, on the comment run
+//!    directly above it, or (covering every site in the function) above
+//!    the enclosing `fn`. The comment states *why this ordering is
+//!    sufficient* — typically which happens-before edge makes the value
+//!    exact by the time it is read.
+//!
+//! 2. **Relaxed on result paths.** A `.load(Ordering::Relaxed)` in a
+//!    function whose return value flows (via resolved call edges) into a
+//!    determinism-audited sink (`TaneStats`, `TaneResult`, ...) is flagged
+//!    regardless of comments: counters published to results must be read
+//!    with `Acquire` (or stronger) so the join/publish edge makes them
+//!    exact — a Relaxed read is allowed to return a stale value, which
+//!    voids the byte-identical-results contract (DESIGN §9).
+
+use super::Ctx;
+use crate::callgraph;
+use crate::diag::Diagnostic;
+use crate::symbols::SymbolGraph;
+use crate::RULE_ATOMICS;
+
+/// Crates whose atomics are audited.
+pub const SCOPES: &[&str] = &["crates/util/src", "crates/core/src", "crates/partition/src"];
+
+/// Atomic memory orderings — distinguishes `sync::atomic::Ordering` from
+/// `cmp::Ordering` (whose variants are `Less`/`Equal`/`Greater`).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub fn in_scope(path: &str) -> bool {
+    SCOPES.iter().any(|s| path.contains(s))
+}
+
+/// Check 1, per file: unjustified `Ordering::*` sites.
+pub fn ordering_comments(ctx: &Ctx, g: &SymbolGraph, file: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if !toks[i].is_ident("Ordering")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        let Some(ord) = toks
+            .get(i + 3)
+            .filter(|t| ATOMIC_ORDERINGS.contains(&t.text.as_str()))
+        else {
+            continue;
+        };
+        let line = toks[i].line;
+        let site_justified = ctx.comment_above_contains(line, "ORDERING:");
+        let fn_justified = g
+            .enclosing(file, i)
+            .is_some_and(|f| ctx.comment_above_contains(g.item(f).line, "ORDERING:"));
+        if !site_justified && !fn_justified {
+            out.push(Diagnostic::new(
+                RULE_ATOMICS,
+                ctx.path,
+                line,
+                format!(
+                    "`Ordering::{}` without an `// ORDERING:` justification; state \
+                     which happens-before edge makes this ordering sufficient (on \
+                     this line, above it, or above the enclosing fn)",
+                    ord.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Check 2, workspace: Relaxed loads in functions reachable from sink
+/// constructors. `reach` is `callgraph::reachable_from_sinks` output.
+pub fn relaxed_taint(g: &SymbolGraph, reach: &[Option<Vec<usize>>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        if f.relaxed_loads.is_empty() || !in_scope(&g.files[f.file].path) {
+            continue;
+        }
+        let Some(path) = &reach[id] else { continue };
+        let chain = callgraph::chain_label(g, path);
+        for &line in &f.relaxed_loads {
+            out.push(Diagnostic::new(
+                RULE_ATOMICS,
+                &g.files[f.file].path,
+                line,
+                format!(
+                    "`.load(Ordering::Relaxed)` on a value that flows into a \
+                     determinism-audited result (call path: {chain}); read with \
+                     `Ordering::Acquire` or stronger so the publish edge makes \
+                     the value exact"
+                ),
+            ));
+        }
+    }
+    out
+}

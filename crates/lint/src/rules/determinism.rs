@@ -8,12 +8,18 @@
 //! 1. **Hash-map iteration feeding results.** Iterating a
 //!    `HashMap`/`FxHashMap` yields an arbitrary order; if that order
 //!    reaches a result or serialization path, output becomes
-//!    hasher-dependent. The rule tracks hash-typed names (local `let`s,
-//!    struct fields, parameters) and flags `.iter()`/`.keys()`/
-//!    `.values()`/`.drain()`/`.into_*()` calls and `for .. in` loops over
-//!    them — unless the same or next statement canonicalizes (`sort*`,
-//!    `BTreeMap`/`BTreeSet`) or reduces order-insensitively
-//!    (`min*`/`max*`/`sum`/`count`/`all`/`any`).
+//!    hasher-dependent. v1 policed a fixed file list; v2 tracks the flow:
+//!    every unsuppressed, uncanonicalized hash iteration anywhere in the
+//!    workspace is a **taint source**, and taint propagates callee→caller
+//!    through *resolved* return edges of the call graph until it reaches a
+//!    function that constructs a determinism-audited sink
+//!    (`LevelEvent`/`TaneResult`/`TaneStats`/`RankState` — see
+//!    `callgraph::SINK_TYPES`). Only sources with such a witness chain are
+//!    violations; an iteration whose order provably stays local (feeds a
+//!    `sort`, a `BTreeMap`, an order-insensitive reduction, or never
+//!    reaches a sink through resolved calls) is fine. A call edge whose
+//!    call site canonicalizes the returned data breaks the chain.
+//!
 //! 2. **Reading the clock in search code.** `Instant::now`/
 //!    `SystemTime::now` outside the dedicated timing modules means elapsed
 //!    time *could* steer a search decision (adaptive cutoffs, time-based
@@ -25,26 +31,8 @@ use crate::diag::Diagnostic;
 use crate::lexer::Kind;
 use crate::RULE_DETERMINISM;
 
-/// Directories whose sources carry the determinism contract. The delta
-/// crate is in scope because incremental discovery promises byte-identical
-/// results to from-scratch runs — tracker iteration order must never leak.
-/// The pool is in scope because the work-stealing scheduler promises that
-/// steal order can only change *which worker* fills an output slot, never
-/// which slot — any order-dependent collection feeding its outputs would
-/// void that argument (DESIGN §9). `crates/core/src` includes the ranking
-/// module `rank.rs`, whose heap order *is* the answer a top-k query
-/// returns (DESIGN §12) — the `rules` suite pins that file to this scope
-/// so a future module move cannot silently drop it.
-pub const HASH_SCOPE: &[&str] = &[
-    "crates/core/src",
-    "crates/partition/src",
-    "crates/relation/src",
-    "crates/delta/src",
-    "crates/util/src/pool.rs",
-];
-
-/// Clock reads are additionally policed in `util` (everything that feeds
-/// the search), with the timing infrastructure itself allowlisted.
+/// Clock reads are policed in everything that feeds the search, with the
+/// timing infrastructure itself allowlisted.
 pub const CLOCK_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/partition/src",
@@ -74,21 +62,21 @@ const ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-pub fn in_scope(path: &str) -> bool {
-    HASH_SCOPE.iter().any(|s| path.contains(s)) || CLOCK_SCOPE.iter().any(|s| path.contains(s))
+pub fn clock_in_scope(path: &str) -> bool {
+    CLOCK_SCOPE.iter().any(|s| path.contains(s))
+        && !CLOCK_ALLOWLIST.iter().any(|s| path.ends_with(s))
 }
 
-pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    if HASH_SCOPE.iter().any(|s| ctx.path.contains(s)) {
-        hash_iteration(ctx, &mut out);
-    }
-    if CLOCK_SCOPE.iter().any(|s| ctx.path.contains(s))
-        && !CLOCK_ALLOWLIST.iter().any(|s| ctx.path.ends_with(s))
-    {
-        clock_reads(ctx, &mut out);
-    }
-    out
+/// One hash-iteration taint source.
+#[derive(Debug, Clone)]
+pub struct HashSource {
+    /// Token index of the iteration site.
+    pub tok: usize,
+    pub line: u32,
+    /// The hash-typed name being iterated.
+    pub name: String,
+    /// How (`iter`, `keys`, ..., or `for-loop`).
+    pub how: String,
 }
 
 /// Collects every name in the file that is visibly hash-typed: fields and
@@ -145,10 +133,16 @@ fn hash_names(ctx: &Ctx) -> Vec<String> {
     names
 }
 
-fn hash_iteration(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+/// Extracts the file's taint sources: hash iterations with no visible
+/// local canonicalization, outside test code. Suppression filtering is the
+/// caller's job (it must happen *before* propagation, so a documented
+/// `lint:allow` kills the whole downstream chain, not just the local
+/// report).
+pub fn sources(ctx: &Ctx) -> Vec<HashSource> {
     let names = hash_names(ctx);
+    let mut out = Vec::new();
     if names.is_empty() {
-        return;
+        return out;
     }
     let toks = ctx.toks;
     let tracked =
@@ -188,23 +182,22 @@ fn hash_iteration(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
         if canonicalized_downstream(toks, at) {
             continue;
         }
-        out.push(Diagnostic::new(
-            RULE_DETERMINISM,
-            ctx.path,
-            toks[at].line,
-            format!(
-                "iteration (`{how}`) over hash-keyed `{name}` can leak arbitrary \
-                 order into results; sort the output / use a BTreeMap, or justify \
-                 with `// lint:allow(determinism): <why>`"
-            ),
-        ));
+        out.push(HashSource {
+            tok: at,
+            line: toks[at].line,
+            name,
+            how,
+        });
     }
+    out
 }
 
 /// True if, within the rest of this statement or the following one, the
-/// iterated data is visibly canonicalized (`sort*`, `BTreeMap`, `BTreeSet`)
-/// or consumed order-insensitively (`min*`/`max*`/`sum`/`count`/`all`/`any`).
-fn canonicalized_downstream(toks: &[crate::lexer::Tok], from: usize) -> bool {
+/// data at token `from` is visibly canonicalized (`sort*`, `BTreeMap`,
+/// `BTreeSet`) or consumed order-insensitively
+/// (`min*`/`max*`/`sum`/`count`/`all`/`any`). Used both at iteration sites
+/// and at call sites when deciding whether taint crosses a return edge.
+pub fn canonicalized_downstream(toks: &[crate::lexer::Tok], from: usize) -> bool {
     let mut semis = 0;
     let mut depth = 0i32;
     for t in toks.iter().skip(from).take(90) {
@@ -239,7 +232,9 @@ fn canonicalized_downstream(toks: &[crate::lexer::Tok], from: usize) -> bool {
     false
 }
 
-fn clock_reads(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+/// The clock half of the rule, still file-scoped.
+pub fn clock_run(ctx: &Ctx) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     let toks = ctx.toks;
     for i in 0..toks.len() {
         if ctx.in_test(i) {
@@ -264,4 +259,5 @@ fn clock_reads(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
             ));
         }
     }
+    out
 }

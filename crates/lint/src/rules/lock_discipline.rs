@@ -1,65 +1,125 @@
-//! R3 `lock-discipline`: no undeclared lock nesting, no unhandled poison.
+//! R3 `lock-discipline`: every lock nesting must have a declared order;
+//! poison is a decision, not a crash.
 //!
-//! Two crates hold multiple locks: the server (cache, queue, registry,
-//! metrics, per-flight slots) and the partition crate's concurrent
-//! segment store (clock queue, cache shards, single-flight slots, handle
-//! cache, snapshot tracker — DESIGN §13). Two invariants keep them
-//! deadlock-free and panic-tolerant:
+//! v2 derives the lock-order graph from the code instead of trusting a
+//! hand-maintained table. The per-file scan tracks live guards exactly as
+//! before — `let`-bound guards live to end of scope or `drop(guard)`,
+//! temporaries to the end of their statement — but on top of the direct
+//! check (acquiring `b` with a guard on `a` live ⇒ edge `a → b`) it now
+//! emits **interprocedural** edges: a call made while a guard is live
+//! contributes `held → l` for every lock `l` the callee transitively
+//! acquires (via the symbol graph's `all_locks` fixpoint). A function
+//! holding `shard` that calls a helper acquiring `done` yields the
+//! `shard → done` edge even when the helper lives in another file or
+//! crate.
 //!
-//! 1. **Nesting must be declared.** Acquiring a lock while a guard from
-//!    another lock is live is only legal for pairs in [`LOCK_ORDER`]
-//!    (outer acquired before inner, everywhere). The scan is
-//!    intra-function: guards from `let` bindings live to end of scope or
-//!    an explicit `drop(guard)`; guards from temporaries live to the end
-//!    of their statement. Cross-function nesting (f locks, calls g which
-//!    locks) is out of reach for a token scan — the defense there is the
-//!    code-structure rule that `publish` drops its guard before waking
-//!    waiters, which this rule protects from regressing *within* each
-//!    function.
-//! 2. **Poison is a decision, not a crash.** `.lock().unwrap()` /
-//!    `.lock().expect(...)` turns one panicking thread into a cascade of
-//!    panicking request handlers. Handlers must either recover
-//!    (`unwrap_or_else(|e| e.into_inner())` — every mutex-guarded
-//!    structure in the server tolerates this) or carry an explicit
-//!    `// poison:` comment arguing why propagation is right.
+//! Every derived edge must be covered by a declaration:
+//!
+//! ```text
+//! // lint:lock-order(outer -> inner): why this nesting is safe
+//! ```
+//!
+//! placed next to a witness (by convention, the file where the nesting
+//! happens — that keeps single-file runs coherent). Declarations are
+//! source directives, not a const in the linter, so they travel with the
+//! code they justify; `rules/lock_graph.rs` (R6) checks the global shape —
+//! cycles in the derived graph and stale declarations.
+//!
+//! Poison remains scoped to the server and partition crates: `.lock()
+//! .unwrap()` there must recover (`unwrap_or_else(|e| e.into_inner())`) or
+//! carry a `// poison:` justification. The pool and search runtime
+//! deliberately propagate poison (a panicked worker must not hand out its
+//! half-written scratch), which is why they sit outside this scope.
 
-use super::{is_binding_noise, Ctx};
+use super::Ctx;
+use crate::callgraph::Resolution;
 use crate::diag::Diagnostic;
 use crate::lexer::{Kind, Tok};
+use crate::symbols::SymbolGraph;
 use crate::RULE_LOCK;
 
-pub const SCOPES: &[&str] = &["crates/server/src", "crates/partition/src"];
-
-/// Declared legal nestings: (outer, inner) lock names. The server still
-/// holds at most one lock at a time by design (`publish` drops the cache
-/// guard before filling the flight). The segment store declares exactly
-/// two nestings, forming the total order `clock < shard < done`:
-///
-/// * `("clock", "shard")` — eviction walks the clock queue and dips into
-///   the owning shard per popped key; `seal_level` enqueues a level under
-///   the same order.
-/// * `("shard", "done")` — publishing a loaded partition installs the
-///   cache entry and completes the single-flight slot in one critical
-///   section, so no reader can observe the `Loading` marker after its
-///   waiters were woken.
-///
-/// Growing this table is the explicit, reviewed act the rule exists to
-/// force.
-pub const LOCK_ORDER: &[(&str, &str)] = &[("clock", "shard"), ("shard", "done")];
+/// Crates where poison handling is enforced. Edge *derivation* is
+/// workspace-wide; this only scopes the poison check.
+pub const POISON_SCOPES: &[&str] = &["crates/server/src", "crates/partition/src"];
 
 pub fn in_scope(path: &str) -> bool {
-    SCOPES.iter().any(|s| path.contains(s))
+    POISON_SCOPES.iter().any(|s| path.contains(s))
+}
+
+/// One guard-held-while-acquiring fact, with its witness.
+#[derive(Debug, Clone)]
+pub struct DerivedEdge {
+    pub outer: String,
+    pub inner: String,
+    pub file: String,
+    pub line: u32,
+    /// For interprocedural edges: the callee that (transitively) acquires
+    /// `inner`. `None` for a direct acquisition.
+    pub via: Option<String>,
+}
+
+/// A `lint:lock-order(outer -> inner)` declaration parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDecl {
+    pub outer: String,
+    pub inner: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Parses lock-order directives from a file's comments. Anchored like
+/// `lint:allow`: the comment body must start with `lint:lock-order(`.
+pub fn declarations(
+    path: &str,
+    comments: &[crate::lexer::Comment],
+) -> (Vec<LockDecl>, Vec<Diagnostic>) {
+    let mut decls = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_ascii_start();
+        let Some(rest) = body.strip_prefix("lint:lock-order(") else {
+            continue;
+        };
+        let Some(end) = rest.find(')') else {
+            diags.push(Diagnostic::new(
+                RULE_LOCK,
+                path,
+                c.start_line,
+                "malformed `lint:lock-order(...)`: missing closing parenthesis",
+            ));
+            continue;
+        };
+        let spec = &rest[..end];
+        let Some((outer, inner)) = spec.split_once("->") else {
+            diags.push(Diagnostic::new(
+                RULE_LOCK,
+                path,
+                c.start_line,
+                "malformed `lint:lock-order(...)`: expected `outer -> inner`",
+            ));
+            continue;
+        };
+        decls.push(LockDecl {
+            outer: outer.trim().to_string(),
+            inner: inner.trim().to_string(),
+            file: path.to_string(),
+            line: c.start_line,
+        });
+    }
+    (decls, diags)
 }
 
 #[derive(Debug)]
 struct Guard {
     /// Binding names (for `drop(name)` matching); empty for temporaries.
     names: Vec<String>,
-    /// Lock identity: the receiver field/variable name before `.lock()`.
+    /// Lock identity: the receiver before `.lock()`.
     id: String,
     /// Brace depth at which the guard lives; dies when depth drops below.
     depth: i32,
-    line: u32,
 }
 
 #[derive(Debug, Default)]
@@ -69,13 +129,28 @@ struct PendingLet {
     locked: Vec<(String, u32)>,
 }
 
-pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
+/// Scans one file: returns the derived edges witnessed in it plus poison
+/// diagnostics (the latter only when the file is in [`POISON_SCOPES`]).
+pub fn scan(ctx: &Ctx, g: &SymbolGraph, file: usize) -> (Vec<DerivedEdge>, Vec<Diagnostic>) {
     let toks = ctx.toks;
+    let mut edges = Vec::new();
     let mut out = Vec::new();
+    let poison_scoped = in_scope(ctx.path);
     let mut depth = 0i32;
     let mut guards: Vec<Guard> = Vec::new();
     let mut temps: Vec<Guard> = Vec::new();
     let mut pending: Option<PendingLet> = None;
+
+    // tok index → resolved callee ids, for interprocedural edges.
+    let calls: std::collections::BTreeMap<usize, &[usize]> = g.files[file]
+        .fn_ids
+        .iter()
+        .flat_map(|&fid| g.fns[fid].calls.iter())
+        .filter_map(|c| match &c.resolution {
+            Resolution::Resolved(ids) => Some((c.tok, ids.as_slice())),
+            _ => None,
+        })
+        .collect();
 
     let mut i = 0;
     while i < toks.len() {
@@ -104,7 +179,7 @@ pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
             }
         } else if t.kind == Kind::Ident {
             if let Some(p) = pending.as_mut() {
-                if !p.past_eq && !is_binding_noise(&t.text) {
+                if !p.past_eq && !super::is_binding_noise(&t.text) {
                     p.names.push(t.text.clone());
                 }
             }
@@ -118,50 +193,98 @@ pub fn run(ctx: &Ctx) -> Vec<Diagnostic> {
                 guards.retain(|g| !g.names.iter().any(|n| n == name));
             }
             if let Some(id) = acquisition(toks, i) {
-                // Nested acquisition check against every live guard.
                 for held in guards.iter().chain(temps.iter()) {
-                    let declared = LOCK_ORDER
-                        .iter()
-                        .any(|&(outer, inner)| outer == held.id && inner == id);
-                    if !declared {
-                        out.push(Diagnostic::new(
-                            RULE_LOCK,
-                            ctx.path,
-                            t.line,
-                            format!(
-                                "acquiring `{id}` while holding `{}` (locked on line {}) \
-                                 — nesting must be declared in tane-lint's LOCK_ORDER \
-                                 table or the guard dropped first",
-                                held.id, held.line
-                            ),
-                        ));
-                    }
+                    edges.push(DerivedEdge {
+                        outer: held.id.clone(),
+                        inner: id.clone(),
+                        file: ctx.path.to_string(),
+                        line: t.line,
+                        via: None,
+                    });
                 }
-                poison_check(ctx, toks, i, &id, &mut out);
-                match pending.as_mut() {
-                    Some(p) if p.past_eq => p.locked.push((id, t.line)),
-                    _ => temps.push(Guard {
+                if poison_scoped {
+                    poison_check(ctx, toks, i, &id, &mut out);
+                }
+                // A `let`-bound guard is durable only when the call chain
+                // ends at the acquisition (plus unwrap-family): a chain
+                // that continues (`.lock().expect(..).pop_front()`) binds
+                // a derived value and the guard dies with the statement.
+                let durable_binding =
+                    matches!(pending.as_mut(), Some(p) if p.past_eq) && chain_ends(toks, i);
+                if durable_binding {
+                    if let Some(p) = pending.as_mut() {
+                        p.locked.push((id, t.line));
+                    }
+                } else {
+                    temps.push(Guard {
                         names: Vec::new(),
                         id,
                         depth,
-                        line: t.line,
-                    }),
+                    });
+                }
+            } else if let Some(callees) = calls.get(&i) {
+                // Interprocedural: a resolved call made with guards live
+                // contributes an edge per transitive lock of the callee.
+                for &callee in callees.iter() {
+                    for l in &g.fns[callee].all_locks {
+                        for held in guards.iter().chain(temps.iter()) {
+                            edges.push(DerivedEdge {
+                                outer: held.id.clone(),
+                                inner: l.clone(),
+                                file: ctx.path.to_string(),
+                                line: t.line,
+                                via: Some(g.label(callee)),
+                            });
+                        }
+                    }
+                }
+                // A resolved call to a guard-returning helper — by the
+                // workspace convention, a method *named* `lock`/`read`/
+                // `write` (`let g = self.lock();`) — binds the callee's
+                // locks as a live guard here, durable under the same
+                // let-chain rules as a direct acquisition.
+                if matches!(t.text.as_str(), "lock" | "read" | "write") {
+                    let after = toks
+                        .get(i + 1)
+                        .filter(|n| n.is_punct('('))
+                        .and_then(|_| super::matching(toks, i + 1, '(', ')'))
+                        .map(|c| c + 1);
+                    if let Some(after) = after {
+                        let durable = matches!(pending.as_ref(), Some(p) if p.past_eq)
+                            && chain_ends_at(toks, after);
+                        let ids: Vec<String> = callees
+                            .iter()
+                            .flat_map(|&c| g.fns[c].all_locks.iter().cloned())
+                            .collect();
+                        for id in ids {
+                            if durable {
+                                if let Some(p) = pending.as_mut() {
+                                    p.locked.push((id, t.line));
+                                }
+                            } else {
+                                temps.push(Guard {
+                                    names: Vec::new(),
+                                    id,
+                                    depth,
+                                });
+                            }
+                        }
+                    }
                 }
             }
         }
         i += 1;
     }
-    out
+    (edges, out)
 }
 
 fn finalize_let(pending: &mut Option<PendingLet>, guards: &mut Vec<Guard>, depth: i32) {
     if let Some(p) = pending.take() {
-        for (id, line) in p.locked {
+        for (id, _line) in p.locked {
             guards.push(Guard {
                 names: p.names.clone(),
                 id,
                 depth,
-                line,
             });
         }
     }
@@ -170,7 +293,16 @@ fn finalize_let(pending: &mut Option<PendingLet>, guards: &mut Vec<Guard>, depth
 /// Returns the lock name if token `i` is a guard acquisition: `.lock()`,
 /// or the zero-argument `.read()` / `.write()` of an `RwLock` (I/O
 /// `read`/`write` always take a buffer, so empty parens disambiguate).
-fn acquisition(toks: &[Tok], i: usize) -> Option<String> {
+///
+/// The receiver identity is the identifier before the dot
+/// (`self.inner.lock()` → `inner`), looking through an index expression
+/// (`queues[worker].lock()` → `queues` — every element shares one
+/// discipline) or a call (`self.shard_for(k).lock()` → `<shard_for>`);
+/// `"<expr>"` for anything else. A `self` receiver (`self.lock()`) is
+/// *not* an acquisition — `Mutex` is never `Self`, so that is a call to a
+/// guard-returning helper, and its lock identity comes from the callee's
+/// summary through the call graph.
+pub fn acquisition(toks: &[Tok], i: usize) -> Option<String> {
     let t = &toks[i];
     let is_acq = (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
         && i > 0
@@ -180,13 +312,75 @@ fn acquisition(toks: &[Tok], i: usize) -> Option<String> {
     if !is_acq {
         return None;
     }
-    // Receiver name: the identifier before the dot (`self.inner.lock()`
-    // → `inner`); fall back for parenthesized expressions.
     let id = match toks.get(i.wrapping_sub(2)) {
+        Some(r)
+            if r.is_ident("self") && !i.checked_sub(3).is_some_and(|p| toks[p].is_punct('.')) =>
+        {
+            return None;
+        }
         Some(r) if r.kind == Kind::Ident => r.text.clone(),
+        Some(r) if r.is_punct(']') => match ident_before_matching(toks, i - 2, '[', ']') {
+            Some(name) => name,
+            None => "<expr>".to_string(),
+        },
+        Some(r) if r.is_punct(')') => match ident_before_matching(toks, i - 2, '(', ')') {
+            Some(name) => format!("<{name}>"),
+            None => "<expr>".to_string(),
+        },
         _ => "<expr>".to_string(),
     };
     Some(id)
+}
+
+/// Walks back from a closing bracket at `close` to its opener, returning
+/// the identifier right before it (`queues[worker]` → `queues`).
+fn ident_before_matching(toks: &[Tok], close: usize, open: char, close_c: char) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        if toks[j].is_punct(close_c) {
+            depth += 1;
+        } else if toks[j].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    let prev = j.checked_sub(1)?;
+    (toks[prev].kind == Kind::Ident).then(|| toks[prev].text.clone())
+}
+
+/// True when the postfix chain ends after `.lock()` plus any unwrap-family
+/// adapters — i.e. the binding really holds the guard.
+fn chain_ends(toks: &[Tok], i: usize) -> bool {
+    // i is the `lock` ident; i+1 '(' ; i+2 ')'.
+    chain_ends_at(toks, i + 3)
+}
+
+/// Same, starting just past an arbitrary call's closing paren.
+fn chain_ends_at(toks: &[Tok], start: usize) -> bool {
+    let mut j = start;
+    loop {
+        if !toks.get(j).is_some_and(|t| t.is_punct('.')) {
+            return true; // `;`, `?`, `}` — chain over, guard bound
+        }
+        let Some(m) = toks.get(j + 1) else {
+            return true;
+        };
+        let unwrapish = matches!(
+            m.text.as_str(),
+            "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "unwrap_or_default"
+        );
+        if !unwrapish || !toks.get(j + 2).is_some_and(|t| t.is_punct('(')) {
+            return false; // chain continues past the guard — temporary
+        }
+        match super::matching(toks, j + 2, '(', ')') {
+            Some(close) => j = close + 1,
+            None => return true,
+        }
+    }
 }
 
 /// Flags `.lock().unwrap()` / `.lock().expect(..)` unless a `poison`

@@ -1,0 +1,148 @@
+//! R6 `lock-graph`: the global shape of the derived lock-order graph.
+//!
+//! `lock_discipline::scan` derives the edges; this pass judges the whole
+//! graph:
+//!
+//! * **Coverage** (reported as `lock-discipline`, it is the per-witness
+//!   rule): every derived edge needs a `lint:lock-order(outer -> inner)`
+//!   declaration somewhere in the scanned set.
+//! * **Cycles**: an edge `a → b` where `b` already reaches `a` in the
+//!   derived graph is a potential deadlock — two threads taking the two
+//!   paths in opposite order can block each other forever. Self-edges
+//!   (`a → a`, re-acquiring a lock already held) deadlock a single thread
+//!   on a non-reentrant mutex. Cycles are structural: no declaration can
+//!   justify one, and `lint:allow` at the witness is the only (audited)
+//!   escape.
+//! * **Staleness**: a declaration with no derived witness documents a
+//!   nesting that no longer exists. Stale declarations rot the discipline
+//!   — the next reader trusts an ordering constraint the code stopped
+//!   exercising — so they are violations too, at the declaration site.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::rules::lock_discipline::{DerivedEdge, LockDecl};
+use crate::{RULE_LOCK, RULE_LOCK_GRAPH};
+
+/// Runs the workspace checks over all derived edges and declarations.
+pub fn run(edges: &[DerivedEdge], decls: &[LockDecl]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Dedup witnesses: same edge can be derived once per live guard.
+    let mut seen: BTreeSet<(String, String, String, u32, Option<String>)> = BTreeSet::new();
+    let mut uniq: Vec<&DerivedEdge> = Vec::new();
+    for e in edges {
+        if seen.insert((
+            e.outer.clone(),
+            e.inner.clone(),
+            e.file.clone(),
+            e.line,
+            e.via.clone(),
+        )) {
+            uniq.push(e);
+        }
+    }
+
+    // Adjacency over lock names, and the first witness per (outer, inner).
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut first_witness: BTreeMap<(&str, &str), (&str, u32, &Option<String>)> = BTreeMap::new();
+    for e in &uniq {
+        adj.entry(&e.outer).or_default().insert(&e.inner);
+        let w = first_witness
+            .entry((&e.outer, &e.inner))
+            .or_insert((&e.file, e.line, &e.via));
+        if (e.file.as_str(), e.line) < (w.0, w.1) {
+            *w = (&e.file, e.line, &e.via);
+        }
+    }
+
+    // Coverage: every derived edge (per witness) must be declared.
+    for e in &uniq {
+        if e.outer == e.inner {
+            continue; // reported below as a self-cycle, not as undeclared
+        }
+        let declared = decls
+            .iter()
+            .any(|d| d.outer == e.outer && d.inner == e.inner);
+        if !declared {
+            let via = match &e.via {
+                Some(v) => format!(" (via `{v}`)"),
+                None => String::new(),
+            };
+            out.push(Diagnostic::new(
+                RULE_LOCK,
+                &e.file,
+                e.line,
+                format!(
+                    "acquiring `{}` while holding `{}`{via} derives an undeclared \
+                     lock-order edge; declare it with \
+                     `// lint:lock-order({} -> {}): <why>` next to this witness",
+                    e.inner, e.outer, e.outer, e.inner
+                ),
+            ));
+        }
+    }
+
+    // Cycles: an edge whose head reaches its tail closes a cycle.
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut stack = vec![from];
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !visited.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for ((outer, inner), (file, line, via)) in &first_witness {
+        let cyclic = outer == inner || reaches(inner, outer);
+        if cyclic {
+            let via = match via {
+                Some(v) => format!(" (via `{v}`)"),
+                None => String::new(),
+            };
+            let shape = if outer == inner {
+                format!("re-acquires `{outer}` while already held{via}")
+            } else {
+                format!(
+                    "edge `{outer} -> {inner}`{via} completes a cycle: `{inner}` \
+                     already reaches `{outer}` in the derived graph"
+                )
+            };
+            out.push(Diagnostic::new(
+                RULE_LOCK_GRAPH,
+                file,
+                *line,
+                format!("potential deadlock: {shape}"),
+            ));
+        }
+    }
+
+    // Staleness: declarations with no derived witness.
+    for d in decls {
+        let witnessed = uniq
+            .iter()
+            .any(|e| e.outer == d.outer && e.inner == d.inner);
+        if !witnessed {
+            out.push(Diagnostic::new(
+                RULE_LOCK_GRAPH,
+                &d.file,
+                d.line,
+                format!(
+                    "declared lock order `{} -> {}` has no derived witness in the \
+                     scanned files: the nesting it documents no longer exists — \
+                     remove the stale declaration",
+                    d.outer, d.inner
+                ),
+            ));
+        }
+    }
+
+    out
+}

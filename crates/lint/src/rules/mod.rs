@@ -6,9 +6,11 @@
 //! the `// lint:allow(<rule>): <why>` escape hatch exists precisely so that
 //! a justified exception becomes *documented* instead of silent.
 
+pub mod atomics;
 pub mod determinism;
 pub mod error_hygiene;
 pub mod lock_discipline;
+pub mod lock_graph;
 pub mod unsafe_audit;
 
 use crate::lexer::{Comment, Lexed, Tok};
@@ -71,7 +73,7 @@ impl<'a> Ctx<'a> {
 /// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`. An attribute
 /// mentioning `not` (e.g. `#[cfg(not(test))]`) guards *production* code
 /// and is ignored. The span is the brace block of the next item.
-fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {

@@ -1,0 +1,189 @@
+//! The workspace symbol graph: every function in every scanned file, with
+//! its structural identity (file, impl type, module path, body span) and —
+//! once `callgraph` has run — its call sites and analysis summaries.
+//!
+//! The graph is the queryable artifact behind the v2 rules: R3 derives
+//! lock-order edges by walking it, R2 propagates hash-order taint over it,
+//! R5 follows `Relaxed` loads through it. `tane-lint --symbols <file>`
+//! persists it as JSON so the derived facts can be inspected (and diffed)
+//! outside a lint run.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{CallSite, Resolution};
+use crate::lexer::Lexed;
+use crate::parser::{self, ItemTree};
+
+/// One scanned file, lexed and parsed.
+pub struct FileSyms {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    pub lexed: Lexed,
+    pub tree: ItemTree,
+    /// Test-code token spans (mirrors `rules::Ctx`): excluded from graph
+    /// summaries so test scaffolding never taints production analysis.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Global `FnSym` index for each `tree.fns` entry, parallel vectors.
+    pub fn_ids: Vec<usize>,
+}
+
+/// One function in the workspace, with analysis summaries.
+pub struct FnSym {
+    /// Index into `SymbolGraph::files`.
+    pub file: usize,
+    /// Index into that file's `tree.fns`.
+    pub item: usize,
+    /// Call sites found in the body (filled by `callgraph::resolve`).
+    pub calls: Vec<CallSite>,
+    /// Lock names this function acquires *directly* (`.lock()` receiver
+    /// identity), in source order, deduplicated.
+    pub direct_locks: Vec<String>,
+    /// Direct + transitive (through resolved calls) lock acquisitions.
+    pub all_locks: Vec<String>,
+    /// Lines of `.load(Ordering::Relaxed)` sites in the body.
+    pub relaxed_loads: Vec<u32>,
+    /// (sink type, line) for determinism-audited result types constructed
+    /// in the body (`TaneResult { .. }`, `LevelEvent { .. }`, ...).
+    pub sinks: Vec<(String, u32)>,
+    /// Unsuppressed, uncanonicalized hash-iteration sites in the body:
+    /// (line, iterated name, how).
+    pub hash_sources: Vec<(u32, String, String)>,
+}
+
+/// The whole-workspace graph.
+pub struct SymbolGraph {
+    pub files: Vec<FileSyms>,
+    pub fns: Vec<FnSym>,
+    /// name → fn ids (methods and free fns alike), names sorted.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// One input file for [`SymbolGraph::build`]: path, lexed tokens, and the
+/// file's precomputed `#[cfg(test)]` spans.
+pub type LexedFile = (String, Lexed, Vec<(usize, usize)>);
+
+impl SymbolGraph {
+    /// Builds the structural graph (no call resolution yet) from lexed
+    /// files. `test_spans` must be precomputed per file.
+    pub fn build(files: Vec<LexedFile>) -> SymbolGraph {
+        let mut g = SymbolGraph {
+            files: Vec::new(),
+            fns: Vec::new(),
+            by_name: BTreeMap::new(),
+        };
+        for (path, lexed, test_spans) in files {
+            let tree = parser::parse(&lexed.tokens);
+            let file_idx = g.files.len();
+            let mut fn_ids = Vec::with_capacity(tree.fns.len());
+            for (item, f) in tree.fns.iter().enumerate() {
+                let id = g.fns.len();
+                g.fns.push(FnSym {
+                    file: file_idx,
+                    item,
+                    calls: Vec::new(),
+                    direct_locks: Vec::new(),
+                    all_locks: Vec::new(),
+                    relaxed_loads: Vec::new(),
+                    sinks: Vec::new(),
+                    hash_sources: Vec::new(),
+                });
+                g.by_name.entry(f.name.clone()).or_default().push(id);
+                fn_ids.push(id);
+            }
+            g.files.push(FileSyms {
+                path,
+                lexed,
+                tree,
+                test_spans,
+                fn_ids,
+            });
+        }
+        g
+    }
+
+    /// The `FnItem` behind a global fn id.
+    pub fn item(&self, id: usize) -> &parser::FnItem {
+        let f = &self.fns[id];
+        &self.files[f.file].tree.fns[f.item]
+    }
+
+    /// `"file:line fn name"` — a stable human label for diagnostics.
+    pub fn label(&self, id: usize) -> String {
+        let item = self.item(id);
+        match &item.self_type {
+            Some(t) => format!("{}::{}", t, item.name),
+            None => item.name.clone(),
+        }
+    }
+
+    /// Global fn id for the innermost fn containing token `i` of `file`.
+    pub fn enclosing(&self, file: usize, i: usize) -> Option<usize> {
+        let fs = &self.files[file];
+        fs.tree.enclosing_fn(i).map(|item| fs.fn_ids[item])
+    }
+
+    /// Renders the graph as JSON (schema 1 of the symbol dump): one entry
+    /// per function with identity, call-resolution tallies, and the
+    /// analysis summaries. Deterministic: files and fns in scan order,
+    /// which `workspace_files` already sorts.
+    pub fn render_json(&self) -> String {
+        use tane_util::Json;
+        let fns: Vec<Json> = self
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(id, f)| {
+                let item = self.item(id);
+                let (mut resolved, mut ambiguous, mut external) = (0u32, 0u32, 0u32);
+                for c in &f.calls {
+                    match c.resolution {
+                        Resolution::Resolved(_) => resolved += 1,
+                        Resolution::Ambiguous(_) => ambiguous += 1,
+                        Resolution::External => external += 1,
+                    }
+                }
+                Json::obj([
+                    ("name", Json::Str(item.name.clone())),
+                    (
+                        "self_type",
+                        match &item.self_type {
+                            Some(t) => Json::Str(t.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "module",
+                        Json::Arr(item.module.iter().map(|m| Json::Str(m.clone())).collect()),
+                    ),
+                    ("file", Json::Str(self.files[f.file].path.clone())),
+                    ("line", Json::Num(item.line as f64)),
+                    ("is_method", Json::Bool(item.is_method)),
+                    ("closures", Json::Num(item.closures as f64)),
+                    ("calls_resolved", Json::Num(resolved as f64)),
+                    ("calls_ambiguous", Json::Num(ambiguous as f64)),
+                    ("calls_external", Json::Num(external as f64)),
+                    (
+                        "locks_direct",
+                        Json::Arr(
+                            f.direct_locks
+                                .iter()
+                                .map(|l| Json::Str(l.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "locks_transitive",
+                        Json::Arr(f.all_locks.iter().map(|l| Json::Str(l.clone())).collect()),
+                    ),
+                    ("relaxed_loads", Json::Num(f.relaxed_loads.len() as f64)),
+                    (
+                        "sinks",
+                        Json::Arr(f.sinks.iter().map(|(s, _)| Json::Str(s.clone())).collect()),
+                    ),
+                    ("hash_sources", Json::Num(f.hash_sources.len() as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([("schema", Json::Num(1.0)), ("functions", Json::Arr(fns))]).render()
+    }
+}

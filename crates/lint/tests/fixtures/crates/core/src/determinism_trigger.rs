@@ -1,9 +1,24 @@
-//! R2 triggers: hash iteration escaping to output, and a clock read in
-//! search-scope code.
+//! R2 triggers: hash iteration whose arbitrary order escapes through the
+//! call graph into a `TaneStats` result, and a clock read in search-scope
+//! code.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
+pub struct TaneStats {
+    pub lines: Vec<String>,
+}
+
+/// Constructs the result surface: everything it (transitively) calls is
+/// on a determinism-audited path.
+pub fn emit(counts: &HashMap<String, u64>) -> TaneStats {
+    TaneStats {
+        lines: export(counts),
+    }
+}
+
+/// Hash order leaks through the return value into `emit`'s `TaneStats`:
+/// the iteration here must fire with the call path in the message.
 pub fn export(counts: &HashMap<String, u64>) -> Vec<String> {
     let mut out = Vec::new();
     for (k, v) in counts.iter() {
@@ -12,6 +27,8 @@ pub fn export(counts: &HashMap<String, u64>) -> Vec<String> {
     out
 }
 
+/// Canonicalizes before returning: no diagnostic, even though `emit`
+/// could call it.
 pub fn sorted_export(counts: &HashMap<String, u64>) -> Vec<String> {
     let mut out: Vec<String> = counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
     out.sort();

@@ -1,8 +1,19 @@
 //! R2 trigger inside the ranking module's path: the ranked heap's order
-//! *is* the answer (DESIGN §12), so hash-order iteration feeding it must
-//! fire exactly as anywhere else in `crates/core/src`.
+//! *is* the answer (DESIGN §12), so hash-order iteration that reaches the
+//! `RankState` through the call graph must fire like anywhere else in
+//! `crates/core/src`.
 
 use std::collections::HashMap;
+
+pub struct RankState {
+    pub heap: Vec<String>,
+}
+
+pub fn rank(scores: &HashMap<String, u64>) -> RankState {
+    RankState {
+        heap: heap_order(scores),
+    }
+}
 
 pub fn heap_order(scores: &HashMap<String, u64>) -> Vec<String> {
     let mut heap = Vec::new();

@@ -1,6 +1,7 @@
-//! R3 triggers against the segment store's lock names: the declared
+//! R3/R6 triggers against the segment store's lock names: the declared
 //! nestings (`clock` → `shard`, `shard` → `done`) must pass, an
-//! undeclared inversion (`shard` → `clock`) must fire, and a bare
+//! undeclared inversion (`shard` → `clock`) must fire as an undeclared
+//! edge *and* close a cycle in the derived graph, and a bare
 //! `.lock().unwrap()` must fire as poison propagation.
 
 use std::sync::Mutex;
@@ -16,6 +17,8 @@ impl Store {
     /// diagnostic may fire here.
     pub fn evict(&self) -> u32 {
         let clock = self.clock.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:lock-order(clock -> shard): the sweep dips into one shard
+        // per key while walking the clock queue.
         let shard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
         let _ = clock.len();
         *shard
@@ -25,13 +28,15 @@ impl Store {
     /// the bare unwrap on `done` is one poison diagnostic.
     pub fn publish(&self) -> u32 {
         let shard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:lock-order(shard -> done): waiters are woken under the
+        // shard lock so they can never observe a stale Loading marker.
         let done = self.done.lock().unwrap();
         let _ = *done;
         *shard
     }
 
-    /// Inverted order: acquiring `clock` while holding `shard` is NOT in
-    /// LOCK_ORDER and must produce a "while holding" diagnostic.
+    /// Inverted order: acquiring `clock` while holding `shard` is
+    /// undeclared AND completes a `clock → shard → clock` cycle.
     pub fn inverted(&self) -> u64 {
         let shard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
         let clock = self.clock.lock().unwrap_or_else(|e| e.into_inner());

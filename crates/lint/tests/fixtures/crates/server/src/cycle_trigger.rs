@@ -1,0 +1,26 @@
+//! R6: both nestings declared, still a cycle — a declaration documents an
+//! edge, it does not absolve a deadlock. Two threads running `fwd` and
+//! `rev` concurrently can each hold one lock and wait on the other.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn fwd(&self) -> u32 {
+        let a = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:lock-order(a -> b): forward path.
+        let b = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn rev(&self) -> u32 {
+        let b = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:lock-order(b -> a): reverse path.
+        let a = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}

@@ -1,0 +1,16 @@
+//! R6 staleness: a declared nesting with no derived witness anywhere in
+//! the analyzed set — left over from a refactor, it must be flagged so
+//! the declaration table cannot rot.
+
+use std::sync::Mutex;
+
+pub struct S {
+    only: Mutex<u32>,
+}
+
+impl S {
+    pub fn get(&self) -> u32 {
+        // lint:lock-order(ghost -> only): left over from a refactor.
+        *self.only.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,14 @@
+//! The callee side of the cross-file derived edge: acquires `index`.
+
+use std::sync::Mutex;
+
+pub struct Sidecar {
+    index: Mutex<Vec<usize>>,
+}
+
+impl Sidecar {
+    pub fn record_sidecar(&self, n: usize) {
+        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        index.push(n);
+    }
+}

@@ -1,0 +1,16 @@
+//! Cross-file R3: `flush` holds `journal` and calls a helper in another
+//! file that acquires `index` — the derived edge crosses the file
+//! boundary through the call graph and must carry a `via` label.
+
+use std::sync::Mutex;
+
+pub struct Writer {
+    journal: Mutex<Vec<u8>>,
+}
+
+impl Writer {
+    pub fn flush(&self, sidecar: &super::xfile_callee::Sidecar) {
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        sidecar.record_sidecar(journal.len());
+    }
+}

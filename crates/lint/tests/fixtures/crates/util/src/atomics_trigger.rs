@@ -1,0 +1,40 @@
+//! R5 triggers: an unjustified ordering fires; a justified one passes;
+//! and a justified `Relaxed` load still fires when its value flows into
+//! a `TaneStats` result (comments cannot argue away staleness).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct TaneStats {
+    pub hits: u64,
+}
+
+pub struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counters {
+    /// No justification: one `atomics-audit` diagnostic.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Justified: passes.
+    pub fn miss(&self) {
+        // ORDERING: Relaxed — advisory heuristics only, never results.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Constructs the result surface: `snapshot` below is on its path.
+    pub fn stats(&self) -> TaneStats {
+        TaneStats {
+            hits: self.snapshot(),
+        }
+    }
+
+    // ORDERING: Relaxed — justified, but the result-path taint check
+    // still fires because the value lands in `TaneStats`.
+    fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

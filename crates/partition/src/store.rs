@@ -155,6 +155,8 @@ impl DiskQuota {
     }
 
     /// Bytes currently charged.
+    // ORDERING: Relaxed — advisory telemetry snapshot; admission decisions
+    // re-read the cell inside try_charge's CAS loop, never through this.
     pub fn used(&self) -> u64 {
         self.used.load(Ordering::Relaxed)
     }
@@ -164,6 +166,9 @@ impl DiskQuota {
         self.limit
     }
 
+    // ORDERING: Relaxed throughout — the quota cell is self-contained:
+    // a successful charge publishes no other memory, so the CAS only
+    // needs atomicity of the read-modify-write, not an ordering edge.
     fn try_charge(&self, need: u64) -> Result<(), StoreError> {
         let mut used = self.used.load(Ordering::Relaxed);
         loop {
@@ -187,6 +192,8 @@ impl DiskQuota {
     }
 
     fn release(&self, bytes: u64) {
+        // ORDERING: Relaxed — same self-contained-cell argument as
+        // try_charge; an un-charge orders nothing else.
         self.used.fetch_sub(bytes, Ordering::Relaxed);
     }
 }
@@ -447,6 +454,8 @@ impl SegmentStore {
     /// Creates a segment store in a fresh temporary directory, keeping at
     /// most `cache_budget_bytes` of partitions resident.
     pub fn new(cache_budget_bytes: usize) -> Result<SegmentStore, StoreError> {
+        // ORDERING: Relaxed — ID allocation needs only atomicity of the
+        // increment; no other memory rides on it.
         let id = STORE_ID.fetch_add(1, Ordering::Relaxed);
         let dir =
             std::env::temp_dir().join(format!("tane-partitions-{}-{}", std::process::id(), id));
@@ -466,6 +475,7 @@ impl SegmentStore {
         cache_budget_bytes: usize,
         quota: Arc<DiskQuota>,
     ) -> Result<SegmentStore, StoreError> {
+        // ORDERING: Relaxed — unique-ID increment, as in `new`.
         let id = STORE_ID.fetch_add(1, Ordering::Relaxed);
         let dir =
             std::env::temp_dir().join(format!("tane-partitions-{}-{}", std::process::id(), id));
@@ -509,8 +519,11 @@ impl SegmentStore {
     }
 
     /// Number of partition records read back from disk so far.
+    // ORDERING: Acquire — this counter is published into TaneStats;
+    // pairs with the Release increments in read_record so a reader that
+    // observed the search finish observes every read it performed.
     pub fn disk_reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.reads.load(Ordering::Acquire)
     }
 
     /// Number of partition records written so far.
@@ -519,8 +532,10 @@ impl SegmentStore {
     }
 
     /// Bytes of partition records read back from disk so far.
+    // ORDERING: Acquire — stats-published; pairs with the Release
+    // increment in read_record (see disk_reads).
     pub fn disk_bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.bytes_read.load(Ordering::Acquire)
     }
 
     /// Bytes of partition records spilled to disk so far.
@@ -529,21 +544,27 @@ impl SegmentStore {
     }
 
     /// Partitions evicted from the resident cache so far.
+    // ORDERING: Acquire — stats-published; pairs with the Release
+    // increment in evict_to_budget.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.load(Ordering::Acquire)
     }
 
     /// Cache entries pinned by read phases so far (each pin holds one
     /// fetched partition resident until its phase ends).
+    // ORDERING: Acquire — stats-published; pairs with the Release
+    // increment in load_and_publish.
     pub fn snapshot_pins(&self) -> u64 {
-        self.pins.load(Ordering::Relaxed)
+        self.pins.load(Ordering::Acquire)
     }
 
     /// Times an eviction sweep ended with the resident set still over
     /// budget — every remaining partition was pinned or active (e.g. a
     /// single partition larger than the whole budget).
+    // ORDERING: Acquire — stats-published; pairs with the Release
+    // increment in evict_to_budget.
     pub fn oversized_resident(&self) -> u64 {
-        self.oversized.load(Ordering::Relaxed)
+        self.oversized.load(Ordering::Acquire)
     }
 
     /// Number of live (non-doomed) segment files.
@@ -588,6 +609,9 @@ impl SegmentStore {
         tracker.next_epoch += 1;
         tracker.open.insert(epoch);
         drop(tracker);
+        // ORDERING: Release — publishes the tracker insert above to the
+        // Acquire pin-check in load_and_publish: a loader that sees the
+        // phase open also sees its epoch registered.
         self.open_phases.fetch_add(1, Ordering::Release);
         ReadPhase { epoch }
     }
@@ -598,6 +622,8 @@ impl SegmentStore {
     /// back to budget. Segments doomed during the phase become reapable;
     /// the next writer-side call deletes them.
     pub fn end_read_phase(&self, phase: ReadPhase) {
+        // ORDERING: Release — everything the phase read happens-before
+        // the counter drop; the unpin sweep below re-checks under locks.
         self.open_phases.fetch_sub(1, Ordering::Release);
         let snapshots = &self.snapshots;
         let mut tracker = snapshots.lock().unwrap_or_else(|e| e.into_inner());
@@ -657,8 +683,11 @@ impl SegmentStore {
             Some(Slot::Ready(e)) => e.bytes,
             _ => 0,
         };
+        // ORDERING: Relaxed — cache accounting only steers eviction; every
+        // mutation happens with a shard or clock guard recently held, and
+        // the driver-serial sweep re-reads the cell each iteration.
         self.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.cache_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.cache_bytes.fetch_sub(freed, Ordering::Relaxed); // ORDERING: as above
     }
 
     /// Evicts idle entries (not active, not pinned) in clock order until
@@ -675,8 +704,15 @@ impl SegmentStore {
     /// across worker counts (DESIGN §13).
     ///
     /// [`oversized_resident`]: SegmentStore::oversized_resident
+    // ORDERING: cache_bytes reads/writes are Relaxed (driver-serial sweep,
+    // advisory accounting — see the comment in publish_entry); the
+    // evictions/oversized increments are Release so the Acquire getters
+    // that feed TaneStats observe exact totals.
     fn evict_to_budget(&self) {
         let clock = &self.clock;
+        // lint:lock-order(clock -> shard): the sweep walks the clock queue
+        // and dips into one shard per key; shard guards are dropped before
+        // the next key, and no shard-holding path ever takes the clock.
         let mut queue = clock.lock().unwrap_or_else(|e| e.into_inner());
         // Each queued entry is popped at most twice per sweep (one second
         // chance); the bound makes that a hard guarantee.
@@ -704,11 +740,11 @@ impl SegmentStore {
             guard.map.remove(&key);
             drop(guard);
             self.cache_bytes.fetch_sub(freed, Ordering::Relaxed);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Release);
         }
         drop(queue);
         if self.cache_bytes.load(Ordering::Relaxed) > self.cache_budget {
-            self.oversized.fetch_add(1, Ordering::Relaxed);
+            self.oversized.fetch_add(1, Ordering::Release);
         }
     }
 
@@ -718,6 +754,7 @@ impl SegmentStore {
         let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(Slot::Ready(e)) = guard.map.remove(&key) {
             drop(guard);
+            // ORDERING: Relaxed — advisory cache accounting, as above.
             self.cache_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
         }
     }
@@ -914,8 +951,10 @@ impl SegmentStore {
             }
         })?;
         let partition = parse_record(key, &buf)?;
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(loc.len as u64, Ordering::Relaxed);
+        // ORDERING: Release — pairs with the Acquire loads in the
+        // disk_reads/disk_bytes_read getters that feed TaneStats.
+        self.reads.fetch_add(1, Ordering::Release);
+        self.bytes_read.fetch_add(loc.len as u64, Ordering::Release); // ORDERING: as above
         Ok(partition)
     }
 
@@ -929,6 +968,9 @@ impl SegmentStore {
         slot: &Arc<LoadSlot>,
     ) -> Result<Arc<StrippedPartition>, StoreError> {
         let result = self.read_record(key, loc).map(Arc::new);
+        // ORDERING: Acquire — pairs with the Release in begin_read_phase:
+        // seeing the phase open implies seeing its epoch in the tracker,
+        // so the pin taken here is always unpinned by that phase's close.
         let pinned = self.open_phases.load(Ordering::Acquire) > 0;
         let shard = self.shard_for(key);
         let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
@@ -945,10 +987,13 @@ impl SegmentStore {
                         queued: false,
                     }),
                 );
+                // ORDERING: Relaxed cache accounting (advisory, see
+                // publish_entry); the pin counter is Release to pair with
+                // the Acquire getter feeding TaneStats.
                 self.cache_bytes
-                    .fetch_add(part.size_bytes(), Ordering::Relaxed);
+                    .fetch_add(part.size_bytes(), Ordering::Relaxed); // ORDERING: as above
                 if pinned {
-                    self.pins.fetch_add(1, Ordering::Relaxed);
+                    self.pins.fetch_add(1, Ordering::Release); // ORDERING: as above
                 }
             }
             Err(_) => {
@@ -957,7 +1002,11 @@ impl SegmentStore {
         }
         // Publish to waiters while still holding the shard lock, so a new
         // reader can never observe the Loading marker after its waiters
-        // were already woken (declared nesting: shard before done).
+        // were already woken.
+        // lint:lock-order(shard -> done): single-flight publication takes
+        // the slot's done mutex under the shard lock by design; waiters
+        // block on `done` only *after* releasing the shard, so the reverse
+        // nesting never occurs.
         let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
         *done = Some(match &result {
             Ok(p) => Ok(p.clone()),
@@ -1213,6 +1262,8 @@ impl PartitionStore for SegmentStore {
     }
 
     fn resident_bytes(&self) -> usize {
+        // ORDERING: Relaxed — advisory cache-size probe for tests and the
+        // eviction budget; never flows into results or stats.
         self.cache_bytes.load(Ordering::Relaxed)
     }
 }
@@ -1261,15 +1312,22 @@ pub mod failpoint {
 
     /// Makes the next `n` disk reads of any store in this process fail
     /// with [`StoreError::Corrupt`](super::StoreError::Corrupt).
+    // ORDERING: SeqCst — arming happens on a test thread; total order is
+    // the cheapest way to make the fault visible to whichever worker
+    // reads next, and this path is cold by definition.
     pub fn arm_corrupt_reads(n: u64) {
         CORRUPT_READS.store(n, Ordering::SeqCst);
     }
 
     /// Clears any armed faults.
+    // ORDERING: SeqCst — symmetric with arm_corrupt_reads.
     pub fn disarm() {
         CORRUPT_READS.store(0, Ordering::SeqCst);
     }
 
+    // ORDERING: Relaxed — the counter is its own synchronization object;
+    // the CAS only needs atomicity of the decrement, no payload is
+    // published through it.
     pub(crate) fn take_corrupt_read() -> bool {
         let mut n = CORRUPT_READS.load(Ordering::Relaxed);
         loop {

@@ -123,6 +123,10 @@ impl DatasetRegistry {
         let entry = map
             .entry(name.to_string())
             .or_insert(Stored::Static(generated));
+        // lint:lock-order(inner -> state): resolving an uploaded dataset
+        // snapshots its delta engine (engine `state` mutex) under the
+        // registry map lock; the engine never calls back into the
+        // registry, so the reverse nesting cannot occur.
         Some(entry.relation())
     }
 

@@ -119,12 +119,16 @@ pub struct PoolCounters {
 }
 
 impl PoolCounters {
+    // ORDERING: Acquire — these counters land in TaneStats, which is part
+    // of the byte-identical-results contract; the Acquire loads pair with
+    // the workers' Release increments so the totals read after an epoch's
+    // done-notification are exact, not merely eventually consistent.
     fn accumulate(&mut self, cells: &CounterCells) {
-        self.claims += cells.claims.load(Ordering::Relaxed);
-        self.steals += cells.steals.load(Ordering::Relaxed);
-        self.parks += cells.parks.load(Ordering::Relaxed);
-        self.spin += Duration::from_nanos(cells.spin_nanos.load(Ordering::Relaxed));
-        self.stall += Duration::from_nanos(cells.stall_nanos.load(Ordering::Relaxed));
+        self.claims += cells.claims.load(Ordering::Acquire);
+        self.steals += cells.steals.load(Ordering::Acquire);
+        self.parks += cells.parks.load(Ordering::Acquire);
+        self.spin += Duration::from_nanos(cells.spin_nanos.load(Ordering::Acquire));
+        self.stall += Duration::from_nanos(cells.stall_nanos.load(Ordering::Acquire));
     }
 }
 
@@ -221,6 +225,9 @@ impl WorkerPool {
     /// Panics from `driver` or any `body` invocation are re-raised after
     /// the epoch fully drains (`driver`'s first); the pool stays usable.
     #[allow(unsafe_code)] // audited: the lifetime-erasing transmute below
+                          // ORDERING: Release on busy_nanos and the panicked flag — pairs with
+                          // the Acquire loads in busy_time/panicked; the epoch-drain mutex
+                          // already orders everything else.
     pub fn run_overlapped(&self, body: &(dyn Fn(usize) + Sync), driver: impl FnOnce()) {
         if self.handles.is_empty() {
             let drove = catch_unwind(AssertUnwindSafe(driver));
@@ -229,9 +236,9 @@ impl WorkerPool {
                 let outcome = catch_unwind(AssertUnwindSafe(|| body(0)));
                 self.shared
                     .busy_nanos
-                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Release);
                 if let Err(payload) = outcome {
-                    self.shared.panicked.store(true, Ordering::Relaxed);
+                    self.shared.panicked.store(true, Ordering::Release);
                     resume_unwind(payload);
                 }
             }
@@ -261,7 +268,7 @@ impl WorkerPool {
             let outcome = catch_unwind(AssertUnwindSafe(|| body(0)));
             self.shared
                 .busy_nanos
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Release);
             outcome
         } else {
             // Driver died: skip worker-0 participation, but the epoch must
@@ -269,7 +276,7 @@ impl WorkerPool {
             Ok(())
         };
         if caller.is_err() {
-            self.shared.panicked.store(true, Ordering::Relaxed);
+            self.shared.panicked.store(true, Ordering::Release);
         }
         let worker_panic = {
             let mut state = self.shared.state.lock().expect("pool state");
@@ -314,6 +321,8 @@ impl WorkerPool {
     /// closure that the caller executes *before* joining the computation —
     /// see [`run_overlapped`](WorkerPool::run_overlapped). The driver must
     /// not depend on any `f` output (it runs concurrently with them).
+    // ORDERING: Release on every per-worker counter increment — pairs with
+    // the Acquire loads in PoolCounters::accumulate (stats are results).
     pub fn run_indexed_overlapped<T, F, D>(&self, n: usize, grain: usize, f: F, driver: D) -> Vec<T>
     where
         T: Send,
@@ -351,7 +360,7 @@ impl WorkerPool {
                 loop {
                     let range = queues[worker].lock().expect("work deque").pop_front();
                     if let Some((start, end)) = range {
-                        cells.claims.fetch_add(1, Ordering::Relaxed);
+                        cells.claims.fetch_add(1, Ordering::Release);
                         for i in start..end {
                             slots.put(i, f(worker, i));
                         }
@@ -382,10 +391,10 @@ impl WorkerPool {
                     }
                     cells
                         .spin_nanos
-                        .fetch_add(hunt.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        .fetch_add(hunt.elapsed().as_nanos() as u64, Ordering::Release);
                     match stolen {
                         Some(batch) => {
-                            cells.steals.fetch_add(1, Ordering::Relaxed);
+                            cells.steals.fetch_add(1, Ordering::Release);
                             // Never hold two deque locks at once: the
                             // victim's guard dropped at the end of the scan.
                             queues[worker].lock().expect("work deque").extend(batch);
@@ -402,28 +411,32 @@ impl WorkerPool {
     /// Counts `n` externally executed work grains against `worker` (for
     /// job shapes that distribute work themselves, e.g. a channel-fed
     /// pipeline).
+    // ORDERING: Release — pairs with the Acquire loads in accumulate;
+    // externally attributed grains are stats, hence result-exact.
     pub fn add_claims(&self, worker: usize, n: u64) {
         self.shared.counters[worker]
             .claims
-            .fetch_add(n, Ordering::Relaxed);
+            .fetch_add(n, Ordering::Release);
     }
 
     /// Attributes `stall` time spent blocked on an external feed (channel
     /// recv, fetch wait) to `worker` — every worker's stalls are recorded,
     /// not just the fetcher's.
+    // ORDERING: Release — pairs with the Acquire loads in accumulate.
     pub fn add_stall(&self, worker: usize, stall: Duration) {
         self.shared.counters[worker]
             .stall_nanos
-            .fetch_add(stall.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(stall.as_nanos() as u64, Ordering::Release);
     }
 
     /// Counts serial compute time executed outside a dispatch (the
     /// `threads == 1` search path and under-the-gate inline batches), so
     /// busy time stays comparable across worker counts.
+    // ORDERING: Release — pairs with the Acquire load in busy_time.
     pub fn add_busy(&self, busy: Duration) {
         self.shared
             .busy_nanos
-            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(busy.as_nanos() as u64, Ordering::Release);
     }
 
     /// Work grains claimed over the pool's lifetime (all workers).
@@ -455,15 +468,20 @@ impl WorkerPool {
 
     /// Total time workers spent executing job bodies over the pool's
     /// lifetime (sums across workers, so it can exceed wall-clock).
+    // ORDERING: Acquire — busy time is reported in TaneStats; pairs with
+    // the Release fetch_adds at every body-timing site.
     pub fn busy_time(&self) -> Duration {
-        Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Acquire))
     }
 
     /// True once any job body has panicked on any worker. Sticky; lets a
     /// producer worker bail out of a bounded pipeline instead of blocking
     /// forever on consumers that died.
+    // ORDERING: Acquire — the sticky flag gates result-affecting control
+    // flow (a producer bails out of the pipeline); pairs with the Release
+    // stores at the panic sites so bailing implies seeing the panic.
     pub fn panicked(&self) -> bool {
-        self.shared.panicked.load(Ordering::Relaxed)
+        self.shared.panicked.load(Ordering::Acquire)
     }
 }
 
@@ -509,6 +527,8 @@ impl Drop for WorkerPool {
 }
 
 #[allow(unsafe_code)] // audited: dereferences the pointer `run` published
+                      // ORDERING: Release on busy_nanos, the panicked flag, and the park counter
+                      // — pairs with the Acquire loads in busy_time/panicked/accumulate.
 fn worker_loop(shared: &Shared, id: usize) {
     let mut last_epoch = 0u64;
     let mut state = shared.state.lock().expect("pool state");
@@ -527,10 +547,10 @@ fn worker_loop(shared: &Shared, id: usize) {
             let outcome = catch_unwind(AssertUnwindSafe(|| body(id)));
             shared
                 .busy_nanos
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Release);
             state = shared.state.lock().expect("pool state");
             if let Err(payload) = outcome {
-                shared.panicked.store(true, Ordering::Relaxed);
+                shared.panicked.store(true, Ordering::Release);
                 if state.panic.is_none() {
                     state.panic = Some(payload);
                 }
@@ -542,7 +562,7 @@ fn worker_loop(shared: &Shared, id: usize) {
         } else {
             // No work: park until the next dispatch (or shutdown). This is
             // a real condvar wait, not a spin — the park counter proves it.
-            shared.counters[id].parks.fetch_add(1, Ordering::Relaxed);
+            shared.counters[id].parks.fetch_add(1, Ordering::Release);
             state = shared.work_cv.wait(state).expect("pool state");
         }
     }

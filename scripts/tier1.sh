@@ -11,11 +11,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --full additionally runs the dynamic checkers (Miri + TSan via
+# scripts/sanitize.sh) after the static gate; they degrade to a loud
+# skip on toolchains without nightly, so --full is safe anywhere.
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+    FULL=1
+    shift
+fi
+
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 # Workspace invariants (unsafe-audit, determinism, lock-discipline,
-# error-hygiene): zero violations, enforced by the in-tree analyzer.
+# lock-graph, atomics-audit, error-hygiene): zero violations, enforced
+# by the in-tree analyzer — including the derived lock-order graph and
+# the interprocedural determinism taint.
 cargo run -q -p tane-lint --release
+
+if [[ "$FULL" == "1" ]]; then
+    ./scripts/sanitize.sh
+fi
 
 cargo build --release
 cargo test -q
